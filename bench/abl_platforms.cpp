@@ -1,0 +1,67 @@
+// Ablation E8 — the portability claim of §4: "Using the module on the
+// system with different size of the dual-port memory (e.g., the Altera
+// devices EPXA4 and EPXA10) would require only recompiling the module.
+// The user application would immediately benefit without need to
+// recompile."
+//
+// Runs byte-identical application + coprocessor code on the three
+// family presets; only the kernel configuration (the "module
+// recompile") changes.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace vcop {
+namespace {
+
+int Main() {
+  std::printf(
+      "== Ablation: same application code across the Excalibur family "
+      "==\n\n");
+
+  Table table({"platform", "DP-RAM", "pages", "app", "input", "faults",
+               "evictions", "total ms", "speedup"});
+  table.set_title("portability: only the platform preset changes");
+
+  for (const os::KernelConfig& config :
+       {runtime::Epxa1Config(), runtime::Epxa4Config(),
+        runtime::Epxa10Config()}) {
+    const std::string dp = StrFormat("%u KB", config.dp_ram_bytes / 1024);
+    const std::string pages =
+        StrFormat("%u x %u KB", config.dp_ram_bytes / config.page_bytes,
+                  config.page_bytes / 1024);
+    {
+      const bench::Point p = bench::RunAdpcmPoint(config, 8192);
+      table.AddRow({config.platform_name, dp, pages, "adpcmdecode", "8 KB",
+                    StrFormat("%llu", static_cast<unsigned long long>(
+                                          p.vim.vim.faults)),
+                    StrFormat("%llu", static_cast<unsigned long long>(
+                                          p.vim.vim.evictions)),
+                    runtime::Ms(p.vim.total),
+                    runtime::Speedup(p.sw, p.vim.total)});
+    }
+    {
+      const bench::Point p = bench::RunIdeaPoint(config, 32768);
+      table.AddRow({config.platform_name, dp, pages, "IDEA", "32 KB",
+                    StrFormat("%llu", static_cast<unsigned long long>(
+                                          p.vim.vim.faults)),
+                    StrFormat("%llu", static_cast<unsigned long long>(
+                                          p.vim.vim.evictions)),
+                    runtime::Ms(p.vim.total),
+                    runtime::Speedup(p.sw, p.vim.total)});
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nLarger interface memories absorb the working set: evictions "
+      "vanish on\nEPXA4/EPXA10 and only compulsory faults remain, so the "
+      "same binaries get\nfaster 'without need to recompile' the "
+      "application (§4).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

@@ -1,0 +1,154 @@
+// Ablation: sharing the PLD across tasks (§5's complementary problem).
+//
+// A mixed stream of adpcmdecode and IDEA jobs contends for the single
+// fabric. Reconfiguration costs tens of milliseconds on the EPXA1's
+// configuration port — the same order as whole executions — so the
+// schedule decides how much of the machine the configuration port eats:
+// FIFO reconfigures at every design switch; batching by bit-stream
+// amortises it at the cost of per-job latency fairness.
+#include <cstdio>
+
+#include "apps/adpcm.h"
+#include "apps/idea.h"
+#include "apps/workloads.h"
+#include "base/table.h"
+#include "cp/adpcm_cp.h"
+#include "cp/idea_cp.h"
+#include "cp/registry.h"
+#include "os/scheduler.h"
+#include "runtime/config.h"
+#include "runtime/report.h"
+
+namespace vcop {
+namespace {
+
+os::FpgaJob MakeAdpcmJob(u32 pid, usize bytes, u64 seed) {
+  os::FpgaJob job;
+  job.pid = pid;
+  job.bitstream = "adpcmdecode";
+  job.run = [bytes, seed](os::Kernel& kernel)
+      -> Result<os::ExecutionReport> {
+    const std::vector<u8> input = apps::MakeAdpcmStream(bytes, seed);
+    auto in = kernel.user_memory().Allocate(static_cast<u32>(bytes));
+    auto out = kernel.user_memory().Allocate(static_cast<u32>(bytes * 4));
+    if (!in.ok() || !out.ok()) {
+      return ResourceExhaustedError("out of user memory");
+    }
+    kernel.user_memory().WriteBytes(in.value(), input);
+    VCOP_RETURN_IF_ERROR(kernel.FpgaMapObject(
+        cp::AdpcmDecodeCoprocessor::kObjIn, in.value(),
+        static_cast<u32>(bytes), 1, os::Direction::kIn));
+    VCOP_RETURN_IF_ERROR(kernel.FpgaMapObject(
+        cp::AdpcmDecodeCoprocessor::kObjOut, out.value(),
+        static_cast<u32>(bytes * 4), 2, os::Direction::kOut));
+    const u32 params[] = {static_cast<u32>(bytes), 0, 0};
+    return kernel.FpgaExecute(params);
+  };
+  return job;
+}
+
+os::FpgaJob MakeIdeaJob(u32 pid, usize bytes, u64 seed) {
+  os::FpgaJob job;
+  job.pid = pid;
+  job.bitstream = "idea";
+  job.run = [bytes, seed](os::Kernel& kernel)
+      -> Result<os::ExecutionReport> {
+    const apps::IdeaSubkeys keys =
+        apps::IdeaExpandKey(apps::MakeIdeaKey(seed));
+    const std::vector<u8> input = apps::MakeRandomBytes(bytes, seed);
+    auto in = kernel.user_memory().Allocate(static_cast<u32>(bytes));
+    auto out = kernel.user_memory().Allocate(static_cast<u32>(bytes));
+    auto key = kernel.user_memory().Allocate(
+        static_cast<u32>(keys.size() * 2));
+    if (!in.ok() || !out.ok() || !key.ok()) {
+      return ResourceExhaustedError("out of user memory");
+    }
+    kernel.user_memory().WriteBytes(in.value(), input);
+    std::vector<u8> key_bytes(keys.size() * 2);
+    for (usize i = 0; i < keys.size(); ++i) {
+      key_bytes[2 * i] = static_cast<u8>(keys[i]);
+      key_bytes[2 * i + 1] = static_cast<u8>(keys[i] >> 8);
+    }
+    kernel.user_memory().WriteBytes(key.value(), key_bytes);
+    VCOP_RETURN_IF_ERROR(kernel.FpgaMapObject(
+        cp::IdeaCoprocessor::kObjIn, in.value(),
+        static_cast<u32>(bytes), 4, os::Direction::kIn));
+    VCOP_RETURN_IF_ERROR(kernel.FpgaMapObject(
+        cp::IdeaCoprocessor::kObjOut, out.value(),
+        static_cast<u32>(bytes), 4, os::Direction::kOut));
+    VCOP_RETURN_IF_ERROR(kernel.FpgaMapObject(
+        cp::IdeaCoprocessor::kObjKey, key.value(),
+        static_cast<u32>(key_bytes.size()), 2, os::Direction::kIn));
+    const u32 params[] = {
+        static_cast<u32>(bytes / apps::kIdeaBlockBytes)};
+    return kernel.FpgaExecute(params);
+  };
+  return job;
+}
+
+std::vector<os::FpgaJob> MakeJobStream() {
+  std::vector<os::FpgaJob> jobs;
+  // Two processes interleaving audio and crypto work.
+  for (u32 round = 0; round < 4; ++round) {
+    jobs.push_back(MakeAdpcmJob(1, 8192, 100 + round));
+    jobs.push_back(MakeIdeaJob(2, 16384, 200 + round));
+  }
+  return jobs;
+}
+
+int Main() {
+  std::printf(
+      "== Ablation: sharing the PLD across tasks (Section 5's "
+      "complementary problem) ==\n\n");
+
+  Table table({"schedule", "jobs", "reconfigs", "config ms",
+               "busy (exec) ms", "makespan ms", "mean turnaround ms",
+               "config share"});
+  table.set_title(
+      "8 jobs from 2 processes (4x adpcm 8 KB + 4x IDEA 16 KB), one "
+      "EPXA1 fabric");
+
+  std::map<std::string, hw::Bitstream> designs;
+  designs["adpcmdecode"] = cp::AdpcmDecodeBitstream();
+  designs["idea"] = cp::IdeaBitstream();
+
+  for (const os::ScheduleOrder order :
+       {os::ScheduleOrder::kFifo, os::ScheduleOrder::kBatchBitstream}) {
+    os::Kernel kernel(runtime::Epxa1Config());
+    os::FpgaScheduler scheduler(kernel, designs);
+    const os::ScheduleReport report =
+        scheduler.RunAll(MakeJobStream(), order);
+    VCOP_CHECK_MSG(report.failures() == 0, "a job failed");
+
+    Picoseconds busy = 0;
+    for (const os::JobOutcome& o : report.outcomes) {
+      busy += o.report.total;
+    }
+    const double config_share =
+        100.0 * static_cast<double>(report.total_config_time) /
+        static_cast<double>(report.makespan);
+    table.AddRow({std::string(ToString(order)),
+                  StrFormat("%zu", report.outcomes.size()),
+                  StrFormat("%u", report.reconfigurations),
+                  runtime::Ms(report.total_config_time),
+                  runtime::Ms(busy), runtime::Ms(report.makespan),
+                  runtime::Ms(report.mean_turnaround()),
+                  StrFormat("%.0f%%", config_share)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nFIFO pays a full reconfiguration at every design switch — on "
+      "this job mix\nthe configuration port consumes a large share of "
+      "the machine. Batching by\nbit-stream cuts it to one load per "
+      "design. The paper calls lattice sharing\n'orthogonal and "
+      "complementary' to interface virtualisation (§5); this bench\n"
+      "shows the two compose: the jobs themselves run through the "
+      "unchanged VIM.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

@@ -1,0 +1,80 @@
+// Ablation: strided working sets (the convolution domain, extension).
+//
+// A 3x3 convolution holds a three-row window of its source live. At
+// constant pixel count, the image *width* sets how many interface pages
+// that window spans — from a few bytes per row (many rows per page) to
+// rows wider than the whole dual-port RAM. Interface virtualisation is
+// exactly what absorbs this shape change: the application and the core
+// are identical in every row of the table.
+#include <cstdio>
+
+#include "apps/conv2d.h"
+#include "base/table.h"
+#include "runtime/config.h"
+#include "runtime/drivers.h"
+#include "runtime/fpga_api.h"
+#include "runtime/report.h"
+
+namespace vcop {
+namespace {
+
+int Main() {
+  std::printf(
+      "== Ablation: image width vs paging behaviour (3x3 convolution, "
+      "~48 K pixels, EPXA1) ==\n\n");
+
+  Table table({"image", "row bytes", "3-row window", "faults",
+               "compulsory", "SW(DP) ms", "total ms"});
+  table.set_title("constant pixel count, varying stride");
+
+  struct Shape {
+    u32 width;
+    u32 height;
+  };
+  for (const Shape shape : {Shape{64, 768}, Shape{256, 192},
+                            Shape{1024, 48}, Shape{2048, 24},
+                            Shape{4096, 12}, Shape{8192, 6}}) {
+    const std::vector<u8> image =
+        apps::MakeTestImage(shape.width, shape.height, 11);
+    std::vector<u8> expect(image.size());
+    apps::Convolve3x3(image, shape.width, shape.height,
+                      apps::SharpenKernel(), 0, expect);
+
+    runtime::FpgaSystem sys(runtime::Epxa1Config());
+    auto run = runtime::RunConv3x3Vim(sys, image, shape.width,
+                                      shape.height, apps::SharpenKernel(),
+                                      0);
+    VCOP_CHECK_MSG(run.ok(), run.status().ToString());
+    VCOP_CHECK_MSG(run.value().output == expect, "conv output mismatch");
+
+    const os::ExecutionReport& r = run.value().report;
+    const u32 compulsory =
+        2 * (static_cast<u32>(image.size()) + 2047) / 2048 + 1;
+    table.AddRow(
+        {StrFormat("%ux%u", shape.width, shape.height),
+         StrFormat("%u", shape.width),
+         StrFormat("%u B", 3 * shape.width),
+         StrFormat("%llu", static_cast<unsigned long long>(r.vim.faults)),
+         StrFormat("%u", compulsory),
+         runtime::Ms(r.t_dp), runtime::Ms(r.total)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nThe striking result is what does NOT change: across a 128x "
+      "swing in row\nstride — including shapes whose three-row window "
+      "(24 KB) exceeds the whole\ninterface memory — the fault count "
+      "stays a small constant multiple of the\ncompulsory minimum (the "
+      "border pass sweeps the image frame once before the\ninterior "
+      "does). The window's *column* locality means only one page per "
+      "live\nrow is hot at a time, and the VIM discovers that working "
+      "set by itself. A\nmanual port would need a different tiling for "
+      "every row in this table; here\nthe application and the core are "
+      "byte-identical (§2.2's argument,\nquantified).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

@@ -1,0 +1,121 @@
+// Ablation: what does programmability cost?
+//
+// The same C[i] = A[i] + B[i] kernel three ways — the hand-written FSM
+// (Figure 5), hand-written microcode on the sequencer core, and the
+// expression-compiler's output — plus the sequencer's synthesis
+// estimate. The microcoded core spends extra cycles on loop control
+// (branch, index increment, jump) that a dedicated FSM folds into its
+// states; the IMU, VIM and application code are identical.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "cp/registry.h"
+#include "ucode/assembler.h"
+#include "ucode/compiler.h"
+#include "ucode/estimator.h"
+
+namespace vcop {
+namespace {
+
+constexpr const char* kHandWrittenSource = R"(
+        param  r7, 0
+        loadi  r0, 0
+loop:   bge    r0, r7, done
+        read   r1, obj0[r0]
+        read   r2, obj1[r0]
+        add    r3, r1, r2
+        write  obj2[r0], r3
+        addi   r0, r0, 1
+        jmp    loop
+done:   halt
+)";
+
+struct Row {
+  std::string variant;
+  u32 logic_elements;
+  os::ExecutionReport report;
+};
+
+Row RunVariant(const std::string& variant, const hw::Bitstream& bs,
+               u32 n) {
+  runtime::FpgaSystem sys(runtime::Epxa1Config());
+  VCOP_CHECK(sys.Load(bs).ok());
+  auto a = sys.Allocate<u32>(n);
+  auto b = sys.Allocate<u32>(n);
+  auto c = sys.Allocate<u32>(n);
+  VCOP_CHECK(a.ok() && b.ok() && c.ok());
+  for (u32 i = 0; i < n; ++i) {
+    a.value().view()[i] = i;
+    b.value().view()[i] = 2 * i + 1;
+  }
+  VCOP_CHECK(sys.Map(0, a.value(), os::Direction::kIn).ok());
+  VCOP_CHECK(sys.Map(1, b.value(), os::Direction::kIn).ok());
+  VCOP_CHECK(sys.Map(2, c.value(), os::Direction::kOut).ok());
+  auto report = sys.Execute({n});
+  VCOP_CHECK_MSG(report.ok(), report.status().ToString());
+  for (u32 i = 0; i < n; ++i) {
+    VCOP_CHECK(c.value().view()[i] == i + (2 * i + 1));
+  }
+  return Row{variant, bs.logic_elements, report.value()};
+}
+
+int Main() {
+  std::printf(
+      "== Ablation: hand FSM vs microcoded sequencer vs compiled kernel "
+      "(vecadd, 8192 elements) ==\n\n");
+
+  const u32 n = 8192;
+  std::vector<Row> rows;
+
+  rows.push_back(RunVariant("hand-written FSM", cp::VecAddBitstream(), n));
+
+  auto assembled = ucode::Assemble(kHandWrittenSource, 1);
+  VCOP_CHECK_MSG(assembled.ok(), assembled.status().ToString());
+  auto asm_bs = ucode::SynthesiseBitstream(
+      "vecadd-asm", std::move(assembled).value(), Frequency::MHz(40),
+      4160);
+  VCOP_CHECK_MSG(asm_bs.ok(), asm_bs.status().ToString());
+  rows.push_back(RunVariant("hand-written microcode", asm_bs.value(), n));
+
+  ucode::MapKernelSpec spec;
+  spec.name = "vecadd-compiled";
+  spec.output = 2;
+  spec.body = ucode::Expr::Input(0) + ucode::Expr::Input(1);
+  auto compiled = ucode::CompileMapKernel(spec);
+  VCOP_CHECK_MSG(compiled.ok(), compiled.status().ToString());
+  auto cc_bs = ucode::SynthesiseBitstream(
+      "vecadd-compiled", compiled.value(), Frequency::MHz(40), 4160);
+  VCOP_CHECK_MSG(cc_bs.ok(), cc_bs.status().ToString());
+  rows.push_back(RunVariant("compiled expression", cc_bs.value(), n));
+
+  Table table({"variant", "LEs", "active CP cycles", "HW ms", "total ms",
+               "active cycles/elem", "vs FSM"});
+  table.set_title("same kernel, three authoring levels (40 MHz core)");
+  const double fsm_total =
+      static_cast<double>(rows[0].report.total);
+  for (const Row& row : rows) {
+    table.AddRow(
+        {row.variant, StrFormat("%u", row.logic_elements),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(row.report.cp_cycles)),
+         runtime::Ms(row.report.t_hw), runtime::Ms(row.report.total),
+         StrFormat("%.1f", static_cast<double>(row.report.cp_cycles) / n),
+         StrFormat("%.2fx", static_cast<double>(row.report.total) /
+                                fsm_total)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nThe sequencer pays ~4 extra active cycles per element for loop control "
+      "the FSM\ngets for free, and a few hundred LEs for its generality. "
+      "The compiled\nkernel matches hand-written microcode — the "
+      "expression compiler's loop\nskeleton is the same code a human "
+      "writes. That is the paper's §2 toolchain\n(OS + compiler + "
+      "synthesiser) trading a bounded cost for zero-HDL authoring.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

@@ -1,0 +1,99 @@
+// Shared helpers for the bench binaries: one function per (application,
+// platform-config, size) measurement point, returning both the VIM
+// execution report and the software-model baseline so every bench
+// prints consistent numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/sw_model.h"
+#include "apps/workloads.h"
+#include "base/status.h"
+#include "base/table.h"
+#include "os/kernel.h"
+#include "runtime/config.h"
+#include "runtime/drivers.h"
+#include "runtime/fpga_api.h"
+#include "runtime/report.h"
+
+namespace vcop::bench {
+
+inline constexpr u64 kWorkloadSeed = 20040216;  // DATE'04 week, Paris
+
+struct Point {
+  usize input_bytes = 0;
+  Picoseconds sw = 0;               // pure-software baseline
+  os::ExecutionReport vim;          // VIM-based coprocessor
+  bool manual_fits = false;         // IDEA only: normal coprocessor ran
+  runtime::ManualRunResult manual;  // valid when manual_fits
+};
+
+/// Runs adpcmdecode at `input_bytes` on a fresh system with `config`;
+/// verifies bit-exactness against the reference as it goes.
+inline Point RunAdpcmPoint(const os::KernelConfig& config,
+                           usize input_bytes) {
+  Point point;
+  point.input_bytes = input_bytes;
+
+  const std::vector<u8> input =
+      apps::MakeAdpcmStream(input_bytes, kWorkloadSeed);
+  apps::ArmTimingModel arm;
+  arm.cpu_clock = config.costs.cpu_clock;
+  point.sw = arm.AdpcmDecodeTime(input_bytes);
+
+  runtime::FpgaSystem sys(config);
+  auto run = runtime::RunAdpcmVim(sys, input);
+  VCOP_CHECK_MSG(run.ok(), run.status().ToString());
+  std::vector<i16> expect(input.size() * 2);
+  apps::AdpcmState state;
+  apps::AdpcmDecode(input, expect, state);
+  VCOP_CHECK_MSG(run.value().output == expect,
+                 "adpcm coprocessor output mismatch");
+  point.vim = run.value().report;
+  return point;
+}
+
+/// Runs IDEA at `input_bytes`: software, VIM, and the manual "normal
+/// coprocessor" (which may fail to fit).
+inline Point RunIdeaPoint(const os::KernelConfig& config,
+                          usize input_bytes) {
+  Point point;
+  point.input_bytes = input_bytes;
+
+  const apps::IdeaSubkeys keys =
+      apps::IdeaExpandKey(apps::MakeIdeaKey(kWorkloadSeed));
+  const std::vector<u8> input =
+      apps::MakeRandomBytes(input_bytes, kWorkloadSeed + 1);
+  std::vector<u8> expect(input.size());
+  apps::IdeaCryptEcb(keys, input, expect);
+
+  apps::ArmTimingModel arm;
+  arm.cpu_clock = config.costs.cpu_clock;
+  point.sw = arm.IdeaEcbTime(input_bytes);
+
+  runtime::FpgaSystem sys(config);
+  auto vim = runtime::RunIdeaVim(sys, keys, input);
+  VCOP_CHECK_MSG(vim.ok(), vim.status().ToString());
+  VCOP_CHECK_MSG(vim.value().output == expect,
+                 "IDEA coprocessor output mismatch");
+  point.vim = vim.value().report;
+
+  auto manual = runtime::RunIdeaManual(config.costs, config.dp_ram_bytes,
+                                       keys, input);
+  if (manual.ok()) {
+    VCOP_CHECK_MSG(manual.value().output == expect,
+                   "manual IDEA output mismatch");
+    point.manual_fits = true;
+    point.manual = manual.value().result;
+  }
+  return point;
+}
+
+/// "8 KB" / "512 B" labels for size columns.
+inline std::string SizeLabel(usize bytes) {
+  if (bytes % 1024 == 0) return StrFormat("%zu KB", bytes / 1024);
+  return StrFormat("%zu B", bytes);
+}
+
+}  // namespace vcop::bench

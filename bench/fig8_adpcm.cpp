@@ -1,0 +1,56 @@
+// Reproduces Figure 8: "Measurements on adpcmdecode kernel. A software
+// implementation, and hardware VIM-based implementation (the
+// coprocessor and the IMU)."
+//
+// Sweeps the paper's input sizes (2/4/8 KB) on the EPXA1 platform,
+// printing the same stacked decomposition as the figure — SW (IMU) =
+// OS time managing the IMU, SW (DP) = OS time managing the dual-port
+// RAM, HW = coprocessor + IMU time — plus the speedup over pure
+// software. Paper speedups: 1.5x / 1.5x / 1.6x, faults from 4 KB on.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace vcop {
+namespace {
+
+int Main() {
+  std::printf(
+      "== Figure 8: adpcmdecode, pure SW vs VIM-based coprocessor "
+      "(EPXA1, CP+IMU @40 MHz) ==\n\n");
+
+  Table table({"input", "SW ms", "VIM total ms", "HW ms", "SW(DP) ms",
+               "SW(IMU) ms", "invoke ms", "faults", "speedup",
+               "paper speedup"});
+  table.set_title("execution time vs input size (output = 4x input)");
+
+  const os::KernelConfig config = runtime::Epxa1Config();
+  const char* paper_speedup[] = {"1.5x", "1.5x", "1.6x"};
+  int i = 0;
+  for (const usize bytes : {2048u, 4096u, 8192u}) {
+    const bench::Point p = bench::RunAdpcmPoint(config, bytes);
+    table.AddRow({bench::SizeLabel(bytes), runtime::Ms(p.sw),
+                  runtime::Ms(p.vim.total), runtime::Ms(p.vim.t_hw),
+                  runtime::Ms(p.vim.t_dp), runtime::Ms(p.vim.t_imu),
+                  runtime::Ms(p.vim.t_invoke),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        p.vim.vim.faults)),
+                  runtime::Speedup(p.sw, p.vim.total), paper_speedup[i++]});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape checks vs the paper:\n"
+      " * 2 KB input (1 input page + 4 output pages) fits the 16 KB "
+      "DP-RAM:\n   only compulsory faults, no evictions; faults/evictions "
+      "appear from 4 KB on.\n"
+      " * VIM-based version wins at every size with a modest (~1.5x) "
+      "speedup.\n"
+      " * The dominant overhead component is SW (DP), as §4.1 notes.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

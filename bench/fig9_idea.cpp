@@ -1,0 +1,68 @@
+// Reproduces Figure 9: "Measurements on IDEA kernel. A pure software
+// implementation, a normal coprocessor without our virtual interface,
+// and a VIM-based coprocessor with the IMU."
+//
+// Sweeps 4/8/16/32 KB. The normal coprocessor stages in+out at fixed
+// DP-RAM offsets and therefore *exceeds available memory* from 16 KB on
+// (the figure's crossed-out columns); the VIM-based version handles
+// every size unchanged. Paper: SW 26/53/105/211 ms; normal ~18x where
+// it fits; VIM ~11-12x everywhere (19 ms at 32 KB).
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace vcop {
+namespace {
+
+int Main() {
+  std::printf(
+      "== Figure 9: IDEA, pure SW vs normal coprocessor vs VIM-based "
+      "(EPXA1; core @6 MHz, IMU @24 MHz) ==\n\n");
+
+  Table table({"input", "SW ms", "normal ms", "normal speedup",
+               "VIM total ms", "HW ms", "SW(DP) ms", "SW(IMU) ms",
+               "VIM speedup", "paper SW ms", "paper VIM"});
+  table.set_title(
+      "execution time vs input size (normal coprocessor: user-managed "
+      "staging)");
+
+  const os::KernelConfig config = runtime::Epxa1Config();
+  const char* paper_sw[] = {"26", "53", "105", "211"};
+  const char* paper_vim[] = {"11x", "12x", "11x", "11x"};
+  int i = 0;
+  for (const usize bytes : {4096u, 8192u, 16384u, 32768u}) {
+    const bench::Point p = bench::RunIdeaPoint(config, bytes);
+    std::string normal_ms = "exceeds memory";
+    std::string normal_speedup = "--";
+    if (p.manual_fits) {
+      normal_ms = runtime::Ms(p.manual.total);
+      normal_speedup = runtime::Speedup(p.sw, p.manual.total);
+    }
+    table.AddRow({bench::SizeLabel(bytes), runtime::Ms(p.sw), normal_ms,
+                  normal_speedup, runtime::Ms(p.vim.total),
+                  runtime::Ms(p.vim.t_hw), runtime::Ms(p.vim.t_dp),
+                  runtime::Ms(p.vim.t_imu),
+                  runtime::Speedup(p.sw, p.vim.total), paper_sw[i],
+                  paper_vim[i]});
+    ++i;
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape checks vs the paper:\n"
+      " * normal coprocessor exceeds available memory at 16 KB and 32 KB\n"
+      "   (in+out > 16 KB dual-port RAM) — the VIM-based version runs all "
+      "sizes\n   with no change to application or coprocessor code.\n"
+      " * where both run, the normal coprocessor is faster (~18x vs "
+      "~11-12x):\n   the virtualisation tax is the price of portability "
+      "(§4.1).\n"
+      " * 'for the typical hardware and the VIM-based versions, the "
+      "speedup is\n   comparable when no translation misses require "
+      "intervention of the OS.'\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

@@ -1,0 +1,117 @@
+// custom_coprocessor — define a brand-new accelerator at runtime.
+//
+// Writes a dot-product-with-threshold kernel in the microcode assembly
+// (no C++, no rebuild), wraps it as a bit-stream and runs it through
+// the unchanged VIM machinery on datasets larger than the interface
+// memory. This is the library's growth path: the paper's portable
+// coprocessor contract, scripted.
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "base/rng.h"
+#include "runtime/config.h"
+#include "runtime/fpga_api.h"
+#include "runtime/report.h"
+#include "ucode/assembler.h"
+#include "ucode/ucode_cp.h"
+
+namespace vcop {
+namespace {
+
+// out[0] = sum(x[i] * w[i]); out[1] = count of products above a
+// threshold parameter. Two reductions in one pass.
+constexpr const char* kKernel = R"(
+        param  r7, 0          ; n
+        param  r6, 1          ; threshold
+        loadi  r0, 0          ; i
+        loadi  r4, 0          ; sum
+        loadi  r5, 0          ; count
+        loadi  r8, 1          ; constant 1
+loop:   bge    r0, r7, done
+        read   r1, obj0[r0]   ; x[i]
+        read   r2, obj1[r0]   ; w[i]
+        mul    r3, r1, r2
+        delay  2              ; the multiplier is 3 cycles deep
+        add    r4, r4, r3
+        blt    r3, r6, skip
+        add    r5, r5, r8
+skip:   addi   r0, r0, 1
+        jmp    loop
+done:   loadi  r0, 0
+        write  obj2[r0], r4
+        addi   r0, r0, 1
+        write  obj2[r0], r5
+        halt
+)";
+
+int Main() {
+  constexpr u32 kN = 20'000;  // 80 KB per input vector
+  constexpr u32 kThreshold = 1u << 20;
+
+  const std::string_view kernel_text(kKernel);
+  std::printf("custom_coprocessor: a new kernel in %zu lines of "
+              "microcode, no C++\n\n",
+              static_cast<usize>(std::count(kernel_text.begin(),
+                                            kernel_text.end(), '\n')));
+
+  auto program = ucode::Assemble(kKernel, /*num_params=*/2);
+  VCOP_CHECK_MSG(program.ok(), program.status().ToString());
+  std::printf("assembled %zu instructions; objects used: %zu\n",
+              program.value().size(),
+              program.value().ReferencedObjects().size());
+  std::printf("%s\n", program.value().Disassemble().c_str());
+
+  const hw::Bitstream bs = ucode::MakeMicrocodeBitstream(
+      "dotprod", std::move(program).value(), Frequency::MHz(40),
+      Frequency::MHz(40));
+
+  Rng rng(9);
+  std::vector<u32> x(kN), w(kN);
+  for (u32 i = 0; i < kN; ++i) {
+    x[i] = static_cast<u32>(rng.NextBelow(2048));
+    w[i] = static_cast<u32>(rng.NextBelow(2048));
+  }
+
+  runtime::FpgaSystem sys(runtime::Epxa1Config());
+  VCOP_CHECK(sys.Load(bs).ok());
+  auto bx = sys.Allocate<u32>(kN);
+  auto bw = sys.Allocate<u32>(kN);
+  auto bout = sys.Allocate<u32>(2);
+  VCOP_CHECK(bx.ok() && bw.ok() && bout.ok());
+  bx.value().Fill(x);
+  bw.value().Fill(w);
+  VCOP_CHECK(sys.Map(0, bx.value(), os::Direction::kIn).ok());
+  VCOP_CHECK(sys.Map(1, bw.value(), os::Direction::kIn).ok());
+  VCOP_CHECK(sys.Map(2, bout.value(), os::Direction::kOut).ok());
+
+  auto report = sys.Execute({kN, kThreshold});
+  VCOP_CHECK_MSG(report.ok(), report.status().ToString());
+
+  // Host reference.
+  u32 sum = 0, count = 0;
+  for (u32 i = 0; i < kN; ++i) {
+    const u32 p = x[i] * w[i];
+    sum += p;
+    count += p >= kThreshold;
+  }
+  const auto out = bout.value().ToVector();
+  VCOP_CHECK_MSG(out[0] == sum && out[1] == count,
+                 "coprocessor result mismatch");
+
+  std::printf("dot product = %u, %u products above threshold — matches "
+              "the host reference\n\n",
+              out[0], out[1]);
+  std::printf("execution:\n%s\n",
+              runtime::DescribeDetailed(report.value()).c_str());
+  std::printf("160 KB of inputs streamed through 16 KB of interface "
+              "memory; the kernel's author\nnever saw a physical address "
+              "or a page. That is §2.1, as a scripting workflow.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

@@ -1,0 +1,71 @@
+// portability — §4's porting story, executed.
+//
+// One application function, written once against the vcop API, runs
+// unmodified on three Excalibur family members; per platform, only the
+// kernel configuration (the paper's "recompiled module") differs. The
+// coprocessor model is byte-identical too: it addresses (object,
+// element) pairs and never learns the memory size.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "runtime/config.h"
+#include "runtime/drivers.h"
+#include "runtime/fpga_api.h"
+#include "runtime/report.h"
+
+namespace vcop {
+namespace {
+
+/// The "application": written once, knows nothing about the platform.
+Result<os::ExecutionReport> Application(runtime::FpgaSystem& sys) {
+  const u32 n = 20'000;  // 80 KB per vector
+  std::vector<u32> a(n), b(n);
+  std::iota(a.begin(), a.end(), 5u);
+  std::iota(b.begin(), b.end(), 9u);
+  auto run = runtime::RunVecAddVim(sys, a, b);
+  if (!run.ok()) return run.status();
+  for (u32 i = 0; i < n; ++i) {
+    VCOP_CHECK(run.value().output[i] == a[i] + b[i]);
+  }
+  return run.value().report;
+}
+
+int Main() {
+  std::printf("portability: one application binary, three platforms\n\n");
+
+  Table table({"platform", "DP-RAM", "page", "faults", "evictions",
+               "total ms"});
+  for (const os::KernelConfig& config :
+       {runtime::Epxa1Config(), runtime::Epxa4Config(),
+        runtime::Epxa10Config()}) {
+    runtime::FpgaSystem sys(config);
+    auto report = Application(sys);
+    VCOP_CHECK_MSG(report.ok(), report.status().ToString());
+    table.AddRow(
+        {config.platform_name,
+         StrFormat("%u KB", config.dp_ram_bytes / 1024),
+         StrFormat("%u KB", config.page_bytes / 1024),
+         StrFormat("%llu", static_cast<unsigned long long>(
+                               report.value().vim.faults)),
+         StrFormat("%llu", static_cast<unsigned long long>(
+                               report.value().vim.evictions)),
+         runtime::Ms(report.value().total)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nNeither Application() nor the coprocessor model mentioned a "
+      "memory size,\na page count or a physical address — porting was a "
+      "configuration swap.\n'If the same experiments were to be performed "
+      "on a different hardware\nplatform this would require porting the "
+      "IMU hardware and the VIM software,\nbut would not require any "
+      "changes [to] the coprocessor HDL description nor\nto the "
+      "application C code.' (§4.1)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

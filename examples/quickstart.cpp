@@ -1,0 +1,118 @@
+// Quickstart — the paper's motivating example (Figures 3, 5 and 6).
+//
+// Adds two vectors three ways:
+//   1. pure software,
+//   2. "typical coprocessor": the user stages data into the dual-port
+//      RAM at fixed offsets, chunking by hand when it does not fit,
+//   3. VIM-based coprocessor: map the objects, call execute — the OS
+//      pages data in and out on demand.
+//
+// The point is the code shape: version 3 reads like version 1.
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "cp/registry.h"
+#include "cp/vecadd_cp.h"
+#include "runtime/config.h"
+#include "runtime/drivers.h"
+#include "runtime/fpga_api.h"
+#include "runtime/manual_runtime.h"
+#include "runtime/report.h"
+
+namespace vcop {
+namespace {
+
+constexpr u32 kSize = 12 * 1024;  // 48 KB per vector: 3x the DP-RAM each
+
+// --- version 1: pure software --------------------------------------
+std::vector<u32> AddVectorsSoftware(const std::vector<u32>& a,
+                                    const std::vector<u32>& b) {
+  std::vector<u32> c(a.size());
+  for (usize i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+  return c;
+}
+
+// --- version 2: typical coprocessor (Figure 3, middle) -------------
+// The programmer must know DP_SIZE, compute a chunk schedule, stage
+// each chunk and collect results — all platform-specific.
+Result<std::vector<u32>> AddVectorsManual(const std::vector<u32>& a,
+                                          const std::vector<u32>& b) {
+  const u32 dp_size = runtime::Epxa1Config().dp_ram_bytes;
+  const u32 data_chunk = dp_size / 3 / 4;  // elements per vector chunk
+  std::vector<u32> c(a.size());
+  runtime::ManualRunner runner(os::CostModel{}, dp_size);
+
+  u32 data_pt = 0;
+  while (data_pt < a.size()) {
+    const u32 n = std::min<u32>(data_chunk, static_cast<u32>(a.size()) - data_pt);
+    // Repack chunk bytes (the manual interface is raw bytes at fixed
+    // offsets — exactly the burden §2.2 complains about).
+    auto bytes_of = [](const u32* p, u32 count) {
+      return std::span<const u8>(reinterpret_cast<const u8*>(p), count * 4);
+    };
+    std::vector<u8> out_bytes(n * 4);
+    runtime::ManualObject oa{cp::VecAddCoprocessor::kObjA, 4, n * 4, false,
+                             bytes_of(a.data() + data_pt, n), {}};
+    runtime::ManualObject ob{cp::VecAddCoprocessor::kObjB, 4, n * 4, false,
+                             bytes_of(b.data() + data_pt, n), {}};
+    runtime::ManualObject oc{cp::VecAddCoprocessor::kObjC, 4, n * 4, false,
+                             {}, out_bytes};
+    const runtime::ManualObject objects[] = {oa, ob, oc};
+    const u32 params[] = {n};
+    auto run = runner.Run(cp::VecAddBitstream(), objects, params);
+    if (!run.ok()) return run.status();
+    std::memcpy(c.data() + data_pt, out_bytes.data(), out_bytes.size());
+    data_pt += n;
+  }
+  return c;
+}
+
+int Main() {
+  std::printf("vcop quickstart: C[i] = A[i] + B[i], %u elements (%u KB "
+              "per vector, 16 KB interface memory)\n\n",
+              kSize, kSize * 4 / 1024);
+
+  std::vector<u32> a(kSize), b(kSize);
+  std::iota(a.begin(), a.end(), 1u);
+  std::iota(b.begin(), b.end(), 100u);
+
+  // 1. Software.
+  const std::vector<u32> sw = AddVectorsSoftware(a, b);
+  std::printf("[1] pure software          : done (reference)\n");
+
+  // 2. Typical coprocessor: explicit chunk schedule.
+  auto manual = AddVectorsManual(a, b);
+  VCOP_CHECK_MSG(manual.ok(), manual.status().ToString());
+  VCOP_CHECK_MSG(manual.value() == sw, "manual coprocessor mismatch");
+  std::printf("[2] typical coprocessor    : done — but the application "
+              "had to know DP_SIZE,\n"
+              "                             slice 3 vectors into %u-element"
+              " chunks and stage each one\n",
+              runtime::Epxa1Config().dp_ram_bytes / 3 / 4);
+
+  // 3. VIM-based: map + execute. No sizes, no chunks, no addresses.
+  runtime::FpgaSystem sys(runtime::Epxa1Config());
+  auto vim = runtime::RunVecAddVim(sys, a, b);
+  VCOP_CHECK_MSG(vim.ok(), vim.status().ToString());
+  VCOP_CHECK_MSG(vim.value().output == sw, "VIM coprocessor mismatch");
+  std::printf("[3] VIM-based coprocessor  : done — three FPGA_MAP_OBJECT "
+              "calls and one\n"
+              "                             FPGA_EXECUTE(SIZE); the OS "
+              "serviced %llu page faults\n\n",
+              static_cast<unsigned long long>(
+                  vim.value().report.vim.faults));
+
+  std::printf("VIM execution breakdown:\n%s\n",
+              runtime::DescribeDetailed(vim.value().report).c_str());
+  std::printf("All three versions agree. The VIM version's source looks "
+              "like the software\nversion — that is the paper's point "
+              "(Figure 3).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

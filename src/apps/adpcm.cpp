@@ -1,0 +1,109 @@
+#include "apps/adpcm.h"
+
+#include "base/status.h"
+
+namespace vcop::apps {
+namespace {
+
+// Standard IMA ADPCM tables (Intel/DVI).
+constexpr i8 kIndexTable[16] = {
+    -1, -1, -1, -1, 2, 4, 6, 8,
+    -1, -1, -1, -1, 2, 4, 6, 8,
+};
+
+constexpr i16 kStepSizeTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+i32 ClampIndex(i32 index) {
+  if (index < 0) return 0;
+  if (index > 88) return 88;
+  return index;
+}
+
+i32 ClampSample(i32 v) {
+  if (v > 32767) return 32767;
+  if (v < -32768) return -32768;
+  return v;
+}
+
+}  // namespace
+
+i16 AdpcmDecodeSample(u8 code, AdpcmState& state) {
+  const i32 step = kStepSizeTable[state.index];
+
+  // Reconstruct the difference: step*code/4 + step/8, computed with
+  // shifts exactly as the reference coder does.
+  i32 diff = step >> 3;
+  if (code & 4) diff += step;
+  if (code & 2) diff += step >> 1;
+  if (code & 1) diff += step >> 2;
+  if (code & 8) diff = -diff;
+
+  const i32 valprev = ClampSample(state.valprev + diff);
+  state.valprev = static_cast<i16>(valprev);
+  state.index = static_cast<u8>(ClampIndex(state.index + kIndexTable[code]));
+  return state.valprev;
+}
+
+u8 AdpcmEncodeSample(i16 sample, AdpcmState& state) {
+  const i32 step = kStepSizeTable[state.index];
+  i32 diff = sample - state.valprev;
+  u8 code = 0;
+  if (diff < 0) {
+    code = 8;
+    diff = -diff;
+  }
+
+  // Quantise |diff| to 3 bits against the current step size.
+  i32 tempstep = step;
+  if (diff >= tempstep) {
+    code |= 4;
+    diff -= tempstep;
+  }
+  tempstep >>= 1;
+  if (diff >= tempstep) {
+    code |= 2;
+    diff -= tempstep;
+  }
+  tempstep >>= 1;
+  if (diff >= tempstep) {
+    code |= 1;
+  }
+
+  // Update the predictor through the shared decode step so encoder and
+  // decoder stay in lock-step.
+  AdpcmDecodeSample(code, state);
+  return code;
+}
+
+void AdpcmEncode(std::span<const i16> pcm, std::span<u8> out,
+                 AdpcmState& state) {
+  VCOP_CHECK_MSG(pcm.size() % 2 == 0, "ADPCM encodes samples in pairs");
+  VCOP_CHECK_MSG(out.size() == pcm.size() / 2,
+                 "ADPCM output must be half the sample count in bytes");
+  for (usize i = 0; i < pcm.size(); i += 2) {
+    const u8 lo = AdpcmEncodeSample(pcm[i], state);
+    const u8 hi = AdpcmEncodeSample(pcm[i + 1], state);
+    out[i / 2] = static_cast<u8>(lo | (hi << 4));
+  }
+}
+
+void AdpcmDecode(std::span<const u8> in, std::span<i16> out,
+                 AdpcmState& state) {
+  VCOP_CHECK_MSG(out.size() == in.size() * 2,
+                 "ADPCM decode emits two samples per input byte");
+  for (usize i = 0; i < in.size(); ++i) {
+    out[2 * i] = AdpcmDecodeSample(in[i] & 0x0F, state);
+    out[2 * i + 1] = AdpcmDecodeSample(in[i] >> 4, state);
+  }
+}
+
+}  // namespace vcop::apps

@@ -1,0 +1,91 @@
+#include "apps/conv2d.h"
+
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+
+namespace vcop::apps {
+
+Conv3x3Kernel BoxBlurKernel() {
+  return Conv3x3Kernel{1, 1, 1, 1, 1, 1, 1, 1, 1};  // use shift 3 (~/9)
+}
+
+Conv3x3Kernel SharpenKernel() {
+  return Conv3x3Kernel{0, -1, 0, -1, 5, -1, 0, -1, 0};  // shift 0
+}
+
+Conv3x3Kernel SobelXKernel() {
+  return Conv3x3Kernel{-1, 0, 1, -2, 0, 2, -1, 0, 1};  // shift 0
+}
+
+Conv3x3Kernel EmbossKernel() {
+  return Conv3x3Kernel{-2, -1, 0, -1, 1, 1, 0, 1, 2};  // shift 0
+}
+
+void Convolve3x3(std::span<const u8> src, u32 width, u32 height,
+                 const Conv3x3Kernel& kernel, u32 shift,
+                 std::span<u8> dst) {
+  VCOP_CHECK_MSG(width >= 3 && height >= 3, "image must be at least 3x3");
+  VCOP_CHECK_MSG(src.size() == static_cast<usize>(width) * height,
+                 "source size mismatch");
+  VCOP_CHECK_MSG(dst.size() == src.size(), "destination size mismatch");
+
+  // Border: copy-through.
+  for (u32 x = 0; x < width; ++x) {
+    dst[x] = src[x];
+    dst[static_cast<usize>(height - 1) * width + x] =
+        src[static_cast<usize>(height - 1) * width + x];
+  }
+  for (u32 y = 0; y < height; ++y) {
+    dst[static_cast<usize>(y) * width] = src[static_cast<usize>(y) * width];
+    dst[static_cast<usize>(y) * width + width - 1] =
+        src[static_cast<usize>(y) * width + width - 1];
+  }
+
+  for (u32 y = 1; y + 1 < height; ++y) {
+    for (u32 x = 1; x + 1 < width; ++x) {
+      i64 acc = 0;
+      for (u32 ky = 0; ky < 3; ++ky) {
+        for (u32 kx = 0; kx < 3; ++kx) {
+          const usize idx =
+              static_cast<usize>(y + ky - 1) * width + (x + kx - 1);
+          acc += static_cast<i64>(kernel[ky * 3 + kx]) * src[idx];
+        }
+      }
+      acc >>= shift;
+      if (acc < 0) acc = 0;
+      if (acc > 255) acc = 255;
+      dst[static_cast<usize>(y) * width + x] = static_cast<u8>(acc);
+    }
+  }
+}
+
+std::vector<u8> MakeTestImage(u32 width, u32 height, u64 seed) {
+  Rng rng(seed);
+  std::vector<u8> image(static_cast<usize>(width) * height);
+  // Diagonal gradient background.
+  for (u32 y = 0; y < height; ++y) {
+    for (u32 x = 0; x < width; ++x) {
+      image[static_cast<usize>(y) * width + x] =
+          static_cast<u8>((x * 2 + y * 3) & 0xFF);
+    }
+  }
+  // A few bright rectangles (skipped on images too small to hold one).
+  if (width < 8 || height < 8) return image;
+  for (int blob = 0; blob < 5; ++blob) {
+    const u32 bw = 2 + static_cast<u32>(rng.NextBelow(width / 4));
+    const u32 bh = 2 + static_cast<u32>(rng.NextBelow(height / 4));
+    const u32 bx = static_cast<u32>(rng.NextBelow(width - bw));
+    const u32 by = static_cast<u32>(rng.NextBelow(height - bh));
+    const u8 level = static_cast<u8>(128 + rng.NextBelow(128));
+    for (u32 y = by; y < by + bh; ++y) {
+      for (u32 x = bx; x < bx + bw; ++x) {
+        image[static_cast<usize>(y) * width + x] = level;
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace vcop::apps

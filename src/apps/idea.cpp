@@ -1,0 +1,189 @@
+#include "apps/idea.h"
+
+#include "base/status.h"
+
+namespace vcop::apps {
+
+u16 IdeaMul(u16 a, u16 b) {
+  // Multiplication mod 2^16+1 with 0 representing 2^16 (a group of
+  // order 2^16 on {1..2^16}). Low-high decomposition avoids a 32-bit
+  // modulo: for p = a*b != 0, p mod (2^16+1) = lo - hi (+2^16+1 if
+  // lo < hi).
+  if (a == 0) return static_cast<u16>(0x10001u - b);  // 2^16 * b
+  if (b == 0) return static_cast<u16>(0x10001u - a);
+  const u32 p = static_cast<u32>(a) * b;
+  const u16 lo = static_cast<u16>(p);
+  const u16 hi = static_cast<u16>(p >> 16);
+  return static_cast<u16>(lo - hi + (lo < hi ? 1 : 0));
+}
+
+u16 IdeaMulInv(u16 x) {
+  // Extended Euclid in Z_{2^16+1}; 0 (≡ 2^16) is its own inverse, as is 1.
+  if (x <= 1) return x;
+  u32 t1 = 0x10001u / x;
+  u32 y = 0x10001u % x;
+  if (y == 1) {
+    return static_cast<u16>((1 - t1) & 0xFFFF);
+  }
+  u32 t0 = 1;
+  u32 q;
+  do {
+    q = x / y;
+    x = static_cast<u16>(x % y);
+    t0 += q * t1;
+    if (x == 1) return static_cast<u16>(t0);
+    q = y / x;
+    y = y % x;
+    t1 += q * t0;
+  } while (y != 1);
+  return static_cast<u16>((1 - t1) & 0xFFFF);
+}
+
+IdeaSubkeys IdeaExpandKey(const IdeaKey& key) {
+  IdeaSubkeys ek{};
+  // First 8 subkeys are the key itself, big-endian 16-bit words.
+  for (usize i = 0; i < 8; ++i) {
+    ek[i] = static_cast<u16>((key[2 * i] << 8) | key[2 * i + 1]);
+  }
+  // Each further batch of 8 comes from rotating the 128-bit key left by
+  // 25 bits, expressed here on the u16 array.
+  for (usize i = 8; i < kIdeaSubkeys; ++i) {
+    const usize batch = (i / 8) * 8;
+    const usize j = i % 8;
+    const u16 a = ek[batch - 8 + ((j + 1) & 7)];
+    const u16 b = ek[batch - 8 + ((j + 2) & 7)];
+    ek[i] = static_cast<u16>((a << 9) | (b >> 7));
+  }
+  return ek;
+}
+
+IdeaSubkeys IdeaInvertKey(const IdeaSubkeys& ek) {
+  IdeaSubkeys dk{};
+  // Decryption round r undoes encryption round (8-r): its transform
+  // keys are the inverses of that round's input keys (of the output
+  // half-round for r = 0), with the two addition keys swapped except at
+  // the boundaries because of the x2/x3 crossing; its MA keys are taken
+  // unchanged from encryption round (7-r).
+  for (usize r = 0; r < kIdeaRounds; ++r) {
+    const usize d = 6 * r;
+    const usize e = 6 * (kIdeaRounds - r);  // 48 for r==0: output keys
+    const bool swap = r != 0;
+    dk[d + 0] = IdeaMulInv(ek[e + 0]);
+    dk[d + 1] = static_cast<u16>(-(swap ? ek[e + 2] : ek[e + 1]));
+    dk[d + 2] = static_cast<u16>(-(swap ? ek[e + 1] : ek[e + 2]));
+    dk[d + 3] = IdeaMulInv(ek[e + 3]);
+    dk[d + 4] = ek[6 * (kIdeaRounds - 1 - r) + 4];
+    dk[d + 5] = ek[6 * (kIdeaRounds - 1 - r) + 5];
+  }
+  // Decryption output transform = inverse of encryption round-0 input.
+  const usize d = 6 * kIdeaRounds;
+  dk[d + 0] = IdeaMulInv(ek[0]);
+  dk[d + 1] = static_cast<u16>(-ek[1]);
+  dk[d + 2] = static_cast<u16>(-ek[2]);
+  dk[d + 3] = IdeaMulInv(ek[3]);
+  return dk;
+}
+
+namespace {
+
+u16 Load16(const u8* p) { return static_cast<u16>((p[0] << 8) | p[1]); }
+
+void Store16(u8* p, u16 v) {
+  p[0] = static_cast<u8>(v >> 8);
+  p[1] = static_cast<u8>(v);
+}
+
+}  // namespace
+
+void IdeaCryptBlock(const IdeaSubkeys& k,
+                    std::span<u8, kIdeaBlockBytes> block) {
+  u16 x1 = Load16(&block[0]);
+  u16 x2 = Load16(&block[2]);
+  u16 x3 = Load16(&block[4]);
+  u16 x4 = Load16(&block[6]);
+
+  usize i = 0;
+  for (usize round = 0; round < kIdeaRounds; ++round) {
+    x1 = IdeaMul(x1, k[i + 0]);
+    x2 = static_cast<u16>(x2 + k[i + 1]);
+    x3 = static_cast<u16>(x3 + k[i + 2]);
+    x4 = IdeaMul(x4, k[i + 3]);
+
+    const u16 t0 = IdeaMul(static_cast<u16>(x1 ^ x3), k[i + 4]);
+    const u16 t1 = IdeaMul(static_cast<u16>((x2 ^ x4) + t0), k[i + 5]);
+    const u16 t2 = static_cast<u16>(t0 + t1);
+
+    x1 ^= t1;
+    x4 ^= t2;
+    const u16 x2_old = x2;
+    x2 = static_cast<u16>(x3 ^ t1);
+    x3 = static_cast<u16>(x2_old ^ t2);
+    i += 6;
+  }
+
+  // Output transform (note x2/x3 cross back).
+  const u16 y1 = IdeaMul(x1, k[i + 0]);
+  const u16 y2 = static_cast<u16>(x3 + k[i + 1]);
+  const u16 y3 = static_cast<u16>(x2 + k[i + 2]);
+  const u16 y4 = IdeaMul(x4, k[i + 3]);
+
+  Store16(&block[0], y1);
+  Store16(&block[2], y2);
+  Store16(&block[4], y3);
+  Store16(&block[6], y4);
+}
+
+void IdeaCbcEncrypt(const IdeaSubkeys& ek, const IdeaIv& iv,
+                    std::span<const u8> in, std::span<u8> out) {
+  VCOP_CHECK_MSG(in.size() == out.size(), "CBC in/out sizes must match");
+  VCOP_CHECK_MSG(in.size() % kIdeaBlockBytes == 0,
+                 "CBC length must be a multiple of the block size");
+  IdeaIv chain = iv;
+  for (usize off = 0; off < in.size(); off += kIdeaBlockBytes) {
+    u8 block[kIdeaBlockBytes];
+    for (usize b = 0; b < kIdeaBlockBytes; ++b) {
+      block[b] = static_cast<u8>(in[off + b] ^ chain[b]);
+    }
+    IdeaCryptBlock(ek, std::span<u8, kIdeaBlockBytes>(block));
+    for (usize b = 0; b < kIdeaBlockBytes; ++b) {
+      out[off + b] = block[b];
+      chain[b] = block[b];
+    }
+  }
+}
+
+void IdeaCbcDecrypt(const IdeaSubkeys& dk, const IdeaIv& iv,
+                    std::span<const u8> in, std::span<u8> out) {
+  VCOP_CHECK_MSG(in.size() == out.size(), "CBC in/out sizes must match");
+  VCOP_CHECK_MSG(in.size() % kIdeaBlockBytes == 0,
+                 "CBC length must be a multiple of the block size");
+  IdeaIv chain = iv;
+  for (usize off = 0; off < in.size(); off += kIdeaBlockBytes) {
+    u8 block[kIdeaBlockBytes];
+    IdeaIv cipher;
+    for (usize b = 0; b < kIdeaBlockBytes; ++b) {
+      block[b] = in[off + b];
+      cipher[b] = in[off + b];
+    }
+    IdeaCryptBlock(dk, std::span<u8, kIdeaBlockBytes>(block));
+    for (usize b = 0; b < kIdeaBlockBytes; ++b) {
+      out[off + b] = static_cast<u8>(block[b] ^ chain[b]);
+      chain[b] = cipher[b];
+    }
+  }
+}
+
+void IdeaCryptEcb(const IdeaSubkeys& subkeys, std::span<const u8> in,
+                  std::span<u8> out) {
+  VCOP_CHECK_MSG(in.size() == out.size(), "ECB in/out sizes must match");
+  VCOP_CHECK_MSG(in.size() % kIdeaBlockBytes == 0,
+                 "ECB length must be a multiple of the block size");
+  for (usize off = 0; off < in.size(); off += kIdeaBlockBytes) {
+    u8 block[kIdeaBlockBytes];
+    for (usize b = 0; b < kIdeaBlockBytes; ++b) block[b] = in[off + b];
+    IdeaCryptBlock(subkeys, std::span<u8, kIdeaBlockBytes>(block));
+    for (usize b = 0; b < kIdeaBlockBytes; ++b) out[off + b] = block[b];
+  }
+}
+
+}  // namespace vcop::apps

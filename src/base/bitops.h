@@ -1,0 +1,51 @@
+// Bit-manipulation helpers shared by the hardware models.
+//
+// The IMU splits coprocessor addresses into page-number / page-offset
+// fields, the TLB matches tag bits, and registers pack multiple fields —
+// these helpers keep that arithmetic explicit and tested in one place.
+#pragma once
+
+#include <bit>
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace vcop {
+
+/// True iff `v` is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two. Precondition: IsPowerOfTwo(v).
+constexpr u32 Log2(u64 v) {
+  return static_cast<u32>(std::bit_width(v) - 1);
+}
+
+/// A mask with the low `n` bits set; n in [0, 64].
+constexpr u64 LowMask(u32 n) {
+  return n >= 64 ? ~u64{0} : (u64{1} << n) - 1;
+}
+
+/// Extracts bits [lo, lo+width) of `v` (width >= 1, lo+width <= 64).
+constexpr u64 ExtractBits(u64 v, u32 lo, u32 width) {
+  return (v >> lo) & LowMask(width);
+}
+
+/// Returns `v` with bits [lo, lo+width) replaced by the low `width`
+/// bits of `field`.
+constexpr u64 DepositBits(u64 v, u32 lo, u32 width, u64 field) {
+  const u64 mask = LowMask(width) << lo;
+  return (v & ~mask) | ((field << lo) & mask);
+}
+
+/// Rounds `v` up to the next multiple of power-of-two `align`.
+constexpr u64 AlignUp(u64 v, u64 align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Rounds `v` down to a multiple of power-of-two `align`.
+constexpr u64 AlignDown(u64 v, u64 align) { return v & ~(align - 1); }
+
+/// Ceiling division for unsigned operands; b > 0.
+constexpr u64 DivCeil(u64 a, u64 b) { return (a + b - 1) / b; }
+
+}  // namespace vcop

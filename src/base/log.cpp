@@ -1,0 +1,41 @@
+#include "base/log.h"
+
+#include <cstdio>
+
+namespace vcop {
+
+std::string_view ToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+namespace {
+void DefaultSink(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[vcop %.*s] %.*s\n",
+               static_cast<int>(ToString(level).size()), ToString(level).data(),
+               static_cast<int>(message.size()), message.data());
+}
+}  // namespace
+
+Logger::Logger() : sink_(DefaultSink) {}
+
+Logger& Logger::Get() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::set_sink(Sink sink) {
+  sink_ = sink ? std::move(sink) : Sink(DefaultSink);
+}
+
+void Logger::Log(LogLevel level, std::string_view message) {
+  if (level < min_level_) return;
+  sink_(level, message);
+}
+
+}  // namespace vcop

@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// The simulator is quiet by default (benchmarks print their own tables);
+// VIM fault traces and IMU state transitions become visible at kDebug,
+// which the tests use to assert on behaviour narratives.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace vcop {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns "DEBUG", "INFO", "WARN" or "ERROR".
+std::string_view ToString(LogLevel level);
+
+/// Process-wide logging configuration. Not thread-safe by design: the
+/// simulator is single-threaded (one event loop), matching its domain.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  /// The process-wide instance.
+  static Logger& Get();
+
+  /// Messages below `level` are dropped. Default: kWarning.
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  /// Replaces the output sink (default writes to stderr). Tests install
+  /// a capturing sink; pass nullptr to restore the default.
+  void set_sink(Sink sink);
+
+  /// Emits `message` at `level` if enabled.
+  void Log(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel min_level_ = LogLevel::kWarning;
+  Sink sink_;
+};
+
+/// Convenience wrappers: VCOP_LOG(kDebug, "message " + detail);
+#define VCOP_LOG(level, msg) \
+  ::vcop::Logger::Get().Log(::vcop::LogLevel::level, (msg))
+
+}  // namespace vcop

@@ -1,0 +1,60 @@
+#include "base/rng.h"
+
+namespace vcop {
+namespace {
+
+u64 SplitMix64(u64& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr u64 Rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 s = seed;
+  for (u64& word : state_) word = SplitMix64(s);
+}
+
+u64 Rng::Next() {
+  const u64 result = Rotl(state_[1] * 5, 7) * 9;
+  const u64 t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+u64 Rng::NextBelow(u64 bound) {
+  VCOP_CHECK_MSG(bound > 0, "NextBelow bound must be positive");
+  // Rejection sampling over the largest multiple of `bound` below 2^64.
+  const u64 limit = ~u64{0} - (~u64{0} % bound);
+  u64 v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return v % bound;
+}
+
+u64 Rng::NextInRange(u64 lo, u64 hi) {
+  VCOP_CHECK_MSG(lo <= hi, "NextInRange requires lo <= hi");
+  const u64 span = hi - lo;
+  if (span == ~u64{0}) return Next();
+  return lo + NextBelow(span + 1);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+}  // namespace vcop

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Every stochastic element of the system — random replacement policy,
+// workload generators, property-test inputs — draws from an explicitly
+// seeded Rng so that simulations and tests are bit-reproducible.
+#pragma once
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace vcop {
+
+/// xoshiro256** by Blackman & Vigna: fast, high quality, and — unlike
+/// std::mt19937 — guaranteed identical across standard libraries.
+class Rng {
+ public:
+  /// Seeds the state from a single 64-bit value via SplitMix64.
+  explicit Rng(u64 seed);
+
+  /// Next raw 64-bit value.
+  u64 Next();
+
+  /// Uniform in [0, bound); bound > 0. Uses rejection sampling, so the
+  /// distribution is exactly uniform.
+  u64 NextBelow(u64 bound);
+
+  /// Uniform in [lo, hi] inclusive; lo <= hi.
+  u64 NextInRange(u64 lo, u64 hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p in [0, 1].
+  bool NextBool(double p = 0.5);
+
+ private:
+  u64 state_[4];
+};
+
+}  // namespace vcop

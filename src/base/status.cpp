@@ -1,0 +1,68 @@
+#include "base/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vcop {
+
+std::string_view ToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+Status::Status(ErrorCode code, std::string message)
+    : code_(code), message_(std::move(message)) {
+  VCOP_CHECK_MSG(code != ErrorCode::kOk,
+                 "error Status must not carry ErrorCode::kOk");
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out{vcop::ToString(code_)};
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status OutOfRangeError(std::string message) {
+  return Status(ErrorCode::kOutOfRange, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(ErrorCode::kResourceExhausted, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(ErrorCode::kUnavailable, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "VCOP_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace vcop

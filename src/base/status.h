@@ -1,0 +1,144 @@
+// Error handling primitives: `Status`, `Result<T>` and the VCOP_CHECK macros.
+//
+// The simulator is a library first: fatal conditions in *user input*
+// (bad configuration, out-of-range mapping, dataset too large) are reported
+// as `Status`/`Result` values the caller can inspect, while violations of
+// internal invariants abort via VCOP_CHECK — they indicate a bug in vcop
+// itself, never in the client.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vcop {
+
+/// Machine-readable error categories. Kept deliberately small; the
+/// human-readable message carries the detail.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kOutOfRange,        // address/index beyond a modelled resource
+  kResourceExhausted, // no free page / FPGA already loaded / table full
+  kFailedPrecondition,// call sequence violated (e.g. EXECUTE before LOAD)
+  kNotFound,          // unknown object id / bitstream / register
+  kUnavailable,       // resource exists but cannot be used right now
+  kInternal,          // invariant violation surfaced as a value (rare)
+};
+
+/// Returns the canonical spelling of an error code, e.g. "OUT_OF_RANGE".
+std::string_view ToString(ErrorCode code);
+
+/// A success-or-error value. Cheap to copy on the success path
+/// (no allocation when ok).
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status; `code` must not be kOk.
+  Status(ErrorCode code, std::string message);
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>" — for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Convenience factories mirroring the ErrorCode enumerators.
+Status InvalidArgumentError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status NotFoundError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace internal
+
+/// Aborts with a diagnostic when `expr` is false. Used only for *internal*
+/// invariants — never for validating client input.
+#define VCOP_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::vcop::internal::CheckFailed(__FILE__, __LINE__, #expr, "");       \
+    }                                                                     \
+  } while (false)
+
+/// VCOP_CHECK with an explanatory message.
+#define VCOP_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::vcop::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg));    \
+    }                                                                     \
+  } while (false)
+
+/// Propagates an error Status from an expression yielding Status.
+#define VCOP_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::vcop::Status vcop_status_ = (expr);           \
+    if (!vcop_status_.ok()) return vcop_status_;    \
+  } while (false)
+
+/// Either a value of type T or an error Status. Analogous to
+/// absl::StatusOr / std::expected (which libstdc++ 12 does not ship).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from a value: `return 42;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from an error status: `return InvalidArgumentError(...)`.
+  /// Precondition: `status` is not OK.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts with the carried error otherwise —
+  /// never silently returns garbage.
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  /// value() or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckHasValue() const {
+    VCOP_CHECK_MSG(value_.has_value(),
+                   "Result::value() on error: " + status_.ToString());
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace vcop

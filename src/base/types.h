@@ -1,0 +1,25 @@
+// Fixed-width integer aliases used across the vcop codebase.
+//
+// Hardware models deal in exact bit widths (bus lanes, register fields,
+// TLB tags), so the code spells widths explicitly everywhere instead of
+// using `int`/`long`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vcop {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+using usize = std::size_t;
+
+}  // namespace vcop

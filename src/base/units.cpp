@@ -1,0 +1,64 @@
+#include "base/units.h"
+
+#include <cstdio>
+
+namespace vcop {
+
+Picoseconds Frequency::EdgeTime(u64 cycle) const {
+  VCOP_CHECK_MSG(valid(), "EdgeTime on a zero frequency");
+  const unsigned __int128 num =
+      static_cast<unsigned __int128>(cycle) * kPicosecondsPerSecond;
+  return static_cast<Picoseconds>(num / hertz_);
+}
+
+u64 Frequency::CyclesAt(Picoseconds t) const {
+  VCOP_CHECK_MSG(valid(), "CyclesAt on a zero frequency");
+  // k <= t * f / 1e12 < k+1, so floor(t*f/1e12) is the answer unless
+  // EdgeTime rounding makes edge k land exactly on t; floor handles that
+  // too because EdgeTime(k) <= exact k-th edge time.
+  const unsigned __int128 num = static_cast<unsigned __int128>(t) * hertz_;
+  u64 k = static_cast<u64>(num / kPicosecondsPerSecond);
+  // Guard against off-by-one from EdgeTime's floor: move k up/down until
+  // EdgeTime(k) <= t < EdgeTime(k+1).
+  while (EdgeTime(k) > t) --k;
+  while (EdgeTime(k + 1) <= t) ++k;
+  return k;
+}
+
+std::string Frequency::ToString() const {
+  char buf[32];
+  if (hertz_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llu MHz",
+                  static_cast<unsigned long long>(hertz_ / 1'000'000));
+  } else if (hertz_ >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.2f MHz", hertz_ / 1e6);
+  } else if (hertz_ % 1'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llu kHz",
+                  static_cast<unsigned long long>(hertz_ / 1'000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu Hz",
+                  static_cast<unsigned long long>(hertz_));
+  }
+  return buf;
+}
+
+double ToMilliseconds(Picoseconds t) { return static_cast<double>(t) / 1e9; }
+
+double ToMicroseconds(Picoseconds t) { return static_cast<double>(t) / 1e6; }
+
+std::string FormatDuration(Picoseconds t) {
+  char buf[32];
+  if (t >= 1'000'000'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", ToMilliseconds(t));
+  } else if (t >= 1'000'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2f us", ToMicroseconds(t));
+  } else if (t >= 1'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2f ns", static_cast<double>(t) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu ps",
+                  static_cast<unsigned long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace vcop

@@ -1,0 +1,69 @@
+// Physical units for the simulation: picosecond timestamps and clock
+// frequencies, plus drift-free cycle<->time conversion.
+//
+// The modelled SoC mixes four clock domains (ARM 133 MHz, ADPCM core
+// 40 MHz, IDEA memory subsystem 24 MHz, IDEA core 6 MHz). None of their
+// periods is an integer number of picoseconds, so the conversion from a
+// cycle *count* to a timestamp is done as one 128-bit multiply-divide per
+// query — edge k of an f-Hz clock is at floor(k * 1e12 / f) ps — rather
+// than by accumulating a rounded period, which would drift.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace vcop {
+
+/// A simulation timestamp in integer picoseconds since t=0.
+/// 2^63 ps ≈ 106 days of simulated time — far beyond any experiment here.
+using Picoseconds = u64;
+
+constexpr Picoseconds kPicosecondsPerSecond = 1'000'000'000'000ULL;
+
+/// A clock frequency in hertz. Strongly typed so a raw cycle count can
+/// never be mistaken for a frequency in an interface.
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  constexpr explicit Frequency(u64 hertz) : hertz_(hertz) {}
+
+  static constexpr Frequency MHz(u64 mhz) { return Frequency(mhz * 1'000'000); }
+  static constexpr Frequency KHz(u64 khz) { return Frequency(khz * 1'000); }
+
+  constexpr u64 hertz() const { return hertz_; }
+  constexpr bool valid() const { return hertz_ > 0; }
+
+  /// Timestamp of rising edge `cycle` (edge 0 at t=0). Drift-free:
+  /// computed as floor(cycle * 1e12 / hertz) with 128-bit intermediate.
+  Picoseconds EdgeTime(u64 cycle) const;
+
+  /// Number of complete cycles of this clock elapsed at time `t`,
+  /// i.e. the largest k with EdgeTime(k) <= t.
+  u64 CyclesAt(Picoseconds t) const;
+
+  /// Duration of `cycles` cycles, rounded down to integer picoseconds.
+  Picoseconds Duration(u64 cycles) const { return EdgeTime(cycles); }
+
+  /// e.g. "133 MHz", "24 MHz", "1.5 MHz" (two decimals max).
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(Frequency, Frequency) = default;
+
+ private:
+  u64 hertz_ = 0;
+};
+
+/// Converts a picosecond duration to fractional milliseconds
+/// (for report tables matching the paper's ms axes).
+double ToMilliseconds(Picoseconds t);
+
+/// Converts a picosecond duration to fractional microseconds.
+double ToMicroseconds(Picoseconds t);
+
+/// Formats a duration with an auto-selected unit, e.g. "3.42 ms".
+std::string FormatDuration(Picoseconds t);
+
+}  // namespace vcop

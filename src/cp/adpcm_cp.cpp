@@ -1,0 +1,56 @@
+#include "cp/adpcm_cp.h"
+
+namespace vcop::cp {
+
+void AdpcmDecodeCoprocessor::OnStart() {
+  n_bytes_ = param(0);
+  predictor_.valprev = static_cast<i16>(param(1));
+  predictor_.index = static_cast<u8>(param(2));
+  pos_ = 0;
+  state_ = State::kFetchByte;
+}
+
+void AdpcmDecodeCoprocessor::Step() {
+  switch (state_) {
+    case State::kFetchByte:
+      if (pos_ >= n_bytes_) {
+        Finish();
+        break;
+      }
+      if (TryRead(kObjIn, pos_, byte_)) {
+        delay_ = kDecodeCyclesPerSample;
+        state_ = State::kDecodeLow;
+      }
+      break;
+
+    case State::kDecodeLow:
+      if (--delay_ == 0) {
+        sample_ = apps::AdpcmDecodeSample(byte_ & 0x0F, predictor_);
+        state_ = State::kWriteLow;
+      }
+      break;
+
+    case State::kWriteLow:
+      if (TryWrite(kObjOut, 2 * pos_, static_cast<u16>(sample_))) {
+        delay_ = kDecodeCyclesPerSample;
+        state_ = State::kDecodeHigh;
+      }
+      break;
+
+    case State::kDecodeHigh:
+      if (--delay_ == 0) {
+        sample_ = apps::AdpcmDecodeSample((byte_ >> 4) & 0x0F, predictor_);
+        state_ = State::kWriteHigh;
+      }
+      break;
+
+    case State::kWriteHigh:
+      if (TryWrite(kObjOut, 2 * pos_ + 1, static_cast<u16>(sample_))) {
+        ++pos_;
+        state_ = State::kFetchByte;
+      }
+      break;
+  }
+}
+
+}  // namespace vcop::cp

@@ -1,0 +1,59 @@
+#include "cp/adpcm_enc_cp.h"
+
+namespace vcop::cp {
+
+void AdpcmEncodeCoprocessor::OnStart() {
+  n_samples_ = param(0);
+  predictor_.valprev = static_cast<i16>(param(1));
+  predictor_.index = static_cast<u8>(param(2));
+  pos_ = 0;
+  state_ = State::kReadLow;
+}
+
+void AdpcmEncodeCoprocessor::Step() {
+  switch (state_) {
+    case State::kReadLow:
+      if (2 * pos_ >= n_samples_) {
+        Finish();
+        break;
+      }
+      if (TryRead(kObjIn, 2 * pos_, sample_)) {
+        delay_ = kEncodeCyclesPerSample;
+        state_ = State::kEncodeLow;
+      }
+      break;
+
+    case State::kEncodeLow:
+      if (--delay_ == 0) {
+        low_code_ = apps::AdpcmEncodeSample(
+            static_cast<i16>(static_cast<u16>(sample_)), predictor_);
+        state_ = State::kReadHigh;
+      }
+      break;
+
+    case State::kReadHigh:
+      if (TryRead(kObjIn, 2 * pos_ + 1, sample_)) {
+        delay_ = kEncodeCyclesPerSample;
+        state_ = State::kEncodeHigh;
+      }
+      break;
+
+    case State::kEncodeHigh:
+      if (--delay_ == 0) {
+        const u8 high_code = apps::AdpcmEncodeSample(
+            static_cast<i16>(static_cast<u16>(sample_)), predictor_);
+        byte_ = static_cast<u8>(low_code_ | (high_code << 4));
+        state_ = State::kWriteByte;
+      }
+      break;
+
+    case State::kWriteByte:
+      if (TryWrite(kObjOut, pos_, byte_)) {
+        ++pos_;
+        state_ = State::kReadLow;
+      }
+      break;
+  }
+}
+
+}  // namespace vcop::cp

@@ -1,0 +1,120 @@
+#include "cp/conv_cp.h"
+
+namespace vcop::cp {
+
+void Conv3x3Coprocessor::OnStart() {
+  width_ = param(0);
+  height_ = param(1);
+  shift_ = param(2);
+  kernel_loaded_ = 0;
+  border_pos_ = 0;
+  x_ = 1;
+  y_ = 1;
+  tap_ = 0;
+  acc_ = 0;
+  state_ = State::kLoadKernel;
+}
+
+u32 Conv3x3Coprocessor::NumBorderPixels() const {
+  // Top + bottom rows, plus left + right columns of the middle rows.
+  return 2 * width_ + 2 * (height_ - 2);
+}
+
+u32 Conv3x3Coprocessor::BorderIndex() const {
+  const u32 p = border_pos_;
+  if (p < width_) return p;                         // top row
+  const u32 q = p - width_;
+  if (q < width_) return (height_ - 1) * width_ + q;  // bottom row
+  const u32 r = q - width_;
+  const u32 row = 1 + r / 2;
+  const u32 col = (r % 2 == 0) ? 0 : width_ - 1;
+  return row * width_ + col;
+}
+
+void Conv3x3Coprocessor::AdvanceInner() {
+  ++x_;
+  if (x_ + 1 >= width_) {
+    x_ = 1;
+    ++y_;
+  }
+}
+
+void Conv3x3Coprocessor::Step() {
+  switch (state_) {
+    case State::kLoadKernel: {
+      u32 word = 0;
+      if (TryRead(kObjKernel, kernel_loaded_, word)) {
+        kernel_[kernel_loaded_] = static_cast<i32>(word);
+        ++kernel_loaded_;
+        if (kernel_loaded_ == 9) {
+          state_ = State::kBorderRead;
+        }
+      }
+      break;
+    }
+
+    case State::kBorderRead:
+      if (border_pos_ >= NumBorderPixels()) {
+        state_ = (width_ > 2 && height_ > 2) ? State::kReadTap
+                                             : State::kDone;
+        break;
+      }
+      if (TryRead(kObjSrc, BorderIndex(), border_value_)) {
+        state_ = State::kBorderWrite;
+      }
+      break;
+
+    case State::kBorderWrite:
+      if (TryWrite(kObjDst, BorderIndex(), border_value_)) {
+        ++border_pos_;
+        state_ = State::kBorderRead;
+      }
+      break;
+
+    case State::kReadTap: {
+      if (y_ + 1 >= height_) {
+        state_ = State::kDone;
+        break;
+      }
+      const u32 ky = tap_ / 3;
+      const u32 kx = tap_ % 3;
+      const u32 index = (y_ + ky - 1) * width_ + (x_ + kx - 1);
+      u32 pixel = 0;
+      if (TryRead(kObjSrc, index, pixel)) {
+        acc_ += static_cast<i64>(kernel_[tap_]) *
+                static_cast<i64>(pixel & 0xFF);
+        ++tap_;
+        if (tap_ == 9) {
+          delay_ = kComputeCycles;
+          state_ = State::kCompute;
+        }
+      }
+      break;
+    }
+
+    case State::kCompute:
+      if (--delay_ == 0) {
+        i64 v = acc_ >> shift_;
+        if (v < 0) v = 0;
+        if (v > 255) v = 255;
+        out_value_ = static_cast<u32>(v);
+        state_ = State::kWritePixel;
+      }
+      break;
+
+    case State::kWritePixel:
+      if (TryWrite(kObjDst, y_ * width_ + x_, out_value_)) {
+        tap_ = 0;
+        acc_ = 0;
+        AdvanceInner();
+        state_ = State::kReadTap;
+      }
+      break;
+
+    case State::kDone:
+      Finish();
+      break;
+  }
+}
+
+}  // namespace vcop::cp

@@ -1,0 +1,72 @@
+// 3x3 convolution coprocessor.
+//
+// Walks the inner pixels of a width x height u8 image, reading the 3x3
+// neighbourhood through the virtual interface (so three image rows are
+// live at once — a strided working set), and copies the border through.
+// Bit-exact against apps::Convolve3x3.
+//
+// Objects: 0 = source image  (1-byte elements, mapped IN)
+//          1 = destination   (1-byte elements, mapped OUT)
+//          2 = kernel coefficients, 9 x u32 two's-complement (mapped IN)
+// Parameters: [0] = width, [1] = height, [2] = normalising right-shift
+#pragma once
+
+#include <string_view>
+
+#include "apps/conv2d.h"
+#include "base/types.h"
+#include "hw/coprocessor.h"
+
+namespace vcop::cp {
+
+class Conv3x3Coprocessor final : public hw::Coprocessor {
+ public:
+  static constexpr hw::ObjectId kObjSrc = 0;
+  static constexpr hw::ObjectId kObjDst = 1;
+  static constexpr hw::ObjectId kObjKernel = 2;
+  static constexpr u32 kNumParams = 3;
+
+  /// MAC-array settling time once the 9 taps are latched.
+  static constexpr u32 kComputeCycles = 3;
+
+  std::string_view name() const override { return "conv3x3"; }
+
+ protected:
+  void OnStart() override;
+  void Step() override;
+
+ private:
+  enum class State {
+    kLoadKernel,
+    kBorderRead,   // copy-through of the one-pixel frame
+    kBorderWrite,
+    kReadTap,      // 9 neighbourhood reads for the current inner pixel
+    kCompute,
+    kWritePixel,
+    kDone,
+  };
+
+  /// Index of the current border pixel (walks a precomputed sequence).
+  u32 BorderIndex() const;
+  u32 NumBorderPixels() const;
+  void AdvanceInner();
+
+  State state_ = State::kLoadKernel;
+  u32 width_ = 0;
+  u32 height_ = 0;
+  u32 shift_ = 0;
+  i32 kernel_[9] = {};
+  u32 kernel_loaded_ = 0;
+
+  u32 border_pos_ = 0;
+  u32 border_value_ = 0;
+
+  u32 x_ = 1;
+  u32 y_ = 1;
+  u32 tap_ = 0;
+  i64 acc_ = 0;
+  u32 delay_ = 0;
+  u32 out_value_ = 0;
+};
+
+}  // namespace vcop::cp

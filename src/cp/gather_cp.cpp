@@ -1,0 +1,32 @@
+#include "cp/gather_cp.h"
+
+namespace vcop::cp {
+
+void GatherCoprocessor::OnStart() {
+  n_ = param(0);
+  i_ = 0;
+  state_ = State::kReadPerm;
+}
+
+void GatherCoprocessor::Step() {
+  switch (state_) {
+    case State::kReadPerm:
+      if (i_ >= n_) {
+        Finish();
+        break;
+      }
+      if (TryRead(kObjPerm, i_, perm_)) state_ = State::kReadIn;
+      break;
+    case State::kReadIn:
+      if (TryRead(kObjIn, perm_, value_)) state_ = State::kWriteOut;
+      break;
+    case State::kWriteOut:
+      if (TryWrite(kObjOut, i_, value_)) {
+        ++i_;
+        state_ = State::kReadPerm;
+      }
+      break;
+  }
+}
+
+}  // namespace vcop::cp

@@ -1,0 +1,41 @@
+#include "cp/histogram_cp.h"
+
+namespace vcop::cp {
+
+void HistogramCoprocessor::OnStart() {
+  n_ = param(0);
+  mask_ = param(1);
+  i_ = 0;
+  state_ = State::kReadValue;
+}
+
+void HistogramCoprocessor::Step() {
+  switch (state_) {
+    case State::kReadValue: {
+      if (i_ >= n_) {
+        Finish();
+        break;
+      }
+      u32 value = 0;
+      if (TryRead(kObjIn, i_, value)) {
+        bin_index_ = value & mask_;
+        state_ = State::kReadBin;
+      }
+      break;
+    }
+    case State::kReadBin:
+      if (TryRead(kObjBins, bin_index_, count_)) {
+        ++count_;
+        state_ = State::kWriteBin;
+      }
+      break;
+    case State::kWriteBin:
+      if (TryWrite(kObjBins, bin_index_, count_)) {
+        ++i_;
+        state_ = State::kReadValue;
+      }
+      break;
+  }
+}
+
+}  // namespace vcop::cp

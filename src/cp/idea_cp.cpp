@@ -1,0 +1,95 @@
+#include "cp/idea_cp.h"
+
+namespace vcop::cp {
+
+void IdeaCoprocessor::OnStart() {
+  n_blocks_ = param(0);
+  mode_ = num_params() > 1 ? param(1) : kModeEcb;
+  chain_lo_ = num_params() > 2 ? param(2) : 0;
+  chain_hi_ = num_params() > 3 ? param(3) : 0;
+  blk_ = 0;
+  key_index_ = 0;
+  state_ = State::kLoadKey;
+}
+
+void IdeaCoprocessor::CryptLatchedBlock() {
+  // CBC pre-whitening: encrypt operates on P ^ chain.
+  if (mode_ == kModeCbcEncrypt) {
+    lo_ ^= chain_lo_;
+    hi_ ^= chain_hi_;
+  }
+  const u32 cipher_in_lo = lo_;
+  const u32 cipher_in_hi = hi_;
+
+  // Reassemble the block bytes in memory order from the two
+  // little-endian 32-bit interface words, transform, and re-pack.
+  u8 block[apps::kIdeaBlockBytes];
+  for (u32 b = 0; b < 4; ++b) block[b] = static_cast<u8>(lo_ >> (8 * b));
+  for (u32 b = 0; b < 4; ++b) block[4 + b] = static_cast<u8>(hi_ >> (8 * b));
+  apps::IdeaCryptBlock(subkeys_,
+                       std::span<u8, apps::kIdeaBlockBytes>(block));
+  lo_ = 0;
+  hi_ = 0;
+  for (u32 b = 0; b < 4; ++b) lo_ |= static_cast<u32>(block[b]) << (8 * b);
+  for (u32 b = 0; b < 4; ++b)
+    hi_ |= static_cast<u32>(block[4 + b]) << (8 * b);
+
+  // CBC chaining: encryption chains its own output, decryption chains
+  // the incoming ciphertext and post-whitens the plaintext.
+  if (mode_ == kModeCbcEncrypt) {
+    chain_lo_ = lo_;
+    chain_hi_ = hi_;
+  } else if (mode_ == kModeCbcDecrypt) {
+    lo_ ^= chain_lo_;
+    hi_ ^= chain_hi_;
+    chain_lo_ = cipher_in_lo;
+    chain_hi_ = cipher_in_hi;
+  }
+}
+
+void IdeaCoprocessor::Step() {
+  switch (state_) {
+    case State::kLoadKey: {
+      u32 word = 0;
+      if (TryRead(kObjKey, key_index_, word)) {
+        subkeys_[key_index_] = static_cast<u16>(word);
+        ++key_index_;
+        if (key_index_ == apps::kIdeaSubkeys) state_ = State::kReadLo;
+      }
+      break;
+    }
+
+    case State::kReadLo:
+      if (blk_ >= n_blocks_) {
+        Finish();
+        break;
+      }
+      if (TryRead(kObjIn, 2 * blk_, lo_)) state_ = State::kReadHi;
+      break;
+
+    case State::kReadHi:
+      if (TryRead(kObjIn, 2 * blk_ + 1, hi_)) {
+        CryptLatchedBlock();
+        delay_ = kPipelineCycles;
+        state_ = State::kCompute;
+      }
+      break;
+
+    case State::kCompute:
+      if (--delay_ == 0) state_ = State::kWriteLo;
+      break;
+
+    case State::kWriteLo:
+      if (TryWrite(kObjOut, 2 * blk_, lo_)) state_ = State::kWriteHi;
+      break;
+
+    case State::kWriteHi:
+      if (TryWrite(kObjOut, 2 * blk_ + 1, hi_)) {
+        ++blk_;
+        state_ = State::kReadLo;
+      }
+      break;
+  }
+}
+
+}  // namespace vcop::cp

@@ -1,0 +1,92 @@
+#include "cp/registry.h"
+
+#include <memory>
+
+#include "cp/adpcm_cp.h"
+#include "cp/adpcm_enc_cp.h"
+#include "cp/conv_cp.h"
+#include "cp/gather_cp.h"
+#include "cp/histogram_cp.h"
+#include "cp/idea_cp.h"
+#include "cp/vecadd_cp.h"
+
+namespace vcop::cp {
+
+hw::Bitstream VecAddBitstream() {
+  hw::Bitstream bs;
+  bs.name = "vecadd";
+  bs.size_bytes = 48 * 1024;
+  bs.logic_elements = 320;
+  bs.cp_clock = Frequency::MHz(40);
+  bs.imu_clock = Frequency::MHz(40);
+  bs.create = [] { return std::make_unique<VecAddCoprocessor>(); };
+  return bs;
+}
+
+hw::Bitstream AdpcmDecodeBitstream() {
+  hw::Bitstream bs;
+  bs.name = "adpcmdecode";
+  bs.size_bytes = 96 * 1024;
+  bs.logic_elements = 1250;
+  bs.cp_clock = Frequency::MHz(40);
+  bs.imu_clock = Frequency::MHz(40);
+  bs.create = [] { return std::make_unique<AdpcmDecodeCoprocessor>(); };
+  return bs;
+}
+
+hw::Bitstream AdpcmEncodeBitstream() {
+  hw::Bitstream bs;
+  bs.name = "adpcmencode";
+  bs.size_bytes = 100 * 1024;
+  bs.logic_elements = 1400;
+  bs.cp_clock = Frequency::MHz(40);
+  bs.imu_clock = Frequency::MHz(40);
+  bs.create = [] { return std::make_unique<AdpcmEncodeCoprocessor>(); };
+  return bs;
+}
+
+hw::Bitstream IdeaBitstream() {
+  hw::Bitstream bs;
+  bs.name = "idea";
+  bs.size_bytes = 192 * 1024;
+  bs.logic_elements = 3900;
+  bs.cp_clock = Frequency::MHz(6);
+  bs.imu_clock = Frequency::MHz(24);
+  bs.create = [] { return std::make_unique<IdeaCoprocessor>(); };
+  return bs;
+}
+
+hw::Bitstream Conv3x3Bitstream() {
+  hw::Bitstream bs;
+  bs.name = "conv3x3";
+  bs.size_bytes = 128 * 1024;
+  bs.logic_elements = 2100;
+  bs.cp_clock = Frequency::MHz(40);
+  bs.imu_clock = Frequency::MHz(40);
+  bs.create = [] { return std::make_unique<Conv3x3Coprocessor>(); };
+  return bs;
+}
+
+hw::Bitstream HistogramBitstream() {
+  hw::Bitstream bs;
+  bs.name = "histogram";
+  bs.size_bytes = 56 * 1024;
+  bs.logic_elements = 480;
+  bs.cp_clock = Frequency::MHz(40);
+  bs.imu_clock = Frequency::MHz(40);
+  bs.create = [] { return std::make_unique<HistogramCoprocessor>(); };
+  return bs;
+}
+
+hw::Bitstream GatherBitstream() {
+  hw::Bitstream bs;
+  bs.name = "gather";
+  bs.size_bytes = 52 * 1024;
+  bs.logic_elements = 410;
+  bs.cp_clock = Frequency::MHz(40);
+  bs.imu_clock = Frequency::MHz(40);
+  bs.create = [] { return std::make_unique<GatherCoprocessor>(); };
+  return bs;
+}
+
+}  // namespace vcop::cp

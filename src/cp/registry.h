@@ -1,0 +1,45 @@
+// Bit-stream definitions for the shipped coprocessor cores.
+//
+// Each function returns a hw::Bitstream bundling the synthesised core's
+// factory with the physical characteristics the paper reports (or, for
+// vecadd, plausible values for such a trivial design on the EPXA1 PLD).
+#pragma once
+
+#include "base/units.h"
+#include "hw/fabric.h"
+
+namespace vcop::cp {
+
+/// The Figure-5 vector adder. Tiny; clocks comfortably at the PLD's
+/// 40 MHz alongside its IMU.
+hw::Bitstream VecAddBitstream();
+
+/// adpcmdecode: "the adpcmdecode coprocessor and the IMU are running at
+/// the frequency of 40 MHz" (§4.1).
+hw::Bitstream AdpcmDecodeBitstream();
+
+/// ADPCM *encoder* — the companion core completing the hardware codec
+/// path; not evaluated in the paper.
+hw::Bitstream AdpcmEncodeBitstream();
+
+/// IDEA: "a complex coprocessor core running at 6 MHz with 3 pipeline
+/// stages [...] the IMU and IDEA's memory subsystem are running at
+/// 24 MHz" (§4.1). Nearly fills the EPXA1's 4160 logic elements —
+/// "exploiting IDEA's parallelism in hardware was limited by the
+/// limited PLD resources of the device used".
+hw::Bitstream IdeaBitstream();
+
+/// Gather (out[i] = in[perm[i]]): the irregular-access stressor used by
+/// the policy ablations; not from the paper's evaluation.
+hw::Bitstream GatherBitstream();
+
+/// 3x3 image convolution: the strided-access application domain; not
+/// from the paper's evaluation.
+hw::Bitstream Conv3x3Bitstream();
+
+/// Histogram (bins[in[i] & mask] += 1): data-dependent read-modify-
+/// write on an INOUT object — the dirty-tracking stressor; not from
+/// the paper's evaluation.
+hw::Bitstream HistogramBitstream();
+
+}  // namespace vcop::cp

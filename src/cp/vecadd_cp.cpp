@@ -1,0 +1,35 @@
+#include "cp/vecadd_cp.h"
+
+namespace vcop::cp {
+
+void VecAddCoprocessor::OnStart() {
+  n_ = param(0);
+  i_ = 0;
+  state_ = State::kReadA;
+}
+
+void VecAddCoprocessor::Step() {
+  switch (state_) {
+    case State::kReadA:  // Figure 5 cycle 1
+      if (i_ >= n_) {
+        Finish();
+        break;
+      }
+      if (TryRead(kObjA, i_, a_)) state_ = State::kReadB;
+      break;
+    case State::kReadB:  // Figure 5 cycle 2
+      if (TryRead(kObjB, i_, b_)) {
+        c_ = a_ + b_;
+        state_ = State::kWriteC;
+      }
+      break;
+    case State::kWriteC:  // Figure 5 cycle 3
+      if (TryWrite(kObjC, i_, c_)) {
+        ++i_;
+        state_ = State::kReadA;
+      }
+      break;
+  }
+}
+
+}  // namespace vcop::cp

@@ -1,0 +1,117 @@
+#include "hw/coprocessor.h"
+
+namespace vcop::hw {
+
+void Coprocessor::Start(u32 num_params) {
+  VCOP_CHECK_MSG(port_ != nullptr, "coprocessor started with no port bound");
+  VCOP_CHECK_MSG(phase_ == Phase::kIdle, "coprocessor already running");
+  params_.assign(num_params, 0);
+  params_read_ = 0;
+  finished_once_ = false;
+  cycles_run_ = 0;
+  outstanding_ = false;
+  phase_ = Phase::kParamFetch;
+}
+
+void Coprocessor::Abort() {
+  phase_ = Phase::kIdle;
+  outstanding_ = false;
+}
+
+void Coprocessor::OnRisingEdge() {
+  if (phase_ == Phase::kIdle) return;
+  ++cycles_run_;
+  consumed_this_tick_ = false;
+  if (phase_ == Phase::kParamFetch) {
+    StepParamFetch();
+    return;
+  }
+  Step();
+  if (phase_ == Phase::kRunning && consumed_this_tick_ && !outstanding_ &&
+      port_->BackToBack()) {
+    // Pipelined interface: the FSM may launch its next access in the
+    // same cycle it captured the previous response (Mealy-style issue).
+    consumed_this_tick_ = false;
+    Step();
+  }
+}
+
+bool Coprocessor::active() const {
+  if (phase_ == Phase::kIdle) return false;
+  // Blocked on an in-flight access: the IMU wakes our clock domain when
+  // the response (or the fault resolution) lands.
+  if (outstanding_ && !port_->ResponseReady()) return false;
+  return true;
+}
+
+bool Coprocessor::StepParamFetch() {
+  if (params_read_ < params_.size()) {
+    u32 value = 0;
+    if (TryRead(kParamObject, params_read_, value)) {
+      params_[params_read_] = value;
+      ++params_read_;
+    }
+  }
+  if (params_read_ >= params_.size()) {
+    // "When the parameters are read, the coprocessor finishes
+    // initialisation and continues with normal operation. At the same
+    // time it invalidates the parameter-passing page." (§3.2)
+    port_->ReleaseParamPage();
+    OnStart();
+    phase_ = Phase::kRunning;
+    return true;
+  }
+  return false;
+}
+
+bool Coprocessor::TryRead(ObjectId object, u32 index, u32& out) {
+  VCOP_CHECK_MSG(port_ != nullptr, "no port bound");
+  if (outstanding_) {
+    VCOP_CHECK_MSG(!outstanding_access_.write &&
+                       outstanding_access_.object == object &&
+                       outstanding_access_.index == index,
+                   "FSM changed its access target while one is in flight");
+    if (!port_->ResponseReady()) return false;
+    out = port_->ConsumeResponse();
+    outstanding_ = false;
+    consumed_this_tick_ = true;
+    return true;
+  }
+  if (port_->CanIssue()) {
+    outstanding_access_ = CpAccess{object, index, /*write=*/false, 0};
+    port_->Issue(outstanding_access_);
+    outstanding_ = true;
+  }
+  return false;
+}
+
+bool Coprocessor::TryWrite(ObjectId object, u32 index, u32 value) {
+  VCOP_CHECK_MSG(port_ != nullptr, "no port bound");
+  if (outstanding_) {
+    VCOP_CHECK_MSG(outstanding_access_.write &&
+                       outstanding_access_.object == object &&
+                       outstanding_access_.index == index,
+                   "FSM changed its access target while one is in flight");
+    if (!port_->ResponseReady()) return false;
+    port_->ConsumeResponse();
+    outstanding_ = false;
+    consumed_this_tick_ = true;
+    return true;
+  }
+  if (port_->CanIssue()) {
+    outstanding_access_ = CpAccess{object, index, /*write=*/true, value};
+    port_->Issue(outstanding_access_);
+    outstanding_ = true;
+  }
+  return false;
+}
+
+void Coprocessor::Finish() {
+  VCOP_CHECK_MSG(phase_ == Phase::kRunning, "Finish outside a run");
+  VCOP_CHECK_MSG(!outstanding_, "Finish with an access outstanding");
+  phase_ = Phase::kIdle;
+  finished_once_ = true;
+  port_->SignalFinish();
+}
+
+}  // namespace vcop::hw

@@ -1,0 +1,65 @@
+// The portable coprocessor-side port — the paper's Figure 4 left edge.
+//
+// A coprocessor sees only these signals:
+//   CP_OBJ / CP_ADDR      virtual address (object id + element index)
+//   CP_DIN / CP_DOUT      data lines
+//   CP_ACCESS / CP_WR     access strobes
+//   CP_TLBHIT             translation-complete / data-valid
+//   CP_START / CP_FIN     invocation handshake
+//
+// Everything to the right of this interface (TLB, dual-port RAM wiring,
+// bus protocol) is platform-specific and hidden — that is the paper's
+// portability claim. CoprocessorPort is the abstract boundary; the Imu
+// implements it for the modelled EPXA1-like platform.
+#pragma once
+
+#include "base/status.h"
+#include "base/types.h"
+#include "hw/tlb.h"
+
+namespace vcop::hw {
+
+/// One coprocessor memory access in flight on the port.
+struct CpAccess {
+  ObjectId object = 0;  // CP_OBJ
+  u32 index = 0;        // CP_ADDR: *element* index, not a byte address
+  bool write = false;   // CP_WR
+  u32 wdata = 0;        // CP_DOUT (writes only)
+};
+
+class CoprocessorPort {
+ public:
+  virtual ~CoprocessorPort() = default;
+
+  /// True when no access is outstanding and the interface will accept
+  /// Issue() this cycle.
+  virtual bool CanIssue() const = 0;
+
+  /// Drives CP_OBJ/CP_ADDR/CP_ACCESS (and CP_DOUT/CP_WR for writes).
+  /// Precondition: CanIssue().
+  virtual void Issue(const CpAccess& access) = 0;
+
+  /// CP_TLBHIT as the coprocessor samples it *now*: true once the
+  /// translation (and DP-RAM access) of the outstanding request has
+  /// completed and the result is stable on the port.
+  virtual bool ResponseReady() const = 0;
+
+  /// Latches CP_DIN and releases the port for the next access.
+  /// Returns the read data (zero for writes).
+  /// Precondition: ResponseReady().
+  virtual u32 ConsumeResponse() = 0;
+
+  /// True when the interface accepts a new access in the same cycle a
+  /// response is consumed (pipelined IMU). Non-pipelined interfaces
+  /// return false and the FSM issues on the following edge.
+  virtual bool BackToBack() const = 0;
+
+  /// Invalidates the parameter-passing page after start-up parameter
+  /// fetch, "making it available for data mapping purposes" (§3.2).
+  virtual void ReleaseParamPage() = 0;
+
+  /// Asserts CP_FIN: the coprocessor has finished its operation.
+  virtual void SignalFinish() = 0;
+};
+
+}  // namespace vcop::hw

@@ -1,0 +1,53 @@
+#include "hw/fabric.h"
+
+#include "base/table.h"
+
+namespace vcop::hw {
+
+FpgaFabric::FpgaFabric(u32 capacity_les, u64 config_bytes_per_second)
+    : capacity_les_(capacity_les),
+      config_bytes_per_second_(config_bytes_per_second) {
+  VCOP_CHECK_MSG(capacity_les >= 1, "PLD capacity must be nonzero");
+  VCOP_CHECK_MSG(config_bytes_per_second >= 1,
+                 "configuration throughput must be nonzero");
+}
+
+Result<Picoseconds> FpgaFabric::Configure(const Bitstream& bitstream) {
+  if (coprocessor_ != nullptr) {
+    return ResourceExhaustedError(
+        StrFormat("PLD already configured with '%s' (exclusive use)",
+                  bitstream_.name.c_str()));
+  }
+  if (bitstream.logic_elements > capacity_les_) {
+    return ResourceExhaustedError(StrFormat(
+        "design '%s' needs %u LEs but the PLD has %u",
+        bitstream.name.c_str(), bitstream.logic_elements, capacity_les_));
+  }
+  if (!bitstream.create) {
+    return InvalidArgumentError("bitstream has no core factory");
+  }
+  if (!bitstream.cp_clock.valid() || !bitstream.imu_clock.valid()) {
+    return InvalidArgumentError(
+        StrFormat("bitstream '%s' has unspecified clocks",
+                  bitstream.name.c_str()));
+  }
+  bitstream_ = bitstream;
+  coprocessor_ = bitstream.create();
+  VCOP_CHECK_MSG(coprocessor_ != nullptr, "bitstream factory returned null");
+  const unsigned __int128 ps =
+      static_cast<unsigned __int128>(bitstream.size_bytes) *
+      kPicosecondsPerSecond / config_bytes_per_second_;
+  return static_cast<Picoseconds>(ps);
+}
+
+void FpgaFabric::Release() {
+  coprocessor_.reset();
+  bitstream_ = Bitstream{};
+}
+
+const Bitstream& FpgaFabric::current_bitstream() const {
+  VCOP_CHECK_MSG(coprocessor_ != nullptr, "no design loaded");
+  return bitstream_;
+}
+
+}  // namespace vcop::hw

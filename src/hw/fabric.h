@@ -1,0 +1,67 @@
+// FPGA fabric (PLD) model: configuration bit-streams and the
+// reconfigurable resource itself.
+//
+// FPGA_LOAD "loads a coprocessor definition in the reconfigurable
+// hardware and ensures the exclusive use of the resource. The argument
+// of the call is a pointer to the configuration bit-stream." (§3.1)
+// Here a Bitstream bundles what a real bit-stream determines implicitly:
+// the synthesised core (as a C++ cycle-level model factory), its
+// resource usage, and the clock frequencies the design closed timing at
+// (the paper runs adpcmdecode at 40 MHz and IDEA at 6 MHz with a 24 MHz
+// memory subsystem).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "base/units.h"
+#include "hw/coprocessor.h"
+
+namespace vcop::hw {
+
+struct Bitstream {
+  std::string name;
+  /// Configuration stream size; determines load time.
+  u32 size_bytes = 0;
+  /// PLD logic elements the design occupies.
+  u32 logic_elements = 0;
+  /// Clock the coprocessor core runs at.
+  Frequency cp_clock;
+  /// Clock the IMU / memory subsystem runs at (may differ: IDEA's core
+  /// runs at 6 MHz while its memory subsystem runs at 24 MHz, §4.1).
+  Frequency imu_clock;
+  /// Instantiates the synthesised core.
+  std::function<std::unique_ptr<Coprocessor>()> create;
+};
+
+class FpgaFabric {
+ public:
+  /// `capacity_les`: PLD size in logic elements.
+  /// `config_bytes_per_second`: configuration-port throughput.
+  FpgaFabric(u32 capacity_les, u64 config_bytes_per_second);
+
+  /// Loads `bitstream`. Fails when a design is already loaded
+  /// (exclusive use, §3.1) or when it does not fit the PLD.
+  /// On success returns the configuration time.
+  Result<Picoseconds> Configure(const Bitstream& bitstream);
+
+  /// Unloads the current design, releasing the resource.
+  void Release();
+
+  bool loaded() const { return coprocessor_ != nullptr; }
+  Coprocessor* coprocessor() { return coprocessor_.get(); }
+  const Bitstream& current_bitstream() const;
+
+  u32 capacity_les() const { return capacity_les_; }
+
+ private:
+  u32 capacity_les_;
+  u64 config_bytes_per_second_;
+  Bitstream bitstream_{};
+  std::unique_ptr<Coprocessor> coprocessor_;
+};
+
+}  // namespace vcop::hw

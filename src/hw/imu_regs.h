@@ -1,0 +1,49 @@
+// Processor-visible IMU registers (Figure 4: AR, SR, CR).
+//
+// The OS talks to the IMU through three memory-mapped registers:
+//   AR — address register: object id + element index of the most recent
+//        coprocessor access; "by examining this register, the OS can
+//        determine which memory access possibly caused an access fault".
+//   SR — status register: busy / fault-pending / end-of-operation /
+//        parameter-page-released flags.
+//   CR — control register: enable and translation-mode bits.
+#pragma once
+
+#include "base/bitops.h"
+#include "base/types.h"
+#include "hw/tlb.h"
+
+namespace vcop::hw {
+
+enum class ImuRegister : u8 { kAR = 0, kSR = 1, kCR = 2 };
+
+// --- SR bit layout ---
+inline constexpr u32 kSrBusy = 1u << 0;           // coprocessor running
+inline constexpr u32 kSrFaultPending = 1u << 1;   // TLB miss awaiting OS
+inline constexpr u32 kSrEndPending = 1u << 2;     // CP_FIN seen, not acked
+inline constexpr u32 kSrParamReleased = 1u << 3;  // param page given back
+/// Extension (not in the paper's IMU): the faulting access violated the
+/// object's limit register — set together with kSrFaultPending.
+inline constexpr u32 kSrLimitFault = 1u << 4;
+
+// --- CR bit layout ---
+inline constexpr u32 kCrEnable = 1u << 0;     // interface enabled
+inline constexpr u32 kCrPipelined = 1u << 1;  // pipelined translation mode
+
+// --- AR packing: [31:28] object id, [27:0] element index ---
+inline constexpr u32 kArIndexBits = 28;
+
+constexpr u32 PackAr(ObjectId object, u32 index) {
+  return (static_cast<u32>(object) << kArIndexBits) |
+         (index & static_cast<u32>(LowMask(kArIndexBits)));
+}
+
+constexpr ObjectId ArObject(u32 ar) {
+  return static_cast<ObjectId>(ar >> kArIndexBits);
+}
+
+constexpr u32 ArIndex(u32 ar) {
+  return ar & static_cast<u32>(LowMask(kArIndexBits));
+}
+
+}  // namespace vcop::hw

@@ -1,0 +1,41 @@
+// Interrupt line from the IMU to the processor (INT_PLD in Figure 4).
+#pragma once
+
+#include <functional>
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace vcop::hw {
+
+enum class InterruptCause : u8 {
+  kPageFault = 1,       // TLB miss: OS must (re)map a page (§3.3)
+  kEndOfOperation = 2,  // CP_FIN: OS must copy back dirty data (§3.3)
+};
+
+/// A single edge-triggered interrupt line. The handler runs at the
+/// simulation timestamp of Raise(); the OS models its own handling
+/// latency by scheduling follow-up events.
+class InterruptLine {
+ public:
+  using Handler = std::function<void(InterruptCause)>;
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Signals the processor. A handler must be connected — the platform
+  /// wiring installs it before any coprocessor can run.
+  void Raise(InterruptCause cause) {
+    VCOP_CHECK_MSG(static_cast<bool>(handler_),
+                   "interrupt raised with no handler connected");
+    ++raised_;
+    handler_(cause);
+  }
+
+  u64 times_raised() const { return raised_; }
+
+ private:
+  Handler handler_;
+  u64 raised_ = 0;
+};
+
+}  // namespace vcop::hw

@@ -1,0 +1,94 @@
+#include "hw/tlb.h"
+
+namespace vcop::hw {
+
+Tlb::Tlb(u32 num_entries) : entries_(num_entries) {
+  VCOP_CHECK_MSG(num_entries >= 1, "TLB needs at least one entry");
+}
+
+std::optional<u32> Tlb::Lookup(ObjectId object, mem::VirtPage vpage) {
+  ++stats_.lookups;
+  const std::optional<u32> idx = Probe(object, vpage);
+  if (idx.has_value()) {
+    ++stats_.hits;
+    entries_[*idx].accessed = true;
+  } else {
+    ++stats_.misses;
+  }
+  return idx;
+}
+
+std::optional<u32> Tlb::Probe(ObjectId object, mem::VirtPage vpage) const {
+  for (u32 i = 0; i < entries_.size(); ++i) {
+    const TlbEntry& e = entries_[i];
+    if (e.valid && e.object == object && e.vpage == vpage) return i;
+  }
+  return std::nullopt;
+}
+
+void Tlb::Install(u32 index, ObjectId object, mem::VirtPage vpage,
+                  mem::FrameId frame) {
+  VCOP_CHECK_MSG(index < entries_.size(), "TLB index out of range");
+  VCOP_CHECK_MSG(object < kMaxObjects, "object id out of range");
+  TlbEntry entry;
+  entry.valid = true;
+  entry.object = object;
+  entry.vpage = vpage;
+  entry.frame = frame;
+  entries_[index] = entry;
+}
+
+TlbEntry Tlb::Invalidate(u32 index) {
+  VCOP_CHECK_MSG(index < entries_.size(), "TLB index out of range");
+  TlbEntry old = entries_[index];
+  entries_[index] = TlbEntry{};
+  return old;
+}
+
+void Tlb::InvalidateAll() {
+  for (TlbEntry& e : entries_) e = TlbEntry{};
+}
+
+void Tlb::MarkDirty(u32 index) {
+  VCOP_CHECK_MSG(index < entries_.size(), "TLB index out of range");
+  VCOP_CHECK_MSG(entries_[index].valid, "MarkDirty on invalid entry");
+  entries_[index].dirty = true;
+}
+
+void Tlb::ClearDirty(u32 index) {
+  VCOP_CHECK_MSG(index < entries_.size(), "TLB index out of range");
+  VCOP_CHECK_MSG(entries_[index].valid, "ClearDirty on invalid entry");
+  entries_[index].dirty = false;
+}
+
+std::vector<mem::FrameId> Tlb::HarvestAccessed() {
+  std::vector<mem::FrameId> touched;
+  for (TlbEntry& e : entries_) {
+    if (e.valid && e.accessed) {
+      touched.push_back(e.frame);
+      e.accessed = false;
+    }
+  }
+  return touched;
+}
+
+std::optional<u32> Tlb::FindByFrame(mem::FrameId frame) const {
+  for (u32 i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].valid && entries_[i].frame == frame) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<u32> Tlb::FindFree() const {
+  for (u32 i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].valid) return i;
+  }
+  return std::nullopt;
+}
+
+const TlbEntry& Tlb::entry(u32 index) const {
+  VCOP_CHECK_MSG(index < entries_.size(), "TLB index out of range");
+  return entries_[index];
+}
+
+}  // namespace vcop::hw

@@ -1,0 +1,104 @@
+// The IMU's Translation Lookaside Buffer.
+//
+// "The key part of the IMU is actually the TLB that performs address
+// translation for coprocessor accesses. [...] an upper part of the
+// coprocessor address is matched to the patterns in the translation
+// table. [...] The TLB also contains invalidity and dirtiness
+// information, like in typical VMM systems." (§3.2)
+//
+// Entries are fully associative (the EPXA1 implementation used a CAM).
+// The tag is the pair (object id, virtual page); the payload is a
+// physical frame of the dual-port RAM. Entries are installed and
+// invalidated only by the OS (the VIM); the IMU itself only looks up
+// and sets dirty bits.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "mem/page.h"
+
+namespace vcop::hw {
+
+/// Coprocessor-visible object identifier (0..15; "a number agreed by
+/// the hardware and software designers", §3.1).
+using ObjectId = u8;
+
+constexpr ObjectId kMaxObjects = 16;
+
+/// Reserved object id through which the coprocessor reads its scalar
+/// parameters from the parameter-passing page (§3.2).
+constexpr ObjectId kParamObject = kMaxObjects - 1;
+
+struct TlbEntry {
+  bool valid = false;
+  bool dirty = false;
+  /// Set by the IMU on every translation hit; harvested and cleared by
+  /// the OS to approximate recency (like an MMU's accessed bit).
+  bool accessed = false;
+  ObjectId object = 0;
+  mem::VirtPage vpage = 0;
+  mem::FrameId frame = 0;
+};
+
+struct TlbStats {
+  u64 lookups = 0;
+  u64 hits = 0;
+  u64 misses = 0;
+};
+
+class Tlb {
+ public:
+  /// `num_entries` >= 1. The EPXA1 system uses 8 (one per DP-RAM page).
+  explicit Tlb(u32 num_entries);
+
+  u32 num_entries() const { return static_cast<u32>(entries_.size()); }
+
+  /// CAM lookup: returns the index of the valid entry matching
+  /// (object, vpage), or nullopt on a miss. Updates hit/miss counters.
+  std::optional<u32> Lookup(ObjectId object, mem::VirtPage vpage);
+
+  /// Lookup without touching the statistics (used by the OS when it
+  /// inspects IMU state during fault handling).
+  std::optional<u32> Probe(ObjectId object, mem::VirtPage vpage) const;
+
+  /// OS interface: writes entry `index` (clears dirty).
+  void Install(u32 index, ObjectId object, mem::VirtPage vpage,
+               mem::FrameId frame);
+
+  /// OS interface: invalidates entry `index`; returns the entry as it
+  /// was (so the OS can propagate its dirty bit to the page tables).
+  TlbEntry Invalidate(u32 index);
+
+  /// Invalidates every entry (used at FPGA_EXECUTE start / end).
+  void InvalidateAll();
+
+  /// IMU datapath: marks entry `index` dirty after a write access.
+  void MarkDirty(u32 index);
+
+  /// OS interface: clears the dirty bit after the page was cleaned
+  /// (written back without being evicted).
+  void ClearDirty(u32 index);
+
+  /// Returns the frames of entries accessed since the last harvest and
+  /// clears their accessed bits. OS-side recency source for LRU.
+  std::vector<mem::FrameId> HarvestAccessed();
+
+  /// Finds the valid entry mapping physical frame `frame`, if any.
+  std::optional<u32> FindByFrame(mem::FrameId frame) const;
+
+  /// Finds an invalid entry to install into, if any.
+  std::optional<u32> FindFree() const;
+
+  const TlbEntry& entry(u32 index) const;
+  const TlbStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TlbStats{}; }
+
+ private:
+  std::vector<TlbEntry> entries_;
+  TlbStats stats_;
+};
+
+}  // namespace vcop::hw

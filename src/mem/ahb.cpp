@@ -1,0 +1,17 @@
+#include "mem/ahb.h"
+
+namespace vcop::mem {
+
+double AhbModel::ThroughputBytesPerSecond() const {
+  // Asymptotic: per max-length burst, setup + beats*(bus+cpu) cycles
+  // move 4*beats bytes.
+  const double cycles_per_burst =
+      timing_.setup_cycles +
+      static_cast<double>(timing_.max_burst_beats) *
+          (timing_.cycles_per_beat + timing_.cpu_cycles_per_word);
+  const double bytes_per_burst = 4.0 * timing_.max_burst_beats;
+  return bytes_per_burst / cycles_per_burst *
+         static_cast<double>(clock_.hertz());
+}
+
+}  // namespace vcop::mem

@@ -1,0 +1,65 @@
+// AMBA AHB bus timing model (processor side of the dual-port RAM).
+//
+// On the EPXA1 the ARM reaches the dual-port memory through the AHB
+// (§4). The VIM's page loads/unloads are therefore sequences of 32-bit
+// bus beats executed by the processor; this model prices such sequences.
+// It is a timing model only — data movement itself is performed by the
+// TransferEngine on the functional memories.
+#pragma once
+
+#include "base/bitops.h"
+#include "base/status.h"
+#include "base/types.h"
+#include "base/units.h"
+
+namespace vcop::mem {
+
+/// Cost parameters of one AHB master doing word transfers.
+struct AhbTiming {
+  /// Arbitration + address-phase cycles at the start of a burst.
+  u32 setup_cycles = 2;
+  /// Data-phase cycles per 32-bit beat within a burst.
+  u32 cycles_per_beat = 1;
+  /// Longest burst in beats (INCR16 on AHB); longer transfers are split
+  /// into multiple bursts, each paying setup again.
+  u32 max_burst_beats = 16;
+  /// CPU cycles of load/store + loop overhead per word, on top of the
+  /// bus beats (the ARM is the DMA engine here — the paper's VIM copies
+  /// with the processor, there is no DMA controller in the EPXA1 path).
+  u32 cpu_cycles_per_word = 8;
+};
+
+class AhbModel {
+ public:
+  AhbModel(AhbTiming timing, Frequency bus_clock)
+      : timing_(timing), clock_(bus_clock) {
+    VCOP_CHECK_MSG(bus_clock.valid(), "AHB clock must be nonzero");
+    VCOP_CHECK_MSG(timing.max_burst_beats >= 1, "burst length must be >= 1");
+  }
+
+  /// Bus + CPU cycles needed to move `bytes` (rounded up to whole
+  /// 32-bit words) across the AHB in bursts.
+  u64 CyclesFor(u64 bytes) const {
+    const u64 words = DivCeil(bytes, 4);
+    const u64 bursts = DivCeil(words, timing_.max_burst_beats);
+    return bursts * timing_.setup_cycles +
+           words * (timing_.cycles_per_beat + timing_.cpu_cycles_per_word);
+  }
+
+  /// Wall time of CyclesFor(bytes) on the bus clock.
+  Picoseconds TimeFor(u64 bytes) const {
+    return clock_.Duration(CyclesFor(bytes));
+  }
+
+  /// Effective throughput in bytes/second for large transfers.
+  double ThroughputBytesPerSecond() const;
+
+  const AhbTiming& timing() const { return timing_; }
+  Frequency clock() const { return clock_; }
+
+ private:
+  AhbTiming timing_;
+  Frequency clock_;
+};
+
+}  // namespace vcop::mem

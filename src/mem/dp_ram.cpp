@@ -1,0 +1,55 @@
+#include "mem/dp_ram.h"
+
+#include <cstring>
+
+#include "base/table.h"
+
+namespace vcop::mem {
+
+DualPortRam::DualPortRam(u32 size_bytes) : bytes_(size_bytes, 0) {
+  VCOP_CHECK_MSG(size_bytes >= 1, "dual-port RAM needs a nonzero size");
+}
+
+void DualPortRam::CheckRange(u32 addr, usize len) const {
+  VCOP_CHECK_MSG(static_cast<u64>(addr) + len <= bytes_.size(),
+                 StrFormat("DP-RAM access [%u, %zu) out of bounds (size %zu)",
+                           addr, addr + len, bytes_.size()));
+}
+
+void DualPortRam::Read(Port port, u32 addr, std::span<u8> data) {
+  CheckRange(addr, data.size());
+  std::memcpy(data.data(), bytes_.data() + addr, data.size());
+  stats_[Index(port)].bytes_read += data.size();
+}
+
+void DualPortRam::Write(Port port, u32 addr, std::span<const u8> data) {
+  CheckRange(addr, data.size());
+  std::memcpy(bytes_.data() + addr, data.data(), data.size());
+  stats_[Index(port)].bytes_written += data.size();
+}
+
+u32 DualPortRam::ReadWord(Port port, u32 addr, u32 width) {
+  VCOP_CHECK_MSG(width == 1 || width == 2 || width == 4,
+                 "word width must be 1, 2 or 4 bytes");
+  VCOP_CHECK_MSG(addr % width == 0, "unaligned IMU word access");
+  CheckRange(addr, width);
+  u32 value = 0;
+  for (u32 i = 0; i < width; ++i) {
+    value |= static_cast<u32>(bytes_[addr + i]) << (8 * i);
+  }
+  stats_[Index(port)].bytes_read += width;
+  return value;
+}
+
+void DualPortRam::WriteWord(Port port, u32 addr, u32 width, u32 value) {
+  VCOP_CHECK_MSG(width == 1 || width == 2 || width == 4,
+                 "word width must be 1, 2 or 4 bytes");
+  VCOP_CHECK_MSG(addr % width == 0, "unaligned IMU word access");
+  CheckRange(addr, width);
+  for (u32 i = 0; i < width; ++i) {
+    bytes_[addr + i] = static_cast<u8>(value >> (8 * i));
+  }
+  stats_[Index(port)].bytes_written += width;
+}
+
+}  // namespace vcop::mem

@@ -1,0 +1,64 @@
+// Dual-port RAM model.
+//
+// The EPXA1's on-chip dual-port memory is accessible by the PLD directly
+// (port B, used by the IMU on behalf of the coprocessor) and by the ARM
+// processor over the AHB (port A, used by the VIM when loading/unloading
+// pages). Functionally it is a flat byte array; the model additionally
+// counts per-port traffic so experiments can report interface-memory
+// bandwidth use.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace vcop::mem {
+
+class DualPortRam {
+ public:
+  enum class Port { kProcessor = 0, kCoprocessor = 1 };
+
+  /// `size_bytes` >= 1. (EPXA1: 16 KB.)
+  explicit DualPortRam(u32 size_bytes);
+
+  u32 size() const { return static_cast<u32>(bytes_.size()); }
+
+  /// Reads `data.size()` bytes at `addr` through `port`.
+  /// addr + len must be within the RAM.
+  void Read(Port port, u32 addr, std::span<u8> data);
+
+  /// Writes `data` at `addr` through `port`.
+  void Write(Port port, u32 addr, std::span<const u8> data);
+
+  /// Word helpers used by the IMU datapath (little-endian, matching the
+  /// ARM side). `width` in {1, 2, 4} bytes; `addr` must be
+  /// width-aligned — the IMU never issues unaligned element accesses.
+  u32 ReadWord(Port port, u32 addr, u32 width);
+  void WriteWord(Port port, u32 addr, u32 width, u32 value);
+
+  /// Per-port byte counters (reads, writes).
+  u64 bytes_read(Port port) const { return stats_[Index(port)].bytes_read; }
+  u64 bytes_written(Port port) const {
+    return stats_[Index(port)].bytes_written;
+  }
+
+  /// Direct backing-store view for tests and the transfer engine.
+  std::span<u8> raw() { return bytes_; }
+  std::span<const u8> raw() const { return bytes_; }
+
+ private:
+  static usize Index(Port port) { return static_cast<usize>(port); }
+  void CheckRange(u32 addr, usize len) const;
+
+  struct PortStats {
+    u64 bytes_read = 0;
+    u64 bytes_written = 0;
+  };
+
+  std::vector<u8> bytes_;
+  PortStats stats_[2];
+};
+
+}  // namespace vcop::mem

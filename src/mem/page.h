@@ -1,0 +1,61 @@
+// Page geometry of the interface memory.
+//
+// The paper's EPXA1 dual-port RAM is "logically organised in eight 2KB
+// pages (the total size is therefore of 16KB)" (§4). PageGeometry captures
+// that organisation and the virtual-page arithmetic the IMU and VIM share.
+#pragma once
+
+#include "base/bitops.h"
+#include "base/status.h"
+#include "base/types.h"
+
+namespace vcop::mem {
+
+/// Index of a physical page frame inside the dual-port RAM.
+using FrameId = u32;
+
+/// Index of a virtual page inside a mapped object's byte range.
+using VirtPage = u32;
+
+class PageGeometry {
+ public:
+  /// `page_bytes` must be a power of two; `num_frames` >= 1.
+  PageGeometry(u32 page_bytes, u32 num_frames)
+      : page_bytes_(page_bytes), num_frames_(num_frames) {
+    VCOP_CHECK_MSG(IsPowerOfTwo(page_bytes), "page size must be 2^k");
+    VCOP_CHECK_MSG(num_frames >= 1, "need at least one page frame");
+  }
+
+  u32 page_bytes() const { return page_bytes_; }
+  u32 num_frames() const { return num_frames_; }
+  u32 total_bytes() const { return page_bytes_ * num_frames_; }
+  u32 page_shift() const { return Log2(page_bytes_); }
+  u32 offset_mask() const { return page_bytes_ - 1; }
+
+  /// Virtual page containing byte `offset` of an object.
+  VirtPage PageOf(u64 offset) const {
+    return static_cast<VirtPage>(offset >> page_shift());
+  }
+
+  /// Offset of `offset` within its page.
+  u32 OffsetIn(u64 offset) const {
+    return static_cast<u32>(offset & offset_mask());
+  }
+
+  /// Physical byte address (within the DP-RAM) of frame `frame`.
+  u32 FrameBase(FrameId frame) const {
+    VCOP_CHECK_MSG(frame < num_frames_, "frame id out of range");
+    return frame * page_bytes_;
+  }
+
+  /// Number of pages spanned by an object of `size` bytes.
+  u32 PagesFor(u64 size) const {
+    return static_cast<u32>(DivCeil(size, page_bytes_));
+  }
+
+ private:
+  u32 page_bytes_;
+  u32 num_frames_;
+};
+
+}  // namespace vcop::mem

@@ -1,0 +1,61 @@
+#include "mem/user_memory.h"
+
+#include <cstring>
+
+#include "base/bitops.h"
+#include "base/table.h"
+
+namespace vcop::mem {
+
+UserMemory::UserMemory(u32 capacity_bytes) : backing_(capacity_bytes, 0) {
+  VCOP_CHECK_MSG(capacity_bytes >= 64, "user memory unrealistically small");
+}
+
+Result<UserAddr> UserMemory::Allocate(u32 size) {
+  if (size == 0) return InvalidArgumentError("cannot allocate 0 bytes");
+  const u32 base = static_cast<u32>(AlignUp(next_, 16));
+  if (static_cast<u64>(base) + size > backing_.size()) {
+    return ResourceExhaustedError(
+        StrFormat("user memory exhausted: %u bytes requested, %zu free", size,
+                  backing_.size() - base));
+  }
+  next_ = base + size;
+  regions_.push_back(Region{base, size});
+  return base;
+}
+
+bool UserMemory::Contains(UserAddr addr, u32 len) const {
+  for (const Region& r : regions_) {
+    if (addr >= r.base && static_cast<u64>(addr) + len <=
+                              static_cast<u64>(r.base) + r.size) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::span<u8> UserMemory::View(UserAddr addr, u32 len) {
+  VCOP_CHECK_MSG(Contains(addr, len),
+                 StrFormat("user memory access [%u,+%u) not allocated", addr,
+                           len));
+  return std::span<u8>(backing_.data() + addr, len);
+}
+
+std::span<const u8> UserMemory::View(UserAddr addr, u32 len) const {
+  VCOP_CHECK_MSG(Contains(addr, len),
+                 StrFormat("user memory access [%u,+%u) not allocated", addr,
+                           len));
+  return std::span<const u8>(backing_.data() + addr, len);
+}
+
+void UserMemory::WriteBytes(UserAddr addr, std::span<const u8> data) {
+  auto dst = View(addr, static_cast<u32>(data.size()));
+  std::memcpy(dst.data(), data.data(), data.size());
+}
+
+void UserMemory::ReadBytes(UserAddr addr, std::span<u8> data) const {
+  auto src = View(addr, static_cast<u32>(data.size()));
+  std::memcpy(data.data(), src.data(), data.size());
+}
+
+}  // namespace vcop::mem

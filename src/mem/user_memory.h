@@ -1,0 +1,56 @@
+// Simulated user-space memory of the application process.
+//
+// In the paper, mapped objects (the A/B/C vectors, the ADPCM input
+// stream, the IDEA plaintext/ciphertext) live in ordinary user-space
+// SDRAM; the VIM copies pages between that memory and the dual-port RAM.
+// UserMemory models the process's address space as allocatable regions
+// in a flat 32-bit space, mirroring malloc'd buffers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace vcop::mem {
+
+/// A user-space virtual address in the simulated process.
+using UserAddr = u32;
+
+class UserMemory {
+ public:
+  /// `capacity_bytes` bounds the total allocatable space (EPXA1 board:
+  /// 64 MB SDRAM).
+  explicit UserMemory(u32 capacity_bytes);
+
+  /// Allocates `size` bytes (16-byte aligned), zero-initialised.
+  /// Fails with RESOURCE_EXHAUSTED when the space is exhausted.
+  Result<UserAddr> Allocate(u32 size);
+
+  /// Whether [addr, addr+len) lies inside an allocated region.
+  bool Contains(UserAddr addr, u32 len) const;
+
+  /// Raw access used by the software baselines and the VIM's copies.
+  /// The range must be allocated.
+  std::span<u8> View(UserAddr addr, u32 len);
+  std::span<const u8> View(UserAddr addr, u32 len) const;
+
+  /// Convenience typed stores/loads (little-endian).
+  void WriteBytes(UserAddr addr, std::span<const u8> data);
+  void ReadBytes(UserAddr addr, std::span<u8> data) const;
+
+  u32 capacity() const { return static_cast<u32>(backing_.size()); }
+  u32 allocated() const { return next_; }
+
+ private:
+  std::vector<u8> backing_;
+  u32 next_ = 16;  // address 0 stays unmapped, as a null-pointer guard
+  struct Region {
+    UserAddr base;
+    u32 size;
+  };
+  std::vector<Region> regions_;
+};
+
+}  // namespace vcop::mem

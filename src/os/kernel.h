@@ -1,0 +1,141 @@
+// The simulated operating system kernel.
+//
+// Owns the whole modelled platform (simulator, memories, fabric, IMU,
+// interrupt line, VIM, calling process) and exposes the paper's three
+// system calls (§3.1):
+//
+//   FPGA_LOAD        — configure the PLD with a bit-stream; exclusive.
+//   FPGA_MAP_OBJECT  — declare a user-space dataset as interface object.
+//   FPGA_EXECUTE     — pass scalar parameters, start the coprocessor,
+//                      sleep until completion; page faults are serviced
+//                      transparently along the way.
+//
+// FpgaExecute runs the event simulation to completion internally and
+// returns an ExecutionReport with the same time decomposition the paper
+// plots: hardware time, dual-port-RAM management time, IMU management
+// time (plus the invocation overhead, which the paper folds into its
+// totals).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "hw/fabric.h"
+#include "hw/imu.h"
+#include "hw/interrupt.h"
+#include "mem/dp_ram.h"
+#include "mem/user_memory.h"
+#include "os/calibration.h"
+#include "os/process.h"
+#include "os/timeline.h"
+#include "os/vim.h"
+#include "sim/simulator.h"
+
+namespace vcop::os {
+
+/// Static description of the modelled platform. Presets for the
+/// Excalibur family live in runtime/config.h.
+struct KernelConfig {
+  std::string platform_name = "EPXA1";
+  /// Interface memory: EPXA1 has 16 KB of dual-port RAM, "logically
+  /// organised in eight 2KB pages" (§4).
+  u32 dp_ram_bytes = 16 * 1024;
+  u32 page_bytes = 2 * 1024;
+  /// IMU parameters (§3.2/§4).
+  u32 tlb_entries = 8;
+  u32 imu_access_latency = 4;
+  bool imu_pipelined = false;
+  /// Enable the IMU's per-object limit registers (extension; catches
+  /// within-page overruns the paper's design cannot).
+  bool imu_bounds_check = false;
+  /// Enable the IMU's posted-write buffer (extension; acknowledges
+  /// writes early and retires them in the background).
+  bool imu_posted_writes = false;
+  /// Process address space modelled (the board has 64 MB SDRAM; 16 MB
+  /// is ample for every experiment).
+  u32 user_memory_bytes = 16 * 1024 * 1024;
+  /// PLD size (EPXA1: 4160 logic elements) and configuration rate.
+  u32 pld_capacity_les = 4160;
+  u64 config_bytes_per_second = 4 * 1024 * 1024;
+  CostModel costs{};
+  VimConfig vim{};
+};
+
+/// What FPGA_EXECUTE measures, in the paper's decomposition.
+struct ExecutionReport {
+  Picoseconds total = 0;     // wall time of the blocking call
+  Picoseconds t_hw = 0;      // coprocessor + IMU (incl. translation)
+  Picoseconds t_dp = 0;      // OS transfers user <-> dual-port RAM
+  Picoseconds t_imu = 0;     // OS fault decode + translation updates
+  Picoseconds t_invoke = 0;  // syscall + execute setup + param passing
+  VimAccounting vim;
+  hw::ImuStats imu;
+  hw::TlbStats tlb;
+  u64 cp_cycles = 0;  // rising edges consumed by the coprocessor core
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelConfig& config);
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // ----- the three OS services of §3.1 -----
+
+  /// Loads a coprocessor bit-stream; fails if one is already loaded
+  /// (the PLD is an exclusive resource). Simulated time advances by the
+  /// configuration duration.
+  Status FpgaLoad(const hw::Bitstream& bitstream);
+
+  /// Declares a mapped object (parameter-passing by reference, §3.1).
+  Status FpgaMapObject(hw::ObjectId id, mem::UserAddr addr, u32 size_bytes,
+                       u32 elem_width, Direction direction);
+
+  /// Removes an object mapping.
+  Status FpgaUnmapObject(hw::ObjectId id);
+
+  /// Runs the loaded coprocessor to completion with `params` passed
+  /// through the parameter page. Blocking (the process sleeps).
+  Result<ExecutionReport> FpgaExecute(std::span<const u32> params);
+
+  /// Releases the PLD.
+  Status FpgaUnload();
+
+  // ----- platform access for applications and tests -----
+  mem::UserMemory& user_memory() { return user_memory_; }
+  mem::DualPortRam& dp_ram() { return dp_ram_; }
+  sim::Simulator& simulator() { return sim_; }
+  Vim& vim() { return vim_; }
+  Process& process() { return process_; }
+  hw::FpgaFabric& fabric() { return fabric_; }
+  hw::Imu* imu() { return imu_.get(); }
+  const KernelConfig& config() const { return config_; }
+
+  /// Configuration time of the most recent FPGA_LOAD.
+  Picoseconds last_load_time() const { return last_load_time_; }
+
+  /// Event timeline across all calls (Chrome-trace exportable).
+  TimelineRecorder& timeline() { return timeline_; }
+
+ private:
+  KernelConfig config_;
+  sim::Simulator sim_;
+  mem::UserMemory user_memory_;
+  mem::DualPortRam dp_ram_;
+  hw::InterruptLine irq_;
+  hw::FpgaFabric fabric_;
+  Vim vim_;
+  Process process_;
+
+  TimelineRecorder timeline_;
+  std::unique_ptr<hw::Imu> imu_;
+  sim::ClockDomain* imu_domain_ = nullptr;
+  sim::ClockDomain* cp_domain_ = nullptr;
+  u32 load_count_ = 0;
+  Picoseconds last_load_time_ = 0;
+};
+
+}  // namespace vcop::os

@@ -1,0 +1,97 @@
+#include "os/page_manager.h"
+
+namespace vcop::os {
+
+PageManager::PageManager(mem::PageGeometry geometry)
+    : geometry_(geometry), frames_(geometry.num_frames()) {}
+
+void PageManager::Reset() {
+  frames_.assign(frames_.size(), FrameState{});
+  in_use_ = 0;
+}
+
+std::optional<mem::FrameId> PageManager::FindResident(
+    hw::ObjectId object, mem::VirtPage vpage) const {
+  for (mem::FrameId f = 0; f < frames_.size(); ++f) {
+    const FrameState& s = frames_[f];
+    if (s.in_use && s.object == object && s.vpage == vpage) return f;
+  }
+  return std::nullopt;
+}
+
+std::optional<mem::FrameId> PageManager::FindFree() const {
+  for (mem::FrameId f = 0; f < frames_.size(); ++f) {
+    if (!frames_[f].in_use) return f;
+  }
+  return std::nullopt;
+}
+
+void PageManager::Install(mem::FrameId frame, hw::ObjectId object,
+                          mem::VirtPage vpage, bool pinned) {
+  FrameState& s = MutableFrame(frame);
+  VCOP_CHECK_MSG(!s.in_use, "Install into an occupied frame");
+  VCOP_CHECK_MSG(!FindResident(object, vpage).has_value(),
+                 "page is already resident in another frame");
+  FrameState next;
+  next.in_use = true;
+  next.pinned = pinned;
+  next.object = object;
+  next.vpage = vpage;
+  s = next;
+  ++in_use_;
+}
+
+FrameState PageManager::Release(mem::FrameId frame) {
+  FrameState& s = MutableFrame(frame);
+  VCOP_CHECK_MSG(s.in_use, "Release of a free frame");
+  const FrameState old = s;
+  s = FrameState{};
+  --in_use_;
+  return old;
+}
+
+void PageManager::MarkDirty(mem::FrameId frame) {
+  FrameState& s = MutableFrame(frame);
+  VCOP_CHECK_MSG(s.in_use, "MarkDirty on a free frame");
+  s.dirty = true;
+}
+
+void PageManager::ClearDirty(mem::FrameId frame) {
+  FrameState& s = MutableFrame(frame);
+  VCOP_CHECK_MSG(s.in_use, "ClearDirty on a free frame");
+  s.dirty = false;
+}
+
+void PageManager::Unpin(mem::FrameId frame) {
+  FrameState& s = MutableFrame(frame);
+  VCOP_CHECK_MSG(s.in_use && s.pinned, "Unpin on a frame that is not pinned");
+  s.pinned = false;
+}
+
+const FrameState& PageManager::frame(mem::FrameId frame) const {
+  VCOP_CHECK_MSG(frame < frames_.size(), "frame id out of range");
+  return frames_[frame];
+}
+
+FrameState& PageManager::MutableFrame(mem::FrameId frame) {
+  VCOP_CHECK_MSG(frame < frames_.size(), "frame id out of range");
+  return frames_[frame];
+}
+
+std::vector<bool> PageManager::EvictableMask() const {
+  std::vector<bool> mask(frames_.size());
+  for (mem::FrameId f = 0; f < frames_.size(); ++f) {
+    mask[f] = frames_[f].in_use && !frames_[f].pinned;
+  }
+  return mask;
+}
+
+std::vector<mem::FrameId> PageManager::InUseFrames() const {
+  std::vector<mem::FrameId> out;
+  for (mem::FrameId f = 0; f < frames_.size(); ++f) {
+    if (frames_[f].in_use) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace vcop::os

@@ -1,0 +1,87 @@
+// Bookkeeping for the dual-port RAM's page frames.
+//
+// "The memory is logically organised in pages, as in typical memory
+// systems. Datasets accessed by the coprocessor are mapped to these
+// pages. The OS keeps track of the pages each dataset currently
+// occupies." (§3.3) PageManager is that tracking: which frame holds
+// which (object, virtual page), which frames are free, pinned (the
+// parameter page before the coprocessor releases it) or dirty. It is
+// pure bookkeeping — transfers and TLB updates are orchestrated by the
+// Vim, which owns the policy decisions too.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "hw/tlb.h"
+#include "mem/page.h"
+
+namespace vcop::os {
+
+struct FrameState {
+  bool in_use = false;
+  /// Pinned frames are never chosen as eviction victims (the parameter
+  /// page between EXECUTE and its release by the coprocessor).
+  bool pinned = false;
+  /// Dirty as accumulated from invalidated TLB entries; the live TLB
+  /// entry's dirty bit is merged in by the Vim at eviction time.
+  bool dirty = false;
+  hw::ObjectId object = 0;
+  mem::VirtPage vpage = 0;
+};
+
+class PageManager {
+ public:
+  explicit PageManager(mem::PageGeometry geometry);
+
+  /// Frees everything (start of an EXECUTE).
+  void Reset();
+
+  const mem::PageGeometry& geometry() const { return geometry_; }
+  u32 num_frames() const { return geometry_.num_frames(); }
+  u32 frames_in_use() const { return in_use_; }
+  u32 frames_free() const { return num_frames() - in_use_; }
+
+  /// Frame currently holding (object, vpage), if resident.
+  std::optional<mem::FrameId> FindResident(hw::ObjectId object,
+                                           mem::VirtPage vpage) const;
+
+  /// Any free frame (lowest index first).
+  std::optional<mem::FrameId> FindFree() const;
+
+  /// Claims `frame` for (object, vpage). Precondition: frame is free.
+  void Install(mem::FrameId frame, hw::ObjectId object, mem::VirtPage vpage,
+               bool pinned = false);
+
+  /// Releases `frame`. Precondition: frame is in use.
+  /// Returns its final state (the caller decides about write-back
+  /// *before* releasing; this is for bookkeeping symmetry).
+  FrameState Release(mem::FrameId frame);
+
+  void MarkDirty(mem::FrameId frame);
+
+  /// Clears the dirty flag after the page was written back in place
+  /// (background cleaning).
+  void ClearDirty(mem::FrameId frame);
+
+  void Unpin(mem::FrameId frame);
+
+  const FrameState& frame(mem::FrameId frame) const;
+
+  /// Eviction candidates: in use and not pinned.
+  std::vector<bool> EvictableMask() const;
+
+  /// All in-use frames (for end-of-operation write-back sweeps).
+  std::vector<mem::FrameId> InUseFrames() const;
+
+ private:
+  FrameState& MutableFrame(mem::FrameId frame);
+
+  mem::PageGeometry geometry_;
+  std::vector<FrameState> frames_;
+  u32 in_use_ = 0;
+};
+
+}  // namespace vcop::os

@@ -1,0 +1,129 @@
+#include "os/policy.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace vcop::os {
+
+std::string_view ToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFifo: return "fifo";
+    case PolicyKind::kLru: return "lru";
+    case PolicyKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+/// FIFO: evict the page installed the longest ago, regardless of use.
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  std::string_view name() const override { return "fifo"; }
+
+  void Reset(u32 num_frames) override {
+    install_seq_.assign(num_frames, 0);
+    clock_ = 0;
+  }
+
+  void OnInstalled(mem::FrameId frame) override {
+    install_seq_[frame] = ++clock_;
+  }
+
+  void OnTouched(mem::FrameId) override {}
+  void OnFreed(mem::FrameId frame) override { install_seq_[frame] = 0; }
+
+  mem::FrameId PickVictim(const std::vector<bool>& evictable) override {
+    mem::FrameId best = 0;
+    u64 best_seq = ~u64{0};
+    bool found = false;
+    for (mem::FrameId f = 0; f < evictable.size(); ++f) {
+      if (!evictable[f]) continue;
+      if (!found || install_seq_[f] < best_seq) {
+        best = f;
+        best_seq = install_seq_[f];
+        found = true;
+      }
+    }
+    VCOP_CHECK_MSG(found, "PickVictim with nothing evictable");
+    return best;
+  }
+
+ private:
+  std::vector<u64> install_seq_;
+  u64 clock_ = 0;
+};
+
+/// LRU over the recency the OS can actually observe: TLB accessed bits
+/// harvested at faults (OnTouched) plus installation time.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  std::string_view name() const override { return "lru"; }
+
+  void Reset(u32 num_frames) override {
+    last_use_.assign(num_frames, 0);
+    clock_ = 0;
+  }
+
+  void OnInstalled(mem::FrameId frame) override { last_use_[frame] = ++clock_; }
+  void OnTouched(mem::FrameId frame) override { last_use_[frame] = ++clock_; }
+  void OnFreed(mem::FrameId frame) override { last_use_[frame] = 0; }
+
+  mem::FrameId PickVictim(const std::vector<bool>& evictable) override {
+    mem::FrameId best = 0;
+    u64 best_use = ~u64{0};
+    bool found = false;
+    for (mem::FrameId f = 0; f < evictable.size(); ++f) {
+      if (!evictable[f]) continue;
+      if (!found || last_use_[f] < best_use) {
+        best = f;
+        best_use = last_use_[f];
+        found = true;
+      }
+    }
+    VCOP_CHECK_MSG(found, "PickVictim with nothing evictable");
+    return best;
+  }
+
+ private:
+  std::vector<u64> last_use_;
+  u64 clock_ = 0;
+};
+
+/// Uniformly random among evictable frames (deterministic in the seed).
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  explicit RandomPolicy(u64 seed) : rng_(seed) {}
+
+  std::string_view name() const override { return "random"; }
+  void Reset(u32) override {}
+  void OnInstalled(mem::FrameId) override {}
+  void OnTouched(mem::FrameId) override {}
+  void OnFreed(mem::FrameId) override {}
+
+  mem::FrameId PickVictim(const std::vector<bool>& evictable) override {
+    std::vector<mem::FrameId> candidates;
+    for (mem::FrameId f = 0; f < evictable.size(); ++f) {
+      if (evictable[f]) candidates.push_back(f);
+    }
+    VCOP_CHECK_MSG(!candidates.empty(), "PickVictim with nothing evictable");
+    return candidates[rng_.NextBelow(candidates.size())];
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> MakePolicy(PolicyKind kind, u64 seed) {
+  switch (kind) {
+    case PolicyKind::kFifo: return std::make_unique<FifoPolicy>();
+    case PolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case PolicyKind::kRandom: return std::make_unique<RandomPolicy>(seed);
+  }
+  VCOP_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace vcop::os

@@ -1,0 +1,62 @@
+// Page replacement policies for the interface memory.
+//
+// "When no page is available for allocation, several replacement
+// policies are possible (e.g., first-in first-out, least recently used,
+// random)." (§3.3) All three are implemented, driven by the information
+// a real VIM would have: installation order, the TLB's accessed bits
+// (harvested at every fault), and nothing else.
+#pragma once
+
+#include <memory>
+#include <vector>
+#include <string_view>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/types.h"
+#include "hw/tlb.h"
+#include "mem/page.h"
+
+namespace vcop::os {
+
+enum class PolicyKind : u8 { kFifo, kLru, kRandom };
+
+std::string_view ToString(PolicyKind kind);
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Forgets all history; called at each FPGA_EXECUTE.
+  virtual void Reset(u32 num_frames) = 0;
+
+  /// A page was installed into `frame`.
+  virtual void OnInstalled(mem::FrameId frame) = 0;
+
+  /// Same event with the page identity — only policies that reason
+  /// about *which* page sits in a frame (the Belady oracle) need it.
+  virtual void OnInstalledAt(mem::FrameId frame, hw::ObjectId object,
+                             mem::VirtPage vpage) {
+    (void)frame;
+    (void)object;
+    (void)vpage;
+  }
+
+  /// The coprocessor was observed touching `frame` since the last
+  /// harvest (from the TLB accessed bits).
+  virtual void OnTouched(mem::FrameId frame) = 0;
+
+  /// `frame` was freed (its page evicted or released).
+  virtual void OnFreed(mem::FrameId frame) = 0;
+
+  /// Chooses a victim among frames with `evictable[frame]` true.
+  /// Precondition: at least one frame is evictable.
+  virtual mem::FrameId PickVictim(const std::vector<bool>& evictable) = 0;
+};
+
+/// Factory. `seed` is used by the random policy only.
+std::unique_ptr<ReplacementPolicy> MakePolicy(PolicyKind kind, u64 seed);
+
+}  // namespace vcop::os

@@ -1,0 +1,64 @@
+#include "os/prefetch.h"
+
+#include "base/status.h"
+
+namespace vcop::os {
+
+std::string_view ToString(PrefetchKind kind) {
+  switch (kind) {
+    case PrefetchKind::kNone: return "none";
+    case PrefetchKind::kSequential: return "sequential";
+  }
+  return "?";
+}
+
+namespace {
+
+class NonePrefetcher final : public Prefetcher {
+ public:
+  std::string_view name() const override { return "none"; }
+  std::vector<PrefetchSuggestion> Suggest(hw::ObjectId, mem::VirtPage,
+                                          u32) override {
+    return {};
+  }
+};
+
+/// Streams: after a fault on page p, also bring in p+1..p+depth of the
+/// same object — both benchmarks walk their objects sequentially.
+class SequentialPrefetcher final : public Prefetcher {
+ public:
+  explicit SequentialPrefetcher(u32 depth) : depth_(depth) {
+    VCOP_CHECK_MSG(depth >= 1, "prefetch depth must be >= 1");
+  }
+
+  std::string_view name() const override { return "sequential"; }
+
+  std::vector<PrefetchSuggestion> Suggest(hw::ObjectId object,
+                                          mem::VirtPage vpage,
+                                          u32 num_pages) override {
+    std::vector<PrefetchSuggestion> out;
+    for (u32 d = 1; d <= depth_; ++d) {
+      const mem::VirtPage next = vpage + d;
+      if (next >= num_pages) break;
+      out.push_back(PrefetchSuggestion{object, next});
+    }
+    return out;
+  }
+
+ private:
+  u32 depth_;
+};
+
+}  // namespace
+
+std::unique_ptr<Prefetcher> MakePrefetcher(PrefetchKind kind, u32 depth) {
+  switch (kind) {
+    case PrefetchKind::kNone: return std::make_unique<NonePrefetcher>();
+    case PrefetchKind::kSequential:
+      return std::make_unique<SequentialPrefetcher>(depth);
+  }
+  VCOP_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace vcop::os

@@ -1,0 +1,45 @@
+// Prefetch strategies for the interface memory.
+//
+// "Also, speculative actions as prefetching could be used in order to
+// avoid translation misses." (§3.3) The paper leaves this as future
+// work; we implement it as a pluggable strategy consulted during fault
+// service, and evaluate it in bench/abl_prefetch.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "base/types.h"
+#include "hw/tlb.h"
+#include "mem/page.h"
+
+namespace vcop::os {
+
+enum class PrefetchKind : u8 { kNone, kSequential };
+
+std::string_view ToString(PrefetchKind kind);
+
+/// A page the prefetcher wants resident in addition to the faulting one.
+struct PrefetchSuggestion {
+  hw::ObjectId object;
+  mem::VirtPage vpage;
+};
+
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Consulted while servicing a fault on (object, vpage). `num_pages`
+  /// is the page count of the faulting object; suggestions beyond it
+  /// are the prefetcher's responsibility to avoid.
+  virtual std::vector<PrefetchSuggestion> Suggest(hw::ObjectId object,
+                                                  mem::VirtPage vpage,
+                                                  u32 num_pages) = 0;
+};
+
+/// Factory. `depth` is the look-ahead of the sequential prefetcher.
+std::unique_ptr<Prefetcher> MakePrefetcher(PrefetchKind kind, u32 depth = 1);
+
+}  // namespace vcop::os

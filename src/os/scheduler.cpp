@@ -1,0 +1,119 @@
+#include "os/scheduler.h"
+
+#include <algorithm>
+
+#include "base/table.h"
+
+namespace vcop::os {
+
+std::string_view ToString(ScheduleOrder order) {
+  switch (order) {
+    case ScheduleOrder::kFifo: return "fifo";
+    case ScheduleOrder::kBatchBitstream: return "batch-by-bitstream";
+  }
+  return "?";
+}
+
+Picoseconds ScheduleReport::mean_turnaround() const {
+  if (outcomes.empty()) return 0;
+  unsigned __int128 sum = 0;
+  for (const JobOutcome& o : outcomes) sum += o.turnaround();
+  return static_cast<Picoseconds>(sum / outcomes.size());
+}
+
+usize ScheduleReport::failures() const {
+  usize n = 0;
+  for (const JobOutcome& o : outcomes) n += !o.status.ok();
+  return n;
+}
+
+FpgaScheduler::FpgaScheduler(Kernel& kernel,
+                             std::map<std::string, hw::Bitstream> designs)
+    : kernel_(kernel), designs_(std::move(designs)) {}
+
+ScheduleReport FpgaScheduler::RunAll(std::vector<FpgaJob> jobs,
+                                     ScheduleOrder order) {
+  if (order == ScheduleOrder::kBatchBitstream) {
+    // Stable partition by design, groups ordered by first submission —
+    // within a group the submission order is preserved, so no job can
+    // be starved by a later arrival of the same design.
+    std::vector<std::string> group_order;
+    for (const FpgaJob& job : jobs) {
+      if (std::find(group_order.begin(), group_order.end(),
+                    job.bitstream) == group_order.end()) {
+        group_order.push_back(job.bitstream);
+      }
+    }
+    std::stable_sort(
+        jobs.begin(), jobs.end(),
+        [&group_order](const FpgaJob& a, const FpgaJob& b) {
+          const auto ia = std::find(group_order.begin(), group_order.end(),
+                                    a.bitstream);
+          const auto ib = std::find(group_order.begin(), group_order.end(),
+                                    b.bitstream);
+          return ia < ib;
+        });
+  }
+
+  ScheduleReport schedule;
+  const Picoseconds batch_start = kernel_.simulator().now();
+
+  for (FpgaJob& job : jobs) {
+    JobOutcome outcome;
+    outcome.pid = job.pid;
+    outcome.bitstream = job.bitstream;
+    outcome.submitted_at = batch_start;
+    outcome.started_at = kernel_.simulator().now();
+
+    const auto design = designs_.find(job.bitstream);
+    if (design == designs_.end()) {
+      outcome.status = NotFoundError(
+          StrFormat("no design '%s' in the library", job.bitstream.c_str()));
+      outcome.finished_at = kernel_.simulator().now();
+      schedule.outcomes.push_back(std::move(outcome));
+      continue;
+    }
+
+    // (Re)configure the fabric when the loaded design differs.
+    const bool loaded_matches =
+        kernel_.fabric().loaded() &&
+        kernel_.fabric().current_bitstream().name == job.bitstream;
+    if (!loaded_matches) {
+      if (kernel_.fabric().loaded()) {
+        const Status unload = kernel_.FpgaUnload();
+        VCOP_CHECK_MSG(unload.ok(), unload.ToString());
+      }
+      const Status load = kernel_.FpgaLoad(design->second);
+      if (!load.ok()) {
+        outcome.status = load;
+        outcome.finished_at = kernel_.simulator().now();
+        schedule.outcomes.push_back(std::move(outcome));
+        continue;
+      }
+      outcome.reconfigured = true;
+      outcome.config_time = kernel_.last_load_time();
+      schedule.total_config_time += outcome.config_time;
+      ++schedule.reconfigurations;
+    }
+
+    // Clean slate for the job's mappings.
+    kernel_.vim().objects().Clear();
+    if (!job.run) {
+      outcome.status = InvalidArgumentError("job has no body");
+    } else {
+      Result<ExecutionReport> result = job.run(kernel_);
+      if (result.ok()) {
+        outcome.report = result.value();
+      } else {
+        outcome.status = result.status();
+      }
+    }
+    outcome.finished_at = kernel_.simulator().now();
+    schedule.outcomes.push_back(std::move(outcome));
+  }
+
+  schedule.makespan = kernel_.simulator().now() - batch_start;
+  return schedule;
+}
+
+}  // namespace vcop::os

@@ -1,0 +1,92 @@
+// FPGA job scheduling across tasks.
+//
+// The paper's §5 points at the complementary problem of "managing the
+// reconfigurable lattice across tasks" (Walder/Platzner; Dales) —
+// "future system[s] may have to implement solutions for both". This
+// module implements the OS side of that for the single-PLD platform:
+// jobs from multiple processes queue for the exclusive fabric; the
+// scheduler serialises them (FPGA_EXECUTE is blocking, so there is no
+// intra-device preemption to exploit), reconfiguring the PLD whenever
+// consecutive jobs need different designs.
+//
+// Reconfiguration is expensive — tens of milliseconds on the EPXA1's
+// configuration port, comparable to whole executions — so ordering
+// matters: batching jobs by bit-stream amortises it. Both orders are
+// provided and measured in bench/abl_sharing.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "base/units.h"
+#include "hw/fabric.h"
+#include "os/kernel.h"
+
+namespace vcop::os {
+
+/// One queued unit of coprocessor work.
+struct FpgaJob {
+  /// Submitting process (bookkeeping only; the platform model has a
+  /// single address space shared by the batch).
+  u32 pid = 0;
+  /// Name of the design this job needs; must exist in the scheduler's
+  /// design library.
+  std::string bitstream;
+  /// The job body: map objects and execute against the (already
+  /// configured) kernel. The object table is cleared before each job.
+  std::function<Result<ExecutionReport>(Kernel&)> run;
+};
+
+enum class ScheduleOrder : u8 {
+  kFifo,            // strict submission order
+  kBatchBitstream,  // group same-design jobs to amortise configuration
+};
+
+std::string_view ToString(ScheduleOrder order);
+
+struct JobOutcome {
+  u32 pid = 0;
+  std::string bitstream;
+  Status status;
+  Picoseconds submitted_at = 0;
+  Picoseconds started_at = 0;
+  Picoseconds finished_at = 0;
+  bool reconfigured = false;   // this job paid an FPGA_LOAD
+  Picoseconds config_time = 0;
+  ExecutionReport report;  // valid when status.ok()
+
+  Picoseconds turnaround() const { return finished_at - submitted_at; }
+  Picoseconds wait() const { return started_at - submitted_at; }
+};
+
+struct ScheduleReport {
+  std::vector<JobOutcome> outcomes;
+  Picoseconds makespan = 0;
+  Picoseconds total_config_time = 0;
+  u32 reconfigurations = 0;
+
+  Picoseconds mean_turnaround() const;
+  usize failures() const;
+};
+
+class FpgaScheduler {
+ public:
+  /// `designs`: the bit-stream library jobs may request, by name.
+  FpgaScheduler(Kernel& kernel,
+                std::map<std::string, hw::Bitstream> designs);
+
+  /// Runs every job to completion in the chosen order. Jobs whose
+  /// design is unknown or whose body fails are reported failed; the
+  /// batch continues.
+  ScheduleReport RunAll(std::vector<FpgaJob> jobs, ScheduleOrder order);
+
+ private:
+  Kernel& kernel_;
+  std::map<std::string, hw::Bitstream> designs_;
+};
+
+}  // namespace vcop::os

@@ -1,0 +1,41 @@
+#include "os/timeline.h"
+
+#include "base/table.h"
+
+namespace vcop::os {
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += StrFormat("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string TimelineRecorder::ToChromeTrace() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TimelineEvent& event : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += StrFormat(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+        JsonEscape(event.name).c_str(), JsonEscape(event.category).c_str(),
+        ToMicroseconds(event.start), ToMicroseconds(event.duration),
+        event.track);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace vcop::os

@@ -1,0 +1,49 @@
+// Execution timelines: what the OS and the coprocessor were doing,
+// when — exportable to the Chrome trace-event format (load the JSON in
+// chrome://tracing or Perfetto).
+//
+// The ExecutionReport aggregates the paper's three time buckets; the
+// timeline keeps the individual events (each fault service with its
+// cause, every overlapped transfer unit, configuration and execution
+// spans), which is what you actually stare at when a run is slower than
+// expected.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "base/units.h"
+
+namespace vcop::os {
+
+struct TimelineEvent {
+  std::string name;      // e.g. "fault obj0 page3", "clean frame 5"
+  std::string category;  // "fault" | "transfer" | "overlap" | "exec" | "config"
+  Picoseconds start = 0;
+  Picoseconds duration = 0;
+  /// Virtual lane: 0 = CPU/OS, 1 = coprocessor, 2 = background CPU.
+  u32 track = 0;
+};
+
+class TimelineRecorder {
+ public:
+  void Record(std::string name, std::string category, Picoseconds start,
+              Picoseconds duration, u32 track) {
+    events_.push_back(TimelineEvent{std::move(name), std::move(category),
+                                    start, duration, track});
+  }
+
+  const std::vector<TimelineEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Chrome trace-event JSON ("X" complete events, microsecond
+  /// timestamps as the format requires).
+  std::string ToChromeTrace() const;
+
+ private:
+  std::vector<TimelineEvent> events_;
+};
+
+}  // namespace vcop::os

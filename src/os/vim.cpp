@@ -1,0 +1,599 @@
+#include "os/vim.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+#include "base/table.h"
+
+namespace vcop::os {
+
+Vim::Vim(const CostModel& costs, mem::PageGeometry geometry,
+         mem::DualPortRam& dp_ram, mem::UserMemory& user_memory,
+         sim::Simulator& sim)
+    : costs_(costs),
+      geometry_(geometry),
+      dp_ram_(dp_ram),
+      user_memory_(user_memory),
+      sim_(sim),
+      transfers_(mem::AhbModel(costs.ahb, costs.cpu_clock), costs.cpu_clock,
+                 mem::CopyMode::kDoubleCopy, costs.sdram_cycles_per_word),
+      pages_(geometry) {
+  Configure(VimConfig{});
+}
+
+void Vim::Configure(const VimConfig& config) {
+  config_ = config;
+  policy_ = MakePolicy(config.policy, config.seed);
+  policy_->Reset(geometry_.num_frames());
+  prefetcher_ = MakePrefetcher(config.prefetch, config.prefetch_depth);
+  transfers_.set_mode(config.copy_mode);
+}
+
+void Vim::SetPolicy(std::unique_ptr<ReplacementPolicy> policy) {
+  VCOP_CHECK_MSG(policy != nullptr, "null policy");
+  policy_ = std::move(policy);
+  policy_->Reset(geometry_.num_frames());
+}
+
+void Vim::BindImu(hw::Imu* imu) {
+  imu_ = imu;
+  if (imu_ == nullptr) return;
+  imu_->set_param_release_hook([this] {
+    if (param_frame_.has_value()) {
+      pages_.Unpin(*param_frame_);
+      pages_.Release(*param_frame_);
+      policy_->OnFreed(*param_frame_);
+      param_frame_.reset();
+    }
+  });
+}
+
+u32 Vim::PageLength(const MappedObject& object, mem::VirtPage vpage) const {
+  const u64 start = static_cast<u64>(vpage) * geometry_.page_bytes();
+  VCOP_CHECK_MSG(start < object.size_bytes, "page beyond object");
+  const u64 remaining = object.size_bytes - start;
+  return static_cast<u32>(
+      std::min<u64>(remaining, geometry_.page_bytes()));
+}
+
+Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params) {
+  if (imu_ == nullptr) {
+    return FailedPreconditionError("FPGA_EXECUTE before FPGA_LOAD");
+  }
+  const u32 param_bytes = static_cast<u32>(params.size() * 4);
+  if (param_bytes > geometry_.page_bytes()) {
+    return InvalidArgumentError(StrFormat(
+        "%zu parameters exceed the parameter page (%u bytes)",
+        params.size(), geometry_.page_bytes()));
+  }
+  for (const MappedObject& object : objects_.All()) {
+    if (!user_memory_.Contains(object.user_addr, object.size_bytes)) {
+      return InvalidArgumentError(StrFormat(
+          "object %u points outside the process address space", object.id));
+    }
+  }
+
+  aborted_ = false;
+  accounting_ = VimAccounting{};
+  pages_.Reset();
+  policy_->Reset(geometry_.num_frames());
+  imu_->tlb().InvalidateAll();
+  imu_->tlb().ResetStats();
+  imu_->ResetStats();
+  tlb_recycle_cursor_ = 0;
+  param_frame_.reset();
+  written_back_.clear();
+  ++epoch_;
+  in_flight_.clear();
+  cpu_busy_until_ = 0;
+  hot_frames_.assign(geometry_.num_frames(), false);
+
+  // Program the object descriptor table: the hardware contract of §3.1
+  // ("the hardware designer implements a coprocessor having in mind the
+  // programmer-declared data").
+  for (const MappedObject& object : objects_.All()) {
+    imu_->SetObjectWidth(object.id, object.elem_width);
+    imu_->SetObjectLimit(object.id,
+                         object.size_bytes / object.elem_width);
+  }
+  imu_->SetObjectWidth(hw::kParamObject, 4);
+  imu_->SetObjectLimit(hw::kParamObject,
+                       static_cast<u32>(params.size()));
+
+  u64 setup_cycles =
+      costs_.syscall_cycles +
+      static_cast<u64>(objects_.size()) * costs_.execute_setup_cycles_per_object;
+  Picoseconds setup = costs_.Cycles(setup_cycles);
+
+  if (!params.empty()) {
+    const std::optional<mem::FrameId> frame = pages_.FindFree();
+    VCOP_CHECK_MSG(frame.has_value(), "no frame free after reset");
+    for (usize i = 0; i < params.size(); ++i) {
+      dp_ram_.WriteWord(mem::DualPortRam::Port::kProcessor,
+                        geometry_.FrameBase(*frame) + static_cast<u32>(4 * i),
+                        4, params[i]);
+    }
+    pages_.Install(*frame, hw::kParamObject, 0, /*pinned=*/true);
+    policy_->OnInstalled(*frame);
+    policy_->OnInstalledAt(*frame, hw::kParamObject, 0);
+    InstallTlbEntry(hw::kParamObject, 0, *frame);
+    param_frame_ = frame;
+    setup += transfers_.PriceTransfer(param_bytes);
+  }
+  return setup;
+}
+
+void Vim::OnPageFault() {
+  VCOP_CHECK_MSG(imu_ != nullptr, "fault with no IMU bound");
+  if (aborted_) return;
+
+  Picoseconds imu_cost = costs_.Cycles(costs_.interrupt_entry_cycles +
+                                       costs_.fault_decode_cycles);
+  Picoseconds dp_cost = 0;
+
+  const u32 ar = imu_->ReadRegister(hw::ImuRegister::kAR);
+  const hw::ObjectId oid = hw::ArObject(ar);
+  const u32 index = hw::ArIndex(ar);
+
+  if (imu_->limit_fault()) {
+    Abort(OutOfRangeError(StrFormat(
+        "IMU limit register: coprocessor accessed element %u of object "
+        "%u beyond its programmed bound",
+        index, oid)));
+    return;
+  }
+
+  const MappedObject* object = objects_.Find(oid);
+  if (object == nullptr) {
+    Abort(NotFoundError(StrFormat(
+        "coprocessor accessed object %u which was never mapped "
+        "(FPGA_MAP_OBJECT missing?)",
+        oid)));
+    return;
+  }
+  const u64 offset = static_cast<u64>(index) * object->elem_width;
+  if (offset + object->elem_width > object->size_bytes) {
+    Abort(OutOfRangeError(StrFormat(
+        "coprocessor accessed element %u of object %u, beyond its %u bytes",
+        index, oid, object->size_bytes)));
+    return;
+  }
+
+  HarvestRecency();
+
+  const mem::VirtPage vpage = geometry_.PageOf(offset);
+  hw::Imu* imu = imu_;
+
+  if (config_.overlap_prefetch) {
+    // Racing an in-flight background load of this very page: the
+    // service just waits for the transfer to land (its translation is
+    // installed by the completion event).
+    for (const InFlight& unit : in_flight_) {
+      if (unit.object == oid && unit.vpage == vpage) {
+        const Picoseconds decode_done = sim_.now() + imu_cost;
+        const Picoseconds done = std::max(decode_done, unit.ready_at);
+        accounting_.t_imu += imu_cost;
+        accounting_.t_dp += done - decode_done;
+        accounting_.t_dp_wait += done - decode_done;
+        accounting_.fault_service_us.Add(
+            ToMicroseconds(done - sim_.now()));
+        sim_.ScheduleAt(done, [imu] { imu->ResolveFault(); });
+        return;
+      }
+    }
+    // The handler itself has to wait while the CPU finishes queued
+    // background transfer units (copy loops run interrupt-disabled).
+    if (cpu_busy_until_ > sim_.now()) {
+      const Picoseconds wait = cpu_busy_until_ - sim_.now();
+      dp_cost += wait;
+      accounting_.t_dp_wait += wait;
+    }
+  }
+
+  if (EnsureMapped(*object, vpage, /*prefetch=*/false, dp_cost, imu_cost) ==
+      MapOutcome::kAborted) {
+    return;
+  }
+
+  // Speculative extra pages (§3.3 "speculative actions as prefetching
+  // could be used in order to avoid translation misses"). Prefetch is
+  // best-effort: it may reuse a free frame or evict a clean page, but
+  // never pays a write-back for a guess. In overlapped mode the units
+  // run on the CPU *after* the coprocessor resumes.
+  const Picoseconds resolution = sim_.now() + imu_cost + dp_cost;
+  const u32 num_pages = geometry_.PagesFor(object->size_bytes);
+  if (config_.overlap_prefetch) {
+    Picoseconds tail = std::max(resolution, cpu_busy_until_);
+    for (const PrefetchSuggestion& s :
+         prefetcher_->Suggest(oid, vpage, num_pages)) {
+      if (pages_.FindResident(s.object, s.vpage).has_value()) continue;
+      bool flying = false;
+      for (const InFlight& unit : in_flight_) {
+        flying = flying || (unit.object == s.object && unit.vpage == s.vpage);
+      }
+      if (flying) continue;
+      ScheduleOverlappedPrefetch(*object, s.vpage, tail);
+    }
+    // Eager cleaning: the write-backs, not the loads, dominate the
+    // serial DP-management time (output pages must all go back to user
+    // space); pushing them into the background is where overlap pays.
+    ScheduleBackgroundCleaning(tail);
+    cpu_busy_until_ = tail;
+  } else {
+    for (const PrefetchSuggestion& s :
+         prefetcher_->Suggest(oid, vpage, num_pages)) {
+      if (pages_.FindResident(s.object, s.vpage).has_value()) continue;
+      const MapOutcome outcome = EnsureMapped(*object, s.vpage,
+                                              /*prefetch=*/true, dp_cost,
+                                              imu_cost);
+      if (outcome == MapOutcome::kAborted) return;
+      if (outcome == MapOutcome::kSkipped) break;
+      ++accounting_.prefetched_pages;
+    }
+  }
+
+  accounting_.t_imu += imu_cost;
+  accounting_.t_dp += dp_cost;
+  accounting_.fault_service_us.Add(ToMicroseconds(imu_cost + dp_cost));
+  if (timeline_ != nullptr) {
+    timeline_->Record(
+        StrFormat("fault obj%u page%u", oid, vpage), "fault", sim_.now(),
+        imu_cost + dp_cost, /*track=*/0);
+  }
+
+  sim_.ScheduleAt(sim_.now() + imu_cost + dp_cost,
+                  [imu] { imu->ResolveFault(); });
+}
+
+void Vim::ScheduleOverlappedPrefetch(const MappedObject& object,
+                                     mem::VirtPage vpage,
+                                     Picoseconds& tail) {
+  // Acquire a frame now (while the coprocessor is stalled, so evicting
+  // a clean victim's translation is race-free); fill it later.
+  Picoseconds unit_cost = 0;
+  std::optional<mem::FrameId> frame = pages_.FindFree();
+  if (!frame.has_value()) {
+    std::vector<bool> evictable = pages_.EvictableMask();
+    for (mem::FrameId f = 0; f < evictable.size(); ++f) {
+      if (!evictable[f]) continue;
+      if (FrameDirty(f) || (f < hot_frames_.size() && hot_frames_[f])) {
+        evictable[f] = false;
+      }
+    }
+    bool any = false;
+    for (const bool e : evictable) any = any || e;
+    if (!any) return;  // nothing cheap to speculate into
+    const mem::FrameId victim = policy_->PickVictim(evictable);
+    Picoseconds evict_dp = 0;
+    EvictFrame(victim, evict_dp, unit_cost);
+    VCOP_CHECK_MSG(evict_dp == 0, "clean eviction must not write back");
+    frame = victim;
+  }
+  pages_.Install(*frame, object.id, vpage, /*pinned=*/true);
+  policy_->OnInstalled(*frame);
+  policy_->OnInstalledAt(*frame, object.id, vpage);
+
+  const u32 len = PageLength(object, vpage);
+  const bool needs_load =
+      object.direction != Direction::kOut ||
+      written_back_.count({object.id, vpage}) != 0;
+  unit_cost +=
+      costs_.Cycles(costs_.tlb_update_cycles + costs_.page_table_cycles);
+  if (needs_load) unit_cost += transfers_.PriceTransfer(len);
+
+  tail = std::max(tail, sim_.now()) + unit_cost;
+  in_flight_.push_back(InFlight{object.id, vpage, *frame, tail});
+  accounting_.t_dp_overlapped += unit_cost;
+  ++accounting_.prefetched_pages;
+  if (timeline_ != nullptr) {
+    timeline_->Record(
+        StrFormat("prefetch obj%u page%u", object.id, vpage), "overlap",
+        tail - unit_cost, unit_cost, /*track=*/2);
+  }
+
+  const u64 epoch = epoch_;
+  const mem::FrameId f = *frame;
+  const hw::ObjectId oid = object.id;
+  const mem::UserAddr src =
+      object.user_addr + vpage * geometry_.page_bytes();
+  sim_.ScheduleAt(tail, [this, epoch, f, oid, vpage, src, len, needs_load] {
+    if (epoch != epoch_) return;  // run ended or aborted meanwhile
+    if (needs_load) {
+      dp_ram_.Write(mem::DualPortRam::Port::kProcessor,
+                    geometry_.FrameBase(f), user_memory_.View(src, len));
+      ++accounting_.loads;
+      accounting_.bytes_loaded += len;
+    }
+    pages_.Unpin(f);
+    InstallTlbEntry(oid, vpage, f);
+    for (usize i = 0; i < in_flight_.size(); ++i) {
+      if (in_flight_[i].frame == f) {
+        in_flight_.erase(in_flight_.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+  });
+}
+
+Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
+                                  mem::VirtPage vpage, bool prefetch,
+                                  Picoseconds& dp_cost,
+                                  Picoseconds& imu_cost) {
+  if (const std::optional<mem::FrameId> resident =
+          pages_.FindResident(object.id, vpage)) {
+    // Soft fault: the page is in the dual-port RAM but its translation
+    // fell out of the TLB (possible when tlb_entries < num_frames).
+    InstallTlbEntry(object.id, vpage, *resident);
+    imu_cost += costs_.Cycles(costs_.tlb_update_cycles);
+    ++accounting_.tlb_refills;
+    return MapOutcome::kMapped;
+  }
+
+  std::optional<mem::FrameId> frame = pages_.FindFree();
+  if (!frame.has_value()) {
+    std::vector<bool> evictable = pages_.EvictableMask();
+    if (prefetch) {
+      // Never pay a write-back for speculation, and never displace a
+      // page the coprocessor is actively using: only clean, cold
+      // victims.
+      for (mem::FrameId f = 0; f < evictable.size(); ++f) {
+        if (!evictable[f]) continue;
+        if (FrameDirty(f) ||
+            (f < hot_frames_.size() && hot_frames_[f])) {
+          evictable[f] = false;
+        }
+      }
+    }
+    bool any = false;
+    for (const bool e : evictable) any = any || e;
+    if (!any) {
+      if (prefetch) return MapOutcome::kSkipped;
+      Abort(ResourceExhaustedError(
+          "no evictable interface page (all frames pinned)"));
+      return MapOutcome::kAborted;
+    }
+    const mem::FrameId victim = policy_->PickVictim(evictable);
+    EvictFrame(victim, dp_cost, imu_cost);
+    frame = victim;
+  }
+  if (!prefetch) ++accounting_.faults;
+
+  const u32 len = PageLength(object, vpage);
+  // The OUT hint skips the load only on a page's *first* touch; once a
+  // page has been written back, later faults must reload it or the
+  // final write-back would clobber earlier results with stale bytes.
+  const bool needs_load =
+      object.direction != Direction::kOut ||
+      written_back_.count({object.id, vpage}) != 0;
+  if (needs_load) {
+    const mem::TransferResult r = transfers_.LoadPage(
+        user_memory_,
+        object.user_addr + vpage * geometry_.page_bytes(), dp_ram_,
+        geometry_.FrameBase(*frame), len);
+    dp_cost += r.time;
+    ++accounting_.loads;
+    accounting_.bytes_loaded += len;
+  }
+  pages_.Install(*frame, object.id, vpage);
+  policy_->OnInstalled(*frame);
+  policy_->OnInstalledAt(*frame, object.id, vpage);
+  InstallTlbEntry(object.id, vpage, *frame);
+  imu_cost +=
+      costs_.Cycles(costs_.tlb_update_cycles + costs_.page_table_cycles);
+  return MapOutcome::kMapped;
+}
+
+void Vim::EvictFrame(mem::FrameId frame, Picoseconds& dp_cost,
+                     Picoseconds& imu_cost) {
+  // Fold the live TLB entry's dirty bit into the page state first.
+  if (const std::optional<u32> e = imu_->tlb().FindByFrame(frame)) {
+    const hw::TlbEntry old = imu_->tlb().Invalidate(*e);
+    if (old.dirty) pages_.MarkDirty(frame);
+  }
+  const FrameState state = pages_.frame(frame);
+  const MappedObject* object = objects_.Find(state.object);
+  VCOP_CHECK_MSG(object != nullptr,
+                 "evicting a frame of an unknown object");
+  if (state.dirty) {
+    if (object->direction == Direction::kIn) {
+      // The hint says the coprocessor only reads this object; honour it
+      // and drop the (buggy) writes, but record that it happened.
+      ++accounting_.dirty_in_pages_dropped;
+    } else {
+      const u32 len = PageLength(*object, state.vpage);
+      const mem::TransferResult r = transfers_.StorePage(
+          dp_ram_, geometry_.FrameBase(frame), user_memory_,
+          object->user_addr + state.vpage * geometry_.page_bytes(), len);
+      dp_cost += r.time;
+      ++accounting_.writebacks;
+      accounting_.bytes_written_back += len;
+      written_back_.insert({state.object, state.vpage});
+    }
+  }
+  pages_.Release(frame);
+  policy_->OnFreed(frame);
+  ++accounting_.evictions;
+  imu_cost += costs_.Cycles(costs_.page_table_cycles);
+}
+
+void Vim::InstallTlbEntry(hw::ObjectId object, mem::VirtPage vpage,
+                          mem::FrameId frame) {
+  hw::Tlb& tlb = imu_->tlb();
+  std::optional<u32> slot = tlb.FindFree();
+  if (!slot.has_value()) {
+    // Recycle a TLB slot round-robin (entries are a cache over the page
+    // table when the TLB is smaller than the frame count); keep the
+    // recycled entry's dirty information in the page state.
+    const u32 victim = tlb_recycle_cursor_++ % tlb.num_entries();
+    const hw::TlbEntry old = tlb.Invalidate(victim);
+    if (old.valid && old.dirty && pages_.frame(old.frame).in_use) {
+      pages_.MarkDirty(old.frame);
+    }
+    slot = victim;
+  }
+  tlb.Install(*slot, object, vpage, frame);
+}
+
+void Vim::ScheduleBackgroundCleaning(Picoseconds& tail) {
+  // Budget per fault service: a couple of pages, so a burst of dirty
+  // pages cannot starve fault handling behind a long copy queue.
+  u32 budget = 2;
+  for (const mem::FrameId f : pages_.InUseFrames()) {
+    if (budget == 0) break;
+    const FrameState state = pages_.frame(f);
+    if (state.pinned) continue;
+    if (f < hot_frames_.size() && hot_frames_[f]) continue;
+    if (!FrameDirty(f)) continue;
+    bool flying = false;
+    for (const InFlight& unit : in_flight_) {
+      flying = flying || unit.frame == f;
+    }
+    if (flying) continue;
+    const MappedObject* object = objects_.Find(state.object);
+    if (object == nullptr || object->direction == Direction::kIn) continue;
+
+    const u32 len = PageLength(*object, state.vpage);
+    const Picoseconds unit_cost =
+        transfers_.PriceTransfer(len) +
+        costs_.Cycles(costs_.page_table_cycles);
+    tail = std::max(tail, sim_.now()) + unit_cost;
+    accounting_.t_dp_overlapped += unit_cost;
+    --budget;
+    if (timeline_ != nullptr) {
+      timeline_->Record(
+          StrFormat("clean obj%u page%u", state.object, state.vpage),
+          "overlap", tail - unit_cost, unit_cost, /*track=*/2);
+    }
+
+    const u64 epoch = epoch_;
+    const hw::ObjectId oid = state.object;
+    const mem::VirtPage vpage = state.vpage;
+    const mem::UserAddr dst =
+        object->user_addr + vpage * geometry_.page_bytes();
+    sim_.ScheduleAt(tail, [this, epoch, f, oid, vpage, dst, len] {
+      if (epoch != epoch_) return;
+      const FrameState now_state = pages_.frame(f);
+      // The frame may have been evicted/repurposed meanwhile — the
+      // eviction already wrote the data back synchronously. A *pinned*
+      // match is the subtle case: the page was evicted and the frame
+      // re-reserved by an in-flight prefetch of the same page, whose
+      // content has not arrived yet — copying it out would publish
+      // garbage over the eviction's correct write-back.
+      if (!now_state.in_use || now_state.pinned ||
+          now_state.object != oid || now_state.vpage != vpage) {
+        return;
+      }
+      std::vector<u8> buf(len);
+      dp_ram_.Read(mem::DualPortRam::Port::kProcessor,
+                   geometry_.FrameBase(f), buf);
+      user_memory_.WriteBytes(dst, buf);
+      written_back_.insert({oid, vpage});
+      pages_.ClearDirty(f);
+      if (const std::optional<u32> entry = imu_->tlb().FindByFrame(f)) {
+        imu_->tlb().ClearDirty(*entry);
+      }
+      ++accounting_.cleaned_pages;
+      accounting_.bytes_written_back += len;
+    });
+  }
+}
+
+void Vim::HarvestRecency() {
+  hot_frames_.assign(geometry_.num_frames(), false);
+  for (const mem::FrameId f : imu_->tlb().HarvestAccessed()) {
+    policy_->OnTouched(f);
+    if (f < hot_frames_.size()) hot_frames_[f] = true;
+  }
+}
+
+bool Vim::FrameDirty(mem::FrameId frame) const {
+  if (pages_.frame(frame).dirty) return true;
+  const std::optional<u32> entry = imu_->tlb().FindByFrame(frame);
+  return entry.has_value() && imu_->tlb().entry(*entry).dirty;
+}
+
+void Vim::OnEndOfOperation() {
+  VCOP_CHECK_MSG(imu_ != nullptr, "end-of-operation with no IMU bound");
+  if (aborted_) return;
+
+  // Abandon any still-flying speculative transfers.
+  ++epoch_;
+  in_flight_.clear();
+
+  Picoseconds imu_cost = costs_.Cycles(costs_.interrupt_entry_cycles);
+  Picoseconds dp_cost = 0;
+  // The handler runs after any in-progress background copy completes.
+  if (cpu_busy_until_ > sim_.now()) {
+    const Picoseconds wait = cpu_busy_until_ - sim_.now();
+    dp_cost += wait;
+    accounting_.t_dp_wait += wait;
+  }
+  cpu_busy_until_ = 0;
+
+  // Merge all live dirty bits, then drop the translations.
+  hw::Tlb& tlb = imu_->tlb();
+  for (u32 i = 0; i < tlb.num_entries(); ++i) {
+    const hw::TlbEntry e = tlb.entry(i);
+    if (e.valid && e.dirty && pages_.frame(e.frame).in_use) {
+      pages_.MarkDirty(e.frame);
+    }
+  }
+  tlb.InvalidateAll();
+
+  // "The interface manager copies back to user space all the dirty data
+  // currently residing in the dual-port memory." (§3.3)
+  for (const mem::FrameId f : pages_.InUseFrames()) {
+    const FrameState state = pages_.frame(f);
+    if (state.object == hw::kParamObject) {
+      if (state.pinned) pages_.Unpin(f);
+      pages_.Release(f);
+      param_frame_.reset();
+      continue;
+    }
+    const MappedObject* object = objects_.Find(state.object);
+    VCOP_CHECK_MSG(object != nullptr, "resident page of unknown object");
+    if (state.dirty) {
+      if (object->direction == Direction::kIn) {
+        ++accounting_.dirty_in_pages_dropped;
+      } else {
+        const u32 len = PageLength(*object, state.vpage);
+        const mem::TransferResult r = transfers_.StorePage(
+            dp_ram_, geometry_.FrameBase(f), user_memory_,
+            object->user_addr + state.vpage * geometry_.page_bytes(), len);
+        dp_cost += r.time;
+        ++accounting_.writebacks;
+        accounting_.bytes_written_back += len;
+      }
+    }
+    pages_.Release(f);
+    policy_->OnFreed(f);
+    imu_cost += costs_.Cycles(costs_.page_table_cycles);
+  }
+
+  imu_->AckEnd();
+  const Picoseconds wake = costs_.Cycles(costs_.wakeup_cycles);
+  accounting_.t_imu += imu_cost;
+  accounting_.t_dp += dp_cost;
+  accounting_.t_wakeup += wake;
+  if (timeline_ != nullptr) {
+    timeline_->Record("end-of-operation sweep", "transfer", sim_.now(),
+                      imu_cost + dp_cost + wake, /*track=*/0);
+  }
+
+  sim_.ScheduleAt(sim_.now() + imu_cost + dp_cost + wake, [this] {
+    if (on_complete_) on_complete_();
+  });
+}
+
+void Vim::Abort(Status status) {
+  VCOP_CHECK_MSG(!status.ok(), "abort with OK status");
+  aborted_ = true;
+  ++epoch_;
+  in_flight_.clear();
+  cpu_busy_until_ = 0;
+  VCOP_LOG(kWarning, "VIM aborting run: " + status.ToString());
+  imu_->HardStop();
+  if (on_abort_) on_abort_(std::move(status));
+}
+
+}  // namespace vcop::os

@@ -1,0 +1,254 @@
+// The Virtual Interface Manager — the paper's central OS contribution.
+//
+// "As the VMM does, a Virtual Interface Manager (VIM) handles the
+// translation unit and the content of the interface memory. The IMU
+// sends an interrupt to the OS when the VIM needs to provide data to
+// the coprocessor through the interface." (§2.1)
+//
+// The VIM implements the two interrupt services of §3.3:
+//
+//   Page Fault — decode AR, find the faulting (object, page); if the
+//   page is resident but unmapped in the TLB, refill the TLB; otherwise
+//   allocate a frame (evicting a victim by the configured policy,
+//   writing it back iff dirty), load the page from user space unless
+//   the object was mapped OUT, install the translation, then let the
+//   IMU restart the translation.
+//
+//   End of Operation — copy back to user space all dirty data residing
+//   in the dual-port memory and wake the caller.
+//
+// All state changes are applied functionally at interrupt time (the
+// coprocessor is stalled and cannot observe them) while their *cost*
+// is modelled by scheduling the IMU restart / process wake-up after the
+// computed service time. The cost is split the way the paper reports
+// it: time transferring data (DP management) vs. time decoding the
+// fault and updating translations (IMU management).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "base/units.h"
+#include "hw/imu.h"
+#include "mem/transfer.h"
+#include "mem/user_memory.h"
+#include "os/calibration.h"
+#include "os/object_table.h"
+#include "os/page_manager.h"
+#include "os/policy.h"
+#include "os/prefetch.h"
+#include "os/timeline.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace vcop::os {
+
+struct VimConfig {
+  PolicyKind policy = PolicyKind::kFifo;
+  PrefetchKind prefetch = PrefetchKind::kNone;
+  u32 prefetch_depth = 1;
+  /// Overlapped prefetching (§3.3: "prefetching [...] allowing
+  /// overlapping of processor and coprocessor execution"): instead of
+  /// lengthening the fault service, speculative page loads run on the
+  /// CPU *while the coprocessor executes*. A page arrives with its
+  /// translation pre-installed, so the coprocessor never faults on it;
+  /// a fault racing an in-flight load waits only for the remainder.
+  bool overlap_prefetch = false;
+  mem::CopyMode copy_mode = mem::CopyMode::kDoubleCopy;
+  /// Seed for the random replacement policy.
+  u64 seed = 1;
+};
+
+/// Per-execution accounting, matching the decomposition of Figures 8/9.
+struct VimAccounting {
+  /// "software execution time for the dual-port RAM management (time
+  /// spent in the OS transferring data from/to user-space memory)"
+  Picoseconds t_dp = 0;
+  /// "software execution time for the IMU management (time spent in the
+  /// OS checking which address has generated the fault and updating the
+  /// translation table)"
+  Picoseconds t_imu = 0;
+  /// Waking the sleeping caller at end of operation — invocation
+  /// machinery, reported with the invocation overhead, not as IMU
+  /// management.
+  Picoseconds t_wakeup = 0;
+
+  u64 faults = 0;           // hard faults: page not resident
+  u64 tlb_refills = 0;      // soft faults: resident, TLB entry missing
+  u64 evictions = 0;
+  u64 writebacks = 0;
+  u64 loads = 0;
+  u64 prefetched_pages = 0;
+  /// Pages written back in place by background cleaning (overlap mode).
+  u64 cleaned_pages = 0;
+  u64 bytes_loaded = 0;
+  u64 bytes_written_back = 0;
+  /// CPU time spent on transfers that ran concurrently with coprocessor
+  /// execution (overlapped prefetch). NOT part of the serial t_dp sum —
+  /// it does not extend the wall time unless a fault has to wait.
+  Picoseconds t_dp_overlapped = 0;
+  /// Portion of fault-service time spent waiting for an in-flight
+  /// overlapped transfer (or for the CPU to finish one). Included in
+  /// t_dp.
+  Picoseconds t_dp_wait = 0;
+  /// Writes observed to pages of objects mapped IN (coprocessor bug
+  /// indicator: those dirty pages are dropped, honouring the hint).
+  u64 dirty_in_pages_dropped = 0;
+  /// Distribution of individual fault-service times in microseconds
+  /// (interrupt entry to coprocessor restart).
+  sim::Summary fault_service_us;
+};
+
+class Vim {
+ public:
+  Vim(const CostModel& costs, mem::PageGeometry geometry,
+      mem::DualPortRam& dp_ram, mem::UserMemory& user_memory,
+      sim::Simulator& sim);
+
+  /// Applies a configuration (policy, prefetch, copy mode). May be
+  /// called between executions.
+  void Configure(const VimConfig& config);
+
+  /// Replaces the replacement policy with a custom instance (e.g. the
+  /// Belady oracle) — Configure() would reinstall a built-in one.
+  void SetPolicy(std::unique_ptr<ReplacementPolicy> policy);
+
+  /// Rebinds to a freshly configured IMU (at FPGA_LOAD).
+  void BindImu(hw::Imu* imu);
+
+  ObjectTable& objects() { return objects_; }
+  const ObjectTable& objects() const { return objects_; }
+
+  /// Prepares an execution: validates mappings, programs the IMU object
+  /// descriptor table, clears TLB and page frames, writes the scalar
+  /// `params` into the parameter page and maps it. Returns the setup
+  /// cost on success.
+  Result<Picoseconds> PrepareExecution(std::span<const u32> params);
+
+  /// Interrupt services (wired to the InterruptLine by the kernel).
+  void OnPageFault();
+  void OnEndOfOperation();
+
+  /// Called when the end-of-operation service (including write-backs)
+  /// completes; the kernel uses it to wake the sleeping process.
+  void set_completion_handler(std::function<void()> handler) {
+    on_complete_ = std::move(handler);
+  }
+
+  /// Called when a run must be aborted (fault on an unmapped object or
+  /// out-of-bounds access). The kernel fails the FPGA_EXECUTE call.
+  void set_abort_handler(std::function<void(Status)> handler) {
+    on_abort_ = std::move(handler);
+  }
+
+  /// Optional event timeline (owned by the kernel); nullptr disables.
+  void set_timeline(TimelineRecorder* timeline) { timeline_ = timeline; }
+
+  const VimAccounting& accounting() const { return accounting_; }
+  const VimConfig& config() const { return config_; }
+  const CostModel& costs() const { return costs_; }
+  PageManager& page_manager() { return pages_; }
+  mem::TransferEngine& transfer_engine() { return transfers_; }
+
+ private:
+  enum class MapOutcome {
+    kMapped,   // page resident and translated
+    kSkipped,  // prefetch declined (no cheap frame available)
+    kAborted,  // run failed
+  };
+
+  /// Ensures (object, vpage) is resident and mapped in the TLB.
+  /// Accumulates transfer/management costs into the out-params.
+  /// In prefetch mode the call is best-effort: it uses a free frame or
+  /// evicts a *clean* page, but never pays a write-back for a guess.
+  MapOutcome EnsureMapped(const MappedObject& object, mem::VirtPage vpage,
+                          bool prefetch, Picoseconds& dp_cost,
+                          Picoseconds& imu_cost);
+
+  /// Evicts the page in `frame` (write-back iff dirty and not IN).
+  void EvictFrame(mem::FrameId frame, Picoseconds& dp_cost,
+                  Picoseconds& imu_cost);
+
+  /// Installs a TLB entry for (object, vpage)->frame, recycling a TLB
+  /// slot round-robin when none is free; propagates the recycled
+  /// entry's dirty bit into the page state.
+  void InstallTlbEntry(hw::ObjectId object, mem::VirtPage vpage,
+                       mem::FrameId frame);
+
+  /// Byte length of `vpage` within `object` (short for the last page).
+  u32 PageLength(const MappedObject& object, mem::VirtPage vpage) const;
+
+  /// Pulls the TLB accessed bits into the replacement policy.
+  void HarvestRecency();
+
+  void Abort(Status status);
+
+  CostModel costs_;
+  mem::PageGeometry geometry_;
+  mem::DualPortRam& dp_ram_;
+  mem::UserMemory& user_memory_;
+  sim::Simulator& sim_;
+  mem::TransferEngine transfers_;
+
+  VimConfig config_{};
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unique_ptr<Prefetcher> prefetcher_;
+
+  hw::Imu* imu_ = nullptr;
+  ObjectTable objects_;
+  PageManager pages_;
+  u32 tlb_recycle_cursor_ = 0;
+  std::optional<mem::FrameId> param_frame_;
+  /// Pages of OUT objects that have been written back at least once.
+  /// Their next fault must reload them: skipping the load (the OUT
+  /// optimisation) is only sound for a page's *first* touch, otherwise
+  /// the end-of-run write-back would clobber earlier results with the
+  /// frame's stale content.
+  std::set<std::pair<hw::ObjectId, mem::VirtPage>> written_back_;
+
+  /// Overlapped-prefetch state: transfers the CPU is running in the
+  /// background while the coprocessor executes.
+  struct InFlight {
+    hw::ObjectId object;
+    mem::VirtPage vpage;
+    mem::FrameId frame;
+    Picoseconds ready_at;
+  };
+  std::vector<InFlight> in_flight_;
+  Picoseconds cpu_busy_until_ = 0;
+  /// Invalidates stale completion events across executions/aborts.
+  u64 epoch_ = 0;
+
+  /// Queues one overlapped prefetch unit for (object, vpage); `tail` is
+  /// the running CPU-availability time, advanced past the new unit.
+  void ScheduleOverlappedPrefetch(const MappedObject& object,
+                                  mem::VirtPage vpage, Picoseconds& tail);
+
+  /// Queues background *cleaning* of dirty, not-recently-touched pages:
+  /// writing them back while the coprocessor runs so that later
+  /// evictions find clean victims — the page-daemon counterpart of
+  /// overlapped prefetch.
+  void ScheduleBackgroundCleaning(Picoseconds& tail);
+
+  /// Merged (page-state | live-TLB) dirty bit of `frame`.
+  bool FrameDirty(mem::FrameId frame) const;
+
+  /// Frames the coprocessor touched since the previous fault
+  /// (refreshed by HarvestRecency); speculation never evicts them.
+  std::vector<bool> hot_frames_;
+
+  VimAccounting accounting_{};
+  TimelineRecorder* timeline_ = nullptr;
+  std::function<void()> on_complete_;
+  std::function<void(Status)> on_abort_;
+  bool aborted_ = false;
+};
+
+}  // namespace vcop::os

@@ -1,0 +1,37 @@
+#include "runtime/config.h"
+
+namespace vcop::runtime {
+
+os::KernelConfig Epxa1Config() {
+  os::KernelConfig config;
+  config.platform_name = "EPXA1";
+  config.dp_ram_bytes = 16 * 1024;
+  config.page_bytes = 2 * 1024;
+  config.tlb_entries = 8;
+  config.imu_access_latency = 4;
+  config.imu_pipelined = false;
+  config.pld_capacity_les = 4160;
+  return config;
+}
+
+os::KernelConfig Epxa4Config() {
+  os::KernelConfig config = Epxa1Config();
+  config.platform_name = "EPXA4";
+  config.dp_ram_bytes = 64 * 1024;
+  config.page_bytes = 2 * 1024;
+  config.tlb_entries = 16;
+  config.pld_capacity_les = 16640;
+  return config;
+}
+
+os::KernelConfig Epxa10Config() {
+  os::KernelConfig config = Epxa1Config();
+  config.platform_name = "EPXA10";
+  config.dp_ram_bytes = 256 * 1024;
+  config.page_bytes = 4 * 1024;
+  config.tlb_entries = 16;
+  config.pld_capacity_les = 38400;
+  return config;
+}
+
+}  // namespace vcop::runtime

@@ -1,0 +1,28 @@
+// Platform presets for the Excalibur family.
+//
+// §4 argues portability: "Using the module on the system with different
+// size of the dual-port memory (e.g., the Altera devices EPXA4 and
+// EPXA10) would require only recompiling the module. The user
+// application would immediately benefit without need to recompile."
+// These presets are that recompile: identical application and
+// coprocessor code runs on any of them (bench/abl_platforms).
+//
+// EPXA4/EPXA10 dual-port sizes are approximations from the family
+// datasheet scaling (the paper gives exact numbers only for EPXA1).
+#pragma once
+
+#include "os/kernel.h"
+
+namespace vcop::runtime {
+
+/// The paper's evaluation platform: ARM @133 MHz, 16 KB dual-port RAM
+/// in eight 2 KB pages, 8-entry TLB, 4-cycle IMU translation.
+os::KernelConfig Epxa1Config();
+
+/// Mid-size family member: 64 KB dual-port RAM (32 pages), larger PLD.
+os::KernelConfig Epxa4Config();
+
+/// Largest family member: 256 KB dual-port RAM (128 pages).
+os::KernelConfig Epxa10Config();
+
+}  // namespace vcop::runtime

@@ -1,0 +1,82 @@
+// High-level drivers for the two benchmark applications: the exact
+// Load / Map / Execute sequences of §3.1/§4, shared by the examples,
+// the integration tests and every bench binary.
+//
+// Each driver runs one coprocessor invocation end-to-end: allocate
+// simulated user buffers, map them, execute, and return both the
+// functional result and the timing report. The corresponding software
+// baselines live in apps/sw_model.h; the manual (no-VIM) IDEA baseline
+// is RunIdeaManual below.
+#pragma once
+
+#include <vector>
+
+#include "apps/conv2d.h"
+#include "apps/idea.h"
+#include "base/status.h"
+#include "os/kernel.h"
+#include "runtime/fpga_api.h"
+#include "runtime/manual_runtime.h"
+
+namespace vcop::runtime {
+
+/// Output of a VIM-based run: the decoded/encrypted data plus timing.
+template <typename T>
+struct VimRun {
+  std::vector<T> output;
+  os::ExecutionReport report;
+};
+
+/// Decodes `input` on the ADPCM coprocessor through the VIM.
+/// Loads the adpcmdecode bit-stream if it is not the current design.
+Result<VimRun<i16>> RunAdpcmVim(FpgaSystem& sys, std::span<const u8> input);
+
+/// Encodes `pcm` (even sample count) on the ADPCM encoder coprocessor.
+Result<VimRun<u8>> RunAdpcmEncodeVim(FpgaSystem& sys,
+                                     std::span<const i16> pcm);
+
+/// Encrypts `input` (multiple of 8 bytes) on the IDEA coprocessor
+/// through the VIM under `subkeys` (ECB).
+Result<VimRun<u8>> RunIdeaVim(FpgaSystem& sys,
+                              const apps::IdeaSubkeys& subkeys,
+                              std::span<const u8> input);
+
+/// CBC on the IDEA coprocessor: the chaining register lives in the
+/// core; the IV rides in the scalar parameters. Pass the encryption
+/// schedule with `encrypt`=true, the inverted schedule with false.
+Result<VimRun<u8>> RunIdeaCbcVim(FpgaSystem& sys,
+                                 const apps::IdeaSubkeys& subkeys,
+                                 const apps::IdeaIv& iv, bool encrypt,
+                                 std::span<const u8> input);
+
+/// Adds `a` and `b` element-wise on the vecadd coprocessor.
+Result<VimRun<u32>> RunVecAddVim(FpgaSystem& sys, std::span<const u32> a,
+                                 std::span<const u32> b);
+
+/// Computes out[i] = in[perm[i]] on the gather coprocessor. Every
+/// perm[i] must be < in.size(); perm.size() elements are produced.
+Result<VimRun<u32>> RunGatherVim(FpgaSystem& sys, std::span<const u32> in,
+                                 std::span<const u32> perm);
+
+/// Convolves a width x height u8 image with a 3x3 kernel on the
+/// convolution coprocessor (border copied through).
+Result<VimRun<u8>> RunConv3x3Vim(FpgaSystem& sys,
+                                 std::span<const u8> image, u32 width,
+                                 u32 height,
+                                 const apps::Conv3x3Kernel& kernel,
+                                 u32 shift);
+
+/// The "normal coprocessor" IDEA baseline (§4.1 / Figure 9): user-
+/// managed staging at fixed DP-RAM offsets, whole dataset at once.
+/// Fails with RESOURCE_EXHAUSTED when input+output+key exceed the
+/// interface memory.
+struct ManualIdeaRun {
+  std::vector<u8> output;
+  ManualRunResult result;
+};
+Result<ManualIdeaRun> RunIdeaManual(const os::CostModel& costs,
+                                    u32 dp_ram_bytes,
+                                    const apps::IdeaSubkeys& subkeys,
+                                    std::span<const u8> input);
+
+}  // namespace vcop::runtime

@@ -1,0 +1,131 @@
+// The user-level programming interface — the C++ shape of Figure 6.
+//
+//   FpgaSystem sys(Epxa1Config());
+//   auto a = sys.Allocate<u32>(n).value();       // int A[];
+//   VCOP_CHECK(sys.Load(VecAddBitstream()).ok()); // FPGA_LOAD(ADD_bitstream)
+//   sys.Map(0, a, Direction::kIn);               // FPGA_MAP_OBJECT(0, A, ..)
+//   ...
+//   auto report = sys.Execute({n});              // FPGA_EXECUTE(SIZE)
+//
+// "The semantics is similar to a function call with parameters passed
+// by reference. There is no dependence on the available memory size."
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "base/status.h"
+#include "hw/fabric.h"
+#include "os/kernel.h"
+
+namespace vcop::runtime {
+
+/// A typed handle to a buffer in the simulated process's user memory.
+/// T must be trivially copyable (it crosses the software/hardware
+/// boundary as raw bytes).
+template <typename T>
+class HostBuffer {
+ public:
+  HostBuffer() = default;
+  HostBuffer(mem::UserMemory* memory, mem::UserAddr addr, u32 count)
+      : memory_(memory), addr_(addr), count_(count) {}
+
+  mem::UserAddr addr() const { return addr_; }
+  u32 size() const { return count_; }             // element count
+  u32 size_bytes() const { return count_ * static_cast<u32>(sizeof(T)); }
+  bool valid() const { return memory_ != nullptr; }
+
+  /// Host-side view of the buffer. Allocation is 16-byte aligned, so
+  /// the reinterpret is well-aligned for any element type used here.
+  std::span<T> view() {
+    auto bytes = memory_->View(addr_, size_bytes());
+    return std::span<T>(reinterpret_cast<T*>(bytes.data()), count_);
+  }
+  std::span<const T> view() const {
+    auto bytes =
+        static_cast<const mem::UserMemory*>(memory_)->View(addr_,
+                                                           size_bytes());
+    return std::span<const T>(reinterpret_cast<const T*>(bytes.data()),
+                              count_);
+  }
+
+  /// Copies `data` into the buffer (data.size() must equal size()).
+  void Fill(std::span<const T> data) {
+    VCOP_CHECK_MSG(data.size() == count_, "Fill size mismatch");
+    std::copy(data.begin(), data.end(), view().begin());
+  }
+
+  /// Copies the buffer out.
+  std::vector<T> ToVector() const {
+    auto v = view();
+    return std::vector<T>(v.begin(), v.end());
+  }
+
+ private:
+  mem::UserMemory* memory_ = nullptr;
+  mem::UserAddr addr_ = 0;
+  u32 count_ = 0;
+};
+
+/// Facade over the simulated kernel: allocation + the three syscalls.
+class FpgaSystem {
+ public:
+  explicit FpgaSystem(const os::KernelConfig& config) : kernel_(config) {}
+
+  /// Allocates `count` elements of T in the process address space.
+  template <typename T>
+  Result<HostBuffer<T>> Allocate(u32 count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Result<mem::UserAddr> addr =
+        kernel_.user_memory().Allocate(count * static_cast<u32>(sizeof(T)));
+    if (!addr.ok()) return addr.status();
+    return HostBuffer<T>(&kernel_.user_memory(), addr.value(), count);
+  }
+
+  /// FPGA_LOAD.
+  Status Load(const hw::Bitstream& bitstream) {
+    return kernel_.FpgaLoad(bitstream);
+  }
+
+  /// FPGA_MAP_OBJECT with the element width taken from the buffer type.
+  template <typename T>
+  Status Map(hw::ObjectId id, const HostBuffer<T>& buffer,
+             os::Direction direction) {
+    return kernel_.FpgaMapObject(id, buffer.addr(), buffer.size_bytes(),
+                                 static_cast<u32>(sizeof(T)), direction);
+  }
+
+  Status Unmap(hw::ObjectId id) { return kernel_.FpgaUnmapObject(id); }
+
+  /// Remaps `id` to a (possibly different) buffer: unmap + map.
+  template <typename T>
+  Status Remap(hw::ObjectId id, const HostBuffer<T>& buffer,
+               os::Direction direction) {
+    if (kernel_.vim().objects().Find(id) != nullptr) {
+      VCOP_RETURN_IF_ERROR(Unmap(id));
+    }
+    return Map(id, buffer, direction);
+  }
+
+  /// FPGA_EXECUTE.
+  Result<os::ExecutionReport> Execute(std::initializer_list<u32> params) {
+    return kernel_.FpgaExecute(std::span<const u32>(params.begin(),
+                                                    params.size()));
+  }
+  Result<os::ExecutionReport> Execute(std::span<const u32> params) {
+    return kernel_.FpgaExecute(params);
+  }
+
+  Status Unload() { return kernel_.FpgaUnload(); }
+
+  os::Kernel& kernel() { return kernel_; }
+  const os::KernelConfig& config() const { return kernel_.config(); }
+
+ private:
+  os::Kernel kernel_;
+};
+
+}  // namespace vcop::runtime

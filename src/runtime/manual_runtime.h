@@ -1,0 +1,131 @@
+// The "typical coprocessor" baseline: no OS, no virtualisation.
+//
+// This is the middle version of the paper's Figure 3 and the "normal
+// coprocessor" bars of Figure 9: the *application* stages data into the
+// dual-port RAM at fixed physical offsets it must compute itself, runs
+// the core against a platform-specific direct port (one-cycle DP-RAM
+// access, no translation), and copies results back. It is faster than
+// the VIM when everything fits — and it simply fails with
+// "exceeds available memory" when the dataset does not (the paper's
+// 16 KB and 32 KB IDEA columns), unless the programmer writes the
+// chunking loop by hand.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "base/status.h"
+#include "base/units.h"
+#include "hw/cp_port.h"
+#include "hw/fabric.h"
+#include "mem/dp_ram.h"
+#include "os/calibration.h"
+#include "sim/simulator.h"
+
+namespace vcop::runtime {
+
+/// Platform-specific direct port: translates (object, index) through a
+/// fixed, user-supplied base-offset table — the hard-coded address
+/// arithmetic the paper's virtualisation removes. Single-cycle DP-RAM
+/// access with back-to-back issue.
+///
+/// Besides the DP-RAM, the port exposes a small core *register file*
+/// (processor-writable configuration registers): scalar parameters and
+/// the key schedule of a hand-built coprocessor live there, not in the
+/// data memory — which is how the paper's normal IDEA coprocessor can
+/// process an 8 KB dataset on a 16 KB dual-port RAM (in + out fill it
+/// completely).
+class DirectPort final : public hw::CoprocessorPort {
+ public:
+  static constexpr u32 kRegisterFileBytes = 1024;
+
+  DirectPort(sim::Simulator& sim, mem::DualPortRam& dp_ram);
+
+  void BindCpDomain(sim::ClockDomain& cp_domain) { cp_domain_ = &cp_domain; }
+
+  /// Fixes the physical base byte offset and element width of `object`
+  /// in the dual-port RAM.
+  void SetObject(hw::ObjectId object, u32 base_offset, u32 elem_width);
+
+  /// Places `object` in the core register file instead (base offset
+  /// within the register file).
+  void SetRegisterObject(hw::ObjectId object, u32 base_offset,
+                         u32 elem_width);
+
+  /// Processor-side write into the register file.
+  void WriteRegisterFile(u32 offset, std::span<const u8> data);
+
+  void Start() { started_ = true; finished_ = false; }
+  bool finished() const { return finished_; }
+
+  // hw::CoprocessorPort:
+  bool CanIssue() const override;
+  void Issue(const hw::CpAccess& access) override;
+  bool ResponseReady() const override;
+  u32 ConsumeResponse() override;
+  bool BackToBack() const override { return true; }
+  void ReleaseParamPage() override {}  // nothing to release: fixed layout
+  void SignalFinish() override;
+
+ private:
+  struct Mapping {
+    bool valid = false;
+    bool registers = false;  // lives in the register file, not DP-RAM
+    u32 base = 0;
+    u32 width = 4;
+  };
+
+  sim::Simulator& sim_;
+  mem::DualPortRam& dp_ram_;
+  sim::ClockDomain* cp_domain_ = nullptr;
+  Mapping map_[hw::kMaxObjects];
+  std::vector<u8> reg_file_ = std::vector<u8>(kRegisterFileBytes, 0);
+  bool started_ = false;
+  bool finished_ = false;
+  bool outstanding_ = false;
+  Picoseconds ready_at_ = 0;
+  u32 rdata_ = 0;
+};
+
+/// One dataset of a manual run: copied in before the run (if `in` is
+/// non-empty) and/or copied out after it (if `out` is non-empty).
+struct ManualObject {
+  hw::ObjectId id = 0;
+  u32 elem_width = 4;
+  u32 size_bytes = 0;
+  /// Small read-only configuration data (key schedules, coefficient
+  /// tables) staged into the core register file rather than the data
+  /// memory. Register objects must fit DirectPort::kRegisterFileBytes
+  /// together with the scalar parameters.
+  bool in_registers = false;
+  std::span<const u8> in{};  // data to stage before the run
+  std::span<u8> out{};       // where to copy results after the run
+};
+
+struct ManualRunResult {
+  Picoseconds total = 0;
+  Picoseconds t_hw = 0;    // core + direct memory accesses
+  Picoseconds t_copy = 0;  // user-code staging copies
+  u64 cp_cycles = 0;
+};
+
+/// Runs one bit-stream over a fixed layout in a private simulation.
+class ManualRunner {
+ public:
+  /// `dp_ram_bytes` is the interface memory the user must fit into.
+  ManualRunner(const os::CostModel& costs, u32 dp_ram_bytes);
+
+  /// Packs params + objects into the DP-RAM in declaration order.
+  /// Fails with RESOURCE_EXHAUSTED ("exceeds available memory") when
+  /// the layout does not fit — the Figure 9 crossed-out columns.
+  Result<ManualRunResult> Run(const hw::Bitstream& bitstream,
+                              std::span<const ManualObject> objects,
+                              std::span<const u32> params);
+
+ private:
+  os::CostModel costs_;
+  u32 dp_ram_bytes_;
+};
+
+}  // namespace vcop::runtime

@@ -1,0 +1,76 @@
+#include "runtime/report.h"
+
+namespace vcop::runtime {
+
+std::string Ms(Picoseconds t) { return StrFormat("%.2f", ToMilliseconds(t)); }
+
+std::string Speedup(Picoseconds baseline, Picoseconds t) {
+  if (t == 0) return "inf";
+  return StrFormat("%.1fx", static_cast<double>(baseline) /
+                                static_cast<double>(t));
+}
+
+std::string Describe(const os::ExecutionReport& r) {
+  return StrFormat(
+      "total %s ms (hw %s, dp %s, imu %s, invoke %s) — %llu faults, "
+      "%llu evictions, %llu writebacks",
+      Ms(r.total).c_str(), Ms(r.t_hw).c_str(), Ms(r.t_dp).c_str(),
+      Ms(r.t_imu).c_str(), Ms(r.t_invoke).c_str(),
+      static_cast<unsigned long long>(r.vim.faults),
+      static_cast<unsigned long long>(r.vim.evictions),
+      static_cast<unsigned long long>(r.vim.writebacks));
+}
+
+std::string DescribeDetailed(const os::ExecutionReport& r) {
+  std::string out;
+  out += StrFormat("  total execution     : %s ms\n", Ms(r.total).c_str());
+  out += StrFormat("    hardware (CP+IMU) : %s ms\n", Ms(r.t_hw).c_str());
+  out += StrFormat("    OS: DP management : %s ms\n", Ms(r.t_dp).c_str());
+  out += StrFormat("    OS: IMU management: %s ms\n", Ms(r.t_imu).c_str());
+  out += StrFormat("    invocation setup  : %s ms\n", Ms(r.t_invoke).c_str());
+  out += StrFormat(
+      "  page faults %llu (+%llu TLB refills), evictions %llu, "
+      "page loads %llu, writebacks %llu\n",
+      static_cast<unsigned long long>(r.vim.faults),
+      static_cast<unsigned long long>(r.vim.tlb_refills),
+      static_cast<unsigned long long>(r.vim.evictions),
+      static_cast<unsigned long long>(r.vim.loads),
+      static_cast<unsigned long long>(r.vim.writebacks));
+  out += StrFormat(
+      "  bytes: %llu loaded into DP-RAM, %llu written back\n",
+      static_cast<unsigned long long>(r.vim.bytes_loaded),
+      static_cast<unsigned long long>(r.vim.bytes_written_back));
+  if (r.vim.fault_service_us.count() > 0) {
+    out += StrFormat(
+        "  fault service: %llu services, %.1f/%.1f/%.1f us "
+        "min/mean/max\n",
+        static_cast<unsigned long long>(r.vim.fault_service_us.count()),
+        r.vim.fault_service_us.min(), r.vim.fault_service_us.mean(),
+        r.vim.fault_service_us.max());
+  }
+  if (r.vim.t_dp_overlapped > 0) {
+    out += StrFormat(
+        "  overlapped transfers: %s ms off the critical path "
+        "(%llu cleaned pages, %s ms fault wait)\n",
+        Ms(r.vim.t_dp_overlapped).c_str(),
+        static_cast<unsigned long long>(r.vim.cleaned_pages),
+        Ms(r.vim.t_dp_wait).c_str());
+  }
+  out += StrFormat(
+      "  coprocessor: %llu cycles, %llu accesses (%llu reads / %llu "
+      "writes), TLB %llu/%llu hits\n",
+      static_cast<unsigned long long>(r.cp_cycles),
+      static_cast<unsigned long long>(r.imu.accesses),
+      static_cast<unsigned long long>(r.imu.reads),
+      static_cast<unsigned long long>(r.imu.writes),
+      static_cast<unsigned long long>(r.tlb.hits),
+      static_cast<unsigned long long>(r.tlb.lookups));
+  return out;
+}
+
+std::string Describe(const ManualRunResult& r) {
+  return StrFormat("total %s ms (hw %s, copies %s)", Ms(r.total).c_str(),
+                   Ms(r.t_hw).c_str(), Ms(r.t_copy).c_str());
+}
+
+}  // namespace vcop::runtime

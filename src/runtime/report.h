@@ -1,0 +1,28 @@
+// Formatting helpers for execution reports — the bench binaries print
+// tables in the same decomposition as the paper's Figures 8 and 9.
+#pragma once
+
+#include <string>
+
+#include "base/table.h"
+#include "os/kernel.h"
+#include "runtime/manual_runtime.h"
+
+namespace vcop::runtime {
+
+/// "3.42" (milliseconds, two decimals).
+std::string Ms(Picoseconds t);
+
+/// "1.6x" speedup of `baseline` over `t`.
+std::string Speedup(Picoseconds baseline, Picoseconds t);
+
+/// One-line summary: total with HW/DP/IMU/invoke split and fault counts.
+std::string Describe(const os::ExecutionReport& report);
+
+/// Multi-line human-readable block used by the examples.
+std::string DescribeDetailed(const os::ExecutionReport& report);
+
+/// One-line summary of a manual (non-VIM) run.
+std::string Describe(const ManualRunResult& result);
+
+}  // namespace vcop::runtime

@@ -1,0 +1,72 @@
+// Streaming execution helper: process unbounded data with bounded
+// simulated user memory.
+//
+// The VIM removes the *interface-memory* chunking burden (§2.2), but an
+// application decoding a long stream still works chunk-wise at its own
+// level — sources arrive incrementally and user buffers are finite.
+// AdpcmStreamDecoder packages that pattern: a pair of reusable chunk
+// buffers, FPGA_MAP_OBJECT once per buffer flip, and the decoder's
+// predictor state carried across FPGA_EXECUTE calls through the scalar
+// parameters (§3.1) — so the chunked result is bit-exact with a
+// hypothetical one-shot decode.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apps/adpcm.h"
+#include "base/status.h"
+#include "os/kernel.h"
+#include "runtime/fpga_api.h"
+
+namespace vcop::runtime {
+
+struct StreamingStats {
+  u64 chunks = 0;
+  u64 samples = 0;
+  Picoseconds total_time = 0;  // sum of FPGA_EXECUTE wall times
+  u64 faults = 0;
+};
+
+class AdpcmStreamDecoder {
+ public:
+  /// `chunk_bytes`: ADPCM bytes per FPGA_EXECUTE (the user-buffer
+  /// granularity, not the interface granularity). Loads the decoder
+  /// bit-stream and allocates the two chunk buffers.
+  static Result<AdpcmStreamDecoder> Create(FpgaSystem& sys,
+                                           u32 chunk_bytes);
+
+  /// Feeds `data` (any size); returns the decoded samples appended by
+  /// this call. Data smaller than a chunk is buffered internally.
+  Result<std::vector<i16>> Feed(std::span<const u8> data);
+
+  /// Decodes whatever remains buffered (possibly a partial chunk).
+  Result<std::vector<i16>> Finish();
+
+  const StreamingStats& stats() const { return stats_; }
+
+  /// Predictor state after everything decoded so far.
+  const apps::AdpcmState& predictor() const { return predictor_; }
+
+ private:
+  AdpcmStreamDecoder(FpgaSystem& sys, u32 chunk_bytes,
+                     HostBuffer<u8> in_buffer,
+                     HostBuffer<i16> out_buffer)
+      : sys_(&sys),
+        chunk_bytes_(chunk_bytes),
+        in_buffer_(in_buffer),
+        out_buffer_(out_buffer) {}
+
+  /// Runs one chunk (`bytes` <= chunk_bytes_) through the coprocessor.
+  Result<std::vector<i16>> DecodeChunk(std::span<const u8> chunk);
+
+  FpgaSystem* sys_;
+  u32 chunk_bytes_;
+  HostBuffer<u8> in_buffer_;
+  HostBuffer<i16> out_buffer_;
+  std::vector<u8> pending_;
+  apps::AdpcmState predictor_{};
+  StreamingStats stats_;
+};
+
+}  // namespace vcop::runtime

@@ -1,0 +1,48 @@
+#include "sim/clock.h"
+
+#include "sim/simulator.h"
+
+namespace vcop::sim {
+
+ClockDomain::ClockDomain(Simulator& sim, std::string name, Frequency freq,
+                         u32 priority)
+    : sim_(sim), name_(std::move(name)), freq_(freq), priority_(priority) {
+  VCOP_CHECK_MSG(freq.valid(), "clock domain needs a nonzero frequency");
+}
+
+void ClockDomain::Attach(ClockedModule& module) {
+  modules_.push_back(&module);
+  Kick();
+}
+
+void ClockDomain::Kick() {
+  if (scheduled_) return;
+  // Resume on the global grid: the first edge at or after now. (An edge
+  // exactly at `now` is allowed if it has not been dispatched yet —
+  // that is the `next_edge_` lower bound.)
+  const u64 at_now = freq_.CyclesAt(sim_.now());
+  const u64 candidate =
+      freq_.EdgeTime(at_now) == sim_.now() ? at_now : at_now + 1;
+  next_edge_ = std::max(next_edge_, candidate);
+  ScheduleNextEdge();
+}
+
+void ClockDomain::ScheduleNextEdge() {
+  scheduled_ = true;
+  sim_.queue().ScheduleAt(freq_.EdgeTime(next_edge_), priority_,
+                          [this] { Tick(); });
+}
+
+void ClockDomain::Tick() {
+  scheduled_ = false;
+  ++edges_ticked_;
+  ++next_edge_;
+  bool any_active = false;
+  for (ClockedModule* m : modules_) {
+    m->OnRisingEdge();
+    any_active = any_active || m->active();
+  }
+  if (any_active) ScheduleNextEdge();
+}
+
+}  // namespace vcop::sim

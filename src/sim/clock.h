@@ -1,0 +1,77 @@
+// Clock domains and clocked modules.
+//
+// A ClockDomain ticks its attached modules on every rising edge while at
+// least one module reports active(); it then goes dormant and must be
+// Kick()ed to resume. Edge timestamps come from Frequency::EdgeTime's
+// global grid, so a dormant period never shifts the phase of the clock —
+// exactly like gating a real oscillator-derived clock.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "base/units.h"
+
+namespace vcop::sim {
+
+class Simulator;
+
+/// Interface for hardware models driven by a clock edge.
+class ClockedModule {
+ public:
+  virtual ~ClockedModule() = default;
+
+  /// Called once per rising edge of the attached domain, in attach order.
+  virtual void OnRisingEdge() = 0;
+
+  /// While any attached module is active, the domain keeps ticking.
+  /// An inactive module whose state is changed externally (a request
+  /// arrives, the OS un-stalls it) must Kick() its domain.
+  virtual bool active() const = 0;
+};
+
+class ClockDomain {
+ public:
+  /// Constructed via Simulator::AddClockDomain. `priority` orders
+  /// coincident edges across domains (lower ticks first; the Simulator
+  /// assigns creation order).
+  ClockDomain(Simulator& sim, std::string name, Frequency freq,
+              u32 priority);
+
+  ClockDomain(const ClockDomain&) = delete;
+  ClockDomain& operator=(const ClockDomain&) = delete;
+
+  /// Attaches a module; modules tick in attach order. The module must
+  /// outlive the domain's last tick.
+  void Attach(ClockedModule& module);
+
+  /// Ensures the domain is scheduled for its next grid edge strictly
+  /// after the current simulation time. Idempotent while scheduled.
+  void Kick();
+
+  const std::string& name() const { return name_; }
+  Frequency frequency() const { return freq_; }
+
+  /// Number of rising edges dispatched so far.
+  u64 edges_ticked() const { return edges_ticked_; }
+
+  /// Index (on the global grid) of the most recently dispatched edge.
+  u64 current_edge() const { return next_edge_ == 0 ? 0 : next_edge_ - 1; }
+
+ private:
+  void ScheduleNextEdge();
+  void Tick();
+
+  Simulator& sim_;
+  std::string name_;
+  Frequency freq_;
+  u32 priority_;
+  std::vector<ClockedModule*> modules_;
+  u64 next_edge_ = 0;       // grid index of the next edge to dispatch
+  bool scheduled_ = false;  // an edge event is pending in the queue
+  u64 edges_ticked_ = 0;
+};
+
+}  // namespace vcop::sim

@@ -1,0 +1,31 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace vcop::sim {
+
+void EventQueue::ScheduleAt(Picoseconds t, u32 priority, Action action) {
+  VCOP_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+  VCOP_CHECK_MSG(static_cast<bool>(action), "null event action");
+  heap_.push(Entry{t, priority, next_seq_++, std::move(action)});
+}
+
+Picoseconds EventQueue::NextTime() const {
+  VCOP_CHECK_MSG(!heap_.empty(), "NextTime on empty queue");
+  return heap_.top().time;
+}
+
+void EventQueue::DispatchOne() {
+  VCOP_CHECK_MSG(!heap_.empty(), "DispatchOne on empty queue");
+  // priority_queue::top is const; move the action out via const_cast —
+  // safe because the entry is popped immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  const Picoseconds t = top.time;
+  Action action = std::move(top.action);
+  heap_.pop();
+  now_ = t;
+  ++dispatched_;
+  action();
+}
+
+}  // namespace vcop::sim

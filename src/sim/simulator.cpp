@@ -1,0 +1,36 @@
+#include "sim/simulator.h"
+
+namespace vcop::sim {
+
+ClockDomain& Simulator::AddClockDomain(std::string name, Frequency freq) {
+  const u32 priority = static_cast<u32>(domains_.size());
+  domains_.push_back(
+      std::make_unique<ClockDomain>(*this, std::move(name), freq, priority));
+  return *domains_.back();
+}
+
+bool Simulator::RunUntil(const std::function<bool()>& predicate,
+                         u64 max_events) {
+  if (predicate()) return true;
+  for (u64 i = 0; i < max_events && !queue_.empty(); ++i) {
+    queue_.DispatchOne();
+    if (predicate()) return true;
+  }
+  return false;
+}
+
+bool Simulator::RunToIdle(u64 max_events) {
+  for (u64 i = 0; i < max_events; ++i) {
+    if (queue_.empty()) return true;
+    queue_.DispatchOne();
+  }
+  return queue_.empty();
+}
+
+void Simulator::RunUntilTime(Picoseconds t) {
+  while (!queue_.empty() && queue_.NextTime() <= t) {
+    queue_.DispatchOne();
+  }
+}
+
+}  // namespace vcop::sim

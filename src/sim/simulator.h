@@ -1,0 +1,67 @@
+// The Simulator: event loop + clock-domain registry.
+//
+// Modelled hardware (IMU, coprocessors) lives on ClockDomains that tick
+// their modules on rising edges; modelled software (the OS cost model)
+// schedules plain timed events. Both share one timeline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/event_queue.h"
+
+namespace vcop::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // Non-copyable: clock domains hold back-references.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Creates a clock domain ticking at `freq`. Domains created earlier
+  /// dispatch first on coincident edges (see EventQueue ordering) —
+  /// create the IMU's domain before the coprocessor's.
+  ClockDomain& AddClockDomain(std::string name, Frequency freq);
+
+  /// Schedules a one-shot action at absolute time `t` (>= now()).
+  void ScheduleAt(Picoseconds t, EventQueue::Action action) {
+    queue_.ScheduleAt(t, std::move(action));
+  }
+
+  /// Schedules an action `delay` after now().
+  void ScheduleAfter(Picoseconds delay, EventQueue::Action action) {
+    queue_.ScheduleAt(queue_.now() + delay, std::move(action));
+  }
+
+  /// Runs until `predicate` returns true (checked after every event),
+  /// the queue drains, or `max_events` more events have been dispatched.
+  /// Returns true iff the predicate fired.
+  bool RunUntil(const std::function<bool()>& predicate,
+                u64 max_events = kDefaultMaxEvents);
+
+  /// Runs until the queue is empty or `max_events` dispatched.
+  /// Returns true iff the queue drained.
+  bool RunToIdle(u64 max_events = kDefaultMaxEvents);
+
+  /// Dispatches events up to and including time `t`.
+  void RunUntilTime(Picoseconds t);
+
+  Picoseconds now() const { return queue_.now(); }
+  u64 events_dispatched() const { return queue_.dispatched(); }
+  EventQueue& queue() { return queue_; }
+
+  /// Default per-Run dispatch budget: generous for our workloads (a full
+  /// 32 KB IDEA run is under ~2M edges) but finite, so a wedged model
+  /// fails loudly instead of spinning forever.
+  static constexpr u64 kDefaultMaxEvents = 500'000'000;
+
+ private:
+  EventQueue queue_;
+  std::vector<std::unique_ptr<ClockDomain>> domains_;
+};
+
+}  // namespace vcop::sim

@@ -1,0 +1,67 @@
+// Lightweight statistics accumulators shared by hardware and OS models.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace vcop::sim {
+
+/// Streaming summary of a scalar series: count / min / max / mean.
+/// Used for e.g. fault-service latencies and per-access stall lengths.
+class Summary {
+ public:
+  void Add(double v) {
+    if (count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+  }
+
+  u64 count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+ private:
+  u64 count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [0, bucket_width * num_buckets);
+/// values beyond the last bucket land in an overflow bucket.
+class Histogram {
+ public:
+  Histogram(double bucket_width, usize num_buckets)
+      : bucket_width_(bucket_width), counts_(num_buckets + 1, 0) {
+    VCOP_CHECK_MSG(bucket_width > 0 && num_buckets > 0, "bad histogram shape");
+  }
+
+  void Add(double v) {
+    const auto idx = static_cast<usize>(v / bucket_width_);
+    counts_[std::min(idx, counts_.size() - 1)]++;
+    summary_.Add(v);
+  }
+
+  u64 bucket(usize i) const { return counts_[i]; }
+  u64 overflow() const { return counts_.back(); }
+  usize num_buckets() const { return counts_.size() - 1; }
+  const Summary& summary() const { return summary_; }
+
+ private:
+  double bucket_width_;
+  std::vector<u64> counts_;
+  Summary summary_;
+};
+
+}  // namespace vcop::sim

@@ -1,0 +1,156 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "base/table.h"
+
+namespace vcop::sim {
+
+SignalId Tracer::AddSignal(std::string name, u32 width) {
+  VCOP_CHECK_MSG(width >= 1 && width <= 64, "signal width must be 1..64");
+  signals_.push_back(Signal{std::move(name), width, {}});
+  return static_cast<SignalId>(signals_.size() - 1);
+}
+
+void Tracer::Record(SignalId signal, Picoseconds t, u64 value) {
+  VCOP_CHECK_MSG(signal < signals_.size(), "unknown signal id");
+  Signal& s = signals_[signal];
+  if (s.width < 64) value &= LowMask(s.width);
+  if (!s.changes.empty()) {
+    VCOP_CHECK_MSG(t >= s.changes.back().time,
+                   "trace times must be non-decreasing");
+    if (s.changes.back().value == value) return;
+    if (s.changes.back().time == t) {
+      // Same-timestamp overwrite (delta-cycle style): keep latest.
+      s.changes.back().value = value;
+      return;
+    }
+  }
+  s.changes.push_back(Change{t, value});
+}
+
+usize Tracer::num_changes() const {
+  usize n = 0;
+  for (const Signal& s : signals_) n += s.changes.size();
+  return n;
+}
+
+std::optional<u64> Tracer::ValueAt(SignalId signal, Picoseconds t) const {
+  VCOP_CHECK_MSG(signal < signals_.size(), "unknown signal id");
+  const auto& changes = signals_[signal].changes;
+  auto it = std::upper_bound(
+      changes.begin(), changes.end(), t,
+      [](Picoseconds lhs, const Change& c) { return lhs < c.time; });
+  if (it == changes.begin()) return std::nullopt;
+  return std::prev(it)->value;
+}
+
+namespace {
+
+// VCD identifier for signal i: printable chars from '!' (33) upward.
+std::string VcdId(usize i) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + i % 94);
+    i /= 94;
+  } while (i != 0);
+  return id;
+}
+
+std::string VcdBits(u64 v, u32 width) {
+  std::string bits(width, '0');
+  for (u32 b = 0; b < width; ++b) {
+    if ((v >> b) & 1) bits[width - 1 - b] = '1';
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::string Tracer::ToVcd() const {
+  std::string out;
+  out += "$timescale 1ps $end\n$scope module vcop $end\n";
+  for (usize i = 0; i < signals_.size(); ++i) {
+    out += StrFormat("$var wire %u %s %s $end\n", signals_[i].width,
+                     VcdId(i).c_str(), signals_[i].name.c_str());
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+
+  // Merge-sort all changes by time.
+  struct Item {
+    Picoseconds time;
+    usize signal;
+    usize index;
+  };
+  std::vector<Item> items;
+  for (usize s = 0; s < signals_.size(); ++s) {
+    for (usize c = 0; c < signals_[s].changes.size(); ++c) {
+      items.push_back(Item{signals_[s].changes[c].time, s, c});
+    }
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.time < b.time; });
+
+  std::optional<Picoseconds> current_time;
+  for (const Item& item : items) {
+    if (!current_time || *current_time != item.time) {
+      out += StrFormat("#%llu\n",
+                       static_cast<unsigned long long>(item.time));
+      current_time = item.time;
+    }
+    const Signal& s = signals_[item.signal];
+    const u64 v = s.changes[item.index].value;
+    if (s.width == 1) {
+      out += StrFormat("%llu%s\n", static_cast<unsigned long long>(v & 1),
+                       VcdId(item.signal).c_str());
+    } else {
+      out += "b" + VcdBits(v, s.width) + " " + VcdId(item.signal) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string Tracer::ToAscii(Picoseconds from, Picoseconds to,
+                            Picoseconds step) const {
+  VCOP_CHECK_MSG(step > 0 && to >= from, "bad ASCII trace window");
+  const usize columns = static_cast<usize>((to - from) / step) + 1;
+
+  usize name_width = 0;
+  for (const Signal& s : signals_) name_width = std::max(name_width, s.name.size());
+
+  std::string out;
+  for (usize si = 0; si < signals_.size(); ++si) {
+    const Signal& s = signals_[si];
+    std::string lane = s.name;
+    lane.append(name_width - s.name.size() + 2, ' ');
+    std::optional<u64> prev;
+    for (usize col = 0; col < columns; ++col) {
+      const Picoseconds t = from + col * step;
+      const std::optional<u64> v = ValueAt(static_cast<SignalId>(si), t);
+      if (s.width == 1) {
+        if (!v.has_value()) {
+          lane += 'x';
+        } else if (prev.has_value() && *prev != *v) {
+          lane += (*v != 0) ? '/' : '\\';
+        } else {
+          lane += (*v != 0) ? '^' : '_';
+        }
+      } else {
+        if (!v.has_value()) {
+          lane += "..";
+        } else if (!prev.has_value() || *prev != *v) {
+          lane += StrFormat("%02llx", static_cast<unsigned long long>(*v));
+        } else {
+          lane += "==";
+        }
+      }
+      prev = v;
+    }
+    out += lane;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vcop::sim

@@ -1,0 +1,67 @@
+// Waveform tracing: records signal transitions on the simulation
+// timeline and renders them as a VCD file (for GTKWave et al.) or as an
+// ASCII timing diagram like the paper's Figure 7.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/bitops.h"
+
+#include "base/status.h"
+#include "base/types.h"
+#include "base/units.h"
+
+namespace vcop::sim {
+
+/// Handle for a registered signal.
+using SignalId = u32;
+
+/// A change-based waveform recorder.
+///
+/// Signals are registered once with a name and bit width; values are
+/// recorded as 64-bit integers (the IMU port needs at most 32 data bits).
+/// Only changes are stored.
+class Tracer {
+ public:
+  /// Registers a signal; `width` in bits (1..64). Initial value is X
+  /// until the first Record.
+  SignalId AddSignal(std::string name, u32 width);
+
+  /// Records `value` on `signal` at time `t`. Times must be
+  /// non-decreasing per signal. Recording the current value is a no-op.
+  void Record(SignalId signal, Picoseconds t, u64 value);
+
+  /// Number of stored transitions across all signals.
+  usize num_changes() const;
+
+  /// Renders the full trace as a Value Change Dump (VCD) document with
+  /// 1 ps timescale.
+  std::string ToVcd() const;
+
+  /// Renders an ASCII timing diagram of the window [from, to], sampled
+  /// at `step` picoseconds per column. 1-bit signals render as
+  /// `_/▔`-style lanes; multi-bit signals as hex values at change
+  /// points. This reproduces the look of the paper's Figure 7.
+  std::string ToAscii(Picoseconds from, Picoseconds to, Picoseconds step) const;
+
+  /// Value of `signal` at time `t` (last recorded change at or before
+  /// t). Returns nullopt before the first change.
+  std::optional<u64> ValueAt(SignalId signal, Picoseconds t) const;
+
+ private:
+  struct Change {
+    Picoseconds time;
+    u64 value;
+  };
+  struct Signal {
+    std::string name;
+    u32 width;
+    std::vector<Change> changes;
+  };
+
+  std::vector<Signal> signals_;
+};
+
+}  // namespace vcop::sim

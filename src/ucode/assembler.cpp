@@ -1,0 +1,281 @@
+#include "ucode/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "base/table.h"
+
+namespace vcop::ucode {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+/// Strips comments and splits a line into lowercase tokens, treating
+/// ',', '[', ']' as separators.
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char raw : line) {
+    const char c =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    if (c == ';' || c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',' ||
+        c == '[' || c == ']') {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      continue;
+    }
+    // A label marker binds to the preceding identifier.
+    if (c == ':') {
+      current += ':';
+      tokens.push_back(current);
+      current.clear();
+      continue;
+    }
+    current += c;
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+std::optional<u8> ParseRegister(const std::string& token) {
+  if (token.size() < 2 || token[0] != 'r') return std::nullopt;
+  u32 value = 0;
+  for (usize i = 1; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) {
+      return std::nullopt;
+    }
+    value = value * 10 + static_cast<u32>(token[i] - '0');
+  }
+  if (value >= kNumRegisters) return std::nullopt;
+  return static_cast<u8>(value);
+}
+
+std::optional<u32> ParseObject(const std::string& token) {
+  if (token.size() < 4 || token.substr(0, 3) != "obj") return std::nullopt;
+  u32 value = 0;
+  for (usize i = 3; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) {
+      return std::nullopt;
+    }
+    value = value * 10 + static_cast<u32>(token[i] - '0');
+  }
+  return value;
+}
+
+std::optional<u32> ParseImmediate(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  u64 value = 0;
+  if (token.size() > 2 && token[0] == '0' && token[1] == 'x') {
+    for (usize i = 2; i < token.size(); ++i) {
+      const char c = token[i];
+      u32 digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<u32>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<u32>(c - 'a' + 10);
+      } else {
+        return std::nullopt;
+      }
+      value = value * 16 + digit;
+      if (value > 0xFFFFFFFFULL) return std::nullopt;
+    }
+  } else {
+    for (const char c : token) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+      value = value * 10 + static_cast<u32>(c - '0');
+      if (value > 0xFFFFFFFFULL) return std::nullopt;
+    }
+  }
+  return static_cast<u32>(value);
+}
+
+struct PendingLabel {
+  usize instruction;  // which instruction's imm to patch
+  std::string label;
+  usize line;
+};
+
+Status LineError(usize line, const std::string& message) {
+  return InvalidArgumentError(
+      StrFormat("line %zu: %s", line, message.c_str()));
+}
+
+}  // namespace
+
+Result<Program> Assemble(std::string_view source, u32 num_params) {
+  std::vector<Instruction> code;
+  std::map<std::string, u32> labels;
+  std::vector<PendingLabel> pending;
+
+  usize line_number = 0;
+  usize cursor = 0;
+  while (cursor <= source.size()) {
+    const usize end = source.find('\n', cursor);
+    const std::string_view line =
+        source.substr(cursor, end == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : end - cursor);
+    cursor = end == std::string_view::npos ? source.size() + 1 : end + 1;
+    ++line_number;
+
+    std::vector<std::string> tokens = Tokenize(line);
+    // Leading labels (possibly several).
+    usize t = 0;
+    while (t < tokens.size() && tokens[t].back() == ':') {
+      std::string name = tokens[t].substr(0, tokens[t].size() - 1);
+      if (name.empty()) return LineError(line_number, "empty label");
+      if (labels.count(name) != 0) {
+        return LineError(line_number, "duplicate label '" + name + "'");
+      }
+      labels[name] = static_cast<u32>(code.size());
+      ++t;
+    }
+    if (t >= tokens.size()) continue;  // label-only or blank line
+
+    const std::string& mnemonic = tokens[t];
+    const std::vector<std::string> args(tokens.begin() + t + 1,
+                                        tokens.end());
+    Instruction instr;
+
+    auto need_args = [&](usize n) -> Status {
+      if (args.size() != n) {
+        return LineError(line_number,
+                         StrFormat("'%s' expects %zu operands, got %zu",
+                                   mnemonic.c_str(), n, args.size()));
+      }
+      return Status::Ok();
+    };
+    auto reg = [&](usize i, u8& out) -> Status {
+      const std::optional<u8> r = ParseRegister(args[i]);
+      if (!r.has_value()) {
+        return LineError(line_number,
+                         "'" + args[i] + "' is not a register (r0..r15)");
+      }
+      out = *r;
+      return Status::Ok();
+    };
+    auto imm = [&](usize i, u32& out) -> Status {
+      const std::optional<u32> v = ParseImmediate(args[i]);
+      if (!v.has_value()) {
+        return LineError(line_number,
+                         "'" + args[i] + "' is not an immediate");
+      }
+      out = *v;
+      return Status::Ok();
+    };
+    auto object = [&](usize i, u32& out) -> Status {
+      const std::optional<u32> o = ParseObject(args[i]);
+      if (!o.has_value()) {
+        return LineError(line_number,
+                         "'" + args[i] + "' is not an object (objN)");
+      }
+      out = *o;
+      return Status::Ok();
+    };
+    auto target = [&](usize i) -> Status {
+      // Numeric target or label (patched in pass 2).
+      const std::optional<u32> v = ParseImmediate(args[i]);
+      if (v.has_value()) {
+        instr.imm = *v;
+      } else {
+        pending.push_back(
+            PendingLabel{code.size(), args[i], line_number});
+      }
+      return Status::Ok();
+    };
+
+    if (mnemonic == "loadi") {
+      instr.op = Op::kLoadImm;
+      VCOP_RETURN_IF_ERROR(need_args(2));
+      VCOP_RETURN_IF_ERROR(reg(0, instr.rd));
+      VCOP_RETURN_IF_ERROR(imm(1, instr.imm));
+    } else if (mnemonic == "mov") {
+      instr.op = Op::kMov;
+      VCOP_RETURN_IF_ERROR(need_args(2));
+      VCOP_RETURN_IF_ERROR(reg(0, instr.rd));
+      VCOP_RETURN_IF_ERROR(reg(1, instr.rs));
+    } else if (mnemonic == "add" || mnemonic == "sub" || mnemonic == "and" ||
+               mnemonic == "or" || mnemonic == "xor" || mnemonic == "shl" ||
+               mnemonic == "shr" || mnemonic == "mul") {
+      instr.op = mnemonic == "add"   ? Op::kAdd
+                 : mnemonic == "sub" ? Op::kSub
+                 : mnemonic == "and" ? Op::kAnd
+                 : mnemonic == "or"  ? Op::kOr
+                 : mnemonic == "xor" ? Op::kXor
+                 : mnemonic == "shl" ? Op::kShl
+                 : mnemonic == "shr" ? Op::kShr
+                                     : Op::kMul;
+      VCOP_RETURN_IF_ERROR(need_args(3));
+      VCOP_RETURN_IF_ERROR(reg(0, instr.rd));
+      VCOP_RETURN_IF_ERROR(reg(1, instr.rs));
+      VCOP_RETURN_IF_ERROR(reg(2, instr.rt));
+    } else if (mnemonic == "addi") {
+      instr.op = Op::kAddImm;
+      VCOP_RETURN_IF_ERROR(need_args(3));
+      VCOP_RETURN_IF_ERROR(reg(0, instr.rd));
+      VCOP_RETURN_IF_ERROR(reg(1, instr.rs));
+      VCOP_RETURN_IF_ERROR(imm(2, instr.imm));
+    } else if (mnemonic == "param") {
+      instr.op = Op::kParam;
+      VCOP_RETURN_IF_ERROR(need_args(2));
+      VCOP_RETURN_IF_ERROR(reg(0, instr.rd));
+      VCOP_RETURN_IF_ERROR(imm(1, instr.imm));
+    } else if (mnemonic == "read") {
+      instr.op = Op::kRead;
+      VCOP_RETURN_IF_ERROR(need_args(3));  // rd, objN, index-reg
+      VCOP_RETURN_IF_ERROR(reg(0, instr.rd));
+      VCOP_RETURN_IF_ERROR(object(1, instr.imm));
+      VCOP_RETURN_IF_ERROR(reg(2, instr.rs));
+    } else if (mnemonic == "write") {
+      instr.op = Op::kWrite;
+      VCOP_RETURN_IF_ERROR(need_args(3));  // objN, index-reg, value-reg
+      VCOP_RETURN_IF_ERROR(object(0, instr.imm));
+      VCOP_RETURN_IF_ERROR(reg(1, instr.rs));
+      VCOP_RETURN_IF_ERROR(reg(2, instr.rt));
+    } else if (mnemonic == "jmp") {
+      instr.op = Op::kJump;
+      VCOP_RETURN_IF_ERROR(need_args(1));
+      VCOP_RETURN_IF_ERROR(target(0));
+    } else if (mnemonic == "beq" || mnemonic == "bne" || mnemonic == "blt" ||
+               mnemonic == "bge") {
+      instr.op = mnemonic == "beq"   ? Op::kBeq
+                 : mnemonic == "bne" ? Op::kBne
+                 : mnemonic == "blt" ? Op::kBlt
+                                     : Op::kBge;
+      VCOP_RETURN_IF_ERROR(need_args(3));
+      VCOP_RETURN_IF_ERROR(reg(0, instr.rs));
+      VCOP_RETURN_IF_ERROR(reg(1, instr.rt));
+      VCOP_RETURN_IF_ERROR(target(2));
+    } else if (mnemonic == "delay") {
+      instr.op = Op::kDelay;
+      VCOP_RETURN_IF_ERROR(need_args(1));
+      VCOP_RETURN_IF_ERROR(imm(0, instr.imm));
+    } else if (mnemonic == "halt") {
+      instr.op = Op::kHalt;
+      VCOP_RETURN_IF_ERROR(need_args(0));
+    } else {
+      return LineError(line_number,
+                       "unknown mnemonic '" + mnemonic + "'");
+    }
+    code.push_back(instr);
+  }
+
+  for (const PendingLabel& p : pending) {
+    const auto it = labels.find(p.label);
+    if (it == labels.end()) {
+      return LineError(p.line, "undefined label '" + p.label + "'");
+    }
+    code[p.instruction].imm = it->second;
+  }
+
+  return Program::Create(std::move(code), num_params);
+}
+
+}  // namespace vcop::ucode

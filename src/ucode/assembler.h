@@ -1,0 +1,34 @@
+// Two-pass assembler for the microcode ISA.
+//
+// Syntax (one instruction per line; ';' or '#' start a comment):
+//
+//     ; C[i] = A[i] + B[i]
+//             param  r7, 0          ; r7 = SIZE
+//             loadi  r0, 0          ; i = 0
+//     loop:   bge    r0, r7, done
+//             read   r1, obj0[r0]
+//             read   r2, obj1[r0]
+//             add    r3, r1, r2
+//             write  obj2[r0], r3
+//             addi   r0, r0, 1
+//             jmp    loop
+//     done:   halt
+//
+// Registers are r0..r15; objects are obj0..obj14 (obj15 is the
+// reserved parameter page); labels end with ':' and may share a line
+// with an instruction. Immediates are decimal or 0x-hex.
+#pragma once
+
+#include <string_view>
+
+#include "base/status.h"
+#include "ucode/isa.h"
+
+namespace vcop::ucode {
+
+/// Assembles `source` into a validated Program. `num_params` declares
+/// how many scalar parameters the coprocessor will be started with
+/// (PARAM indices are checked against it).
+Result<Program> Assemble(std::string_view source, u32 num_params);
+
+}  // namespace vcop::ucode

@@ -1,0 +1,337 @@
+#include "ucode/compiler.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "base/table.h"
+
+namespace vcop::ucode {
+
+using Node = Expr::Node;
+
+Expr Expr::Input(hw::ObjectId object) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kInput;
+  node->object = object;
+  return Expr(node);
+}
+
+Expr Expr::Constant(u32 value) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kConstant;
+  node->value = value;
+  return Expr(node);
+}
+
+Expr Expr::Param(u32 index) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kParam;
+  node->value = index;
+  return Expr(node);
+}
+
+Expr Expr::Index() {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kIndex;
+  return Expr(node);
+}
+
+// The friend operators can see Expr::node_ directly.
+Expr operator+(const Expr& a, const Expr& b) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kBinary;
+  node->op = Op::kAdd;
+  node->lhs = a.node_;
+  node->rhs = b.node_;
+  return Expr(node);
+}
+Expr operator-(const Expr& a, const Expr& b) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kBinary;
+  node->op = Op::kSub;
+  node->lhs = a.node_;
+  node->rhs = b.node_;
+  return Expr(node);
+}
+Expr operator*(const Expr& a, const Expr& b) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kBinary;
+  node->op = Op::kMul;
+  node->lhs = a.node_;
+  node->rhs = b.node_;
+  return Expr(node);
+}
+Expr operator&(const Expr& a, const Expr& b) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kBinary;
+  node->op = Op::kAnd;
+  node->lhs = a.node_;
+  node->rhs = b.node_;
+  return Expr(node);
+}
+Expr operator|(const Expr& a, const Expr& b) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kBinary;
+  node->op = Op::kOr;
+  node->lhs = a.node_;
+  node->rhs = b.node_;
+  return Expr(node);
+}
+Expr operator^(const Expr& a, const Expr& b) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kBinary;
+  node->op = Op::kXor;
+  node->lhs = a.node_;
+  node->rhs = b.node_;
+  return Expr(node);
+}
+Expr Expr::Shl(const Expr& a, const Expr& amount) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kBinary;
+  node->op = Op::kShl;
+  node->lhs = a.node_;
+  node->rhs = amount.node_;
+  return Expr(node);
+}
+Expr Expr::Shr(const Expr& a, const Expr& amount) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kBinary;
+  node->op = Op::kShr;
+  node->lhs = a.node_;
+  node->rhs = amount.node_;
+  return Expr(node);
+}
+
+namespace {
+
+/// Compilation context: register assignments and emitted code.
+class MapCompiler {
+ public:
+  explicit MapCompiler(const MapKernelSpec& spec) : spec_(spec) {}
+
+  Result<Program> Compile();
+
+ private:
+  // Register plan:
+  //   r0 = loop index, r1 = element count (parameter 0),
+  //   r2..floor-1 = expression temporaries + per-iteration input cache,
+  //   floor..r15 = hoisted loop invariants (params, constants).
+  static constexpr u8 kIndexReg = 0;
+  static constexpr u8 kCountReg = 1;
+  static constexpr u8 kFirstTemp = 2;
+
+  Status CollectInvariants(const Node& node);
+  Result<u8> Evaluate(const Node& node);
+  Result<u8> AllocTemp();
+  void FreeTemp(u8 reg);
+
+  const MapKernelSpec& spec_;
+  std::vector<Instruction> code_;
+  // Hoisted values: key is {kind, value} for params/constants.
+  std::map<std::pair<int, u32>, u8> invariants_;
+  // Per-iteration cached input reads: object -> register.
+  std::map<hw::ObjectId, u8> input_regs_;
+  u8 hoist_floor_ = 16;  // next hoisted register - grows downward
+  std::vector<bool> temp_in_use_ =
+      std::vector<bool>(kNumRegisters, false);
+  u32 max_param_ = 0;
+};
+
+Result<u8> MapCompiler::AllocTemp() {
+  for (u8 r = kFirstTemp; r < hoist_floor_; ++r) {
+    if (!temp_in_use_[r]) {
+      temp_in_use_[r] = true;
+      return r;
+    }
+  }
+  return ResourceExhaustedError(
+      StrFormat("kernel '%s' needs more temporaries than the %u-register "
+                "file provides",
+                spec_.name.c_str(), kNumRegisters));
+}
+
+void MapCompiler::FreeTemp(u8 reg) {
+  if (reg >= kFirstTemp && reg < hoist_floor_ &&
+      input_regs_.end() ==
+          std::find_if(input_regs_.begin(), input_regs_.end(),
+                       [reg](const auto& kv) { return kv.second == reg; })) {
+    temp_in_use_[reg] = false;
+  }
+}
+
+Status MapCompiler::CollectInvariants(const Node& node) {
+  switch (node.kind) {
+    case Node::Kind::kConstant:
+    case Node::Kind::kParam: {
+      if (node.kind == Node::Kind::kParam) {
+        if (node.value == 0) {
+          return InvalidArgumentError(
+              "Expr::Param(0) is reserved for the element count");
+        }
+        max_param_ = std::max(max_param_, node.value);
+      }
+      const std::pair<int, u32> key{static_cast<int>(node.kind),
+                                    node.value};
+      if (invariants_.count(key) != 0) return Status::Ok();
+      if (hoist_floor_ <= kFirstTemp + 2) {
+        return ResourceExhaustedError(
+            "too many distinct parameters/constants to hoist");
+      }
+      --hoist_floor_;
+      invariants_[key] = hoist_floor_;
+      return Status::Ok();
+    }
+    case Node::Kind::kInput: {
+      if (input_regs_.count(node.object) != 0) return Status::Ok();
+      // Reserve a persistent per-iteration register for this input.
+      Result<u8> reg = AllocTemp();
+      if (!reg.ok()) return reg.status();
+      input_regs_[node.object] = reg.value();
+      return Status::Ok();
+    }
+    case Node::Kind::kIndex:
+      return Status::Ok();
+    case Node::Kind::kBinary: {
+      VCOP_RETURN_IF_ERROR(CollectInvariants(*node.lhs));
+      return CollectInvariants(*node.rhs);
+    }
+  }
+  return InternalError("unreachable expression kind");
+}
+
+Result<u8> MapCompiler::Evaluate(const Node& node) {
+  switch (node.kind) {
+    case Node::Kind::kConstant:
+    case Node::Kind::kParam:
+      return invariants_.at(
+          {static_cast<int>(node.kind), node.value});
+    case Node::Kind::kInput:
+      return input_regs_.at(node.object);
+    case Node::Kind::kIndex:
+      return kIndexReg;
+    case Node::Kind::kBinary: {
+      Result<u8> lhs = Evaluate(*node.lhs);
+      if (!lhs.ok()) return lhs;
+      Result<u8> rhs = Evaluate(*node.rhs);
+      if (!rhs.ok()) return rhs;
+      Result<u8> dst = AllocTemp();
+      if (!dst.ok()) return dst;
+      Instruction instr;
+      instr.op = node.op;
+      instr.rd = dst.value();
+      instr.rs = lhs.value();
+      instr.rt = rhs.value();
+      code_.push_back(instr);
+      FreeTemp(lhs.value());
+      FreeTemp(rhs.value());
+      return dst;
+    }
+  }
+  return InternalError("unreachable expression kind");
+}
+
+Result<Program> MapCompiler::Compile() {
+  VCOP_RETURN_IF_ERROR(CollectInvariants(spec_.body.node()));
+  if (input_regs_.count(spec_.output) != 0) {
+    // Reading and writing the same object is fine (e.g. y = a*x + y).
+  }
+
+  auto emit = [this](Instruction instr) { code_.push_back(instr); };
+
+  // Prologue: n, then the hoisted invariants.
+  {
+    Instruction instr;
+    instr.op = Op::kParam;
+    instr.rd = kCountReg;
+    instr.imm = 0;
+    emit(instr);
+  }
+  for (const auto& [key, reg] : invariants_) {
+    Instruction instr;
+    if (key.first == static_cast<int>(Node::Kind::kParam)) {
+      instr.op = Op::kParam;
+    } else {
+      instr.op = Op::kLoadImm;
+    }
+    instr.rd = reg;
+    instr.imm = key.second;
+    emit(instr);
+  }
+  {
+    Instruction instr;
+    instr.op = Op::kLoadImm;
+    instr.rd = kIndexReg;
+    instr.imm = 0;
+    emit(instr);
+  }
+
+  const u32 loop_top = static_cast<u32>(code_.size());
+  // bge i, n, done — target patched after the loop body.
+  const usize exit_branch = code_.size();
+  {
+    Instruction instr;
+    instr.op = Op::kBge;
+    instr.rs = kIndexReg;
+    instr.rt = kCountReg;
+    emit(instr);
+  }
+  // Per-iteration input reads.
+  for (const auto& [object, reg] : input_regs_) {
+    Instruction instr;
+    instr.op = Op::kRead;
+    instr.rd = reg;
+    instr.imm = object;
+    instr.rs = kIndexReg;
+    emit(instr);
+  }
+  // Body.
+  Result<u8> result = Evaluate(spec_.body.node());
+  if (!result.ok()) return result.status();
+  if (spec_.extra_delay > 0) {
+    Instruction instr;
+    instr.op = Op::kDelay;
+    instr.imm = spec_.extra_delay;
+    emit(instr);
+  }
+  {
+    Instruction instr;
+    instr.op = Op::kWrite;
+    instr.imm = spec_.output;
+    instr.rs = kIndexReg;
+    instr.rt = result.value();
+    emit(instr);
+  }
+  FreeTemp(result.value());
+  {
+    Instruction instr;
+    instr.op = Op::kAddImm;
+    instr.rd = kIndexReg;
+    instr.rs = kIndexReg;
+    instr.imm = 1;
+    emit(instr);
+  }
+  {
+    Instruction instr;
+    instr.op = Op::kJump;
+    instr.imm = loop_top;
+    emit(instr);
+  }
+  code_[exit_branch].imm = static_cast<u32>(code_.size());
+  {
+    Instruction instr;
+    instr.op = Op::kHalt;
+    emit(instr);
+  }
+
+  return Program::Create(std::move(code_), max_param_ + 1);
+}
+
+}  // namespace
+
+Result<Program> CompileMapKernel(const MapKernelSpec& spec) {
+  MapCompiler compiler(spec);
+  return compiler.Compile();
+}
+
+}  // namespace vcop::ucode

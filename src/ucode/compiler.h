@@ -1,0 +1,82 @@
+// A small compiler from element-wise expression kernels to microcode.
+//
+// §2 positions the OS, "a compiler, and a synthesiser" as the porting
+// toolchain. This is that compiler for the map-kernel fragment:
+//
+//     Expr body = (Expr::Input(0) * Expr::Param(1) + Expr::Input(1));
+//     auto program = CompileMapKernel({"saxpy", /*output=*/1, body});
+//
+// compiles to a microcode loop computing out[i] = body for i in
+// [0, param 0), with loop-invariant subexpressions (parameters,
+// constants) hoisted out of the loop and repeated reads of the same
+// input deduplicated within an iteration.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "base/status.h"
+#include "hw/tlb.h"
+#include "ucode/isa.h"
+
+namespace vcop::ucode {
+
+/// An expression over the loop index's elements. Value-semantic handle
+/// over an immutable tree; cheap to copy and compose.
+class Expr {
+ public:
+  /// The current element of `object` (object[i] at loop index i).
+  static Expr Input(hw::ObjectId object);
+  /// A 32-bit literal.
+  static Expr Constant(u32 value);
+  /// Scalar parameter `index` of FPGA_EXECUTE (index >= 1; parameter 0
+  /// is reserved for the element count).
+  static Expr Param(u32 index);
+  /// The loop index itself.
+  static Expr Index();
+
+  friend Expr operator+(const Expr& a, const Expr& b);
+  friend Expr operator-(const Expr& a, const Expr& b);
+  friend Expr operator*(const Expr& a, const Expr& b);
+  friend Expr operator&(const Expr& a, const Expr& b);
+  friend Expr operator|(const Expr& a, const Expr& b);
+  friend Expr operator^(const Expr& a, const Expr& b);
+  /// Logical shifts by a (usually constant) amount.
+  static Expr Shl(const Expr& a, const Expr& amount);
+  static Expr Shr(const Expr& a, const Expr& amount);
+
+  struct Node;
+  const Node& node() const { return *node_; }
+
+ private:
+  explicit Expr(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+struct Expr::Node {
+  enum class Kind { kInput, kConstant, kParam, kIndex, kBinary };
+  Kind kind = Kind::kConstant;
+  hw::ObjectId object = 0;  // kInput
+  u32 value = 0;            // kConstant / kParam index
+  Op op = Op::kAdd;         // kBinary
+  std::shared_ptr<const Node> lhs;
+  std::shared_ptr<const Node> rhs;
+};
+
+struct MapKernelSpec {
+  std::string name;
+  /// Destination object: out[i] receives the body's value.
+  hw::ObjectId output = 1;
+  Expr body = Expr::Constant(0);
+  /// Extra DELAY cycles per element, to model a deeper datapath.
+  u32 extra_delay = 0;
+};
+
+/// Compiles the kernel. Parameter 0 of the resulting program is the
+/// element count; the kernel's Expr::Param indices must start at 1.
+/// Fails when the expression needs more temporaries than the register
+/// file provides.
+Result<Program> CompileMapKernel(const MapKernelSpec& spec);
+
+}  // namespace vcop::ucode

@@ -1,0 +1,110 @@
+#include "ucode/estimator.h"
+
+#include "base/table.h"
+#include "ucode/ucode_cp.h"
+
+namespace vcop::ucode {
+
+namespace {
+// Unit costs in 4-LUT logic elements, EPXA1-class fabric. One shared
+// instance per unit regardless of how many instructions use it (the
+// sequencer is single-issue).
+constexpr u32 kSequencerLes = 380;      // pc, fetch, decode, stall logic
+constexpr u32 kRegisterFileLes = 512;   // 16 x 32 in LE registers
+constexpr u32 kInterfacePortLes = 210;  // CP_* handshake machinery
+constexpr u32 kAdderLes = 64;           // 32-bit carry chain
+constexpr u32 kLogicUnitLes = 40;       // and/or/xor
+constexpr u32 kBarrelShifterLes = 140;  // 5-stage 32-bit barrel
+constexpr u32 kMultiplierLes = 620;     // 32x32 LUT multiplier (no DSPs)
+constexpr u32 kCompareLes = 48;         // branch comparator
+// Microcode store: LUT-RAM, ~2 LEs per 64-bit word on this fabric.
+constexpr u32 kStoreLesPerWord = 2;
+}  // namespace
+
+std::string SynthesisEstimate::ToString() const {
+  return StrFormat(
+      "%u LEs, %u microcode bits, max clock %s (units:%s%s%s%s)",
+      logic_elements, microcode_bits, max_clock.ToString().c_str(),
+      has_adder ? " add" : "", has_logic_unit ? " logic" : "",
+      has_barrel_shifter ? " shift" : "", has_multiplier ? " mul" : "");
+}
+
+SynthesisEstimate EstimateSynthesis(const Program& program) {
+  SynthesisEstimate est;
+  bool has_branch = false;
+  for (const Instruction& instr : program.code()) {
+    switch (instr.op) {
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kAddImm:
+        est.has_adder = true;
+        break;
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+        est.has_logic_unit = true;
+        break;
+      case Op::kShl:
+      case Op::kShr:
+        est.has_barrel_shifter = true;
+        break;
+      case Op::kMul:
+        est.has_multiplier = true;
+        break;
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+        has_branch = true;
+        est.has_adder = true;  // the comparator reuses the adder
+        break;
+      default:
+        break;
+    }
+  }
+
+  est.microcode_bits = static_cast<u32>(program.size()) * 64;
+  est.logic_elements = kSequencerLes + kRegisterFileLes +
+                       kInterfacePortLes +
+                       static_cast<u32>(program.size()) * kStoreLesPerWord;
+  if (est.has_adder) est.logic_elements += kAdderLes;
+  if (est.has_logic_unit) est.logic_elements += kLogicUnitLes;
+  if (est.has_barrel_shifter) est.logic_elements += kBarrelShifterLes;
+  if (est.has_multiplier) est.logic_elements += kMultiplierLes;
+  if (has_branch) est.logic_elements += kCompareLes;
+
+  // Clock: the single-cycle contract means the slowest unit sets fmax.
+  // LUT carry chains close ~66 MHz on this fabric; the barrel shifter
+  // ~50 MHz; a combinational LUT multiplier only ~12 MHz (a real design
+  // would pipeline it — cf. the IDEA core's 6 MHz with deep arithmetic).
+  u64 mhz = 66;
+  if (est.has_barrel_shifter) mhz = std::min<u64>(mhz, 50);
+  if (est.has_multiplier) mhz = std::min<u64>(mhz, 12);
+  est.max_clock = Frequency::MHz(mhz);
+  return est;
+}
+
+Result<hw::Bitstream> SynthesiseBitstream(std::string name,
+                                          Program program,
+                                          Frequency requested_clock,
+                                          u32 pld_capacity_les) {
+  if (!requested_clock.valid()) {
+    return InvalidArgumentError("requested clock must be nonzero");
+  }
+  const SynthesisEstimate est = EstimateSynthesis(program);
+  if (est.logic_elements > pld_capacity_les) {
+    return ResourceExhaustedError(StrFormat(
+        "design '%s' does not fit: needs %u LEs, the PLD has %u",
+        name.c_str(), est.logic_elements, pld_capacity_les));
+  }
+  const Frequency clock =
+      requested_clock.hertz() <= est.max_clock.hertz() ? requested_clock
+                                                       : est.max_clock;
+  hw::Bitstream bs =
+      MakeMicrocodeBitstream(std::move(name), std::move(program), clock,
+                             clock);
+  bs.logic_elements = est.logic_elements;
+  return bs;
+}
+
+}  // namespace vcop::ucode

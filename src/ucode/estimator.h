@@ -1,0 +1,55 @@
+// Synthesis estimation for microcode coprocessors.
+//
+// §2 names the porting toolchain as "an appropriately augmented OS, a
+// compiler, and a synthesiser". The OS is src/os, the compiler is
+// ucode/compiler; this is the synthesiser's front half: given a
+// program, estimate the PLD resources and achievable clock of the
+// sequencer that would execute it, and check the design against a
+// platform before producing a loadable bit-stream.
+//
+// The cost model is a documented engineering estimate (per-functional-
+// unit LE counts in the EPXA1's 4-LUT fabric, clock derated by the
+// deepest combinational unit used), not a real synthesis flow — the
+// useful property is *relative* fidelity: multipliers are expensive and
+// slow, logic is cheap, the microcode store grows with program size.
+#pragma once
+
+#include <string>
+
+#include "base/status.h"
+#include "base/units.h"
+#include "hw/fabric.h"
+#include "ucode/isa.h"
+
+namespace vcop::ucode {
+
+struct SynthesisEstimate {
+  /// Total logic elements: sequencer + register file + the functional
+  /// units the program actually uses + the microcode store.
+  u32 logic_elements = 0;
+  /// Bits of microcode store (one 64-bit word per instruction).
+  u32 microcode_bits = 0;
+  /// Achievable core clock, limited by the slowest unit instantiated.
+  Frequency max_clock;
+  /// Which units the design instantiates (for reports).
+  bool has_multiplier = false;
+  bool has_barrel_shifter = false;
+  bool has_adder = false;
+  bool has_logic_unit = false;
+
+  std::string ToString() const;
+};
+
+/// Estimates the synthesised design for `program`.
+SynthesisEstimate EstimateSynthesis(const Program& program);
+
+/// Produces a loadable bit-stream for `program`, clocked at the lower
+/// of the estimate's max clock and `requested_clock`, after verifying
+/// the design fits `pld_capacity_les`. The IMU clock is set equal to
+/// the core clock (the usual same-domain arrangement for sequencers).
+Result<hw::Bitstream> SynthesiseBitstream(std::string name,
+                                          Program program,
+                                          Frequency requested_clock,
+                                          u32 pld_capacity_les);
+
+}  // namespace vcop::ucode

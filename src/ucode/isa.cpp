@@ -1,0 +1,235 @@
+#include "ucode/isa.h"
+
+#include <algorithm>
+
+#include "base/table.h"
+
+namespace vcop::ucode {
+
+std::string_view ToString(Op op) {
+  switch (op) {
+    case Op::kLoadImm: return "loadi";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kMul: return "mul";
+    case Op::kAddImm: return "addi";
+    case Op::kParam: return "param";
+    case Op::kRead: return "read";
+    case Op::kWrite: return "write";
+    case Op::kJump: return "jmp";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kDelay: return "delay";
+    case Op::kHalt: return "halt";
+  }
+  return "?";
+}
+
+namespace {
+
+bool UsesRd(Op op) {
+  switch (op) {
+    case Op::kLoadImm:
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kMul:
+    case Op::kAddImm:
+    case Op::kParam:
+    case Op::kRead:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool UsesRs(Op op) {
+  switch (op) {
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kMul:
+    case Op::kAddImm:
+    case Op::kRead:
+    case Op::kWrite:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool UsesRt(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kMul:
+    case Op::kWrite:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsBranch(Op op) {
+  switch (op) {
+    case Op::kJump:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<Program> Program::Create(std::vector<Instruction> code,
+                                u32 num_params) {
+  if (code.empty()) {
+    return InvalidArgumentError("empty microcode program");
+  }
+  if (code.size() > (1u << 20)) {
+    return InvalidArgumentError("microcode program unreasonably large");
+  }
+  bool has_halt = false;
+  for (usize pc = 0; pc < code.size(); ++pc) {
+    const Instruction& instr = code[pc];
+    auto bad = [&](const std::string& what) {
+      return InvalidArgumentError(StrFormat(
+          "instruction %zu (%s): %s", pc,
+          std::string(ToString(instr.op)).c_str(), what.c_str()));
+    };
+    if (UsesRd(instr.op) && instr.rd >= kNumRegisters) {
+      return bad("destination register out of range");
+    }
+    if (UsesRs(instr.op) && instr.rs >= kNumRegisters) {
+      return bad("source register rs out of range");
+    }
+    if (UsesRt(instr.op) && instr.rt >= kNumRegisters) {
+      return bad("source register rt out of range");
+    }
+    if (IsBranch(instr.op) && instr.imm >= code.size()) {
+      return bad("branch target beyond program end");
+    }
+    if ((instr.op == Op::kRead || instr.op == Op::kWrite) &&
+        instr.imm >= hw::kMaxObjects) {
+      return bad("object id out of range");
+    }
+    if (instr.op == Op::kParam && instr.imm >= num_params) {
+      return bad(StrFormat("parameter %u requested but only %u declared",
+                           instr.imm, num_params));
+    }
+    if (instr.op == Op::kDelay && instr.imm == 0) {
+      return bad("delay must be at least one cycle");
+    }
+    has_halt = has_halt || instr.op == Op::kHalt;
+  }
+  if (!has_halt) {
+    return InvalidArgumentError(
+        "program has no halt: the coprocessor would never raise CP_FIN");
+  }
+  return Program(std::move(code), num_params);
+}
+
+std::vector<hw::ObjectId> Program::ReferencedObjects() const {
+  std::vector<hw::ObjectId> objects;
+  for (const Instruction& instr : code_) {
+    if (instr.op == Op::kRead || instr.op == Op::kWrite) {
+      objects.push_back(static_cast<hw::ObjectId>(instr.imm));
+    }
+  }
+  std::sort(objects.begin(), objects.end());
+  objects.erase(std::unique(objects.begin(), objects.end()),
+                objects.end());
+  return objects;
+}
+
+std::string Program::Disassemble() const {
+  std::string out;
+  for (usize pc = 0; pc < code_.size(); ++pc) {
+    const Instruction& instr = code_[pc];
+    out += StrFormat("%4zu: %-6s", pc,
+                     std::string(ToString(instr.op)).c_str());
+    switch (instr.op) {
+      case Op::kLoadImm:
+        out += StrFormat("r%u, %u", instr.rd, instr.imm);
+        break;
+      case Op::kMov:
+        out += StrFormat("r%u, r%u", instr.rd, instr.rs);
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kShl:
+      case Op::kShr:
+      case Op::kMul:
+        out += StrFormat("r%u, r%u, r%u", instr.rd, instr.rs, instr.rt);
+        break;
+      case Op::kAddImm:
+        out += StrFormat("r%u, r%u, %u", instr.rd, instr.rs, instr.imm);
+        break;
+      case Op::kParam:
+        out += StrFormat("r%u, %u", instr.rd, instr.imm);
+        break;
+      case Op::kRead:
+        out += StrFormat("r%u, obj%u[r%u]", instr.rd, instr.imm, instr.rs);
+        break;
+      case Op::kWrite:
+        out += StrFormat("obj%u[r%u], r%u", instr.imm, instr.rs, instr.rt);
+        break;
+      case Op::kJump:
+        out += StrFormat("%u", instr.imm);
+        break;
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+        out += StrFormat("r%u, r%u, %u", instr.rs, instr.rt, instr.imm);
+        break;
+      case Op::kDelay:
+        out += StrFormat("%u", instr.imm);
+        break;
+      case Op::kHalt:
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vcop::ucode

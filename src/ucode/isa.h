@@ -1,0 +1,89 @@
+// A tiny microcode ISA for writing portable coprocessors at runtime.
+//
+// The paper's coprocessors are VHDL FSMs that address operands as
+// (object, element) pairs (Figure 5). This ISA is the same abstraction
+// one level up: a register machine whose only memory operations are
+// virtual-interface READ/WRITE, so a microcoded core is portable by
+// construction — it cannot even express a physical address. One
+// instruction retires per core clock cycle (memory operations stall on
+// CP_TLBHIT like any coprocessor), which keeps the timing model honest:
+// a microcode program *is* its cycle count.
+//
+// Sixteen 32-bit registers r0..r15. PARAM loads the scalar arguments
+// fetched during the start-up phase (§3.2). DELAY models a fixed-depth
+// datapath (e.g. "13 cycles of serial ADPCM quantiser").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "hw/tlb.h"
+
+namespace vcop::ucode {
+
+inline constexpr u32 kNumRegisters = 16;
+
+enum class Op : u8 {
+  kLoadImm,  // rd = imm
+  kMov,      // rd = rs
+  kAdd,      // rd = rs + rt
+  kSub,      // rd = rs - rt
+  kAnd,      // rd = rs & rt
+  kOr,       // rd = rs | rt
+  kXor,      // rd = rs ^ rt
+  kShl,      // rd = rs << (rt & 31)
+  kShr,      // rd = rs >> (rt & 31)  (logical)
+  kMul,      // rd = rs * rt  (low 32 bits)
+  kAddImm,   // rd = rs + imm
+  kParam,    // rd = param[imm]
+  kRead,     // rd = object[imm].elem[rs]   (stalls on CP_TLBHIT)
+  kWrite,    // object[imm].elem[rs] = rt   (stalls on CP_TLBHIT)
+  kJump,     // pc = imm
+  kBeq,      // if (rs == rt) pc = imm
+  kBne,      // if (rs != rt) pc = imm
+  kBlt,      // if (rs <  rt) pc = imm  (unsigned)
+  kBge,      // if (rs >= rt) pc = imm  (unsigned)
+  kDelay,    // burn imm cycles (imm >= 1)
+  kHalt,     // assert CP_FIN
+};
+
+std::string_view ToString(Op op);
+
+struct Instruction {
+  Op op = Op::kHalt;
+  u8 rd = 0;
+  u8 rs = 0;
+  u8 rt = 0;
+  u32 imm = 0;  // immediate / parameter index / object id / target pc
+};
+
+/// A validated microcode program.
+class Program {
+ public:
+  /// Validates `code`: register indices in range, object ids valid,
+  /// branch/jump targets within the program, DELAY >= 1, PARAM index
+  /// sane, and a reachable... — at least one HALT present.
+  static Result<Program> Create(std::vector<Instruction> code,
+                                u32 num_params);
+
+  const std::vector<Instruction>& code() const { return code_; }
+  u32 num_params() const { return num_params_; }
+  usize size() const { return code_.size(); }
+
+  /// Objects the program touches (for documentation and LE estimation).
+  std::vector<hw::ObjectId> ReferencedObjects() const;
+
+  /// Human-readable disassembly.
+  std::string Disassemble() const;
+
+ private:
+  Program(std::vector<Instruction> code, u32 num_params)
+      : code_(std::move(code)), num_params_(num_params) {}
+
+  std::vector<Instruction> code_;
+  u32 num_params_ = 0;
+};
+
+}  // namespace vcop::ucode

@@ -1,0 +1,136 @@
+// Unit tests for the IMA ADPCM codec: structural properties, known
+// step-table behaviour, encode/decode round-trip quality, and the
+// single-sample transition function shared with the coprocessor FSM.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/adpcm.h"
+#include "apps/workloads.h"
+
+namespace vcop::apps {
+namespace {
+
+TEST(AdpcmTest, DecodeExpandsFourfold) {
+  // The §4.1 property the experiments rely on: 4-bit codes become
+  // 16-bit samples, so output bytes = 4x input bytes.
+  const std::vector<u8> in(100, 0x11);
+  std::vector<i16> out(200);
+  AdpcmState state;
+  AdpcmDecode(in, out, state);
+  EXPECT_EQ(out.size() * sizeof(i16), in.size() * 4);
+}
+
+TEST(AdpcmTest, ZeroCodeStreamDecaysToSilence) {
+  AdpcmState state;
+  state.valprev = 1000;
+  state.index = 20;
+  // Code 0 adds only step>>3 and walks the index down.
+  std::vector<i16> out(64);
+  const std::vector<u8> in(32, 0x00);
+  AdpcmDecode(in, out, state);
+  EXPECT_EQ(state.index, 0u);
+}
+
+TEST(AdpcmTest, IndexStaysInTableBounds) {
+  AdpcmState state;
+  // Maximal codes push the index up; it must clamp at 88.
+  for (int i = 0; i < 200; ++i) AdpcmDecodeSample(0x7, state);
+  EXPECT_LE(state.index, 88u);
+  for (int i = 0; i < 400; ++i) AdpcmDecodeSample(0x0, state);
+  EXPECT_EQ(state.index, 0u);
+}
+
+TEST(AdpcmTest, OutputSaturatesAtInt16Limits) {
+  AdpcmState state;
+  i16 last = 0;
+  for (int i = 0; i < 500; ++i) last = AdpcmDecodeSample(0x7, state);
+  EXPECT_EQ(last, 32767);
+  for (int i = 0; i < 1000; ++i) last = AdpcmDecodeSample(0xF, state);
+  EXPECT_EQ(last, -32768);
+}
+
+TEST(AdpcmTest, SignBitNegatesDifference) {
+  AdpcmState up;
+  AdpcmState down;
+  const i16 a = AdpcmDecodeSample(0x3, up);
+  const i16 b = AdpcmDecodeSample(0xB, down);  // same magnitude, sign bit
+  EXPECT_EQ(a, -b);
+}
+
+TEST(AdpcmTest, EncodeDecodeRoundTripTracksSignal) {
+  // ADPCM is lossy; decoded audio must track the original within a
+  // small RMS error relative to full scale.
+  const std::vector<i16> pcm = MakeAudioPcm(4096, 77);
+  std::vector<u8> coded(2048);
+  AdpcmState enc_state;
+  AdpcmEncode(pcm, coded, enc_state);
+
+  std::vector<i16> decoded(4096);
+  AdpcmState dec_state;
+  AdpcmDecode(coded, decoded, dec_state);
+
+  double err2 = 0;
+  double sig2 = 0;
+  for (usize i = 0; i < pcm.size(); ++i) {
+    const double e = static_cast<double>(pcm[i]) - decoded[i];
+    err2 += e * e;
+    sig2 += static_cast<double>(pcm[i]) * pcm[i];
+  }
+  EXPECT_LT(std::sqrt(err2 / sig2), 0.05)
+      << "ADPCM should reconstruct within ~5% relative RMS";
+}
+
+TEST(AdpcmTest, EncoderAndDecoderPredictorsStayInLockStep) {
+  const std::vector<i16> pcm = MakeAudioPcm(1024, 5);
+  std::vector<u8> coded(512);
+  AdpcmState enc_state;
+  AdpcmEncode(pcm, coded, enc_state);
+
+  AdpcmState dec_state;
+  std::vector<i16> decoded(1024);
+  AdpcmDecode(coded, decoded, dec_state);
+  EXPECT_EQ(enc_state.valprev, dec_state.valprev);
+  EXPECT_EQ(enc_state.index, dec_state.index);
+}
+
+TEST(AdpcmTest, DecodeIsDeterministic) {
+  const std::vector<u8> in = MakeAdpcmStream(512, 3);
+  std::vector<i16> out1(1024), out2(1024);
+  AdpcmState s1, s2;
+  AdpcmDecode(in, out1, s1);
+  AdpcmDecode(in, out2, s2);
+  EXPECT_EQ(out1, out2);
+}
+
+TEST(AdpcmTest, StreamingEqualsOneShot) {
+  // Decoding in chunks with carried state must equal a single decode —
+  // the property that lets the VIM system restart mid-stream.
+  const std::vector<u8> in = MakeAdpcmStream(1000, 8);
+  std::vector<i16> whole(2000);
+  AdpcmState s;
+  AdpcmDecode(in, whole, s);
+
+  std::vector<i16> pieces(2000);
+  AdpcmState sp;
+  usize pos = 0;
+  for (const usize chunk : {100u, 400u, 500u}) {
+    AdpcmDecode(std::span<const u8>(in).subspan(pos, chunk),
+                std::span<i16>(pieces).subspan(2 * pos, 2 * chunk), sp);
+    pos += chunk;
+  }
+  EXPECT_EQ(pieces, whole);
+}
+
+TEST(AdpcmTest, KnownVectorFirstSamples) {
+  // Pin the exact transition function (guards against table edits):
+  // from reset, code 0x7 adds step contributions of step=7.
+  AdpcmState state;
+  const i16 s = AdpcmDecodeSample(0x7, state);
+  // diff = 7 + 3 + 1 + 0 (step>>3 = 0) = 7>>3=0 + 7 + 3 + 1 = 11.
+  EXPECT_EQ(s, 11);
+  EXPECT_EQ(state.index, 8u);
+}
+
+}  // namespace
+}  // namespace vcop::apps

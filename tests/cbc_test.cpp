@@ -1,0 +1,118 @@
+// Tests for the IDEA CBC mode: software reference properties and the
+// coprocessor's in-core chaining register.
+#include <gtest/gtest.h>
+
+#include "apps/idea.h"
+#include "apps/workloads.h"
+#include "base/rng.h"
+#include "runtime/config.h"
+#include "runtime/drivers.h"
+#include "runtime/fpga_api.h"
+
+namespace vcop {
+namespace {
+
+using apps::IdeaCbcDecrypt;
+using apps::IdeaCbcEncrypt;
+using apps::IdeaExpandKey;
+using apps::IdeaInvertKey;
+using apps::IdeaIv;
+using apps::IdeaSubkeys;
+
+IdeaIv MakeIv(u64 seed) {
+  IdeaIv iv{};
+  Rng rng(seed);
+  for (u8& b : iv) b = static_cast<u8>(rng.NextBelow(256));
+  return iv;
+}
+
+TEST(IdeaCbcTest, SoftwareRoundTrip) {
+  const IdeaSubkeys ek = IdeaExpandKey(apps::MakeIdeaKey(1));
+  const IdeaSubkeys dk = IdeaInvertKey(ek);
+  const IdeaIv iv = MakeIv(2);
+  const std::vector<u8> pt = apps::MakeRandomBytes(256, 3);
+  std::vector<u8> ct(pt.size()), rt(pt.size());
+  IdeaCbcEncrypt(ek, iv, pt, ct);
+  IdeaCbcDecrypt(dk, iv, ct, rt);
+  EXPECT_EQ(rt, pt);
+  EXPECT_NE(ct, pt);
+}
+
+TEST(IdeaCbcTest, EqualBlocksEncryptDifferently) {
+  // The property ECB lacks (see IdeaEcbTest.EqualBlocksEncryptEqually).
+  const IdeaSubkeys ek = IdeaExpandKey(apps::MakeIdeaKey(4));
+  const IdeaIv iv = MakeIv(5);
+  std::vector<u8> pt(24, 0x42);
+  std::vector<u8> ct(24);
+  IdeaCbcEncrypt(ek, iv, pt, ct);
+  EXPECT_FALSE(std::equal(ct.begin(), ct.begin() + 8, ct.begin() + 8));
+  EXPECT_FALSE(std::equal(ct.begin() + 8, ct.begin() + 16,
+                          ct.begin() + 16));
+}
+
+TEST(IdeaCbcTest, IvChangesCiphertext) {
+  const IdeaSubkeys ek = IdeaExpandKey(apps::MakeIdeaKey(6));
+  const std::vector<u8> pt = apps::MakeRandomBytes(64, 7);
+  std::vector<u8> a(64), b(64);
+  IdeaCbcEncrypt(ek, MakeIv(1), pt, a);
+  IdeaCbcEncrypt(ek, MakeIv(2), pt, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(IdeaCbcTest, FirstBlockMatchesEcbOfWhitenedInput) {
+  // C_0 = E(P_0 ^ IV): pin the chaining definition.
+  const IdeaSubkeys ek = IdeaExpandKey(apps::MakeIdeaKey(8));
+  const IdeaIv iv = MakeIv(9);
+  const std::vector<u8> pt = apps::MakeRandomBytes(8, 10);
+  std::vector<u8> whitened(8);
+  for (usize i = 0; i < 8; ++i) {
+    whitened[i] = static_cast<u8>(pt[i] ^ iv[i]);
+  }
+  std::vector<u8> cbc(8), ecb(8);
+  IdeaCbcEncrypt(ek, iv, pt, cbc);
+  apps::IdeaCryptEcb(ek, whitened, ecb);
+  EXPECT_EQ(cbc, ecb);
+}
+
+TEST(IdeaCbcTest, CoprocessorMatchesSoftwareCbc) {
+  const IdeaSubkeys ek = IdeaExpandKey(apps::MakeIdeaKey(11));
+  const IdeaIv iv = MakeIv(12);
+  const std::vector<u8> pt = apps::MakeRandomBytes(24576, 13);
+  std::vector<u8> expect(pt.size());
+  IdeaCbcEncrypt(ek, iv, pt, expect);
+
+  runtime::FpgaSystem sys(runtime::Epxa1Config());
+  auto run = runtime::RunIdeaCbcVim(sys, ek, iv, /*encrypt=*/true, pt);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().output, expect);
+}
+
+TEST(IdeaCbcTest, CoprocessorRoundTrip) {
+  const IdeaSubkeys ek = IdeaExpandKey(apps::MakeIdeaKey(14));
+  const IdeaSubkeys dk = IdeaInvertKey(ek);
+  const IdeaIv iv = MakeIv(15);
+  const std::vector<u8> pt = apps::MakeRandomBytes(4096, 16);
+
+  runtime::FpgaSystem sys(runtime::Epxa1Config());
+  auto enc = runtime::RunIdeaCbcVim(sys, ek, iv, true, pt);
+  ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+  auto dec = runtime::RunIdeaCbcVim(sys, dk, iv, false,
+                                    enc.value().output);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_EQ(dec.value().output, pt);
+}
+
+TEST(IdeaCbcTest, EcbPathUnchangedByModeParameters) {
+  // Regression: the 4-parameter protocol must leave ECB bit-identical.
+  const IdeaSubkeys ek = IdeaExpandKey(apps::MakeIdeaKey(17));
+  const std::vector<u8> pt = apps::MakeRandomBytes(512, 18);
+  std::vector<u8> expect(pt.size());
+  apps::IdeaCryptEcb(ek, pt, expect);
+  runtime::FpgaSystem sys(runtime::Epxa1Config());
+  auto run = runtime::RunIdeaVim(sys, ek, pt);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().output, expect);
+}
+
+}  // namespace
+}  // namespace vcop

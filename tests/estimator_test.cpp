@@ -1,0 +1,198 @@
+// Tests for the synthesis estimator and the platform board files.
+#include <gtest/gtest.h>
+
+#include "runtime/config.h"
+#include "runtime/drivers.h"
+#include "runtime/fpga_api.h"
+#include "runtime/platform_file.h"
+#include "ucode/assembler.h"
+#include "ucode/compiler.h"
+#include "ucode/estimator.h"
+
+namespace vcop {
+namespace {
+
+using ucode::Assemble;
+using ucode::EstimateSynthesis;
+using ucode::SynthesiseBitstream;
+
+// ----- synthesis estimation -----
+
+ucode::Program MustAssemble(const char* source, u32 params) {
+  auto p = Assemble(source, params);
+  VCOP_CHECK_MSG(p.ok(), p.status().ToString());
+  return std::move(p).value();
+}
+
+TEST(EstimatorTest, MinimalProgramHasBaseCost) {
+  const auto est = EstimateSynthesis(MustAssemble("halt\n", 0));
+  EXPECT_GT(est.logic_elements, 1000u);  // sequencer + regfile + port
+  EXPECT_FALSE(est.has_multiplier);
+  EXPECT_FALSE(est.has_adder);
+  EXPECT_EQ(est.microcode_bits, 64u);
+  EXPECT_EQ(est.max_clock.hertz(), 66'000'000u);
+}
+
+TEST(EstimatorTest, MultiplierIsExpensiveAndSlow) {
+  const auto plain =
+      EstimateSynthesis(MustAssemble("add r1, r2, r3\nhalt\n", 0));
+  const auto mul =
+      EstimateSynthesis(MustAssemble("mul r1, r2, r3\nhalt\n", 0));
+  EXPECT_GT(mul.logic_elements, plain.logic_elements + 400);
+  EXPECT_LT(mul.max_clock.hertz(), plain.max_clock.hertz());
+  EXPECT_TRUE(mul.has_multiplier);
+}
+
+TEST(EstimatorTest, StoreGrowsWithProgram) {
+  std::string longer = "loadi r1, 1\n";
+  for (int i = 0; i < 50; ++i) longer += "addi r1, r1, 1\n";
+  longer += "halt\n";
+  const auto small = EstimateSynthesis(MustAssemble("halt\n", 0));
+  const auto big = EstimateSynthesis(MustAssemble(longer.c_str(), 0));
+  EXPECT_GT(big.logic_elements, small.logic_elements);
+  EXPECT_EQ(big.microcode_bits, 52u * 64);
+}
+
+TEST(EstimatorTest, SynthesiseClampsClockAndChecksFit) {
+  ucode::Program mul_prog = MustAssemble("mul r1, r2, r3\nhalt\n", 0);
+  // Requesting 40 MHz: clamped to the multiplier's 12 MHz.
+  auto bs = SynthesiseBitstream("mulcore", mul_prog, Frequency::MHz(40),
+                                /*pld_capacity_les=*/4160);
+  ASSERT_TRUE(bs.ok()) << bs.status().ToString();
+  EXPECT_EQ(bs.value().cp_clock.hertz(), 12'000'000u);
+
+  // A tiny PLD rejects the design.
+  auto too_small = SynthesiseBitstream("mulcore", mul_prog,
+                                       Frequency::MHz(12), 500);
+  ASSERT_FALSE(too_small.ok());
+  EXPECT_EQ(too_small.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(EstimatorTest, SynthesisedCoreActuallyRuns) {
+  // End-to-end: compile an expression kernel, synthesise it, run it.
+  ucode::MapKernelSpec spec;
+  spec.name = "scaled-sum";
+  spec.output = 1;
+  spec.body = ucode::Expr::Shr(
+      ucode::Expr::Input(0) + ucode::Expr::Param(1),
+      ucode::Expr::Constant(1));
+  auto program = ucode::CompileMapKernel(spec);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  auto bs = SynthesiseBitstream("scaled-sum", program.value(),
+                                Frequency::MHz(40), 4160);
+  ASSERT_TRUE(bs.ok()) << bs.status().ToString();
+  // Shifter-limited: 40 MHz granted? shifter max is 50 -> 40 stands.
+  EXPECT_EQ(bs.value().cp_clock.hertz(), 40'000'000u);
+
+  runtime::FpgaSystem sys(runtime::Epxa1Config());
+  ASSERT_TRUE(sys.Load(bs.value()).ok());
+  const u32 n = 128;
+  auto in = sys.Allocate<u32>(n);
+  auto out = sys.Allocate<u32>(n);
+  ASSERT_TRUE(in.ok() && out.ok());
+  for (u32 i = 0; i < n; ++i) in.value().view()[i] = i * 10;
+  ASSERT_TRUE(sys.Map(0, in.value(), os::Direction::kIn).ok());
+  ASSERT_TRUE(sys.Map(1, out.value(), os::Direction::kOut).ok());
+  auto report = sys.Execute({n, 6u});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (u32 i = 0; i < n; ++i) {
+    ASSERT_EQ(out.value().view()[i], (i * 10 + 6) >> 1) << i;
+  }
+}
+
+// ----- platform board files -----
+
+TEST(PlatformFileTest, DefaultsAreEpxa1) {
+  auto config = runtime::ParsePlatformFile("");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value().dp_ram_bytes, 16u * 1024);
+  EXPECT_EQ(config.value().platform_name, "EPXA1");
+}
+
+TEST(PlatformFileTest, ParsesFullDescription) {
+  const char* text = R"(
+; my custom board
+name = MYBOARD
+dp_ram_kb = 64
+page_kb = 4
+tlb_entries = 16
+cpu_mhz = 200        # faster ARM
+imu_latency = 3
+pipelined = true
+posted_writes = yes
+bounds_check = on
+pld_les = 16640
+policy = lru
+copy_mode = dma
+prefetch = sequential
+prefetch_depth = 2
+overlap = true
+)";
+  auto config = runtime::ParsePlatformFile(text);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  const os::KernelConfig& c = config.value();
+  EXPECT_EQ(c.platform_name, "MYBOARD");
+  EXPECT_EQ(c.dp_ram_bytes, 64u * 1024);
+  EXPECT_EQ(c.page_bytes, 4u * 1024);
+  EXPECT_EQ(c.tlb_entries, 16u);
+  EXPECT_EQ(c.costs.cpu_clock.hertz(), 200'000'000u);
+  EXPECT_EQ(c.imu_access_latency, 3u);
+  EXPECT_TRUE(c.imu_pipelined);
+  EXPECT_TRUE(c.imu_posted_writes);
+  EXPECT_TRUE(c.imu_bounds_check);
+  EXPECT_EQ(c.pld_capacity_les, 16640u);
+  EXPECT_EQ(c.vim.policy, os::PolicyKind::kLru);
+  EXPECT_EQ(c.vim.copy_mode, mem::CopyMode::kDma);
+  EXPECT_EQ(c.vim.prefetch, os::PrefetchKind::kSequential);
+  EXPECT_EQ(c.vim.prefetch_depth, 2u);
+  EXPECT_TRUE(c.vim.overlap_prefetch);
+}
+
+TEST(PlatformFileTest, UnknownKeyRejectedWithLine) {
+  auto config = runtime::ParsePlatformFile("name = X\ndp_ram_mb = 4\n");
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(config.status().message().find("dp_ram_mb"),
+            std::string::npos);
+}
+
+TEST(PlatformFileTest, BadValuesRejected) {
+  EXPECT_FALSE(runtime::ParsePlatformFile("page_kb = 3\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("pipelined = maybe\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("policy = mru\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("cpu_mhz = fast\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("imu_latency = 1\n").ok());
+  // Non-integral page count.
+  EXPECT_FALSE(
+      runtime::ParsePlatformFile("dp_ram_kb = 3\npage_kb = 2\n").ok());
+}
+
+TEST(PlatformFileTest, RoundTripsThroughWriter) {
+  os::KernelConfig original = runtime::Epxa4Config();
+  original.vim.policy = os::PolicyKind::kRandom;
+  original.vim.copy_mode = mem::CopyMode::kSingleCopy;
+  original.imu_pipelined = true;
+  const std::string text = runtime::WritePlatformFile(original);
+  auto parsed = runtime::ParsePlatformFile(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().platform_name, original.platform_name);
+  EXPECT_EQ(parsed.value().dp_ram_bytes, original.dp_ram_bytes);
+  EXPECT_EQ(parsed.value().tlb_entries, original.tlb_entries);
+  EXPECT_EQ(parsed.value().vim.policy, original.vim.policy);
+  EXPECT_EQ(parsed.value().vim.copy_mode, original.vim.copy_mode);
+  EXPECT_EQ(parsed.value().imu_pipelined, original.imu_pipelined);
+}
+
+TEST(PlatformFileTest, ParsedPlatformRunsApplications) {
+  auto config = runtime::ParsePlatformFile(
+      "name = TEST\ndp_ram_kb = 32\ntlb_entries = 16\npolicy = lru\n");
+  ASSERT_TRUE(config.ok());
+  runtime::FpgaSystem sys(config.value());
+  const std::vector<u32> a(500, 3), b(500, 4);
+  auto run = runtime::RunVecAddVim(sys, a, b);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().output[499], 7u);
+}
+
+}  // namespace
+}  // namespace vcop

@@ -1,0 +1,161 @@
+// Unit tests for the IDEA cipher: group-operation algebra, official
+// test vector, key-schedule structure, inversion, and ECB behaviour.
+#include <gtest/gtest.h>
+
+#include "apps/idea.h"
+#include "apps/workloads.h"
+#include "base/rng.h"
+
+namespace vcop::apps {
+namespace {
+
+// ----- mul / inv algebra -----
+
+TEST(IdeaMulTest, MatchesDirectModularDefinition) {
+  // Against the defining formula on a sample of the space: operands 0
+  // represent 2^16 in Z*_{2^16+1}.
+  Rng rng(1);
+  for (int i = 0; i < 20'000; ++i) {
+    const u16 a = static_cast<u16>(rng.NextBelow(65536));
+    const u16 b = static_cast<u16>(rng.NextBelow(65536));
+    const u64 aa = a == 0 ? 65536 : a;
+    const u64 bb = b == 0 ? 65536 : b;
+    const u64 expect = (aa * bb) % 65537 % 65536;  // 65536 -> encoded as 0
+    EXPECT_EQ(IdeaMul(a, b), static_cast<u16>(expect))
+        << a << " * " << b;
+  }
+}
+
+TEST(IdeaMulTest, IdentityAndZeroRepresentation) {
+  EXPECT_EQ(IdeaMul(1, 12345), 12345u);
+  EXPECT_EQ(IdeaMul(12345, 1), 12345u);
+  // 0 represents 2^16 = -1 mod 2^16+1, so 0*0 = 1.
+  EXPECT_EQ(IdeaMul(0, 0), 1u);
+  // 0 * x = -x mod 2^16+1.
+  EXPECT_EQ(IdeaMul(0, 2), static_cast<u16>(65537 - 2));
+}
+
+TEST(IdeaMulInvTest, InverseForAllRepresentativeValues) {
+  Rng rng(2);
+  for (int i = 0; i < 5'000; ++i) {
+    const u16 x = static_cast<u16>(rng.NextBelow(65536));
+    EXPECT_EQ(IdeaMul(x, IdeaMulInv(x)), 1u) << "x=" << x;
+  }
+  EXPECT_EQ(IdeaMul(0, IdeaMulInv(0)), 1u);
+  EXPECT_EQ(IdeaMul(65535, IdeaMulInv(65535)), 1u);
+}
+
+// ----- official test vector -----
+
+TEST(IdeaTest, CanonicalTestVector) {
+  // The classic IDEA reference vector: key 0001 0002 ... 0008,
+  // plaintext 0000 0001 0002 0003 -> ciphertext 11FB ED2B 0198 6DE5.
+  IdeaKey key{};
+  for (u8 i = 0; i < 8; ++i) {
+    key[2 * i] = 0;
+    key[2 * i + 1] = static_cast<u8>(i + 1);
+  }
+  u8 block[8] = {0x00, 0x00, 0x00, 0x01, 0x00, 0x02, 0x00, 0x03};
+  const IdeaSubkeys ek = IdeaExpandKey(key);
+  IdeaCryptBlock(ek, std::span<u8, 8>(block));
+  const u8 expect[8] = {0x11, 0xFB, 0xED, 0x2B, 0x01, 0x98, 0x6D, 0xE5};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(block[i], expect[i]) << i;
+}
+
+TEST(IdeaTest, CanonicalVectorDecrypts) {
+  IdeaKey key{};
+  for (u8 i = 0; i < 8; ++i) {
+    key[2 * i] = 0;
+    key[2 * i + 1] = static_cast<u8>(i + 1);
+  }
+  u8 block[8] = {0x11, 0xFB, 0xED, 0x2B, 0x01, 0x98, 0x6D, 0xE5};
+  const IdeaSubkeys dk = IdeaInvertKey(IdeaExpandKey(key));
+  IdeaCryptBlock(dk, std::span<u8, 8>(block));
+  const u8 expect[8] = {0x00, 0x00, 0x00, 0x01, 0x00, 0x02, 0x00, 0x03};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(block[i], expect[i]) << i;
+}
+
+// ----- key schedule -----
+
+TEST(IdeaKeyScheduleTest, FirstEightSubkeysAreTheKey) {
+  const IdeaKey key = MakeIdeaKey(4);
+  const IdeaSubkeys ek = IdeaExpandKey(key);
+  for (usize i = 0; i < 8; ++i) {
+    EXPECT_EQ(ek[i], static_cast<u16>((key[2 * i] << 8) | key[2 * i + 1]));
+  }
+}
+
+TEST(IdeaKeyScheduleTest, RotationProperty) {
+  // Subkey 8 = bits 25..40 of the key (left-rotate by 25).
+  const IdeaKey key = MakeIdeaKey(5);
+  const IdeaSubkeys ek = IdeaExpandKey(key);
+  // Build the 128-bit value as bytes and extract bits 25..41 manually.
+  auto bit = [&key](usize i) {
+    return (key[(i / 8) % 16] >> (7 - i % 8)) & 1;
+  };
+  u16 expect = 0;
+  for (usize b = 0; b < 16; ++b) {
+    expect = static_cast<u16>((expect << 1) | bit(25 + b));
+  }
+  EXPECT_EQ(ek[8], expect);
+}
+
+TEST(IdeaKeyScheduleTest, InvertTwiceIsIdentity) {
+  const IdeaSubkeys ek = IdeaExpandKey(MakeIdeaKey(6));
+  EXPECT_EQ(IdeaInvertKey(IdeaInvertKey(ek)), ek);
+}
+
+// ----- ECB -----
+
+TEST(IdeaEcbTest, RoundTripRandomBuffers) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const usize blocks = 1 + rng.NextBelow(64);
+    const std::vector<u8> pt = MakeRandomBytes(blocks * 8, trial);
+    const IdeaSubkeys ek = IdeaExpandKey(MakeIdeaKey(trial));
+    const IdeaSubkeys dk = IdeaInvertKey(ek);
+    std::vector<u8> ct(pt.size()), rt(pt.size());
+    IdeaCryptEcb(ek, pt, ct);
+    IdeaCryptEcb(dk, ct, rt);
+    EXPECT_EQ(rt, pt) << "trial " << trial;
+    EXPECT_NE(ct, pt);
+  }
+}
+
+TEST(IdeaEcbTest, EqualBlocksEncryptEqually) {
+  // ECB determinism (and why real systems use other modes).
+  const IdeaSubkeys ek = IdeaExpandKey(MakeIdeaKey(8));
+  std::vector<u8> pt(16, 0x42);
+  std::vector<u8> ct(16);
+  IdeaCryptEcb(ek, pt, ct);
+  EXPECT_TRUE(std::equal(ct.begin(), ct.begin() + 8, ct.begin() + 8));
+}
+
+TEST(IdeaEcbTest, InPlaceOperation) {
+  const IdeaSubkeys ek = IdeaExpandKey(MakeIdeaKey(9));
+  std::vector<u8> buf = MakeRandomBytes(64, 10);
+  const std::vector<u8> orig = buf;
+  IdeaCryptEcb(ek, buf, buf);
+  EXPECT_NE(buf, orig);
+  std::vector<u8> expect(64);
+  IdeaCryptEcb(ek, orig, expect);
+  EXPECT_EQ(buf, expect);
+}
+
+TEST(IdeaEcbTest, AvalancheOnPlaintextBit) {
+  const IdeaSubkeys ek = IdeaExpandKey(MakeIdeaKey(11));
+  std::vector<u8> a = MakeRandomBytes(8, 12);
+  std::vector<u8> b = a;
+  b[0] ^= 0x01;
+  std::vector<u8> ca(8), cb(8);
+  IdeaCryptEcb(ek, a, ca);
+  IdeaCryptEcb(ek, b, cb);
+  int differing_bits = 0;
+  for (usize i = 0; i < 8; ++i) {
+    differing_bits += std::popcount(static_cast<unsigned>(ca[i] ^ cb[i]));
+  }
+  EXPECT_GE(differing_bits, 16) << "one flipped bit should avalanche";
+}
+
+}  // namespace
+}  // namespace vcop::apps

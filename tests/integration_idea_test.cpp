@@ -1,0 +1,162 @@
+// End-to-end integration for the IDEA application (§4.1): VIM-based and
+// manual ("normal coprocessor") runs, bit-exactness, the Figure 9
+// exceeds-available-memory behaviour, and the cross-clock-domain
+// arrangement (core @6 MHz, IMU @24 MHz).
+#include <gtest/gtest.h>
+
+#include "apps/idea.h"
+#include "apps/sw_model.h"
+#include "apps/workloads.h"
+#include "cp/registry.h"
+#include "runtime/config.h"
+#include "runtime/drivers.h"
+#include "runtime/fpga_api.h"
+
+namespace vcop {
+namespace {
+
+using runtime::Epxa1Config;
+using runtime::FpgaSystem;
+using runtime::RunIdeaManual;
+using runtime::RunIdeaVim;
+
+std::vector<u8> SoftwareEncrypt(const apps::IdeaSubkeys& keys,
+                                std::span<const u8> input) {
+  std::vector<u8> out(input.size());
+  apps::IdeaCryptEcb(keys, input, out);
+  return out;
+}
+
+TEST(IdeaIntegrationTest, VimRunBitExactSmall) {
+  FpgaSystem sys(Epxa1Config());
+  const apps::IdeaSubkeys keys =
+      apps::IdeaExpandKey(apps::MakeIdeaKey(1));
+  const std::vector<u8> input = apps::MakeRandomBytes(512, 2);
+  auto run = RunIdeaVim(sys, keys, input);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().output, SoftwareEncrypt(keys, input));
+}
+
+class IdeaFigure9SizesTest : public ::testing::TestWithParam<usize> {};
+
+TEST_P(IdeaFigure9SizesTest, VimHandlesAllSizes) {
+  const usize bytes = GetParam();
+  FpgaSystem sys(Epxa1Config());
+  const apps::IdeaSubkeys keys =
+      apps::IdeaExpandKey(apps::MakeIdeaKey(3));
+  const std::vector<u8> input = apps::MakeRandomBytes(bytes, 4);
+  auto run = RunIdeaVim(sys, keys, input);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().output, SoftwareEncrypt(keys, input));
+  // In + out = 2x input; beyond 8 KB input this cannot fit 16 KB and
+  // evictions must appear.
+  if (bytes > 8 * 1024) {
+    EXPECT_GT(run.value().report.vim.evictions, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure9Sizes, IdeaFigure9SizesTest,
+                         ::testing::Values(4096, 8192, 16384, 32768));
+
+TEST(IdeaIntegrationTest, ManualRunnerBitExactWhenItFits) {
+  const apps::IdeaSubkeys keys =
+      apps::IdeaExpandKey(apps::MakeIdeaKey(5));
+  const std::vector<u8> input = apps::MakeRandomBytes(4096, 6);
+  auto run = RunIdeaManual(os::CostModel{}, 16 * 1024, keys, input);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().output, SoftwareEncrypt(keys, input));
+}
+
+TEST(IdeaIntegrationTest, ManualRunnerExceedsAvailableMemory) {
+  // Figure 9's crossed-out columns: with 16 KB of interface memory the
+  // normal coprocessor cannot run 16 KB or 32 KB datasets (in+out+key
+  // exceed the DP-RAM), while the VIM-based one can.
+  const apps::IdeaSubkeys keys =
+      apps::IdeaExpandKey(apps::MakeIdeaKey(7));
+  for (const usize bytes : {16384u, 32768u}) {
+    const std::vector<u8> input = apps::MakeRandomBytes(bytes, 8);
+    auto run = RunIdeaManual(os::CostModel{}, 16 * 1024, keys, input);
+    ASSERT_FALSE(run.ok()) << bytes;
+    EXPECT_EQ(run.status().code(), ErrorCode::kResourceExhausted) << bytes;
+    EXPECT_NE(run.status().message().find("exceeds available memory"),
+              std::string::npos);
+  }
+}
+
+TEST(IdeaIntegrationTest, ManualBeatsVimWhichBeatsSoftware) {
+  // Figure 9 ordering at 4 KB/8 KB: SW (slowest) > VIM > normal
+  // coprocessor (fastest; no OS overhead).
+  const apps::IdeaSubkeys keys =
+      apps::IdeaExpandKey(apps::MakeIdeaKey(9));
+  const std::vector<u8> input = apps::MakeRandomBytes(8192, 10);
+
+  FpgaSystem sys(Epxa1Config());
+  auto vim = RunIdeaVim(sys, keys, input);
+  ASSERT_TRUE(vim.ok()) << vim.status().ToString();
+  auto manual = RunIdeaManual(os::CostModel{}, 16 * 1024, keys, input);
+  ASSERT_TRUE(manual.ok()) << manual.status().ToString();
+  const apps::ArmTimingModel arm;
+  const Picoseconds sw = arm.IdeaEcbTime(input.size());
+
+  EXPECT_LT(manual.value().result.total, vim.value().report.total);
+  EXPECT_LT(vim.value().report.total, sw);
+}
+
+TEST(IdeaIntegrationTest, SpeedupBandsMatchFigure9) {
+  const apps::IdeaSubkeys keys =
+      apps::IdeaExpandKey(apps::MakeIdeaKey(11));
+  const apps::ArmTimingModel arm;
+
+  // VIM speedup ~11-12x at every size (paper: 11x, 12x, 11x, 11x).
+  for (const usize bytes : {4096u, 8192u, 16384u, 32768u}) {
+    FpgaSystem sys(Epxa1Config());
+    const std::vector<u8> input = apps::MakeRandomBytes(bytes, 12);
+    auto vim = RunIdeaVim(sys, keys, input);
+    ASSERT_TRUE(vim.ok()) << vim.status().ToString();
+    const double speedup =
+        static_cast<double>(arm.IdeaEcbTime(bytes)) /
+        static_cast<double>(vim.value().report.total);
+    EXPECT_GT(speedup, 8.0) << bytes;
+    EXPECT_LT(speedup, 16.0) << bytes;
+  }
+
+  // Normal coprocessor ~18x where it fits (paper: 18x at 4/8 KB).
+  for (const usize bytes : {4096u, 8192u}) {
+    const std::vector<u8> input = apps::MakeRandomBytes(bytes, 13);
+    auto manual = RunIdeaManual(os::CostModel{}, 16 * 1024, keys, input);
+    ASSERT_TRUE(manual.ok()) << manual.status().ToString();
+    const double speedup =
+        static_cast<double>(arm.IdeaEcbTime(bytes)) /
+        static_cast<double>(manual.value().result.total);
+    EXPECT_GT(speedup, 13.0) << bytes;
+    EXPECT_LT(speedup, 24.0) << bytes;
+  }
+}
+
+TEST(IdeaIntegrationTest, DecryptionRoundTripsThroughCoprocessor) {
+  // Encrypt on the coprocessor, decrypt on the coprocessor with the
+  // inverted key schedule, recover the plaintext.
+  const apps::IdeaKey key = apps::MakeIdeaKey(21);
+  const apps::IdeaSubkeys ek = apps::IdeaExpandKey(key);
+  const apps::IdeaSubkeys dk = apps::IdeaInvertKey(ek);
+  const std::vector<u8> plaintext = apps::MakeRandomBytes(2048, 22);
+
+  FpgaSystem sys(Epxa1Config());
+  auto enc = RunIdeaVim(sys, ek, plaintext);
+  ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+  EXPECT_NE(enc.value().output, plaintext);
+  auto dec = RunIdeaVim(sys, dk, enc.value().output);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_EQ(dec.value().output, plaintext);
+}
+
+TEST(IdeaIntegrationTest, CoreAndImuRunOnDifferentClocks) {
+  // The bit-stream declares the paper's 6/24 MHz split; a run must
+  // consume roughly 4 IMU edges per core edge.
+  const hw::Bitstream bs = cp::IdeaBitstream();
+  EXPECT_EQ(bs.cp_clock.hertz(), 6'000'000u);
+  EXPECT_EQ(bs.imu_clock.hertz(), 24'000'000u);
+}
+
+}  // namespace
+}  // namespace vcop

@@ -1,0 +1,126 @@
+// End-to-end integration: the Figure 5/6 vector-add flow through the
+// full stack — user API -> kernel syscalls -> VIM -> IMU -> coprocessor
+// FSM -> dual-port RAM — across dataset sizes that do and do not fit
+// the interface memory.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cp/registry.h"
+#include "cp/vecadd_cp.h"
+#include "runtime/config.h"
+#include "runtime/drivers.h"
+#include "runtime/fpga_api.h"
+
+namespace vcop {
+namespace {
+
+using runtime::Epxa1Config;
+using runtime::FpgaSystem;
+using runtime::RunVecAddVim;
+
+std::vector<u32> Iota(u32 n, u32 start) {
+  std::vector<u32> v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+TEST(VecAddIntegrationTest, SmallVectorAddsCorrectly) {
+  FpgaSystem sys(Epxa1Config());
+  const std::vector<u32> a = Iota(64, 0);
+  const std::vector<u32> b = Iota(64, 1000);
+  auto run = RunVecAddVim(sys, a, b);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run.value().output.size(), 64u);
+  for (u32 i = 0; i < 64; ++i) {
+    EXPECT_EQ(run.value().output[i], a[i] + b[i]) << i;
+  }
+}
+
+TEST(VecAddIntegrationTest, DatasetLargerThanDualPortRam) {
+  // Three 16 KB vectors = 48 KB of data on a 16 KB interface memory:
+  // impossible without virtualisation, transparent with it.
+  FpgaSystem sys(Epxa1Config());
+  const u32 n = 4096;  // 16 KB per vector
+  const std::vector<u32> a = Iota(n, 3);
+  const std::vector<u32> b = Iota(n, 7);
+  auto run = RunVecAddVim(sys, a, b);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  for (u32 i = 0; i < n; ++i) {
+    ASSERT_EQ(run.value().output[i], a[i] + b[i]) << i;
+  }
+  // Page faults must have occurred (the paper's whole point).
+  EXPECT_GT(run.value().report.vim.faults, 3u);
+  EXPECT_GT(run.value().report.vim.evictions, 0u);
+}
+
+TEST(VecAddIntegrationTest, ReportDecompositionIsConsistent) {
+  FpgaSystem sys(Epxa1Config());
+  const u32 n = 2048;
+  auto run = RunVecAddVim(sys, Iota(n, 1), Iota(n, 2));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const os::ExecutionReport& r = run.value().report;
+  EXPECT_EQ(r.total, r.t_hw + r.t_dp + r.t_imu + r.t_invoke);
+  EXPECT_GT(r.t_hw, 0u);
+  EXPECT_GT(r.t_invoke, 0u);
+  // 3 accesses per element plus parameter reads.
+  EXPECT_GE(r.imu.accesses, 3u * n);
+  // Process slept exactly once, for the whole call.
+  EXPECT_EQ(sys.kernel().process().wakeups(), 1u);
+  EXPECT_GE(sys.kernel().process().total_slept(), r.total);
+}
+
+TEST(VecAddIntegrationTest, BackToBackExecutionsReuseTheDesign) {
+  FpgaSystem sys(Epxa1Config());
+  auto first = RunVecAddVim(sys, Iota(256, 0), Iota(256, 5));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = RunVecAddVim(sys, Iota(512, 9), Iota(512, 4));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second.value().output[511], (511u + 9) + (511u + 4));
+}
+
+TEST(VecAddIntegrationTest, ExecuteWithoutLoadFails) {
+  FpgaSystem sys(Epxa1Config());
+  auto report = sys.Execute({4});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(VecAddIntegrationTest, UnmappedObjectAbortsTheRun) {
+  // Map A and C but not B: the coprocessor's first access to object 1
+  // must fault, and the VIM must fail the call instead of hanging.
+  FpgaSystem sys(Epxa1Config());
+  ASSERT_TRUE(sys.Load(cp::VecAddBitstream()).ok());
+  auto a = sys.Allocate<u32>(16);
+  auto c = sys.Allocate<u32>(16);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(
+      sys.Map(cp::VecAddCoprocessor::kObjA, a.value(), os::Direction::kIn)
+          .ok());
+  ASSERT_TRUE(
+      sys.Map(cp::VecAddCoprocessor::kObjC, c.value(), os::Direction::kOut)
+          .ok());
+  auto report = sys.Execute({16u});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(VecAddIntegrationTest, SameCodeRunsOnLargerPlatforms) {
+  // The paper's portability claim: the identical application code runs
+  // after only a platform (module) change.
+  for (const os::KernelConfig& config :
+       {runtime::Epxa1Config(), runtime::Epxa4Config(),
+        runtime::Epxa10Config()}) {
+    FpgaSystem sys(config);
+    const u32 n = 3000;
+    auto run = RunVecAddVim(sys, Iota(n, 11), Iota(n, 22));
+    ASSERT_TRUE(run.ok())
+        << config.platform_name << ": " << run.status().ToString();
+    EXPECT_EQ(run.value().output[n - 1], (n - 1 + 11) + (n - 1 + 22))
+        << config.platform_name;
+  }
+}
+
+}  // namespace
+}  // namespace vcop

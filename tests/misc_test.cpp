@@ -1,0 +1,131 @@
+// Remaining coverage: the DirectPort used by the manual runtime, the
+// waveform tracer's rendered formats (golden fragments), and the
+// report/describe helpers on manual runs.
+#include <gtest/gtest.h>
+
+#include "cp/vecadd_cp.h"
+#include "mem/dp_ram.h"
+#include "runtime/manual_runtime.h"
+#include "runtime/report.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace vcop {
+namespace {
+
+// ----- DirectPort -----
+
+class DirectPortTest : public ::testing::Test {
+ protected:
+  DirectPortTest()
+      : dp_(4096),
+        port_(sim_, dp_),
+        domain_(sim_.AddClockDomain("cp", Frequency::MHz(40))) {
+    port_.BindCpDomain(domain_);
+  }
+
+  sim::Simulator sim_;
+  mem::DualPortRam dp_;
+  runtime::DirectPort port_;
+  sim::ClockDomain& domain_;
+};
+
+TEST_F(DirectPortTest, SingleCycleAccess) {
+  port_.SetObject(0, /*base=*/256, /*elem_width=*/4);
+  dp_.WriteWord(mem::DualPortRam::Port::kProcessor, 256 + 12, 4, 0xFEED);
+  port_.Start();
+  ASSERT_TRUE(port_.CanIssue());
+  hw::CpAccess access;
+  access.object = 0;
+  access.index = 3;
+  port_.Issue(access);
+  EXPECT_FALSE(port_.ResponseReady());  // not until the next edge
+  sim_.RunUntilTime(Frequency::MHz(40).EdgeTime(1));
+  ASSERT_TRUE(port_.ResponseReady());
+  EXPECT_EQ(port_.ConsumeResponse(), 0xFEEDu);
+}
+
+TEST_F(DirectPortTest, RegisterObjectsLiveOutsideDpRam) {
+  port_.SetRegisterObject(2, /*base=*/0, /*elem_width=*/2);
+  const u8 regs[4] = {0x34, 0x12, 0x78, 0x56};
+  port_.WriteRegisterFile(0, regs);
+  port_.Start();
+  hw::CpAccess access;
+  access.object = 2;
+  access.index = 1;
+  port_.Issue(access);
+  sim_.RunUntilTime(Frequency::MHz(40).EdgeTime(1));
+  EXPECT_EQ(port_.ConsumeResponse(), 0x5678u);
+  // The DP-RAM was never touched.
+  EXPECT_EQ(dp_.bytes_read(mem::DualPortRam::Port::kCoprocessor), 0u);
+}
+
+TEST_F(DirectPortTest, FixedLayoutIsThePortabilityTrap) {
+  // The same (object, index) resolves to a *different* physical address
+  // when the layout constant changes — the exact coupling the paper's
+  // virtual interface removes.
+  port_.SetObject(1, 0, 4);
+  port_.Start();
+  hw::CpAccess access;
+  access.object = 1;
+  access.index = 0;
+  dp_.WriteWord(mem::DualPortRam::Port::kProcessor, 0, 4, 111);
+  dp_.WriteWord(mem::DualPortRam::Port::kProcessor, 512, 4, 222);
+  port_.Issue(access);
+  sim_.RunUntilTime(Frequency::MHz(40).EdgeTime(1));
+  EXPECT_EQ(port_.ConsumeResponse(), 111u);
+  port_.SetObject(1, 512, 4);  // "ported" to a new layout
+  port_.Issue(access);
+  sim_.RunUntilTime(Frequency::MHz(40).EdgeTime(3));
+  EXPECT_EQ(port_.ConsumeResponse(), 222u);
+}
+
+TEST_F(DirectPortTest, FinishHandshake) {
+  port_.Start();
+  EXPECT_FALSE(port_.finished());
+  port_.SignalFinish();
+  EXPECT_TRUE(port_.finished());
+  EXPECT_FALSE(port_.CanIssue());  // stopped
+}
+
+// ----- tracer golden fragments -----
+
+TEST(TraceGoldenTest, AsciiLaneShapes) {
+  sim::Tracer tracer;
+  const sim::SignalId clk = tracer.AddSignal("clk", 1);
+  for (u64 edge = 0; edge < 8; ++edge) {
+    tracer.Record(clk, edge * 100, edge % 2);
+  }
+  const std::string art = tracer.ToAscii(0, 700, 100);
+  EXPECT_EQ(art, "clk  _/\\/\\/\\/\n");
+}
+
+TEST(TraceGoldenTest, VcdHeaderExact) {
+  sim::Tracer tracer;
+  tracer.AddSignal("a", 1);
+  tracer.Record(0, 5, 1);
+  const std::string vcd = tracer.ToVcd();
+  EXPECT_EQ(vcd,
+            "$timescale 1ps $end\n"
+            "$scope module vcop $end\n"
+            "$var wire 1 ! a $end\n"
+            "$upscope $end\n"
+            "$enddefinitions $end\n"
+            "#5\n"
+            "1!\n");
+}
+
+// ----- manual run description -----
+
+TEST(ReportMiscTest, ManualRunDescribe) {
+  runtime::ManualRunResult result;
+  result.total = 3'000'000'000ULL;
+  result.t_hw = 2'000'000'000ULL;
+  result.t_copy = 900'000'000ULL;
+  const std::string s = runtime::Describe(result);
+  EXPECT_NE(s.find("3.00"), std::string::npos);
+  EXPECT_NE(s.find("copies 0.90"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcop

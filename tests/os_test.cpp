@@ -1,0 +1,288 @@
+// Unit tests for the OS building blocks: object table, replacement
+// policies, prefetchers, page manager, process lifecycle and cost model.
+#include <gtest/gtest.h>
+
+#include "os/calibration.h"
+#include "os/object_table.h"
+#include "os/page_manager.h"
+#include "os/policy.h"
+#include "os/prefetch.h"
+#include "os/process.h"
+
+namespace vcop::os {
+namespace {
+
+// ----- ObjectTable -----
+
+MappedObject MakeObject(hw::ObjectId id, u32 size = 1024, u32 width = 4) {
+  MappedObject object;
+  object.id = id;
+  object.user_addr = 0x1000;
+  object.size_bytes = size;
+  object.elem_width = width;
+  object.direction = Direction::kInOut;
+  return object;
+}
+
+TEST(ObjectTableTest, MapFindUnmap) {
+  ObjectTable table;
+  EXPECT_TRUE(table.Map(MakeObject(3)).ok());
+  ASSERT_NE(table.Find(3), nullptr);
+  EXPECT_EQ(table.Find(3)->size_bytes, 1024u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.Unmap(3).ok());
+  EXPECT_EQ(table.Find(3), nullptr);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(ObjectTableTest, DuplicateIdRejected) {
+  ObjectTable table;
+  EXPECT_TRUE(table.Map(MakeObject(1)).ok());
+  const Status s = table.Map(MakeObject(1));
+  EXPECT_EQ(s.code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(ObjectTableTest, ReservedParamIdRejected) {
+  ObjectTable table;
+  const Status s = table.Map(MakeObject(hw::kParamObject));
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("reserved"), std::string::npos);
+}
+
+TEST(ObjectTableTest, ValidationOfSizeAndWidth) {
+  ObjectTable table;
+  EXPECT_FALSE(table.Map(MakeObject(1, /*size=*/0)).ok());
+  EXPECT_FALSE(table.Map(MakeObject(1, 1024, /*width=*/3)).ok());
+  EXPECT_FALSE(table.Map(MakeObject(1, /*size=*/1022, /*width=*/4)).ok());
+  EXPECT_TRUE(table.Map(MakeObject(1, 1022, 2)).ok());
+}
+
+TEST(ObjectTableTest, UnmapMissingIsNotFound) {
+  ObjectTable table;
+  EXPECT_EQ(table.Unmap(5).code(), ErrorCode::kNotFound);
+}
+
+TEST(ObjectTableTest, AllReturnsInIdOrder) {
+  ObjectTable table;
+  EXPECT_TRUE(table.Map(MakeObject(7)).ok());
+  EXPECT_TRUE(table.Map(MakeObject(2)).ok());
+  EXPECT_TRUE(table.Map(MakeObject(5)).ok());
+  const auto all = table.All();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].id, 2u);
+  EXPECT_EQ(all[1].id, 5u);
+  EXPECT_EQ(all[2].id, 7u);
+}
+
+// ----- Replacement policies -----
+
+std::vector<bool> AllEvictable(u32 n) { return std::vector<bool>(n, true); }
+
+TEST(PolicyTest, FifoEvictsOldestInstall) {
+  auto policy = MakePolicy(PolicyKind::kFifo, 0);
+  policy->Reset(4);
+  for (mem::FrameId f : {2u, 0u, 3u, 1u}) policy->OnInstalled(f);
+  EXPECT_EQ(policy->PickVictim(AllEvictable(4)), 2u);
+  // Touches do not matter to FIFO.
+  policy->OnTouched(2);
+  EXPECT_EQ(policy->PickVictim(AllEvictable(4)), 2u);
+}
+
+TEST(PolicyTest, FifoReinstallMovesToBack) {
+  auto policy = MakePolicy(PolicyKind::kFifo, 0);
+  policy->Reset(3);
+  policy->OnInstalled(0);
+  policy->OnInstalled(1);
+  policy->OnInstalled(2);
+  policy->OnFreed(0);
+  policy->OnInstalled(0);
+  EXPECT_EQ(policy->PickVictim(AllEvictable(3)), 1u);
+}
+
+TEST(PolicyTest, LruHonoursTouches) {
+  auto policy = MakePolicy(PolicyKind::kLru, 0);
+  policy->Reset(3);
+  policy->OnInstalled(0);
+  policy->OnInstalled(1);
+  policy->OnInstalled(2);
+  policy->OnTouched(0);  // 1 is now least recently used
+  EXPECT_EQ(policy->PickVictim(AllEvictable(3)), 1u);
+  policy->OnTouched(1);
+  EXPECT_EQ(policy->PickVictim(AllEvictable(3)), 2u);
+}
+
+TEST(PolicyTest, VictimRespectsEvictableMask) {
+  for (const PolicyKind kind :
+       {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kRandom}) {
+    auto policy = MakePolicy(kind, 42);
+    policy->Reset(4);
+    for (mem::FrameId f = 0; f < 4; ++f) policy->OnInstalled(f);
+    std::vector<bool> mask = {false, false, true, false};
+    EXPECT_EQ(policy->PickVictim(mask), 2u) << ToString(kind);
+  }
+}
+
+TEST(PolicyTest, RandomIsDeterministicInSeed) {
+  auto a = MakePolicy(PolicyKind::kRandom, 7);
+  auto b = MakePolicy(PolicyKind::kRandom, 7);
+  a->Reset(8);
+  b->Reset(8);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a->PickVictim(AllEvictable(8)), b->PickVictim(AllEvictable(8)));
+  }
+}
+
+TEST(PolicyTest, RandomCoversCandidates) {
+  auto policy = MakePolicy(PolicyKind::kRandom, 3);
+  policy->Reset(4);
+  std::vector<bool> seen(4, false);
+  for (int i = 0; i < 100; ++i) seen[policy->PickVictim(AllEvictable(4))] = true;
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), true), 4);
+}
+
+TEST(PolicyTest, NamesMatchKinds) {
+  EXPECT_EQ(MakePolicy(PolicyKind::kFifo, 0)->name(), "fifo");
+  EXPECT_EQ(MakePolicy(PolicyKind::kLru, 0)->name(), "lru");
+  EXPECT_EQ(MakePolicy(PolicyKind::kRandom, 0)->name(), "random");
+}
+
+// ----- Prefetchers -----
+
+TEST(PrefetchTest, NoneSuggestsNothing) {
+  auto p = MakePrefetcher(PrefetchKind::kNone);
+  EXPECT_TRUE(p->Suggest(0, 3, 100).empty());
+}
+
+TEST(PrefetchTest, SequentialSuggestsNextPages) {
+  auto p = MakePrefetcher(PrefetchKind::kSequential, 2);
+  const auto s = p->Suggest(1, 3, 100);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].object, 1u);
+  EXPECT_EQ(s[0].vpage, 4u);
+  EXPECT_EQ(s[1].vpage, 5u);
+}
+
+TEST(PrefetchTest, SequentialStopsAtObjectEnd) {
+  auto p = MakePrefetcher(PrefetchKind::kSequential, 4);
+  EXPECT_EQ(p->Suggest(0, 8, 10).size(), 1u);  // only page 9 exists
+  EXPECT_TRUE(p->Suggest(0, 9, 10).empty());
+}
+
+// ----- PageManager -----
+
+TEST(PageManagerTest, InstallFindRelease) {
+  PageManager pm(mem::PageGeometry(2048, 4));
+  EXPECT_EQ(pm.frames_free(), 4u);
+  pm.Install(1, /*object=*/2, /*vpage=*/5);
+  EXPECT_EQ(pm.FindResident(2, 5), 1u);
+  EXPECT_FALSE(pm.FindResident(2, 6).has_value());
+  EXPECT_EQ(pm.frames_in_use(), 1u);
+  const FrameState old = pm.Release(1);
+  EXPECT_TRUE(old.in_use);
+  EXPECT_EQ(old.vpage, 5u);
+  EXPECT_EQ(pm.frames_free(), 4u);
+}
+
+TEST(PageManagerTest, FindFreeSkipsUsed) {
+  PageManager pm(mem::PageGeometry(1024, 3));
+  pm.Install(0, 1, 0);
+  pm.Install(1, 1, 1);
+  EXPECT_EQ(pm.FindFree(), 2u);
+  pm.Install(2, 1, 2);
+  EXPECT_FALSE(pm.FindFree().has_value());
+}
+
+TEST(PageManagerTest, PinnedFramesNotEvictable) {
+  PageManager pm(mem::PageGeometry(1024, 3));
+  pm.Install(0, 1, 0, /*pinned=*/true);
+  pm.Install(1, 1, 1);
+  const std::vector<bool> mask = pm.EvictableMask();
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_FALSE(mask[2]);  // free, not evictable
+  pm.Unpin(0);
+  EXPECT_TRUE(pm.EvictableMask()[0]);
+}
+
+TEST(PageManagerTest, DirtyTracking) {
+  PageManager pm(mem::PageGeometry(1024, 2));
+  pm.Install(0, 1, 0);
+  EXPECT_FALSE(pm.frame(0).dirty);
+  pm.MarkDirty(0);
+  EXPECT_TRUE(pm.frame(0).dirty);
+  pm.Release(0);
+  pm.Install(0, 1, 1);
+  EXPECT_FALSE(pm.frame(0).dirty) << "dirty must not leak across installs";
+}
+
+TEST(PageManagerTest, ResetFreesEverything) {
+  PageManager pm(mem::PageGeometry(1024, 2));
+  pm.Install(0, 1, 0, true);
+  pm.Install(1, 2, 0);
+  pm.Reset();
+  EXPECT_EQ(pm.frames_in_use(), 0u);
+  EXPECT_FALSE(pm.FindResident(1, 0).has_value());
+}
+
+TEST(PageManagerTest, InUseFramesEnumerates) {
+  PageManager pm(mem::PageGeometry(1024, 4));
+  pm.Install(3, 1, 0);
+  pm.Install(1, 1, 1);
+  EXPECT_EQ(pm.InUseFrames(), (std::vector<mem::FrameId>{1, 3}));
+}
+
+TEST(PageManagerDeathTest, DoubleInstallAborts) {
+  PageManager pm(mem::PageGeometry(1024, 2));
+  pm.Install(0, 1, 0);
+  EXPECT_DEATH(pm.Install(0, 2, 0), "occupied");
+}
+
+TEST(PageManagerDeathTest, DuplicateResidencyAborts) {
+  PageManager pm(mem::PageGeometry(1024, 2));
+  pm.Install(0, 1, 5);
+  EXPECT_DEATH(pm.Install(1, 1, 5), "already resident");
+}
+
+// ----- Process -----
+
+TEST(ProcessTest, SleepWakeAccounting) {
+  Process p(1);
+  EXPECT_EQ(p.state(), ProcessState::kRunning);
+  p.Sleep(1000);
+  EXPECT_TRUE(p.sleeping());
+  p.Wake(5000);
+  EXPECT_EQ(p.state(), ProcessState::kRunning);
+  EXPECT_EQ(p.total_slept(), 4000u);
+  p.Sleep(6000);
+  p.Wake(7000);
+  EXPECT_EQ(p.total_slept(), 5000u);
+  EXPECT_EQ(p.wakeups(), 2u);
+}
+
+TEST(ProcessDeathTest, DoubleSleepAborts) {
+  Process p(1);
+  p.Sleep(0);
+  EXPECT_DEATH(p.Sleep(1), "double sleep");
+}
+
+// ----- CostModel -----
+
+TEST(CostModelTest, CyclesConvertOnCpuClock) {
+  CostModel costs;
+  // 133 cycles at 133 MHz = 1 us.
+  EXPECT_EQ(costs.Cycles(133), 1'000'000u);
+}
+
+TEST(CostModelTest, FaultServiceShareIsSmall) {
+  // Sanity on the calibration: one fault's IMU-management cost must be
+  // around 10 us (see calibration.h derivation).
+  CostModel costs;
+  const Picoseconds per_fault =
+      costs.Cycles(costs.interrupt_entry_cycles + costs.fault_decode_cycles +
+                   costs.tlb_update_cycles + costs.page_table_cycles);
+  EXPECT_GT(ToMicroseconds(per_fault), 5.0);
+  EXPECT_LT(ToMicroseconds(per_fault), 20.0);
+}
+
+}  // namespace
+}  // namespace vcop::os

@@ -1,0 +1,238 @@
+// Tests for the FPGA job scheduler: ordering policies, reconfiguration
+// accounting, isolation of job mappings, and failure containment.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cp/registry.h"
+#include "cp/vecadd_cp.h"
+#include "os/scheduler.h"
+#include "runtime/config.h"
+
+namespace vcop::os {
+namespace {
+
+/// A vecadd job: fills fresh buffers, maps, executes, verifies.
+FpgaJob MakeVecAddJob(u32 pid, u32 n) {
+  FpgaJob job;
+  job.pid = pid;
+  job.bitstream = "vecadd";
+  job.run = [n](Kernel& kernel) -> Result<ExecutionReport> {
+    auto a = kernel.user_memory().Allocate(n * 4);
+    auto b = kernel.user_memory().Allocate(n * 4);
+    auto c = kernel.user_memory().Allocate(n * 4);
+    if (!a.ok() || !b.ok() || !c.ok()) {
+      return ResourceExhaustedError("out of user memory");
+    }
+    auto fill = [&kernel](mem::UserAddr addr, u32 count, u32 start) {
+      auto view = kernel.user_memory().View(addr, count * 4);
+      for (u32 i = 0; i < count; ++i) {
+        const u32 v = start + i;
+        for (u32 byte = 0; byte < 4; ++byte) {
+          view[4 * i + byte] = static_cast<u8>(v >> (8 * byte));
+        }
+      }
+    };
+    fill(a.value(), n, 1);
+    fill(b.value(), n, 2);
+    VCOP_RETURN_IF_ERROR(
+        kernel.FpgaMapObject(0, a.value(), n * 4, 4, Direction::kIn));
+    VCOP_RETURN_IF_ERROR(
+        kernel.FpgaMapObject(1, b.value(), n * 4, 4, Direction::kIn));
+    VCOP_RETURN_IF_ERROR(
+        kernel.FpgaMapObject(2, c.value(), n * 4, 4, Direction::kOut));
+    const u32 params[] = {n};
+    Result<ExecutionReport> report = kernel.FpgaExecute(params);
+    if (!report.ok()) return report;
+    // Verify in place.
+    auto out = kernel.user_memory().View(c.value(), n * 4);
+    for (u32 i = 0; i < n; ++i) {
+      u32 v = 0;
+      for (u32 byte = 0; byte < 4; ++byte) {
+        v |= static_cast<u32>(out[4 * i + byte]) << (8 * byte);
+      }
+      if (v != (1 + i) + (2 + i)) {
+        return InternalError("vecadd job produced a wrong element");
+      }
+    }
+    return report;
+  };
+  return job;
+}
+
+FpgaJob MakeGatherJob(u32 pid, u32 n) {
+  FpgaJob job;
+  job.pid = pid;
+  job.bitstream = "gather";
+  job.run = [n](Kernel& kernel) -> Result<ExecutionReport> {
+    auto in = kernel.user_memory().Allocate(n * 4);
+    auto perm = kernel.user_memory().Allocate(n * 4);
+    auto out = kernel.user_memory().Allocate(n * 4);
+    if (!in.ok() || !perm.ok() || !out.ok()) {
+      return ResourceExhaustedError("out of user memory");
+    }
+    auto view_in = kernel.user_memory().View(in.value(), n * 4);
+    auto view_perm = kernel.user_memory().View(perm.value(), n * 4);
+    for (u32 i = 0; i < n; ++i) {
+      const u32 identity = n - 1 - i;  // reverse permutation
+      for (u32 byte = 0; byte < 4; ++byte) {
+        view_in[4 * i + byte] = static_cast<u8>((i * 5) >> (8 * byte));
+        view_perm[4 * i + byte] = static_cast<u8>(identity >> (8 * byte));
+      }
+    }
+    VCOP_RETURN_IF_ERROR(
+        kernel.FpgaMapObject(0, in.value(), n * 4, 4, Direction::kIn));
+    VCOP_RETURN_IF_ERROR(
+        kernel.FpgaMapObject(1, out.value(), n * 4, 4, Direction::kOut));
+    VCOP_RETURN_IF_ERROR(
+        kernel.FpgaMapObject(2, perm.value(), n * 4, 4, Direction::kIn));
+    const u32 params[] = {n};
+    return kernel.FpgaExecute(params);
+  };
+  return job;
+}
+
+std::map<std::string, hw::Bitstream> Library() {
+  std::map<std::string, hw::Bitstream> designs;
+  designs["vecadd"] = cp::VecAddBitstream();
+  designs["gather"] = cp::GatherBitstream();
+  return designs;
+}
+
+TEST(SchedulerTest, FifoRunsAllJobsInOrder) {
+  Kernel kernel(runtime::Epxa1Config());
+  FpgaScheduler scheduler(kernel, Library());
+  std::vector<FpgaJob> jobs;
+  for (u32 pid = 1; pid <= 3; ++pid) jobs.push_back(MakeVecAddJob(pid, 256));
+
+  const ScheduleReport report =
+      scheduler.RunAll(std::move(jobs), ScheduleOrder::kFifo);
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  EXPECT_EQ(report.failures(), 0u);
+  // One configuration for the whole same-design batch.
+  EXPECT_EQ(report.reconfigurations, 1u);
+  // Ordering and monotonic time.
+  for (usize i = 0; i < 3; ++i) {
+    EXPECT_EQ(report.outcomes[i].pid, i + 1);
+    EXPECT_LE(report.outcomes[i].started_at,
+              report.outcomes[i].finished_at);
+    if (i > 0) {
+      EXPECT_GE(report.outcomes[i].started_at,
+                report.outcomes[i - 1].finished_at);
+    }
+  }
+  EXPECT_GT(report.makespan, 0u);
+}
+
+TEST(SchedulerTest, AlternatingDesignsReconfigureEveryJobUnderFifo) {
+  Kernel kernel(runtime::Epxa1Config());
+  FpgaScheduler scheduler(kernel, Library());
+  std::vector<FpgaJob> jobs;
+  for (u32 i = 0; i < 6; ++i) {
+    jobs.push_back(i % 2 == 0 ? MakeVecAddJob(i, 128)
+                              : MakeGatherJob(i, 128));
+  }
+  const ScheduleReport report =
+      scheduler.RunAll(std::move(jobs), ScheduleOrder::kFifo);
+  EXPECT_EQ(report.failures(), 0u);
+  EXPECT_EQ(report.reconfigurations, 6u);
+}
+
+TEST(SchedulerTest, BatchingAmortisesReconfiguration) {
+  auto run = [](ScheduleOrder order) {
+    Kernel kernel(runtime::Epxa1Config());
+    FpgaScheduler scheduler(kernel, Library());
+    std::vector<FpgaJob> jobs;
+    for (u32 i = 0; i < 6; ++i) {
+      jobs.push_back(i % 2 == 0 ? MakeVecAddJob(i, 128)
+                                : MakeGatherJob(i, 128));
+    }
+    return scheduler.RunAll(std::move(jobs), order);
+  };
+  const ScheduleReport fifo = run(ScheduleOrder::kFifo);
+  const ScheduleReport batched = run(ScheduleOrder::kBatchBitstream);
+  EXPECT_EQ(batched.failures(), 0u);
+  EXPECT_EQ(batched.reconfigurations, 2u);
+  EXPECT_LT(batched.total_config_time, fifo.total_config_time);
+  EXPECT_LT(batched.makespan, fifo.makespan);
+}
+
+TEST(SchedulerTest, BatchPreservesSubmissionOrderWithinDesign) {
+  Kernel kernel(runtime::Epxa1Config());
+  FpgaScheduler scheduler(kernel, Library());
+  std::vector<FpgaJob> jobs;
+  jobs.push_back(MakeVecAddJob(10, 64));
+  jobs.push_back(MakeGatherJob(20, 64));
+  jobs.push_back(MakeVecAddJob(11, 64));
+  jobs.push_back(MakeGatherJob(21, 64));
+  const ScheduleReport report =
+      scheduler.RunAll(std::move(jobs), ScheduleOrder::kBatchBitstream);
+  ASSERT_EQ(report.outcomes.size(), 4u);
+  EXPECT_EQ(report.outcomes[0].pid, 10u);
+  EXPECT_EQ(report.outcomes[1].pid, 11u);
+  EXPECT_EQ(report.outcomes[2].pid, 20u);
+  EXPECT_EQ(report.outcomes[3].pid, 21u);
+}
+
+TEST(SchedulerTest, UnknownDesignFailsJobOnly) {
+  Kernel kernel(runtime::Epxa1Config());
+  FpgaScheduler scheduler(kernel, Library());
+  std::vector<FpgaJob> jobs;
+  jobs.push_back(MakeVecAddJob(1, 64));
+  FpgaJob bogus;
+  bogus.pid = 2;
+  bogus.bitstream = "does-not-exist";
+  bogus.run = [](Kernel&) -> Result<ExecutionReport> {
+    return InternalError("must not run");
+  };
+  jobs.push_back(bogus);
+  jobs.push_back(MakeVecAddJob(3, 64));
+
+  const ScheduleReport report =
+      scheduler.RunAll(std::move(jobs), ScheduleOrder::kFifo);
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  EXPECT_TRUE(report.outcomes[0].status.ok());
+  EXPECT_EQ(report.outcomes[1].status.code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(report.outcomes[2].status.ok());
+}
+
+TEST(SchedulerTest, FailingJobBodyDoesNotPoisonTheBatch) {
+  Kernel kernel(runtime::Epxa1Config());
+  FpgaScheduler scheduler(kernel, Library());
+  std::vector<FpgaJob> jobs;
+  FpgaJob broken;
+  broken.pid = 1;
+  broken.bitstream = "vecadd";
+  broken.run = [](Kernel& k) -> Result<ExecutionReport> {
+    // Execute with no objects mapped: the first access aborts the run.
+    const u32 params[] = {8};
+    return k.FpgaExecute(params);
+  };
+  jobs.push_back(broken);
+  jobs.push_back(MakeVecAddJob(2, 256));
+  const ScheduleReport report =
+      scheduler.RunAll(std::move(jobs), ScheduleOrder::kFifo);
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  EXPECT_FALSE(report.outcomes[0].status.ok());
+  EXPECT_TRUE(report.outcomes[1].status.ok())
+      << report.outcomes[1].status.ToString();
+}
+
+TEST(SchedulerTest, TurnaroundAccountsWaiting) {
+  Kernel kernel(runtime::Epxa1Config());
+  FpgaScheduler scheduler(kernel, Library());
+  std::vector<FpgaJob> jobs;
+  jobs.push_back(MakeVecAddJob(1, 2048));
+  jobs.push_back(MakeVecAddJob(2, 2048));
+  const ScheduleReport report =
+      scheduler.RunAll(std::move(jobs), ScheduleOrder::kFifo);
+  ASSERT_EQ(report.failures(), 0u);
+  // The second job waited for the first: its turnaround is larger.
+  EXPECT_GT(report.outcomes[1].turnaround(),
+            report.outcomes[0].turnaround());
+  EXPECT_GT(report.outcomes[1].wait(), 0u);
+  EXPECT_GE(report.mean_turnaround(), report.outcomes[0].turnaround());
+}
+
+}  // namespace
+}  // namespace vcop::os

@@ -1,0 +1,126 @@
+// Unit tests for the IMU's TLB (CAM behaviour, dirty/accessed bits,
+// statistics) and the AR/SR register packing helpers.
+#include <gtest/gtest.h>
+
+#include "hw/imu_regs.h"
+#include "hw/tlb.h"
+
+namespace vcop::hw {
+namespace {
+
+TEST(TlbTest, MissOnEmpty) {
+  Tlb tlb(8);
+  EXPECT_FALSE(tlb.Lookup(0, 0).has_value());
+  EXPECT_EQ(tlb.stats().lookups, 1u);
+  EXPECT_EQ(tlb.stats().misses, 1u);
+  EXPECT_EQ(tlb.stats().hits, 0u);
+}
+
+TEST(TlbTest, InstallThenHit) {
+  Tlb tlb(8);
+  tlb.Install(3, /*object=*/2, /*vpage=*/5, /*frame=*/7);
+  const auto idx = tlb.Lookup(2, 5);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 3u);
+  EXPECT_EQ(tlb.entry(3).frame, 7u);
+  EXPECT_EQ(tlb.stats().hits, 1u);
+}
+
+TEST(TlbTest, TagIncludesObjectAndPage) {
+  Tlb tlb(8);
+  tlb.Install(0, 2, 5, 7);
+  EXPECT_FALSE(tlb.Lookup(2, 6).has_value());  // same object, other page
+  EXPECT_FALSE(tlb.Lookup(3, 5).has_value());  // other object, same page
+  EXPECT_TRUE(tlb.Lookup(2, 5).has_value());
+}
+
+TEST(TlbTest, ProbeDoesNotTouchStats) {
+  Tlb tlb(4);
+  tlb.Install(0, 1, 1, 1);
+  EXPECT_TRUE(tlb.Probe(1, 1).has_value());
+  EXPECT_FALSE(tlb.Probe(1, 2).has_value());
+  EXPECT_EQ(tlb.stats().lookups, 0u);
+}
+
+TEST(TlbTest, InvalidateReturnsOldEntry) {
+  Tlb tlb(4);
+  tlb.Install(1, 3, 9, 2);
+  tlb.MarkDirty(1);
+  const TlbEntry old = tlb.Invalidate(1);
+  EXPECT_TRUE(old.valid);
+  EXPECT_TRUE(old.dirty);
+  EXPECT_EQ(old.object, 3u);
+  EXPECT_EQ(old.vpage, 9u);
+  EXPECT_FALSE(tlb.entry(1).valid);
+  EXPECT_FALSE(tlb.Lookup(3, 9).has_value());
+}
+
+TEST(TlbTest, InstallClearsDirty) {
+  Tlb tlb(4);
+  tlb.Install(0, 1, 1, 1);
+  tlb.MarkDirty(0);
+  tlb.Install(0, 1, 2, 1);
+  EXPECT_FALSE(tlb.entry(0).dirty);
+}
+
+TEST(TlbTest, AccessedBitsHarvest) {
+  Tlb tlb(4);
+  tlb.Install(0, 1, 0, 5);
+  tlb.Install(1, 1, 1, 6);
+  tlb.Install(2, 1, 2, 7);
+  // Touch entries 0 and 2 via lookups.
+  ASSERT_TRUE(tlb.Lookup(1, 0).has_value());
+  ASSERT_TRUE(tlb.Lookup(1, 2).has_value());
+  const std::vector<mem::FrameId> touched = tlb.HarvestAccessed();
+  EXPECT_EQ(touched, (std::vector<mem::FrameId>{5, 7}));
+  // Bits cleared: a second harvest is empty.
+  EXPECT_TRUE(tlb.HarvestAccessed().empty());
+}
+
+TEST(TlbTest, FindByFrameAndFindFree) {
+  Tlb tlb(3);
+  EXPECT_EQ(tlb.FindFree(), 0u);
+  tlb.Install(0, 1, 0, 9);
+  tlb.Install(1, 1, 1, 4);
+  EXPECT_EQ(tlb.FindByFrame(4), 1u);
+  EXPECT_FALSE(tlb.FindByFrame(5).has_value());
+  EXPECT_EQ(tlb.FindFree(), 2u);
+  tlb.Install(2, 1, 2, 5);
+  EXPECT_FALSE(tlb.FindFree().has_value());
+}
+
+TEST(TlbTest, InvalidateAllAndResetStats) {
+  Tlb tlb(4);
+  tlb.Install(0, 1, 0, 0);
+  tlb.Lookup(1, 0);
+  tlb.InvalidateAll();
+  tlb.ResetStats();
+  EXPECT_FALSE(tlb.Probe(1, 0).has_value());
+  EXPECT_EQ(tlb.stats().lookups, 0u);
+}
+
+TEST(TlbDeathTest, MarkDirtyOnInvalidEntryAborts) {
+  Tlb tlb(2);
+  EXPECT_DEATH(tlb.MarkDirty(0), "invalid entry");
+}
+
+// ----- AR packing -----
+
+TEST(ImuRegsTest, ArPackRoundTrip) {
+  const u32 ar = PackAr(/*object=*/12, /*index=*/0x0ABCDEF);
+  EXPECT_EQ(ArObject(ar), 12u);
+  EXPECT_EQ(ArIndex(ar), 0x0ABCDEFu);
+}
+
+TEST(ImuRegsTest, IndexTruncatedTo28Bits) {
+  const u32 ar = PackAr(1, 0xFFFFFFFF);
+  EXPECT_EQ(ArIndex(ar), 0x0FFFFFFFu);
+  EXPECT_EQ(ArObject(ar), 1u);
+}
+
+TEST(ImuRegsTest, ParamObjectIsReservedTopId) {
+  EXPECT_EQ(kParamObject, kMaxObjects - 1);
+}
+
+}  // namespace
+}  // namespace vcop::hw

@@ -1,0 +1,256 @@
+// Tests for the microcode toolkit: program validation, the assembler,
+// the interpreter core's semantics, and end-to-end runs through the
+// full VIM stack (including equivalence with the hand-written vecadd
+// FSM, cycle for cycle).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "runtime/config.h"
+#include "runtime/drivers.h"
+#include "runtime/fpga_api.h"
+#include "ucode/assembler.h"
+#include "ucode/ucode_cp.h"
+
+namespace vcop::ucode {
+namespace {
+
+constexpr const char* kVecAddSource = R"(
+; C[i] = A[i] + B[i] — the paper's Figure 5, in microcode.
+        param  r7, 0          ; r7 = SIZE
+        loadi  r0, 0          ; i = 0
+loop:   bge    r0, r7, done
+        read   r1, obj0[r0]
+        read   r2, obj1[r0]
+        add    r3, r1, r2
+        write  obj2[r0], r3
+        addi   r0, r0, 1
+        jmp    loop
+done:   halt
+)";
+
+// ----- Program validation -----
+
+TEST(ProgramTest, RejectsEmpty) {
+  auto p = Program::Create({}, 0);
+  ASSERT_FALSE(p.ok());
+}
+
+TEST(ProgramTest, RejectsMissingHalt) {
+  Instruction nop;
+  nop.op = Op::kLoadImm;
+  auto p = Program::Create({nop}, 0);
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("halt"), std::string::npos);
+}
+
+TEST(ProgramTest, RejectsBadBranchTarget) {
+  Instruction jump;
+  jump.op = Op::kJump;
+  jump.imm = 99;
+  Instruction halt;
+  halt.op = Op::kHalt;
+  auto p = Program::Create({jump, halt}, 0);
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("target"), std::string::npos);
+}
+
+TEST(ProgramTest, RejectsUndeclaredParam) {
+  Instruction par;
+  par.op = Op::kParam;
+  par.imm = 2;
+  Instruction halt;
+  halt.op = Op::kHalt;
+  auto p = Program::Create({par, halt}, 2);
+  ASSERT_FALSE(p.ok());
+}
+
+TEST(ProgramTest, ReferencedObjectsAndDisassembly) {
+  auto p = Assemble(kVecAddSource, 1);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p.value().ReferencedObjects(),
+            (std::vector<hw::ObjectId>{0, 1, 2}));
+  const std::string dis = p.value().Disassemble();
+  EXPECT_NE(dis.find("read"), std::string::npos);
+  EXPECT_NE(dis.find("obj2[r0]"), std::string::npos);
+}
+
+// ----- Assembler -----
+
+TEST(AssemblerTest, AssemblesVecAdd) {
+  auto p = Assemble(kVecAddSource, 1);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p.value().size(), 10u);
+  EXPECT_EQ(p.value().code()[0].op, Op::kParam);
+  EXPECT_EQ(p.value().code()[2].op, Op::kBge);
+  EXPECT_EQ(p.value().code()[2].imm, 9u);  // 'done' label
+  EXPECT_EQ(p.value().code()[9].op, Op::kHalt);
+}
+
+TEST(AssemblerTest, ReportsLineNumbersInErrors) {
+  auto p = Assemble("loadi r0, 0\nbogus r1\nhalt\n", 0);
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(p.status().message().find("bogus"), std::string::npos);
+}
+
+TEST(AssemblerTest, RejectsUndefinedLabel) {
+  auto p = Assemble("jmp nowhere\nhalt\n", 0);
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("nowhere"), std::string::npos);
+}
+
+TEST(AssemblerTest, RejectsDuplicateLabel) {
+  auto p = Assemble("a: loadi r0, 0\na: halt\n", 0);
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(AssemblerTest, RejectsBadRegister) {
+  auto p = Assemble("loadi r16, 0\nhalt\n", 0);
+  ASSERT_FALSE(p.ok());
+}
+
+TEST(AssemblerTest, HexImmediatesAndComments) {
+  auto p = Assemble("loadi r1, 0xff # trailing comment\nhalt\n", 0);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p.value().code()[0].imm, 255u);
+}
+
+TEST(AssemblerTest, LabelOnOwnLine) {
+  auto p = Assemble("start:\n  jmp start\n  halt\n", 0);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p.value().code()[0].imm, 0u);
+}
+
+// ----- end-to-end through the VIM -----
+
+TEST(UcodeEndToEndTest, VecAddMatchesHandwrittenCore) {
+  const u32 n = 3000;
+  std::vector<u32> a(n), b(n);
+  std::iota(a.begin(), a.end(), 3u);
+  std::iota(b.begin(), b.end(), 11u);
+
+  auto program = Assemble(kVecAddSource, 1);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const hw::Bitstream bs =
+      MakeMicrocodeBitstream("uvecadd", std::move(program).value(),
+                             Frequency::MHz(40), Frequency::MHz(40));
+
+  runtime::FpgaSystem sys(runtime::Epxa1Config());
+  ASSERT_TRUE(sys.Load(bs).ok());
+  auto ba = sys.Allocate<u32>(n);
+  auto bb = sys.Allocate<u32>(n);
+  auto bc = sys.Allocate<u32>(n);
+  ASSERT_TRUE(ba.ok() && bb.ok() && bc.ok());
+  ba.value().Fill(a);
+  bb.value().Fill(b);
+  ASSERT_TRUE(sys.Map(0, ba.value(), os::Direction::kIn).ok());
+  ASSERT_TRUE(sys.Map(1, bb.value(), os::Direction::kIn).ok());
+  ASSERT_TRUE(sys.Map(2, bc.value(), os::Direction::kOut).ok());
+  auto report = sys.Execute({n});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::vector<u32> c = bc.value().ToVector();
+  for (u32 i = 0; i < n; ++i) ASSERT_EQ(c[i], a[i] + b[i]) << i;
+
+  // Fault behaviour matches the hand-written FSM (same access pattern).
+  runtime::FpgaSystem ref_sys(runtime::Epxa1Config());
+  auto ref = runtime::RunVecAddVim(ref_sys, a, b);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(report.value().vim.faults, ref.value().report.vim.faults);
+  EXPECT_EQ(report.value().imu.accesses, ref.value().report.imu.accesses);
+}
+
+TEST(UcodeEndToEndTest, SaxpyKernel) {
+  // y[i] = a*x[i] + y[i]: a new accelerator with zero C++ — the
+  // toolkit's reason to exist.
+  constexpr const char* kSaxpy = R"(
+          param  r7, 0        ; n
+          param  r6, 1        ; a
+          loadi  r0, 0
+  loop:   bge    r0, r7, done
+          read   r1, obj0[r0] ; x[i]
+          read   r2, obj1[r0] ; y[i]
+          mul    r3, r1, r6
+          add    r3, r3, r2
+          write  obj1[r0], r3
+          addi   r0, r0, 1
+          jmp    loop
+  done:   halt
+  )";
+  auto program = Assemble(kSaxpy, 2);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  const u32 n = 2048;
+  const u32 a = 7;
+  std::vector<u32> x(n), y(n);
+  for (u32 i = 0; i < n; ++i) {
+    x[i] = i * 3 + 1;
+    y[i] = i;
+  }
+
+  runtime::FpgaSystem sys(runtime::Epxa1Config());
+  ASSERT_TRUE(sys.Load(MakeMicrocodeBitstream(
+                           "saxpy", std::move(program).value(),
+                           Frequency::MHz(40), Frequency::MHz(40)))
+                  .ok());
+  auto bx = sys.Allocate<u32>(n);
+  auto by = sys.Allocate<u32>(n);
+  ASSERT_TRUE(bx.ok() && by.ok());
+  bx.value().Fill(x);
+  by.value().Fill(y);
+  ASSERT_TRUE(sys.Map(0, bx.value(), os::Direction::kIn).ok());
+  ASSERT_TRUE(sys.Map(1, by.value(), os::Direction::kInOut).ok());
+  auto report = sys.Execute({n, a});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::vector<u32> out = by.value().ToVector();
+  for (u32 i = 0; i < n; ++i) ASSERT_EQ(out[i], a * x[i] + y[i]) << i;
+}
+
+TEST(UcodeEndToEndTest, DelayBurnsExactCycles) {
+  // Program: delay 10; halt — compare retired cycles with delay 1.
+  auto slow = Assemble("delay 10\nhalt\n", 0);
+  auto fast = Assemble("delay 1\nhalt\n", 0);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+
+  auto run = [](Program program) {
+    runtime::FpgaSystem sys(runtime::Epxa1Config());
+    VCOP_CHECK(sys.Load(MakeMicrocodeBitstream("t", std::move(program),
+                                               Frequency::MHz(40),
+                                               Frequency::MHz(40)))
+                   .ok());
+    auto report = sys.Execute({});
+    VCOP_CHECK_MSG(report.ok(), report.status().ToString());
+    return report.value().cp_cycles;
+  };
+  const u64 slow_cycles = run(std::move(slow).value());
+  const u64 fast_cycles = run(std::move(fast).value());
+  EXPECT_EQ(slow_cycles - fast_cycles, 9u);
+}
+
+TEST(UcodeEndToEndTest, OutOfBoundsAccessIsCaughtByTheVim) {
+  // A buggy program indexing past its object: the fault machinery must
+  // fail the call, not hang or corrupt.
+  constexpr const char* kBuggy = R"(
+          loadi r0, 4096      ; way past a one-page object
+          read  r1, obj0[r0]
+          halt
+  )";
+  auto program = Assemble(kBuggy, 0);
+  ASSERT_TRUE(program.ok());
+  runtime::FpgaSystem sys(runtime::Epxa1Config());
+  ASSERT_TRUE(sys.Load(MakeMicrocodeBitstream(
+                           "buggy", std::move(program).value(),
+                           Frequency::MHz(40), Frequency::MHz(40)))
+                  .ok());
+  auto buf = sys.Allocate<u32>(512);
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(sys.Map(0, buf.value(), os::Direction::kIn).ok());
+  auto report = sys.Execute({});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), ErrorCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace vcop::ucode

@@ -1,0 +1,85 @@
+// Unit tests for workload generation and the ARM software-time model.
+#include <gtest/gtest.h>
+
+#include "apps/sw_model.h"
+#include "apps/workloads.h"
+
+namespace vcop::apps {
+namespace {
+
+TEST(WorkloadsTest, AudioIsDeterministicPerSeed) {
+  EXPECT_EQ(MakeAudioPcm(256, 1), MakeAudioPcm(256, 1));
+  EXPECT_NE(MakeAudioPcm(256, 1), MakeAudioPcm(256, 2));
+}
+
+TEST(WorkloadsTest, AudioUsesWideDynamicRange) {
+  const std::vector<i16> pcm = MakeAudioPcm(4096, 3);
+  i16 lo = 0, hi = 0;
+  for (const i16 s : pcm) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_LT(lo, -8000);
+  EXPECT_GT(hi, 8000);
+}
+
+TEST(WorkloadsTest, AdpcmStreamHasRequestedSize) {
+  EXPECT_EQ(MakeAdpcmStream(2048, 4).size(), 2048u);
+  EXPECT_EQ(MakeAdpcmStream(1, 4).size(), 1u);
+}
+
+TEST(WorkloadsTest, RandomBytesDeterministicAndSpread) {
+  const std::vector<u8> a = MakeRandomBytes(4096, 5);
+  EXPECT_EQ(a, MakeRandomBytes(4096, 5));
+  // All byte values should appear in 4 KB of uniform bytes.
+  std::vector<bool> seen(256, false);
+  for (const u8 b : a) seen[b] = true;
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), true), 256);
+}
+
+TEST(WorkloadsTest, IdeaKeyDependsOnSeed) {
+  EXPECT_EQ(MakeIdeaKey(1), MakeIdeaKey(1));
+  EXPECT_NE(MakeIdeaKey(1), MakeIdeaKey(2));
+}
+
+// ----- ARM timing model: calibration anchors from the paper -----
+
+TEST(ArmTimingModelTest, AdpcmMatchesFigure8SoftwareTimes) {
+  // 18 ms at 8 KB (the derivation anchor), scaling linearly.
+  const ArmTimingModel arm;
+  EXPECT_NEAR(ToMilliseconds(arm.AdpcmDecodeTime(8192)), 18.0, 0.3);
+  EXPECT_NEAR(ToMilliseconds(arm.AdpcmDecodeTime(4096)), 9.0, 0.2);
+  EXPECT_NEAR(ToMilliseconds(arm.AdpcmDecodeTime(2048)), 4.5, 0.1);
+}
+
+TEST(ArmTimingModelTest, IdeaMatchesFigure9SoftwareTimes) {
+  // The paper's axis labels: 26/53/105/211 ms for 4/8/16/32 KB.
+  const ArmTimingModel arm;
+  EXPECT_NEAR(ToMilliseconds(arm.IdeaEcbTime(4096)), 26.0, 0.5);
+  EXPECT_NEAR(ToMilliseconds(arm.IdeaEcbTime(8192)), 53.0, 1.5);
+  EXPECT_NEAR(ToMilliseconds(arm.IdeaEcbTime(16384)), 105.0, 2.0);
+  EXPECT_NEAR(ToMilliseconds(arm.IdeaEcbTime(32768)), 211.0, 3.0);
+}
+
+TEST(ArmTimingModelTest, RunnersProduceCorrectOutput) {
+  const ArmTimingModel arm;
+  const std::vector<u8> in = MakeAdpcmStream(128, 6);
+  std::vector<i16> out(256), expect(256);
+  AdpcmState s;
+  AdpcmDecode(in, expect, s);
+  const SwRunResult r = RunSoftwareAdpcmDecode(arm, in, out);
+  EXPECT_EQ(out, expect);
+  EXPECT_EQ(r.time, arm.AdpcmDecodeTime(128));
+}
+
+TEST(ArmTimingModelTest, TimeScalesWithClock) {
+  ArmTimingModel fast;
+  fast.cpu_clock = Frequency::MHz(266);
+  const ArmTimingModel slow;  // 133 MHz
+  EXPECT_NEAR(static_cast<double>(slow.IdeaEcbTime(8192)) /
+                  static_cast<double>(fast.IdeaEcbTime(8192)),
+              2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace vcop::apps
