@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pipelined_imu.dir/abl_pipelined_imu.cpp.o"
+  "CMakeFiles/abl_pipelined_imu.dir/abl_pipelined_imu.cpp.o.d"
+  "abl_pipelined_imu"
+  "abl_pipelined_imu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pipelined_imu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

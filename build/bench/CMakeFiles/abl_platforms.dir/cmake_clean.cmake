@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_platforms.dir/abl_platforms.cpp.o"
+  "CMakeFiles/abl_platforms.dir/abl_platforms.cpp.o.d"
+  "abl_platforms"
+  "abl_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sharing.dir/abl_sharing.cpp.o"
+  "CMakeFiles/abl_sharing.dir/abl_sharing.cpp.o.d"
+  "abl_sharing"
+  "abl_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_stride.dir/abl_stride.cpp.o"
+  "CMakeFiles/abl_stride.dir/abl_stride.cpp.o.d"
+  "abl_stride"
+  "abl_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

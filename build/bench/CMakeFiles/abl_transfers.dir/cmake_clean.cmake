@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_transfers.dir/abl_transfers.cpp.o"
+  "CMakeFiles/abl_transfers.dir/abl_transfers.cpp.o.d"
+  "abl_transfers"
+  "abl_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

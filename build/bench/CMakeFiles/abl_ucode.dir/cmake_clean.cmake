@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ucode.dir/abl_ucode.cpp.o"
+  "CMakeFiles/abl_ucode.dir/abl_ucode.cpp.o.d"
+  "abl_ucode"
+  "abl_ucode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ucode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_timing.dir/fig7_timing.cpp.o"
+  "CMakeFiles/fig7_timing.dir/fig7_timing.cpp.o.d"
+  "fig7_timing"
+  "fig7_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_adpcm.dir/fig8_adpcm.cpp.o"
+  "CMakeFiles/fig8_adpcm.dir/fig8_adpcm.cpp.o.d"
+  "fig8_adpcm"
+  "fig8_adpcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_adpcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_idea.dir/fig9_idea.cpp.o"
+  "CMakeFiles/fig9_idea.dir/fig9_idea.cpp.o.d"
+  "fig9_idea"
+  "fig9_idea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_idea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

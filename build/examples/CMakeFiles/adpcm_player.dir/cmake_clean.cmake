@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adpcm_player.dir/adpcm_player.cpp.o"
+  "CMakeFiles/adpcm_player.dir/adpcm_player.cpp.o.d"
+  "adpcm_player"
+  "adpcm_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adpcm_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

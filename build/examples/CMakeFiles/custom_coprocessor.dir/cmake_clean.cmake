@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_coprocessor.dir/custom_coprocessor.cpp.o"
+  "CMakeFiles/custom_coprocessor.dir/custom_coprocessor.cpp.o.d"
+  "custom_coprocessor"
+  "custom_coprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_coprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idea_crypt.dir/idea_crypt.cpp.o"
+  "CMakeFiles/idea_crypt.dir/idea_crypt.cpp.o.d"
+  "idea_crypt"
+  "idea_crypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idea_crypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

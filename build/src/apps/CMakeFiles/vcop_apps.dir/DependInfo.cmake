@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/adpcm.cpp" "src/apps/CMakeFiles/vcop_apps.dir/adpcm.cpp.o" "gcc" "src/apps/CMakeFiles/vcop_apps.dir/adpcm.cpp.o.d"
+  "/root/repo/src/apps/conv2d.cpp" "src/apps/CMakeFiles/vcop_apps.dir/conv2d.cpp.o" "gcc" "src/apps/CMakeFiles/vcop_apps.dir/conv2d.cpp.o.d"
+  "/root/repo/src/apps/idea.cpp" "src/apps/CMakeFiles/vcop_apps.dir/idea.cpp.o" "gcc" "src/apps/CMakeFiles/vcop_apps.dir/idea.cpp.o.d"
+  "/root/repo/src/apps/sw_model.cpp" "src/apps/CMakeFiles/vcop_apps.dir/sw_model.cpp.o" "gcc" "src/apps/CMakeFiles/vcop_apps.dir/sw_model.cpp.o.d"
+  "/root/repo/src/apps/workloads.cpp" "src/apps/CMakeFiles/vcop_apps.dir/workloads.cpp.o" "gcc" "src/apps/CMakeFiles/vcop_apps.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vcop_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

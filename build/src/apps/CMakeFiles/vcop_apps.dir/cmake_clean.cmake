@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcop_apps.dir/adpcm.cpp.o"
+  "CMakeFiles/vcop_apps.dir/adpcm.cpp.o.d"
+  "CMakeFiles/vcop_apps.dir/conv2d.cpp.o"
+  "CMakeFiles/vcop_apps.dir/conv2d.cpp.o.d"
+  "CMakeFiles/vcop_apps.dir/idea.cpp.o"
+  "CMakeFiles/vcop_apps.dir/idea.cpp.o.d"
+  "CMakeFiles/vcop_apps.dir/sw_model.cpp.o"
+  "CMakeFiles/vcop_apps.dir/sw_model.cpp.o.d"
+  "CMakeFiles/vcop_apps.dir/workloads.cpp.o"
+  "CMakeFiles/vcop_apps.dir/workloads.cpp.o.d"
+  "libvcop_apps.a"
+  "libvcop_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcop_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

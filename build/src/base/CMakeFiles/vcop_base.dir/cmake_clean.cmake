@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcop_base.dir/log.cpp.o"
+  "CMakeFiles/vcop_base.dir/log.cpp.o.d"
+  "CMakeFiles/vcop_base.dir/rng.cpp.o"
+  "CMakeFiles/vcop_base.dir/rng.cpp.o.d"
+  "CMakeFiles/vcop_base.dir/status.cpp.o"
+  "CMakeFiles/vcop_base.dir/status.cpp.o.d"
+  "CMakeFiles/vcop_base.dir/table.cpp.o"
+  "CMakeFiles/vcop_base.dir/table.cpp.o.d"
+  "CMakeFiles/vcop_base.dir/units.cpp.o"
+  "CMakeFiles/vcop_base.dir/units.cpp.o.d"
+  "libvcop_base.a"
+  "libvcop_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcop_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

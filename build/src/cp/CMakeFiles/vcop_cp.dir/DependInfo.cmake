@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cp/adpcm_cp.cpp" "src/cp/CMakeFiles/vcop_cp.dir/adpcm_cp.cpp.o" "gcc" "src/cp/CMakeFiles/vcop_cp.dir/adpcm_cp.cpp.o.d"
+  "/root/repo/src/cp/adpcm_enc_cp.cpp" "src/cp/CMakeFiles/vcop_cp.dir/adpcm_enc_cp.cpp.o" "gcc" "src/cp/CMakeFiles/vcop_cp.dir/adpcm_enc_cp.cpp.o.d"
+  "/root/repo/src/cp/conv_cp.cpp" "src/cp/CMakeFiles/vcop_cp.dir/conv_cp.cpp.o" "gcc" "src/cp/CMakeFiles/vcop_cp.dir/conv_cp.cpp.o.d"
+  "/root/repo/src/cp/gather_cp.cpp" "src/cp/CMakeFiles/vcop_cp.dir/gather_cp.cpp.o" "gcc" "src/cp/CMakeFiles/vcop_cp.dir/gather_cp.cpp.o.d"
+  "/root/repo/src/cp/histogram_cp.cpp" "src/cp/CMakeFiles/vcop_cp.dir/histogram_cp.cpp.o" "gcc" "src/cp/CMakeFiles/vcop_cp.dir/histogram_cp.cpp.o.d"
+  "/root/repo/src/cp/idea_cp.cpp" "src/cp/CMakeFiles/vcop_cp.dir/idea_cp.cpp.o" "gcc" "src/cp/CMakeFiles/vcop_cp.dir/idea_cp.cpp.o.d"
+  "/root/repo/src/cp/registry.cpp" "src/cp/CMakeFiles/vcop_cp.dir/registry.cpp.o" "gcc" "src/cp/CMakeFiles/vcop_cp.dir/registry.cpp.o.d"
+  "/root/repo/src/cp/vecadd_cp.cpp" "src/cp/CMakeFiles/vcop_cp.dir/vecadd_cp.cpp.o" "gcc" "src/cp/CMakeFiles/vcop_cp.dir/vecadd_cp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vcop_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vcop_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/vcop_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vcop_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcop_cp.dir/adpcm_cp.cpp.o"
+  "CMakeFiles/vcop_cp.dir/adpcm_cp.cpp.o.d"
+  "CMakeFiles/vcop_cp.dir/adpcm_enc_cp.cpp.o"
+  "CMakeFiles/vcop_cp.dir/adpcm_enc_cp.cpp.o.d"
+  "CMakeFiles/vcop_cp.dir/conv_cp.cpp.o"
+  "CMakeFiles/vcop_cp.dir/conv_cp.cpp.o.d"
+  "CMakeFiles/vcop_cp.dir/gather_cp.cpp.o"
+  "CMakeFiles/vcop_cp.dir/gather_cp.cpp.o.d"
+  "CMakeFiles/vcop_cp.dir/histogram_cp.cpp.o"
+  "CMakeFiles/vcop_cp.dir/histogram_cp.cpp.o.d"
+  "CMakeFiles/vcop_cp.dir/idea_cp.cpp.o"
+  "CMakeFiles/vcop_cp.dir/idea_cp.cpp.o.d"
+  "CMakeFiles/vcop_cp.dir/registry.cpp.o"
+  "CMakeFiles/vcop_cp.dir/registry.cpp.o.d"
+  "CMakeFiles/vcop_cp.dir/vecadd_cp.cpp.o"
+  "CMakeFiles/vcop_cp.dir/vecadd_cp.cpp.o.d"
+  "libvcop_cp.a"
+  "libvcop_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcop_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

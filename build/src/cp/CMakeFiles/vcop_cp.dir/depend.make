@@ -1,0 +1,2 @@
+# Empty dependencies file for vcop_cp.
+# This may be replaced when dependencies are built.

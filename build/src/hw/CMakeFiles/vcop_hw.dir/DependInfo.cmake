@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/coprocessor.cpp" "src/hw/CMakeFiles/vcop_hw.dir/coprocessor.cpp.o" "gcc" "src/hw/CMakeFiles/vcop_hw.dir/coprocessor.cpp.o.d"
+  "/root/repo/src/hw/fabric.cpp" "src/hw/CMakeFiles/vcop_hw.dir/fabric.cpp.o" "gcc" "src/hw/CMakeFiles/vcop_hw.dir/fabric.cpp.o.d"
+  "/root/repo/src/hw/imu.cpp" "src/hw/CMakeFiles/vcop_hw.dir/imu.cpp.o" "gcc" "src/hw/CMakeFiles/vcop_hw.dir/imu.cpp.o.d"
+  "/root/repo/src/hw/tlb.cpp" "src/hw/CMakeFiles/vcop_hw.dir/tlb.cpp.o" "gcc" "src/hw/CMakeFiles/vcop_hw.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vcop_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vcop_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcop_hw.dir/coprocessor.cpp.o"
+  "CMakeFiles/vcop_hw.dir/coprocessor.cpp.o.d"
+  "CMakeFiles/vcop_hw.dir/fabric.cpp.o"
+  "CMakeFiles/vcop_hw.dir/fabric.cpp.o.d"
+  "CMakeFiles/vcop_hw.dir/imu.cpp.o"
+  "CMakeFiles/vcop_hw.dir/imu.cpp.o.d"
+  "CMakeFiles/vcop_hw.dir/tlb.cpp.o"
+  "CMakeFiles/vcop_hw.dir/tlb.cpp.o.d"
+  "libvcop_hw.a"
+  "libvcop_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcop_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/ahb.cpp" "src/mem/CMakeFiles/vcop_mem.dir/ahb.cpp.o" "gcc" "src/mem/CMakeFiles/vcop_mem.dir/ahb.cpp.o.d"
+  "/root/repo/src/mem/dp_ram.cpp" "src/mem/CMakeFiles/vcop_mem.dir/dp_ram.cpp.o" "gcc" "src/mem/CMakeFiles/vcop_mem.dir/dp_ram.cpp.o.d"
+  "/root/repo/src/mem/transfer.cpp" "src/mem/CMakeFiles/vcop_mem.dir/transfer.cpp.o" "gcc" "src/mem/CMakeFiles/vcop_mem.dir/transfer.cpp.o.d"
+  "/root/repo/src/mem/user_memory.cpp" "src/mem/CMakeFiles/vcop_mem.dir/user_memory.cpp.o" "gcc" "src/mem/CMakeFiles/vcop_mem.dir/user_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vcop_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcop_mem.dir/ahb.cpp.o"
+  "CMakeFiles/vcop_mem.dir/ahb.cpp.o.d"
+  "CMakeFiles/vcop_mem.dir/dp_ram.cpp.o"
+  "CMakeFiles/vcop_mem.dir/dp_ram.cpp.o.d"
+  "CMakeFiles/vcop_mem.dir/transfer.cpp.o"
+  "CMakeFiles/vcop_mem.dir/transfer.cpp.o.d"
+  "CMakeFiles/vcop_mem.dir/user_memory.cpp.o"
+  "CMakeFiles/vcop_mem.dir/user_memory.cpp.o.d"
+  "libvcop_mem.a"
+  "libvcop_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcop_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel.cpp" "src/os/CMakeFiles/vcop_os.dir/kernel.cpp.o" "gcc" "src/os/CMakeFiles/vcop_os.dir/kernel.cpp.o.d"
+  "/root/repo/src/os/object_table.cpp" "src/os/CMakeFiles/vcop_os.dir/object_table.cpp.o" "gcc" "src/os/CMakeFiles/vcop_os.dir/object_table.cpp.o.d"
+  "/root/repo/src/os/oracle.cpp" "src/os/CMakeFiles/vcop_os.dir/oracle.cpp.o" "gcc" "src/os/CMakeFiles/vcop_os.dir/oracle.cpp.o.d"
+  "/root/repo/src/os/page_manager.cpp" "src/os/CMakeFiles/vcop_os.dir/page_manager.cpp.o" "gcc" "src/os/CMakeFiles/vcop_os.dir/page_manager.cpp.o.d"
+  "/root/repo/src/os/policy.cpp" "src/os/CMakeFiles/vcop_os.dir/policy.cpp.o" "gcc" "src/os/CMakeFiles/vcop_os.dir/policy.cpp.o.d"
+  "/root/repo/src/os/prefetch.cpp" "src/os/CMakeFiles/vcop_os.dir/prefetch.cpp.o" "gcc" "src/os/CMakeFiles/vcop_os.dir/prefetch.cpp.o.d"
+  "/root/repo/src/os/scheduler.cpp" "src/os/CMakeFiles/vcop_os.dir/scheduler.cpp.o" "gcc" "src/os/CMakeFiles/vcop_os.dir/scheduler.cpp.o.d"
+  "/root/repo/src/os/timeline.cpp" "src/os/CMakeFiles/vcop_os.dir/timeline.cpp.o" "gcc" "src/os/CMakeFiles/vcop_os.dir/timeline.cpp.o.d"
+  "/root/repo/src/os/vim.cpp" "src/os/CMakeFiles/vcop_os.dir/vim.cpp.o" "gcc" "src/os/CMakeFiles/vcop_os.dir/vim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vcop_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vcop_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vcop_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

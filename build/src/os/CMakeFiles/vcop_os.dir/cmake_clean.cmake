@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcop_os.dir/kernel.cpp.o"
+  "CMakeFiles/vcop_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/vcop_os.dir/object_table.cpp.o"
+  "CMakeFiles/vcop_os.dir/object_table.cpp.o.d"
+  "CMakeFiles/vcop_os.dir/oracle.cpp.o"
+  "CMakeFiles/vcop_os.dir/oracle.cpp.o.d"
+  "CMakeFiles/vcop_os.dir/page_manager.cpp.o"
+  "CMakeFiles/vcop_os.dir/page_manager.cpp.o.d"
+  "CMakeFiles/vcop_os.dir/policy.cpp.o"
+  "CMakeFiles/vcop_os.dir/policy.cpp.o.d"
+  "CMakeFiles/vcop_os.dir/prefetch.cpp.o"
+  "CMakeFiles/vcop_os.dir/prefetch.cpp.o.d"
+  "CMakeFiles/vcop_os.dir/scheduler.cpp.o"
+  "CMakeFiles/vcop_os.dir/scheduler.cpp.o.d"
+  "CMakeFiles/vcop_os.dir/timeline.cpp.o"
+  "CMakeFiles/vcop_os.dir/timeline.cpp.o.d"
+  "CMakeFiles/vcop_os.dir/vim.cpp.o"
+  "CMakeFiles/vcop_os.dir/vim.cpp.o.d"
+  "libvcop_os.a"
+  "libvcop_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcop_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/config.cpp" "src/runtime/CMakeFiles/vcop_runtime.dir/config.cpp.o" "gcc" "src/runtime/CMakeFiles/vcop_runtime.dir/config.cpp.o.d"
+  "/root/repo/src/runtime/drivers.cpp" "src/runtime/CMakeFiles/vcop_runtime.dir/drivers.cpp.o" "gcc" "src/runtime/CMakeFiles/vcop_runtime.dir/drivers.cpp.o.d"
+  "/root/repo/src/runtime/manual_runtime.cpp" "src/runtime/CMakeFiles/vcop_runtime.dir/manual_runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/vcop_runtime.dir/manual_runtime.cpp.o.d"
+  "/root/repo/src/runtime/platform_file.cpp" "src/runtime/CMakeFiles/vcop_runtime.dir/platform_file.cpp.o" "gcc" "src/runtime/CMakeFiles/vcop_runtime.dir/platform_file.cpp.o.d"
+  "/root/repo/src/runtime/report.cpp" "src/runtime/CMakeFiles/vcop_runtime.dir/report.cpp.o" "gcc" "src/runtime/CMakeFiles/vcop_runtime.dir/report.cpp.o.d"
+  "/root/repo/src/runtime/streaming.cpp" "src/runtime/CMakeFiles/vcop_runtime.dir/streaming.cpp.o" "gcc" "src/runtime/CMakeFiles/vcop_runtime.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vcop_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vcop_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vcop_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/vcop_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cp/CMakeFiles/vcop_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucode/CMakeFiles/vcop_ucode.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/vcop_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcop_runtime.dir/config.cpp.o"
+  "CMakeFiles/vcop_runtime.dir/config.cpp.o.d"
+  "CMakeFiles/vcop_runtime.dir/drivers.cpp.o"
+  "CMakeFiles/vcop_runtime.dir/drivers.cpp.o.d"
+  "CMakeFiles/vcop_runtime.dir/manual_runtime.cpp.o"
+  "CMakeFiles/vcop_runtime.dir/manual_runtime.cpp.o.d"
+  "CMakeFiles/vcop_runtime.dir/platform_file.cpp.o"
+  "CMakeFiles/vcop_runtime.dir/platform_file.cpp.o.d"
+  "CMakeFiles/vcop_runtime.dir/report.cpp.o"
+  "CMakeFiles/vcop_runtime.dir/report.cpp.o.d"
+  "CMakeFiles/vcop_runtime.dir/streaming.cpp.o"
+  "CMakeFiles/vcop_runtime.dir/streaming.cpp.o.d"
+  "libvcop_runtime.a"
+  "libvcop_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcop_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

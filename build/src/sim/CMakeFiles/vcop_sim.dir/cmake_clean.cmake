@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcop_sim.dir/clock.cpp.o"
+  "CMakeFiles/vcop_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/vcop_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/vcop_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vcop_sim.dir/simulator.cpp.o"
+  "CMakeFiles/vcop_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/vcop_sim.dir/trace.cpp.o"
+  "CMakeFiles/vcop_sim.dir/trace.cpp.o.d"
+  "libvcop_sim.a"
+  "libvcop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ucode/assembler.cpp" "src/ucode/CMakeFiles/vcop_ucode.dir/assembler.cpp.o" "gcc" "src/ucode/CMakeFiles/vcop_ucode.dir/assembler.cpp.o.d"
+  "/root/repo/src/ucode/compiler.cpp" "src/ucode/CMakeFiles/vcop_ucode.dir/compiler.cpp.o" "gcc" "src/ucode/CMakeFiles/vcop_ucode.dir/compiler.cpp.o.d"
+  "/root/repo/src/ucode/estimator.cpp" "src/ucode/CMakeFiles/vcop_ucode.dir/estimator.cpp.o" "gcc" "src/ucode/CMakeFiles/vcop_ucode.dir/estimator.cpp.o.d"
+  "/root/repo/src/ucode/isa.cpp" "src/ucode/CMakeFiles/vcop_ucode.dir/isa.cpp.o" "gcc" "src/ucode/CMakeFiles/vcop_ucode.dir/isa.cpp.o.d"
+  "/root/repo/src/ucode/ucode_cp.cpp" "src/ucode/CMakeFiles/vcop_ucode.dir/ucode_cp.cpp.o" "gcc" "src/ucode/CMakeFiles/vcop_ucode.dir/ucode_cp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vcop_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vcop_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vcop_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcop_ucode.dir/assembler.cpp.o"
+  "CMakeFiles/vcop_ucode.dir/assembler.cpp.o.d"
+  "CMakeFiles/vcop_ucode.dir/compiler.cpp.o"
+  "CMakeFiles/vcop_ucode.dir/compiler.cpp.o.d"
+  "CMakeFiles/vcop_ucode.dir/estimator.cpp.o"
+  "CMakeFiles/vcop_ucode.dir/estimator.cpp.o.d"
+  "CMakeFiles/vcop_ucode.dir/isa.cpp.o"
+  "CMakeFiles/vcop_ucode.dir/isa.cpp.o.d"
+  "CMakeFiles/vcop_ucode.dir/ucode_cp.cpp.o"
+  "CMakeFiles/vcop_ucode.dir/ucode_cp.cpp.o.d"
+  "libvcop_ucode.a"
+  "libvcop_ucode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcop_ucode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

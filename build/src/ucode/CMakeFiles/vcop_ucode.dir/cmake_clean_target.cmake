@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvcop_ucode.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for vcop_ucode.
+# This may be replaced when dependencies are built.

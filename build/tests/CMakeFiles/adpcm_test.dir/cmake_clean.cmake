@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adpcm_test.dir/adpcm_test.cpp.o"
+  "CMakeFiles/adpcm_test.dir/adpcm_test.cpp.o.d"
+  "adpcm_test"
+  "adpcm_test.pdb"
+  "adpcm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adpcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

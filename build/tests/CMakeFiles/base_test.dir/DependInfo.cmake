@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/base_test.cpp" "tests/CMakeFiles/base_test.dir/base_test.cpp.o" "gcc" "tests/CMakeFiles/base_test.dir/base_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vcop_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vcop_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vcop_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/vcop_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cp/CMakeFiles/vcop_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucode/CMakeFiles/vcop_ucode.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/vcop_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/vcop_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

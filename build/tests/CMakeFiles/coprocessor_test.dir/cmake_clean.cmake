@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coprocessor_test.dir/coprocessor_test.cpp.o"
+  "CMakeFiles/coprocessor_test.dir/coprocessor_test.cpp.o.d"
+  "coprocessor_test"
+  "coprocessor_test.pdb"
+  "coprocessor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coprocessor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

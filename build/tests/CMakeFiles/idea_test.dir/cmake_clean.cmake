@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idea_test.dir/idea_test.cpp.o"
+  "CMakeFiles/idea_test.dir/idea_test.cpp.o.d"
+  "idea_test"
+  "idea_test.pdb"
+  "idea_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idea_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imu_test.dir/imu_test.cpp.o"
+  "CMakeFiles/imu_test.dir/imu_test.cpp.o.d"
+  "imu_test"
+  "imu_test.pdb"
+  "imu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

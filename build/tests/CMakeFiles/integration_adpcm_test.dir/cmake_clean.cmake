@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_adpcm_test.dir/integration_adpcm_test.cpp.o"
+  "CMakeFiles/integration_adpcm_test.dir/integration_adpcm_test.cpp.o.d"
+  "integration_adpcm_test"
+  "integration_adpcm_test.pdb"
+  "integration_adpcm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_adpcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_idea_test.dir/integration_idea_test.cpp.o"
+  "CMakeFiles/integration_idea_test.dir/integration_idea_test.cpp.o.d"
+  "integration_idea_test"
+  "integration_idea_test.pdb"
+  "integration_idea_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_idea_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

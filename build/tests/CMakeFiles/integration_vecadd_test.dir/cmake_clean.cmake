@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_vecadd_test.dir/integration_vecadd_test.cpp.o"
+  "CMakeFiles/integration_vecadd_test.dir/integration_vecadd_test.cpp.o.d"
+  "integration_vecadd_test"
+  "integration_vecadd_test.pdb"
+  "integration_vecadd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_vecadd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_ext_test.dir/property_ext_test.cpp.o"
+  "CMakeFiles/property_ext_test.dir/property_ext_test.cpp.o.d"
+  "property_ext_test"
+  "property_ext_test.pdb"
+  "property_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

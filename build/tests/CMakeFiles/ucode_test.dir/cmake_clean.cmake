@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucode_test.dir/ucode_test.cpp.o"
+  "CMakeFiles/ucode_test.dir/ucode_test.cpp.o.d"
+  "ucode_test"
+  "ucode_test.pdb"
+  "ucode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vim_test.dir/vim_test.cpp.o"
+  "CMakeFiles/vim_test.dir/vim_test.cpp.o.d"
+  "vim_test"
+  "vim_test.pdb"
+  "vim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
