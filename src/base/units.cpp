@@ -4,25 +4,17 @@
 
 namespace vcop {
 
-Picoseconds Frequency::EdgeTime(u64 cycle) const {
-  VCOP_CHECK_MSG(valid(), "EdgeTime on a zero frequency");
+Picoseconds Frequency::EdgeTimeWide(u64 cycle) const {
   const unsigned __int128 num =
-      static_cast<unsigned __int128>(cycle) * kPicosecondsPerSecond;
-  return static_cast<Picoseconds>(num / hertz_);
+      static_cast<unsigned __int128>(cycle) * ps_num_;
+  return static_cast<Picoseconds>(num / ps_den_);
 }
 
-u64 Frequency::CyclesAt(Picoseconds t) const {
-  VCOP_CHECK_MSG(valid(), "CyclesAt on a zero frequency");
-  // k <= t * f / 1e12 < k+1, so floor(t*f/1e12) is the answer unless
-  // EdgeTime rounding makes edge k land exactly on t; floor handles that
-  // too because EdgeTime(k) <= exact k-th edge time.
-  const unsigned __int128 num = static_cast<unsigned __int128>(t) * hertz_;
-  u64 k = static_cast<u64>(num / kPicosecondsPerSecond);
-  // Guard against off-by-one from EdgeTime's floor: move k up/down until
-  // EdgeTime(k) <= t < EdgeTime(k+1).
-  while (EdgeTime(k) > t) --k;
-  while (EdgeTime(k + 1) <= t) ++k;
-  return k;
+u64 Frequency::CyclesAtWide(Picoseconds t) const {
+  // First estimate of floor(t * f / 1e12); the caller nudges it onto the
+  // defining inequality EdgeTime(k) <= t < EdgeTime(k+1).
+  const unsigned __int128 num = static_cast<unsigned __int128>(t) * ps_den_;
+  return static_cast<u64>(num / ps_num_);
 }
 
 std::string Frequency::ToString() const {

@@ -9,7 +9,10 @@
 // than by accumulating a rounded period, which would drift.
 #pragma once
 
+#include <bit>
 #include <compare>
+#include <limits>
+#include <numeric>
 #include <string>
 
 #include "base/status.h"
@@ -28,7 +31,17 @@ constexpr Picoseconds kPicosecondsPerSecond = 1'000'000'000'000ULL;
 class Frequency {
  public:
   constexpr Frequency() = default;
-  constexpr explicit Frequency(u64 hertz) : hertz_(hertz) {}
+  constexpr explicit Frequency(u64 hertz) : hertz_(hertz) {
+    if (hertz > 0) {
+      const u64 g = std::gcd(kPicosecondsPerSecond, hertz);
+      ps_num_ = kPicosecondsPerSecond / g;
+      ps_den_ = hertz / g;
+      edge_fast_max_ = std::numeric_limits<u64>::max() / ps_num_;
+      cycles_fast_max_ = std::numeric_limits<u64>::max() / ps_den_;
+      div_num_ = U64Div(ps_num_);
+      div_den_ = U64Div(ps_den_);
+    }
+  }
 
   static constexpr Frequency MHz(u64 mhz) { return Frequency(mhz * 1'000'000); }
   static constexpr Frequency KHz(u64 khz) { return Frequency(khz * 1'000); }
@@ -37,12 +50,28 @@ class Frequency {
   constexpr bool valid() const { return hertz_ > 0; }
 
   /// Timestamp of rising edge `cycle` (edge 0 at t=0). Drift-free:
-  /// computed as floor(cycle * 1e12 / hertz) with 128-bit intermediate.
-  Picoseconds EdgeTime(u64 cycle) const;
+  /// floor(cycle * 1e12 / hertz), computed with the reduced fraction
+  /// 1e12/hertz = ps_num_/ps_den_ so the modelled MHz-scale clocks
+  /// (whose ps_den_ fits in a few bits) stay in 64-bit arithmetic; odd
+  /// frequencies or huge cycle counts fall back to a 128-bit divide.
+  Picoseconds EdgeTime(u64 cycle) const {
+    VCOP_CHECK_MSG(valid(), "EdgeTime on a zero frequency");
+    if (cycle <= edge_fast_max_) return div_den_.Divide(cycle * ps_num_);
+    return EdgeTimeWide(cycle);
+  }
 
   /// Number of complete cycles of this clock elapsed at time `t`,
   /// i.e. the largest k with EdgeTime(k) <= t.
-  u64 CyclesAt(Picoseconds t) const;
+  u64 CyclesAt(Picoseconds t) const {
+    VCOP_CHECK_MSG(valid(), "CyclesAt on a zero frequency");
+    u64 k = t <= cycles_fast_max_ ? div_num_.Divide(t * ps_den_)
+                                  : CyclesAtWide(t);
+    // floor(t*den/num) can be off by one from the true inverse because
+    // EdgeTime itself floors; nudge onto the defining inequality.
+    while (EdgeTime(k) > t) --k;
+    while (EdgeTime(k + 1) <= t) ++k;
+    return k;
+  }
 
   /// Duration of `cycles` cycles, rounded down to integer picoseconds.
   Picoseconds Duration(u64 cycles) const { return EdgeTime(cycles); }
@@ -50,10 +79,58 @@ class Frequency {
   /// e.g. "133 MHz", "24 MHz", "1.5 MHz" (two decimals max).
   std::string ToString() const;
 
-  friend constexpr auto operator<=>(Frequency, Frequency) = default;
+  friend constexpr bool operator==(Frequency a, Frequency b) {
+    return a.hertz_ == b.hertz_;
+  }
+  friend constexpr auto operator<=>(Frequency a, Frequency b) {
+    return a.hertz_ <=> b.hertz_;
+  }
 
  private:
+  /// Division by a fixed u64 divisor as one multiply-high: the classic
+  /// ceil(2^p / d) reciprocal. With p = 63 + floor(log2 d) the
+  /// multiplier fits 64 bits and floor(n/d) == (n * mul) >> p exactly
+  /// for every n < 2^p / d — proved by frac(n/d) + n*(mul*d - 2^p) /
+  /// (d * 2^p) < 1 under that bound. Callers guard with exact_below and
+  /// fall back to a hardware divide; divides dominate the simulation
+  /// kernel's edge<->time conversions, so this is worth the ceremony.
+  struct U64Div {
+    u64 d = 1;
+    u64 mul = 0;
+    u32 shift = 0;
+    u64 exact_below = 0;  // multiply path exact for dividends < this
+
+    constexpr U64Div() = default;
+    constexpr explicit U64Div(u64 divisor) : d(divisor) {
+      shift = 63 + (std::bit_width(d) - 1);
+      const unsigned __int128 p = static_cast<unsigned __int128>(1) << shift;
+      mul = static_cast<u64>((p + d - 1) / d);
+      const unsigned __int128 limit = p / d;
+      exact_below = limit > std::numeric_limits<u64>::max()
+                        ? std::numeric_limits<u64>::max()
+                        : static_cast<u64>(limit);
+    }
+
+    u64 Divide(u64 n) const {
+      if (n < exact_below) {
+        return static_cast<u64>(
+            (static_cast<unsigned __int128>(n) * mul) >> shift);
+      }
+      return n / d;
+    }
+  };
+
+  Picoseconds EdgeTimeWide(u64 cycle) const;
+  u64 CyclesAtWide(Picoseconds t) const;
+
   u64 hertz_ = 0;
+  // Reduced fraction: 1e12 / hertz_ == ps_num_ / ps_den_ exactly.
+  u64 ps_num_ = 0;
+  u64 ps_den_ = 1;
+  u64 edge_fast_max_ = 0;    // largest cycle with cycle*ps_num_ in 64 bits
+  u64 cycles_fast_max_ = 0;  // largest t with t*ps_den_ in 64 bits
+  U64Div div_num_;           // divide-by-ps_num_ reciprocal
+  U64Div div_den_;           // divide-by-ps_den_ reciprocal
 };
 
 /// Converts a picosecond duration to fractional milliseconds

@@ -18,28 +18,19 @@ void AdpcmDecodeCoprocessor::Step() {
         break;
       }
       if (TryRead(kObjIn, pos_, byte_)) {
-        delay_ = kDecodeCyclesPerSample;
-        state_ = State::kDecodeLow;
-      }
-      break;
-
-    case State::kDecodeLow:
-      if (--delay_ == 0) {
+        // The serial datapath spends the next kDecodeCyclesPerSample
+        // edges reconstructing the low-nibble sample; computing it on
+        // the capture edge is unobservable from outside the core.
         sample_ = apps::AdpcmDecodeSample(byte_ & 0x0F, predictor_);
+        BeginDelay(kDecodeCyclesPerSample);
         state_ = State::kWriteLow;
       }
       break;
 
     case State::kWriteLow:
       if (TryWrite(kObjOut, 2 * pos_, static_cast<u16>(sample_))) {
-        delay_ = kDecodeCyclesPerSample;
-        state_ = State::kDecodeHigh;
-      }
-      break;
-
-    case State::kDecodeHigh:
-      if (--delay_ == 0) {
         sample_ = apps::AdpcmDecodeSample((byte_ >> 4) & 0x0F, predictor_);
+        BeginDelay(kDecodeCyclesPerSample);
         state_ = State::kWriteHigh;
       }
       break;

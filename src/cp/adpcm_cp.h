@@ -40,10 +40,8 @@ class AdpcmDecodeCoprocessor final : public hw::Coprocessor {
 
  private:
   enum class State {
-    kFetchByte,
-    kDecodeLow,
-    kWriteLow,
-    kDecodeHigh,
+    kFetchByte,  // on capture: BeginDelay for the low-nibble decode
+    kWriteLow,   // on capture: BeginDelay for the high-nibble decode
     kWriteHigh,
   };
 
@@ -51,7 +49,6 @@ class AdpcmDecodeCoprocessor final : public hw::Coprocessor {
   u32 n_bytes_ = 0;
   u32 pos_ = 0;
   u32 byte_ = 0;
-  u32 delay_ = 0;
   i16 sample_ = 0;
   apps::AdpcmState predictor_{};
 };

@@ -18,31 +18,22 @@ void AdpcmEncodeCoprocessor::Step() {
         break;
       }
       if (TryRead(kObjIn, 2 * pos_, sample_)) {
-        delay_ = kEncodeCyclesPerSample;
-        state_ = State::kEncodeLow;
-      }
-      break;
-
-    case State::kEncodeLow:
-      if (--delay_ == 0) {
+        // Quantising the captured sample takes the serial datapath the
+        // next kEncodeCyclesPerSample edges; the result is not
+        // observable outside the core until then.
         low_code_ = apps::AdpcmEncodeSample(
             static_cast<i16>(static_cast<u16>(sample_)), predictor_);
+        BeginDelay(kEncodeCyclesPerSample);
         state_ = State::kReadHigh;
       }
       break;
 
     case State::kReadHigh:
       if (TryRead(kObjIn, 2 * pos_ + 1, sample_)) {
-        delay_ = kEncodeCyclesPerSample;
-        state_ = State::kEncodeHigh;
-      }
-      break;
-
-    case State::kEncodeHigh:
-      if (--delay_ == 0) {
         const u8 high_code = apps::AdpcmEncodeSample(
             static_cast<i16>(static_cast<u16>(sample_)), predictor_);
         byte_ = static_cast<u8>(low_code_ | (high_code << 4));
+        BeginDelay(kEncodeCyclesPerSample);
         state_ = State::kWriteByte;
       }
       break;

@@ -39,10 +39,8 @@ class AdpcmEncodeCoprocessor final : public hw::Coprocessor {
 
  private:
   enum class State {
-    kReadLow,
-    kEncodeLow,
-    kReadHigh,
-    kEncodeHigh,
+    kReadLow,   // on capture: BeginDelay for the low-sample quantise
+    kReadHigh,  // on capture: BeginDelay for the high-sample quantise
     kWriteByte,
   };
 
@@ -50,7 +48,6 @@ class AdpcmEncodeCoprocessor final : public hw::Coprocessor {
   u32 n_samples_ = 0;
   u32 pos_ = 0;  // sample pair index (= output byte index)
   u32 sample_ = 0;
-  u32 delay_ = 0;
   u8 low_code_ = 0;
   u8 byte_ = 0;
   apps::AdpcmState predictor_{};

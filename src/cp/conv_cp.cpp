@@ -85,22 +85,18 @@ void Conv3x3Coprocessor::Step() {
                 static_cast<i64>(pixel & 0xFF);
         ++tap_;
         if (tap_ == 9) {
-          delay_ = kComputeCycles;
-          state_ = State::kCompute;
+          // MAC-array settling: the clamped result becomes observable
+          // kComputeCycles edges after the last tap is latched.
+          i64 v = acc_ >> shift_;
+          if (v < 0) v = 0;
+          if (v > 255) v = 255;
+          out_value_ = static_cast<u32>(v);
+          BeginDelay(kComputeCycles);
+          state_ = State::kWritePixel;
         }
       }
       break;
     }
-
-    case State::kCompute:
-      if (--delay_ == 0) {
-        i64 v = acc_ >> shift_;
-        if (v < 0) v = 0;
-        if (v > 255) v = 255;
-        out_value_ = static_cast<u32>(v);
-        state_ = State::kWritePixel;
-      }
-      break;
 
     case State::kWritePixel:
       if (TryWrite(kObjDst, y_ * width_ + x_, out_value_)) {

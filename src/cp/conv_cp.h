@@ -40,8 +40,7 @@ class Conv3x3Coprocessor final : public hw::Coprocessor {
     kLoadKernel,
     kBorderRead,   // copy-through of the one-pixel frame
     kBorderWrite,
-    kReadTap,      // 9 neighbourhood reads for the current inner pixel
-    kCompute,
+    kReadTap,      // 9 reads; 9th capture BeginDelay(kComputeCycles)
     kWritePixel,
     kDone,
   };
@@ -65,7 +64,6 @@ class Conv3x3Coprocessor final : public hw::Coprocessor {
   u32 y_ = 1;
   u32 tap_ = 0;
   i64 acc_ = 0;
-  u32 delay_ = 0;
   u32 out_value_ = 0;
 };
 

@@ -69,14 +69,14 @@ void IdeaCoprocessor::Step() {
 
     case State::kReadHi:
       if (TryRead(kObjIn, 2 * blk_ + 1, hi_)) {
+        // The block enters the round pipeline on this edge; the result
+        // is architecturally visible kPipelineCycles edges later.
+        // Computing it now is unobservable — no access leaves the core
+        // until the write states run.
         CryptLatchedBlock();
-        delay_ = kPipelineCycles;
-        state_ = State::kCompute;
+        BeginDelay(kPipelineCycles);
+        state_ = State::kWriteLo;
       }
-      break;
-
-    case State::kCompute:
-      if (--delay_ == 0) state_ = State::kWriteLo;
       break;
 
     case State::kWriteLo:

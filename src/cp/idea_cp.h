@@ -53,8 +53,7 @@ class IdeaCoprocessor final : public hw::Coprocessor {
   enum class State {
     kLoadKey,   // one-time: pull the 52 subkeys into core registers
     kReadLo,
-    kReadHi,
-    kCompute,
+    kReadHi,    // on capture: crypt + BeginDelay(kPipelineCycles)
     kWriteLo,
     kWriteHi,
   };
@@ -72,7 +71,6 @@ class IdeaCoprocessor final : public hw::Coprocessor {
   u32 hi_ = 0;
   u32 chain_lo_ = 0;  // CBC chaining register (previous ciphertext)
   u32 chain_hi_ = 0;
-  u32 delay_ = 0;
 };
 
 }  // namespace vcop::cp

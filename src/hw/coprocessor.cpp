@@ -1,5 +1,7 @@
 #include "hw/coprocessor.h"
 
+#include <algorithm>
+
 namespace vcop::hw {
 
 void Coprocessor::Start(u32 num_params) {
@@ -10,17 +12,25 @@ void Coprocessor::Start(u32 num_params) {
   finished_once_ = false;
   cycles_run_ = 0;
   outstanding_ = false;
+  delay_cycles_ = 0;
   phase_ = Phase::kParamFetch;
 }
 
 void Coprocessor::Abort() {
   phase_ = Phase::kIdle;
   outstanding_ = false;
+  delay_cycles_ = 0;
 }
 
 void Coprocessor::OnRisingEdge() {
   if (phase_ == Phase::kIdle) return;
   ++cycles_run_;
+  if (delay_cycles_ > 0) {
+    // Mid-BeginDelay: the edge is consumed by the modelled compute
+    // latency; the FSM does not step.
+    --delay_cycles_;
+    return;
+  }
   consumed_this_tick_ = false;
   if (phase_ == Phase::kParamFetch) {
     StepParamFetch();
@@ -29,10 +39,16 @@ void Coprocessor::OnRisingEdge() {
   Step();
   if (phase_ == Phase::kRunning && consumed_this_tick_ && !outstanding_ &&
       port_->BackToBack()) {
-    // Pipelined interface: the FSM may launch its next access in the
-    // same cycle it captured the previous response (Mealy-style issue).
-    consumed_this_tick_ = false;
-    Step();
+    if (delay_cycles_ > 0) {
+      // The consume edge overlaps the first delay cycle, exactly as a
+      // hand-written countdown state stepping on this edge would.
+      --delay_cycles_;
+    } else {
+      // Pipelined interface: the FSM may launch its next access in the
+      // same cycle it captured the previous response (Mealy-style issue).
+      consumed_this_tick_ = false;
+      Step();
+    }
   }
 }
 
@@ -42,6 +58,28 @@ bool Coprocessor::active() const {
   // the response (or the fault resolution) lands.
   if (outstanding_ && !port_->ResponseReady()) return false;
   return true;
+}
+
+u64 Coprocessor::NextInterestingEdge(Picoseconds next_edge_time) const {
+  (void)next_edge_time;
+  if (phase_ == Phase::kIdle) return kNeverInteresting;
+  if (outstanding_ && !port_->ResponseReady()) return kNeverInteresting;
+  // Delay edges just burn down the countdown; the FSM steps again on
+  // the (delay_cycles_ + 1)-th edge from here.
+  if (delay_cycles_ > 0) return static_cast<u64>(delay_cycles_) + 1;
+  return 1;
+}
+
+void Coprocessor::OnEdgesSkipped(u64 count, Picoseconds first_edge_time) {
+  (void)first_edge_time;
+  if (phase_ == Phase::kIdle) return;
+  // Each skipped edge would have run OnRisingEdge: the cycle counter
+  // advances regardless, and delay edges burn the countdown. (Skipped
+  // edges never step the FSM — the hints above guarantee the FSM only
+  // needed the countdown or was blocked.)
+  cycles_run_ += count;
+  const u64 burned = std::min<u64>(count, delay_cycles_);
+  delay_cycles_ -= static_cast<u32>(burned);
 }
 
 bool Coprocessor::StepParamFetch() {

@@ -55,6 +55,15 @@ class Coprocessor : public sim::ClockedModule {
   // sim::ClockedModule:
   void OnRisingEdge() final;
   bool active() const final;
+  /// Hint for the clock domain: during a BeginDelay countdown only the
+  /// edge after the delay matters; while blocked on an access, no edge
+  /// does (the interface wakes the clock). Otherwise every edge steps
+  /// the FSM.
+  u64 NextInterestingEdge(Picoseconds next_edge_time) const final;
+  /// Credits batched-over edges exactly as OnRisingEdge would have
+  /// counted them: cycles_run_ advances per edge and the delay
+  /// countdown burns down.
+  void OnEdgesSkipped(u64 count, Picoseconds first_edge_time) final;
 
  protected:
   /// Parameters fetched during the start-up phase.
@@ -75,6 +84,14 @@ class Coprocessor : public sim::ClockedModule {
 
   /// Asserts CP_FIN. Call from Step() when the computation is done.
   void Finish();
+
+  /// Models a fixed compute latency: the FSM consumes the next `cycles`
+  /// rising edges doing nothing observable (cycles_run advances), and
+  /// Step() runs again on the edge after. Call from Step(), typically
+  /// on the edge that captured the operands — identical timing to a
+  /// hand-written countdown state, but the clock domain can batch the
+  /// whole delay into a single event.
+  void BeginDelay(u32 cycles) { delay_cycles_ = cycles; }
 
   /// Hook: parameters are available; initialise the FSM.
   virtual void OnStart() = 0;
@@ -98,6 +115,7 @@ class Coprocessor : public sim::ClockedModule {
   bool outstanding_ = false;
   CpAccess outstanding_access_{};
   bool consumed_this_tick_ = false;
+  u32 delay_cycles_ = 0;  // remaining BeginDelay edges
 };
 
 }  // namespace vcop::hw

@@ -141,8 +141,7 @@ void Imu::Issue(const CpAccess& access) {
     // Early acknowledgement: visible at the core's next rising edge.
     const Frequency f = cp_domain_->frequency();
     ack_at_ = f.EdgeTime(f.CyclesAt(sim_.now()) + 1);
-    sim::ClockDomain* cp = cp_domain_;
-    sim_.ScheduleAt(ack_at_, [cp] { cp->Kick(); });
+    cp_domain_->KickAt(ack_at_);
   }
   state_ = State::kTranslating;
   if (ObservationsNeeded() == 0) {
@@ -219,12 +218,35 @@ void Imu::OnRisingEdge() {
 
 bool Imu::active() const { return state_ == State::kTranslating; }
 
+u64 Imu::NextInterestingEdge(Picoseconds next_edge_time) const {
+  if (state_ != State::kTranslating) return kNeverInteresting;
+  // Edges at or before the observation floor do not count (OnRisingEdge
+  // ignores them); by grid monotonicity at most the upcoming edge can
+  // be at or below the floor.
+  const u64 need = ObservationsNeeded() - observations_;
+  return next_edge_time <= observe_floor_ ? need + 1 : need;
+}
+
+void Imu::OnEdgesSkipped(u64 count, Picoseconds first_edge_time) {
+  if (state_ != State::kTranslating) return;
+  // Mirror OnRisingEdge for each skipped edge: every one strictly after
+  // the floor counts as an observation. Only the first skipped edge can
+  // be at or below the floor (edge times strictly increase).
+  observations_ +=
+      static_cast<u32>(count - (first_edge_time <= observe_floor_ ? 1 : 0));
+}
+
 // ----- internals -----
 
 Picoseconds Imu::NextOwnEdgeTime() const {
   VCOP_CHECK_MSG(own_domain_ != nullptr, "IMU clock not bound");
-  const Frequency f = own_domain_->frequency();
-  return f.EdgeTime(f.CyclesAt(sim_.now()) + 1);
+  const Picoseconds now = sim_.now();
+  if (!next_edge_memo_valid_ || next_edge_memo_for_ != now) {
+    next_edge_memo_ = own_domain_->NextEdgeTimeAfterNow();
+    next_edge_memo_for_ = now;
+    next_edge_memo_valid_ = true;
+  }
+  return next_edge_memo_;
 }
 
 void Imu::Translate() {
@@ -236,7 +258,24 @@ void Imu::Translate() {
   u64 offset = 0;
   if (width != 0 && !limit_violation) {
     offset = static_cast<u64>(current_.index) * width;
-    entry = tlb_.Lookup(current_.object, geometry_.PageOf(offset));
+    const mem::VirtPage vpage = geometry_.PageOf(offset);
+    TcEntry& tc = tc_[current_.object];
+    if (config_.translation_cache && tc.valid &&
+        tc.generation == tlb_.generation() && tc.vpage == vpage) {
+      // Same page as this object's last hit and the TLB has not changed
+      // since: skip the CAM scan. NoteHit leaves statistics and the
+      // accessed bit exactly as a matching Lookup would.
+      tlb_.NoteHit(tc.index);
+      entry = tc.index;
+    } else {
+      entry = tlb_.Lookup(current_.object, vpage);
+      tc.valid = entry.has_value();
+      if (tc.valid) {
+        tc.generation = tlb_.generation();
+        tc.vpage = vpage;
+        tc.index = *entry;
+      }
+    }
   } else {
     // Limit violation, or an access to an object the OS never
     // described: always a fault; the VIM will fail the run with a
@@ -298,8 +337,7 @@ void Imu::Translate() {
   if (cp_domain_ != nullptr) {
     // Wake the coprocessor exactly when the data becomes valid; its
     // next grid edge at or after ready_at_ samples CP_TLBHIT high.
-    sim::ClockDomain* cp = cp_domain_;
-    sim_.ScheduleAt(ready_at_, [cp] { cp->Kick(); });
+    cp_domain_->KickAt(ready_at_);
   }
 }
 

@@ -56,6 +56,11 @@ struct ImuConfig {
   /// cost from access_latency_cycles to 2 core cycles when the IMU
   /// shares the core clock.
   bool posted_writes = false;
+  /// Host-side optimisation (no simulated-hardware meaning): remember
+  /// the last successful translation and skip the CAM scan while the
+  /// TLB generation, object and page all still match. Statistics and
+  /// timing are bit-identical either way.
+  bool translation_cache = true;
 };
 
 struct ImuStats {
@@ -161,6 +166,11 @@ class Imu final : public sim::ClockedModule, public CoprocessorPort {
   // ----- sim::ClockedModule -----
   void OnRisingEdge() override;
   bool active() const override;
+  /// While translating, the IMU only needs the edge on which the
+  /// translation completes; the observation-counting edges in between
+  /// are batched and credited through OnEdgesSkipped.
+  u64 NextInterestingEdge(Picoseconds next_edge_time) const override;
+  void OnEdgesSkipped(u64 count, Picoseconds first_edge_time) override;
 
  private:
   enum class State {
@@ -190,6 +200,12 @@ class Imu final : public sim::ClockedModule, public CoprocessorPort {
   sim::Simulator& sim_;
   sim::ClockDomain* own_domain_ = nullptr;
   sim::ClockDomain* cp_domain_ = nullptr;
+  // Memo for NextOwnEdgeTime, keyed on the query time (the IMU grid is
+  // immutable). Repeated calls within one timestamp — issue, trace,
+  // response — then share one cycle conversion.
+  mutable Picoseconds next_edge_memo_for_ = 0;
+  mutable Picoseconds next_edge_memo_ = 0;
+  mutable bool next_edge_memo_valid_ = false;
 
   Tlb tlb_;
   std::array<u32, kMaxObjects> elem_width_{};  // bytes; 0 = unprogrammed
@@ -214,6 +230,20 @@ class Imu final : public sim::ClockedModule, public CoprocessorPort {
   u32 sr_ = 0;
   u32 cr_ = kCrEnable;
   u32 ar_ = 0;
+
+  // Last-translation cache (see ImuConfig::translation_cache): one
+  // entry per object, valid while the TLB generation matches, i.e. no
+  // entry was installed or invalidated since the hit was recorded. Per
+  // object because coprocessor FSMs interleave streams (IDEA alternates
+  // input reads and output writes every block) — a shared entry would
+  // thrash on exactly the streaming pattern the cache exists for.
+  struct TcEntry {
+    bool valid = false;
+    u64 generation = 0;
+    mem::VirtPage vpage = 0;
+    u32 index = 0;
+  };
+  std::array<TcEntry, kMaxObjects> tc_{};
 
   std::function<void()> param_release_hook_;
   std::function<void(ObjectId, mem::VirtPage)> page_ref_probe_;

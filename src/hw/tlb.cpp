@@ -18,6 +18,14 @@ std::optional<u32> Tlb::Lookup(ObjectId object, mem::VirtPage vpage) {
   return idx;
 }
 
+void Tlb::NoteHit(u32 index) {
+  VCOP_CHECK_MSG(index < entries_.size(), "TLB index out of range");
+  VCOP_CHECK_MSG(entries_[index].valid, "NoteHit on invalid entry");
+  ++stats_.lookups;
+  ++stats_.hits;
+  entries_[index].accessed = true;
+}
+
 std::optional<u32> Tlb::Probe(ObjectId object, mem::VirtPage vpage) const {
   for (u32 i = 0; i < entries_.size(); ++i) {
     const TlbEntry& e = entries_[i];
@@ -36,17 +44,20 @@ void Tlb::Install(u32 index, ObjectId object, mem::VirtPage vpage,
   entry.vpage = vpage;
   entry.frame = frame;
   entries_[index] = entry;
+  ++generation_;
 }
 
 TlbEntry Tlb::Invalidate(u32 index) {
   VCOP_CHECK_MSG(index < entries_.size(), "TLB index out of range");
   TlbEntry old = entries_[index];
   entries_[index] = TlbEntry{};
+  ++generation_;
   return old;
 }
 
 void Tlb::InvalidateAll() {
   for (TlbEntry& e : entries_) e = TlbEntry{};
+  ++generation_;
 }
 
 void Tlb::MarkDirty(u32 index) {

@@ -64,6 +64,18 @@ class Tlb {
   /// inspects IMU state during fault handling).
   std::optional<u32> Probe(ObjectId object, mem::VirtPage vpage) const;
 
+  /// Records a hit on entry `index` without a CAM scan — the IMU's
+  /// last-translation cache uses this when its cached entry is provably
+  /// still current (same generation()). Statistics and the accessed bit
+  /// end up exactly as if Lookup had matched `index`.
+  void NoteHit(u32 index);
+
+  /// Incremented whenever the set of valid mappings can change
+  /// (Install / Invalidate / InvalidateAll — not dirty/accessed-bit
+  /// traffic). A cached lookup result is valid iff its generation
+  /// still matches.
+  u64 generation() const { return generation_; }
+
   /// OS interface: writes entry `index` (clears dirty).
   void Install(u32 index, ObjectId object, mem::VirtPage vpage,
                mem::FrameId frame);
@@ -99,6 +111,7 @@ class Tlb {
  private:
   std::vector<TlbEntry> entries_;
   TlbStats stats_;
+  u64 generation_ = 0;
 };
 
 }  // namespace vcop::hw

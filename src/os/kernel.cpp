@@ -16,6 +16,7 @@ Kernel::Kernel(const KernelConfig& config)
       process_(/*pid=*/1) {
   VCOP_CHECK_MSG(config.dp_ram_bytes % config.page_bytes == 0,
                  "dual-port RAM size must be a whole number of pages");
+  sim_.set_tuning(config.sim_tuning);
   vim_.Configure(config.vim);
   vim_.set_timeline(&timeline_);
   irq_.set_handler([this](hw::InterruptCause cause) {
@@ -45,6 +46,7 @@ Status Kernel::FpgaLoad(const hw::Bitstream& bitstream) {
   imu_config.tlb_entries = config_.tlb_entries;
   imu_config.bounds_check = config_.imu_bounds_check;
   imu_config.posted_writes = config_.imu_posted_writes;
+  imu_config.translation_cache = config_.imu_translation_cache;
   imu_ = std::make_unique<hw::Imu>(
       imu_config,
       mem::PageGeometry(config_.page_bytes,

@@ -61,6 +61,13 @@ struct KernelConfig {
   u64 config_bytes_per_second = 4 * 1024 * 1024;
   CostModel costs{};
   VimConfig vim{};
+  /// Host-side event-kernel tuning. Every combination produces
+  /// bit-identical ExecutionReports; the defaults are the fast engine,
+  /// all-false is the event-per-edge reference engine.
+  sim::SimTuning sim_tuning{};
+  /// Host-side optimisation: the IMU remembers its last translation and
+  /// skips the CAM scan while the TLB is unchanged (same reports).
+  bool imu_translation_cache = true;
 };
 
 /// What FPGA_EXECUTE measures, in the paper's decomposition.

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace vcop::sim {
@@ -7,25 +8,75 @@ namespace vcop::sim {
 void EventQueue::ScheduleAt(Picoseconds t, u32 priority, Action action) {
   VCOP_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
   VCOP_CHECK_MSG(static_cast<bool>(action), "null event action");
-  heap_.push(Entry{t, priority, next_seq_++, std::move(action)});
+  u32 slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<u32>(slots_.size());
+    slots_.push_back(std::move(action));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(action);
+  }
+  heap_.push_back(Entry{t, priority, slot, next_seq_++});
+  SiftUp(heap_.size() - 1);
 }
 
 Picoseconds EventQueue::NextTime() const {
   VCOP_CHECK_MSG(!heap_.empty(), "NextTime on empty queue");
-  return heap_.top().time;
+  return heap_.front().time;
+}
+
+u32 EventQueue::NextPriority() const {
+  VCOP_CHECK_MSG(!heap_.empty(), "NextPriority on empty queue");
+  return heap_.front().priority;
 }
 
 void EventQueue::DispatchOne() {
   VCOP_CHECK_MSG(!heap_.empty(), "DispatchOne on empty queue");
-  // priority_queue::top is const; move the action out via const_cast —
-  // safe because the entry is popped immediately after.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  const Picoseconds t = top.time;
-  Action action = std::move(top.action);
-  heap_.pop();
-  now_ = t;
+  // Move the winning callback out of its pool slot before re-heapifying;
+  // the action runs from a local, so handlers may freely schedule more
+  // events (reallocating heap_ and slots_) while executing.
+  const Entry top = heap_.front();
+  if (heap_.size() > 1) heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  Action action = std::move(slots_[top.slot]);
+  free_slots_.push_back(top.slot);
+  now_ = top.time;
   ++dispatched_;
   action();
+}
+
+void EventQueue::AdvanceNow(Picoseconds t) {
+  VCOP_CHECK_MSG(t >= now_, "cannot advance time backwards");
+  VCOP_CHECK_MSG(heap_.empty() || t <= heap_.front().time,
+                 "AdvanceNow past a pending event");
+  now_ = t;
+}
+
+void EventQueue::SiftUp(usize i) {
+  while (i != 0) {
+    const usize parent = (i - 1) / 4;
+    if (!Before(heap_[i], heap_[parent])) return;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(usize i) {
+  const usize n = heap_.size();
+  while (true) {
+    const usize first_child = 4 * i + 1;
+    if (first_child >= n) return;
+    usize best = first_child;
+    const usize last_child = std::min(first_child + 4, n);
+    for (usize c = first_child + 1; c < last_child; ++c) {
+      if (Before(heap_[c], heap_[best])) best = c;
+    }
+    if (!Before(heap_[best], heap_[i])) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
 }
 
 }  // namespace vcop::sim

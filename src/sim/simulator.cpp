@@ -11,12 +11,25 @@ ClockDomain& Simulator::AddClockDomain(std::string name, Frequency freq) {
 
 bool Simulator::RunUntil(const std::function<bool()>& predicate,
                          u64 max_events) {
-  if (predicate()) return true;
-  for (u64 i = 0; i < max_events && !queue_.empty(); ++i) {
-    queue_.DispatchOne();
-    if (predicate()) return true;
+  // Expose the stop predicate so clock domains stop coalescing ticks
+  // the moment it fires — the loop below must observe the same
+  // post-event states it would without coalescing.
+  const std::function<bool()>* saved = run_predicate_;
+  run_predicate_ = &predicate;
+  bool fired = false;
+  if (predicate()) {
+    fired = true;
+  } else {
+    for (u64 i = 0; i < max_events && !queue_.empty(); ++i) {
+      queue_.DispatchOne();
+      if (predicate()) {
+        fired = true;
+        break;
+      }
+    }
   }
-  return false;
+  run_predicate_ = saved;
+  return fired;
 }
 
 bool Simulator::RunToIdle(u64 max_events) {
@@ -28,9 +41,14 @@ bool Simulator::RunToIdle(u64 max_events) {
 }
 
 void Simulator::RunUntilTime(Picoseconds t) {
+  // The horizon keeps coalescing domains from running edges past `t`
+  // inside the final dispatched event.
+  const Picoseconds saved = horizon_;
+  horizon_ = t;
   while (!queue_.empty() && queue_.NextTime() <= t) {
     queue_.DispatchOne();
   }
+  horizon_ = saved;
 }
 
 }  // namespace vcop::sim

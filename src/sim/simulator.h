@@ -5,6 +5,8 @@
 // schedules plain timed events. Both share one timeline.
 #pragma once
 
+#include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +15,25 @@
 #include "sim/event_queue.h"
 
 namespace vcop::sim {
+
+/// Host-side performance knobs for the event kernel. All of them are
+/// pure optimisations: simulated timestamps, tick counts, statistics
+/// and results are bit-identical in every combination (enforced by
+/// tests/kernel_fastpath_test). Turning everything off reproduces the
+/// seed engine event-for-event — that is the reference the fast path
+/// is benchmarked against in bench/bench_kernel.
+struct SimTuning {
+  /// Honour ClockedModule::NextInterestingEdge hints: schedule one
+  /// event at the next interesting edge instead of one per edge.
+  bool batch_edges = true;
+  /// Let a clock domain run several of its own (interesting) edges in
+  /// one dispatched event while no other pending event would interleave.
+  bool coalesce_ticks = true;
+  /// Cap on coalesced edges per dispatched event; bounds how long one
+  /// event runs and keeps a perpetually-active domain preemptible by
+  /// the dispatch budget.
+  u32 max_inline_ticks = 64;
+};
 
 class Simulator {
  public:
@@ -54,14 +75,41 @@ class Simulator {
   u64 events_dispatched() const { return queue_.dispatched(); }
   EventQueue& queue() { return queue_; }
 
+  const SimTuning& tuning() const { return tuning_; }
+  void set_tuning(const SimTuning& tuning) { tuning_ = tuning; }
+
+  /// Whether a clock domain may run an edge at time `t` (with the
+  /// domain's coincident-edge `priority`) inline in the event it is
+  /// currently dispatching, instead of scheduling it. Allowed only
+  /// while that preserves the exact global dispatch order: no pending
+  /// event may sort before (t, priority), the active RunUntil predicate
+  /// must not have fired, and `t` must not pass a RunUntilTime horizon.
+  bool InlineTickAllowed(Picoseconds t, u32 priority) const {
+    if (!tuning_.coalesce_ticks) return false;
+    if (t > horizon_) return false;
+    if (!queue_.empty()) {
+      const Picoseconds head = queue_.NextTime();
+      if (head < t) return false;
+      if (head == t && queue_.NextPriority() < priority) return false;
+    }
+    if (run_predicate_ != nullptr && (*run_predicate_)()) return false;
+    return true;
+  }
+
   /// Default per-Run dispatch budget: generous for our workloads (a full
   /// 32 KB IDEA run is under ~2M edges) but finite, so a wedged model
   /// fails loudly instead of spinning forever.
   static constexpr u64 kDefaultMaxEvents = 500'000'000;
 
  private:
+  static constexpr Picoseconds kNoHorizon =
+      std::numeric_limits<Picoseconds>::max();
+
   EventQueue queue_;
   std::vector<std::unique_ptr<ClockDomain>> domains_;
+  SimTuning tuning_{};
+  Picoseconds horizon_ = kNoHorizon;
+  const std::function<bool()>* run_predicate_ = nullptr;
 };
 
 }  // namespace vcop::sim
