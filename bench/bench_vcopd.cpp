@@ -1,0 +1,456 @@
+// Benchmarks the vcopd service daemon: multi-tenant throughput and
+// tail latency under the two service policies, and the ASID-tagged TLB
+// against the flush-on-switch baseline. Three scenarios, each gated on
+// a deterministic property and written to BENCH_vcopd.json for CI:
+//
+//   mixed-8   8 tenants (adpcm / IDEA / vecadd) x 3 jobs each under
+//             fair share; every output byte-identical to the software
+//             reference despite preemptive time-multiplexing.
+//   fairness  a saturating large tenant vs a small interactive tenant;
+//             fair share must bound the small tenant's p99 turnaround
+//             below the FIFO-batch figure.
+//   asid      two contended streaming tenants, tagged vs untagged TLB:
+//             tagging avoids full flushes entirely and must not be
+//             slower end to end.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "cp/adpcm_cp.h"
+#include "cp/idea_cp.h"
+#include "cp/registry.h"
+#include "cp/vecadd_cp.h"
+#include "os/vcopd.h"
+
+namespace vcop {
+namespace {
+
+using bench::kWorkloadSeed;
+using runtime::FpgaSystem;
+using runtime::HostBuffer;
+using runtime::VcopdClient;
+
+enum class App : u8 { kAdpcm, kIdea, kVecAdd };
+
+const char* AppName(App app) {
+  switch (app) {
+    case App::kAdpcm: return "adpcm";
+    case App::kIdea: return "idea";
+    case App::kVecAdd: return "vecadd";
+  }
+  return "?";
+}
+
+struct TenantSpec {
+  App app = App::kVecAdd;
+  std::string name;
+  u32 weight = 1;
+  usize input_bytes = 0;
+  u32 jobs = 1;
+};
+
+/// One registered tenant with staged buffers, its software-reference
+/// expectation, and the turnaround samples collected at completion.
+struct TenantRun {
+  TenantSpec spec;
+  os::TenantId id = 0;
+  std::vector<Picoseconds> turnarounds;
+  u32 completed = 0;
+  u32 preemptions = 0;
+  bool outputs_exact = true;
+
+  // App-specific staging (only the members for spec.app are live).
+  HostBuffer<u8> in_u8;
+  HostBuffer<i16> out_i16;
+  HostBuffer<u8> out_u8;
+  HostBuffer<u16> key_u16;
+  HostBuffer<u32> a_u32, b_u32, c_u32;
+  std::vector<i16> expect_i16;
+  std::vector<u8> expect_u8;
+  std::vector<u32> expect_u32;
+
+  /// Submits one job; the completion callback checks bytes and samples
+  /// the turnaround. (Jobs of one tenant run sequentially, so checking
+  /// the shared output buffer at the completion instant is race-free.)
+  Status SubmitOne(os::Vcopd& daemon) {
+    VcopdClient client(daemon, id);
+    auto on_complete = [this](const os::JobResult& r) {
+      turnarounds.push_back(r.turnaround());
+      preemptions += r.preemptions;
+      ++completed;
+      if (!r.status.ok()) {
+        outputs_exact = false;
+        return;
+      }
+      switch (spec.app) {
+        case App::kAdpcm:
+          outputs_exact &= out_i16.ToVector() == expect_i16;
+          break;
+        case App::kIdea:
+          outputs_exact &= out_u8.ToVector() == expect_u8;
+          break;
+        case App::kVecAdd:
+          outputs_exact &= c_u32.ToVector() == expect_u32;
+          break;
+      }
+    };
+    const u32 n = static_cast<u32>(spec.input_bytes);
+    switch (spec.app) {
+      case App::kAdpcm:
+        return client
+            .Submit(cp::AdpcmDecodeBitstream(), {n, 0u, 0u}, on_complete)
+            .status();
+      case App::kIdea:
+        return client
+            .Submit(cp::IdeaBitstream(),
+                    {n / 8, cp::IdeaCoprocessor::kModeEcb, 0u, 0u},
+                    on_complete)
+            .status();
+      case App::kVecAdd:
+        return client
+            .Submit(cp::VecAddBitstream(),
+                    {n / static_cast<u32>(sizeof(u32))}, on_complete)
+            .status();
+    }
+    return InternalError("unreachable");
+  }
+};
+
+TenantRun Stage(FpgaSystem& sys, os::Vcopd& daemon, const TenantSpec& spec,
+                u64 seed) {
+  TenantRun run;
+  run.spec = spec;
+  run.id = daemon.RegisterTenant(spec.name, spec.weight).value();
+  VcopdClient client(daemon, run.id);
+  const u32 bytes = static_cast<u32>(spec.input_bytes);
+  switch (spec.app) {
+    case App::kAdpcm: {
+      const std::vector<u8> input = apps::MakeAdpcmStream(bytes, seed);
+      run.in_u8 = sys.Allocate<u8>(bytes).value();
+      run.in_u8.Fill(input);
+      run.out_i16 = sys.Allocate<i16>(bytes * 2).value();
+      run.expect_i16.resize(bytes * 2);
+      apps::AdpcmState state;
+      apps::AdpcmDecode(input, run.expect_i16, state);
+      VCOP_CHECK(client.Map(cp::AdpcmDecodeCoprocessor::kObjIn, run.in_u8,
+                            os::Direction::kIn).ok());
+      VCOP_CHECK(client.Map(cp::AdpcmDecodeCoprocessor::kObjOut,
+                            run.out_i16, os::Direction::kOut).ok());
+      break;
+    }
+    case App::kIdea: {
+      const apps::IdeaSubkeys keys =
+          apps::IdeaExpandKey(apps::MakeIdeaKey(seed));
+      const std::vector<u8> input = apps::MakeRandomBytes(bytes, seed + 1);
+      run.expect_u8.resize(bytes);
+      apps::IdeaCryptEcb(keys, input, run.expect_u8);
+      run.in_u8 = sys.Allocate<u8>(bytes).value();
+      run.in_u8.Fill(input);
+      run.out_u8 = sys.Allocate<u8>(bytes).value();
+      run.key_u16 = sys.Allocate<u16>(static_cast<u32>(keys.size())).value();
+      run.key_u16.Fill(std::span<const u16>(keys.data(), keys.size()));
+      VCOP_CHECK(client.Map(cp::IdeaCoprocessor::kObjIn, run.in_u8,
+                            /*elem_width=*/4, os::Direction::kIn).ok());
+      VCOP_CHECK(client.Map(cp::IdeaCoprocessor::kObjOut, run.out_u8,
+                            /*elem_width=*/4, os::Direction::kOut).ok());
+      VCOP_CHECK(client.Map(cp::IdeaCoprocessor::kObjKey, run.key_u16,
+                            os::Direction::kIn).ok());
+      break;
+    }
+    case App::kVecAdd: {
+      const u32 n = bytes / static_cast<u32>(sizeof(u32));
+      std::vector<u32> a(n), b(n);
+      for (u32 i = 0; i < n; ++i) {
+        a[i] = static_cast<u32>(seed) * 1000003u + i;
+        b[i] = static_cast<u32>(seed) * 7919u + 3u * i;
+      }
+      run.a_u32 = sys.Allocate<u32>(n).value();
+      run.b_u32 = sys.Allocate<u32>(n).value();
+      run.c_u32 = sys.Allocate<u32>(n).value();
+      run.a_u32.Fill(a);
+      run.b_u32.Fill(b);
+      run.expect_u32.resize(n);
+      for (u32 i = 0; i < n; ++i) run.expect_u32[i] = a[i] + b[i];
+      VCOP_CHECK(client.Map(cp::VecAddCoprocessor::kObjA, run.a_u32,
+                            os::Direction::kIn).ok());
+      VCOP_CHECK(client.Map(cp::VecAddCoprocessor::kObjB, run.b_u32,
+                            os::Direction::kIn).ok());
+      VCOP_CHECK(client.Map(cp::VecAddCoprocessor::kObjC, run.c_u32,
+                            os::Direction::kOut).ok());
+      break;
+    }
+  }
+  return run;
+}
+
+/// Result of driving one fleet of tenants to completion.
+struct FleetResult {
+  std::vector<TenantRun> tenants;
+  os::VcopdStats stats;
+  os::VimServiceStats service;
+  Picoseconds makespan = 0;
+  bool outputs_exact = true;
+
+  u64 jobs() const {
+    u64 n = 0;
+    for (const TenantRun& t : tenants) n += t.completed;
+    return n;
+  }
+  /// Completed jobs per simulated millisecond.
+  double throughput() const {
+    const double ms = static_cast<double>(makespan) / 1e9;
+    return ms > 0.0 ? static_cast<double>(jobs()) / ms : 0.0;
+  }
+};
+
+/// Stages every tenant, submits round-robin (interleaved tickets so
+/// FIFO order genuinely mixes tenants), and drives the daemon to idle.
+FleetResult RunFleet(const std::vector<TenantSpec>& specs,
+                     const os::VcopdConfig& config) {
+  FpgaSystem sys(runtime::Epxa1Config());
+  os::Vcopd daemon(sys.kernel(), config);
+  sys.kernel().vim().ResetServiceStats();
+
+  FleetResult result;
+  u64 seed = kWorkloadSeed;
+  for (const TenantSpec& spec : specs) {
+    result.tenants.push_back(Stage(sys, daemon, spec, seed++));
+  }
+  u32 remaining = 0;
+  for (const TenantSpec& spec : specs) remaining += spec.jobs;
+  for (u32 round = 0; remaining > 0; ++round) {
+    for (TenantRun& tenant : result.tenants) {
+      if (round >= tenant.spec.jobs) continue;
+      VCOP_CHECK_MSG(tenant.SubmitOne(daemon).ok(), "submit failed");
+      --remaining;
+    }
+  }
+  const Status status = daemon.RunUntilIdle();
+  VCOP_CHECK_MSG(status.ok(), status.ToString());
+
+  result.stats = daemon.stats();
+  result.service = sys.kernel().vim().service_stats();
+  result.makespan = daemon.BuildScheduleReport().makespan;
+  for (const TenantRun& tenant : result.tenants) {
+    result.outputs_exact &= tenant.outputs_exact &&
+                            tenant.completed == tenant.spec.jobs;
+  }
+  return result;
+}
+
+void PrintFleetTable(const char* title, const FleetResult& fleet) {
+  Table table({"tenant", "app", "w", "input", "jobs", "preempt", "p50 us",
+               "p99 us", "exact"});
+  table.set_title(title);
+  for (const TenantRun& t : fleet.tenants) {
+    table.AddRow(
+        {t.spec.name, AppName(t.spec.app), StrFormat("%u", t.spec.weight),
+         bench::SizeLabel(t.spec.input_bytes), StrFormat("%u", t.completed),
+         StrFormat("%u", t.preemptions),
+         StrFormat("%.1f", ToMicroseconds(os::Percentile(t.turnarounds, 0.5))),
+         StrFormat("%.1f", ToMicroseconds(os::Percentile(t.turnarounds, 0.99))),
+         t.outputs_exact ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "  makespan %.1f us, %.2f jobs/sim-ms, %llu dispatches, "
+      "%llu preemptions, %llu reconfigs (%.1f us config time)\n\n",
+      ToMicroseconds(fleet.makespan), fleet.throughput(),
+      static_cast<unsigned long long>(fleet.stats.dispatches),
+      static_cast<unsigned long long>(fleet.stats.preemptions),
+      static_cast<unsigned long long>(fleet.stats.reconfigurations),
+      ToMicroseconds(fleet.stats.total_config_time));
+}
+
+void JsonTenants(std::FILE* f, const FleetResult& fleet) {
+  std::fprintf(f, "[");
+  for (usize i = 0; i < fleet.tenants.size(); ++i) {
+    const TenantRun& t = fleet.tenants[i];
+    std::fprintf(
+        f,
+        "%s\n      {\"tenant\": \"%s\", \"app\": \"%s\", \"weight\": %u, "
+        "\"input_bytes\": %zu, \"jobs\": %u, \"preemptions\": %u, "
+        "\"p50_turnaround_us\": %.3f, \"p99_turnaround_us\": %.3f, "
+        "\"outputs_exact\": %s}",
+        i == 0 ? "" : ",", t.spec.name.c_str(), AppName(t.spec.app),
+        t.spec.weight, t.spec.input_bytes, t.completed, t.preemptions,
+        ToMicroseconds(os::Percentile(t.turnarounds, 0.5)),
+        ToMicroseconds(os::Percentile(t.turnarounds, 0.99)),
+        t.outputs_exact ? "true" : "false");
+  }
+  std::fprintf(f, "\n    ]");
+}
+
+int Main() {
+  std::printf(
+      "== vcopd service daemon: multi-tenant throughput, fairness, and "
+      "ASID-tagged TLB ==\n\n");
+  int rc = 0;
+
+  // ----- scenario 1: 8 mixed tenants, fair share, tagged -----
+  std::vector<TenantSpec> mixed;
+  for (u32 i = 0; i < 3; ++i) {
+    mixed.push_back({App::kAdpcm, StrFormat("adpcm-%u", i), 1,
+                     (4u + 2 * i) * 1024, 3});
+  }
+  for (u32 i = 0; i < 3; ++i) {
+    mixed.push_back({App::kIdea, StrFormat("idea-%u", i), 1,
+                     (8u + 4 * i) * 1024, 3});
+  }
+  for (u32 i = 0; i < 2; ++i) {
+    mixed.push_back({App::kVecAdd, StrFormat("vecadd-%u", i), 1, 2048, 3});
+  }
+  os::VcopdConfig fair;
+  fair.policy = os::ServicePolicy::kFairShare;
+  fair.time_slice = 100ull * 1000 * 1000;  // 100 us: forces preemption
+  const FleetResult mixed8 = RunFleet(mixed, fair);
+  PrintFleetTable("mixed-8: fair share, ASID-tagged TLB", mixed8);
+  if (!mixed8.outputs_exact) {
+    std::printf("FAIL: mixed-8 outputs diverged from software reference\n");
+    rc = 1;
+  }
+  if (mixed8.stats.preemptions == 0) {
+    std::printf("FAIL: mixed-8 never preempted (slice too generous?)\n");
+    rc = 1;
+  }
+
+  // ----- scenario 2: saturating tenant vs small tenant, both policies --
+  // Both tenants use the same design so the experiment isolates the
+  // scheduling policy from reconfiguration cost (under mixed designs
+  // the config ping-pong dominates either policy — scenario 1 shows
+  // that cost explicitly). Submissions are interleaved, but each large
+  // job runs far longer than a small one: under FIFO every small job
+  // waits behind a large job per round, while fair share preempts the
+  // large jobs at fault boundaries and must bound the small p99.
+  const std::vector<TenantSpec> contended = {
+      {App::kAdpcm, "large", 1, 24 * 1024, 6},
+      {App::kAdpcm, "small", 1, 512, 6},
+  };
+  os::VcopdConfig fifo;
+  fifo.policy = os::ServicePolicy::kFifoBatch;
+  const FleetResult under_fair = RunFleet(contended, fair);
+  const FleetResult under_fifo = RunFleet(contended, fifo);
+  PrintFleetTable("fairness: fair share", under_fair);
+  PrintFleetTable("fairness: FIFO + bit-stream batching", under_fifo);
+  const Picoseconds small_fair =
+      os::Percentile(under_fair.tenants[1].turnarounds, 0.99);
+  const Picoseconds small_fifo =
+      os::Percentile(under_fifo.tenants[1].turnarounds, 0.99);
+  std::printf(
+      "  small-tenant p99: %.1f us (fair share) vs %.1f us (FIFO) — "
+      "%.2fx better\n\n",
+      ToMicroseconds(small_fair), ToMicroseconds(small_fifo),
+      small_fair > 0
+          ? static_cast<double>(small_fifo) / static_cast<double>(small_fair)
+          : 0.0);
+  if (!under_fair.outputs_exact || !under_fifo.outputs_exact) {
+    std::printf("FAIL: fairness outputs diverged\n");
+    rc = 1;
+  }
+  if (small_fair >= small_fifo) {
+    std::printf(
+        "FAIL: fair share did not improve the small tenant's p99\n");
+    rc = 1;
+  }
+
+  // ----- scenario 3: ASID tagging vs flush-on-switch -----
+  const std::vector<TenantSpec> streaming = {
+      {App::kAdpcm, "stream-a", 1, 12 * 1024, 2},
+      {App::kAdpcm, "stream-b", 1, 12 * 1024, 2},
+  };
+  os::VcopdConfig tagged = fair;
+  tagged.time_slice = 50ull * 1000 * 1000;  // many switches
+  os::VcopdConfig untagged = tagged;
+  untagged.asid_tagging = false;
+  const FleetResult with_tags = RunFleet(streaming, tagged);
+  const FleetResult no_tags = RunFleet(streaming, untagged);
+  PrintFleetTable("asid: tagged TLB", with_tags);
+  PrintFleetTable("asid: flush-on-switch baseline", no_tags);
+  std::printf(
+      "  tagged:   %llu full flushes, %llu avoided, %llu entries restored, "
+      "%llu eager write-backs\n"
+      "  untagged: %llu full flushes, %llu avoided\n"
+      "  makespan: %.1f us tagged vs %.1f us untagged\n\n",
+      static_cast<unsigned long long>(with_tags.service.full_tlb_flushes),
+      static_cast<unsigned long long>(with_tags.service.tlb_flushes_avoided),
+      static_cast<unsigned long long>(with_tags.service.tlb_entries_restored),
+      static_cast<unsigned long long>(
+          with_tags.service.pages_written_back_on_save),
+      static_cast<unsigned long long>(no_tags.service.full_tlb_flushes),
+      static_cast<unsigned long long>(no_tags.service.tlb_flushes_avoided),
+      ToMicroseconds(with_tags.makespan), ToMicroseconds(no_tags.makespan));
+  if (!with_tags.outputs_exact || !no_tags.outputs_exact) {
+    std::printf("FAIL: asid outputs diverged\n");
+    rc = 1;
+  }
+  if (with_tags.service.tlb_flushes_avoided == 0 ||
+      with_tags.service.full_tlb_flushes != 0) {
+    std::printf("FAIL: tagging did not eliminate full flushes\n");
+    rc = 1;
+  }
+  if (no_tags.service.full_tlb_flushes == 0) {
+    std::printf("FAIL: untagged baseline never fully flushed\n");
+    rc = 1;
+  }
+  if (with_tags.makespan > no_tags.makespan) {
+    std::printf("FAIL: tagged TLB slower end to end than flush-on-switch\n");
+    rc = 1;
+  }
+
+  // ----- JSON -----
+  std::FILE* f = std::fopen("BENCH_vcopd.json", "w");
+  VCOP_CHECK_MSG(f != nullptr, "cannot open BENCH_vcopd.json for writing");
+  std::fprintf(f, "{\n  \"bench\": \"vcopd\",\n");
+  std::fprintf(
+      f,
+      "  \"mixed8\": {\n    \"policy\": \"fair_share\", "
+      "\"makespan_us\": %.3f, \"jobs_per_sim_ms\": %.3f, "
+      "\"preemptions\": %llu, \"reconfigurations\": %llu, "
+      "\"outputs_exact\": %s,\n    \"tenants\": ",
+      ToMicroseconds(mixed8.makespan), mixed8.throughput(),
+      static_cast<unsigned long long>(mixed8.stats.preemptions),
+      static_cast<unsigned long long>(mixed8.stats.reconfigurations),
+      mixed8.outputs_exact ? "true" : "false");
+  JsonTenants(f, mixed8);
+  std::fprintf(f, "\n  },\n");
+  std::fprintf(
+      f,
+      "  \"fairness\": {\n    \"small_p99_us_fair\": %.3f, "
+      "\"small_p99_us_fifo\": %.3f, \"improvement\": %.3f,\n"
+      "    \"fair_tenants\": ",
+      ToMicroseconds(small_fair), ToMicroseconds(small_fifo),
+      small_fair > 0
+          ? static_cast<double>(small_fifo) / static_cast<double>(small_fair)
+          : 0.0);
+  JsonTenants(f, under_fair);
+  std::fprintf(f, ",\n    \"fifo_tenants\": ");
+  JsonTenants(f, under_fifo);
+  std::fprintf(f, "\n  },\n");
+  std::fprintf(
+      f,
+      "  \"asid\": {\n    \"tagged\": {\"makespan_us\": %.3f, "
+      "\"full_tlb_flushes\": %llu, \"tlb_flushes_avoided\": %llu, "
+      "\"tlb_entries_restored\": %llu, \"pages_written_back_on_save\": "
+      "%llu},\n    \"untagged\": {\"makespan_us\": %.3f, "
+      "\"full_tlb_flushes\": %llu, \"tlb_flushes_avoided\": %llu}\n  }\n",
+      ToMicroseconds(with_tags.makespan),
+      static_cast<unsigned long long>(with_tags.service.full_tlb_flushes),
+      static_cast<unsigned long long>(with_tags.service.tlb_flushes_avoided),
+      static_cast<unsigned long long>(with_tags.service.tlb_entries_restored),
+      static_cast<unsigned long long>(
+          with_tags.service.pages_written_back_on_save),
+      ToMicroseconds(no_tags.makespan),
+      static_cast<unsigned long long>(no_tags.service.full_tlb_flushes),
+      static_cast<unsigned long long>(no_tags.service.tlb_flushes_avoided));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_vcopd.json\n");
+  return rc;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

@@ -18,6 +18,16 @@ Result<Picoseconds> FpgaFabric::Configure(const Bitstream& bitstream) {
         StrFormat("PLD already configured with '%s' (exclusive use)",
                   bitstream_.name.c_str()));
   }
+  const Result<Picoseconds> priced = PriceConfigure(bitstream);
+  if (!priced.ok()) return priced;
+  bitstream_ = bitstream;
+  coprocessor_ = bitstream.create();
+  VCOP_CHECK_MSG(coprocessor_ != nullptr, "bitstream factory returned null");
+  return priced;
+}
+
+Result<Picoseconds> FpgaFabric::PriceConfigure(
+    const Bitstream& bitstream) const {
   if (bitstream.logic_elements > capacity_les_) {
     return ResourceExhaustedError(StrFormat(
         "design '%s' needs %u LEs but the PLD has %u",
@@ -31,9 +41,6 @@ Result<Picoseconds> FpgaFabric::Configure(const Bitstream& bitstream) {
         StrFormat("bitstream '%s' has unspecified clocks",
                   bitstream.name.c_str()));
   }
-  bitstream_ = bitstream;
-  coprocessor_ = bitstream.create();
-  VCOP_CHECK_MSG(coprocessor_ != nullptr, "bitstream factory returned null");
   const unsigned __int128 ps =
       static_cast<unsigned __int128>(bitstream.size_bytes) *
       kPicosecondsPerSecond / config_bytes_per_second_;

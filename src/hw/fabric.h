@@ -48,6 +48,12 @@ class FpgaFabric {
   /// On success returns the configuration time.
   Result<Picoseconds> Configure(const Bitstream& bitstream);
 
+  /// Validates `bitstream` against the PLD and prices its configuration
+  /// time without loading anything. vcopd uses this to model partial
+  /// reconfiguration: it instantiates per-job cores itself and only
+  /// needs the fit check and the configuration-port transfer time.
+  Result<Picoseconds> PriceConfigure(const Bitstream& bitstream) const;
+
   /// Unloads the current design, releasing the resource.
   void Release();
 

@@ -6,13 +6,17 @@
 namespace vcop::hw {
 
 Imu::Imu(const ImuConfig& config, mem::PageGeometry geometry,
-         mem::DualPortRam& dp_ram, InterruptLine& irq, sim::Simulator& sim)
+         mem::DualPortRam& dp_ram, InterruptLine& irq, sim::Simulator& sim,
+         Tlb* shared_tlb)
     : config_(config),
       geometry_(geometry),
       dp_ram_(dp_ram),
       irq_(irq),
       sim_(sim),
-      tlb_(config.tlb_entries) {
+      owned_tlb_(shared_tlb == nullptr
+                     ? std::make_unique<Tlb>(config.tlb_entries)
+                     : nullptr),
+      tlb_(shared_tlb != nullptr ? shared_tlb : owned_tlb_.get()) {
   VCOP_CHECK_MSG(config.access_latency_cycles >= 2,
                  "IMU access latency must be at least 2 cycles");
   VCOP_CHECK_MSG(geometry.total_bytes() <= dp_ram.size(),
@@ -180,8 +184,8 @@ u32 Imu::ConsumeResponse() {
 }
 
 void Imu::ReleaseParamPage() {
-  const std::optional<u32> idx = tlb_.Probe(kParamObject, 0);
-  if (idx.has_value()) tlb_.Invalidate(*idx);
+  const std::optional<u32> idx = tlb_->Probe(kParamObject, 0, asid_);
+  if (idx.has_value()) tlb_->Invalidate(*idx);
   sr_ |= kSrParamReleased;
   if (param_release_hook_) param_release_hook_();
 }
@@ -261,17 +265,17 @@ void Imu::Translate() {
     const mem::VirtPage vpage = geometry_.PageOf(offset);
     TcEntry& tc = tc_[current_.object];
     if (config_.translation_cache && tc.valid &&
-        tc.generation == tlb_.generation() && tc.vpage == vpage) {
+        tc.generation == tlb_->generation() && tc.vpage == vpage) {
       // Same page as this object's last hit and the TLB has not changed
       // since: skip the CAM scan. NoteHit leaves statistics and the
       // accessed bit exactly as a matching Lookup would.
-      tlb_.NoteHit(tc.index);
+      tlb_->NoteHit(tc.index);
       entry = tc.index;
     } else {
-      entry = tlb_.Lookup(current_.object, vpage);
+      entry = tlb_->Lookup(current_.object, vpage, asid_);
       tc.valid = entry.has_value();
       if (tc.valid) {
-        tc.generation = tlb_.generation();
+        tc.generation = tlb_->generation();
         tc.vpage = vpage;
         tc.index = *entry;
       }
@@ -298,13 +302,13 @@ void Imu::Translate() {
     return;
   }
 
-  const TlbEntry& e = tlb_.entry(*entry);
+  const TlbEntry& e = tlb_->entry(*entry);
   const u32 paddr =
       geometry_.FrameBase(e.frame) + geometry_.OffsetIn(offset);
   if (current_.write) {
     dp_ram_.WriteWord(mem::DualPortRam::Port::kCoprocessor, paddr, width,
                       current_.wdata);
-    tlb_.MarkDirty(*entry);
+    tlb_->MarkDirty(*entry);
     rdata_ = 0;
   } else {
     rdata_ =

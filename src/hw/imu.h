@@ -18,6 +18,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <optional>
 
 #include "base/status.h"
@@ -81,9 +82,14 @@ class Imu final : public sim::ClockedModule, public CoprocessorPort {
  public:
   /// The IMU is wired to its platform at construction: page geometry of
   /// the interface memory, the dual-port RAM itself, and the interrupt
-  /// line to the processor.
+  /// line to the processor. When `shared_tlb` is non-null the IMU uses
+  /// it instead of owning a private TLB — this models partial
+  /// reconfiguration under vcopd, where successive per-job IMU
+  /// instances front the same physical CAM so ASID-tagged entries
+  /// survive tenant switches. The shared TLB must outlive the IMU.
   Imu(const ImuConfig& config, mem::PageGeometry geometry,
-      mem::DualPortRam& dp_ram, InterruptLine& irq, sim::Simulator& sim);
+      mem::DualPortRam& dp_ram, InterruptLine& irq, sim::Simulator& sim,
+      Tlb* shared_tlb = nullptr);
 
   /// Clock wiring: `own` is the IMU/memory-subsystem clock; `cp` is the
   /// coprocessor's clock domain (kicked when a response becomes ready).
@@ -105,8 +111,17 @@ class Imu final : public sim::ClockedModule, public CoprocessorPort {
 
   /// Direct access to the TLB (the OS installs/invalidates entries
   /// during fault handling, like an MMU with a software-managed TLB).
-  Tlb& tlb() { return tlb_; }
-  const Tlb& tlb() const { return tlb_; }
+  Tlb& tlb() { return *tlb_; }
+  const Tlb& tlb() const { return *tlb_; }
+
+  /// Programs the address-space tag this IMU presents on every TLB
+  /// access. Clears the host-side translation cache (cached indices
+  /// were found under the old tag). Default 0 = kernel space.
+  void SetAsid(Asid asid) {
+    asid_ = asid;
+    for (TcEntry& tc : tc_) tc.valid = false;
+  }
+  Asid asid() const { return asid_; }
 
   u32 ReadRegister(ImuRegister reg) const;
 
@@ -207,7 +222,9 @@ class Imu final : public sim::ClockedModule, public CoprocessorPort {
   mutable Picoseconds next_edge_memo_ = 0;
   mutable bool next_edge_memo_valid_ = false;
 
-  Tlb tlb_;
+  std::unique_ptr<Tlb> owned_tlb_;  // null when fronting a shared TLB
+  Tlb* tlb_;
+  Asid asid_ = 0;
   std::array<u32, kMaxObjects> elem_width_{};  // bytes; 0 = unprogrammed
   std::array<u32, kMaxObjects> elem_limit_{};  // elements; 0 = unlimited
 

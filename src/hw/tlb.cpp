@@ -6,9 +6,10 @@ Tlb::Tlb(u32 num_entries) : entries_(num_entries) {
   VCOP_CHECK_MSG(num_entries >= 1, "TLB needs at least one entry");
 }
 
-std::optional<u32> Tlb::Lookup(ObjectId object, mem::VirtPage vpage) {
+std::optional<u32> Tlb::Lookup(ObjectId object, mem::VirtPage vpage,
+                               Asid asid) {
   ++stats_.lookups;
-  const std::optional<u32> idx = Probe(object, vpage);
+  const std::optional<u32> idx = Probe(object, vpage, asid);
   if (idx.has_value()) {
     ++stats_.hits;
     entries_[*idx].accessed = true;
@@ -26,21 +27,26 @@ void Tlb::NoteHit(u32 index) {
   entries_[index].accessed = true;
 }
 
-std::optional<u32> Tlb::Probe(ObjectId object, mem::VirtPage vpage) const {
+std::optional<u32> Tlb::Probe(ObjectId object, mem::VirtPage vpage,
+                              Asid asid) const {
   for (u32 i = 0; i < entries_.size(); ++i) {
     const TlbEntry& e = entries_[i];
-    if (e.valid && e.object == object && e.vpage == vpage) return i;
+    if (e.valid && e.object == object && e.vpage == vpage &&
+        e.asid == asid) {
+      return i;
+    }
   }
   return std::nullopt;
 }
 
 void Tlb::Install(u32 index, ObjectId object, mem::VirtPage vpage,
-                  mem::FrameId frame) {
+                  mem::FrameId frame, Asid asid) {
   VCOP_CHECK_MSG(index < entries_.size(), "TLB index out of range");
   VCOP_CHECK_MSG(object < kMaxObjects, "object id out of range");
   TlbEntry entry;
   entry.valid = true;
   entry.object = object;
+  entry.asid = asid;
   entry.vpage = vpage;
   entry.frame = frame;
   entries_[index] = entry;
@@ -58,6 +64,18 @@ TlbEntry Tlb::Invalidate(u32 index) {
 void Tlb::InvalidateAll() {
   for (TlbEntry& e : entries_) e = TlbEntry{};
   ++generation_;
+}
+
+u32 Tlb::InvalidateAsid(Asid asid) {
+  u32 dropped = 0;
+  for (TlbEntry& e : entries_) {
+    if (e.valid && e.asid == asid) {
+      e = TlbEntry{};
+      ++dropped;
+    }
+  }
+  if (dropped != 0) ++generation_;
+  return dropped;
 }
 
 void Tlb::MarkDirty(u32 index) {

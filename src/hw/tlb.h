@@ -32,6 +32,13 @@ constexpr ObjectId kMaxObjects = 16;
 /// parameters from the parameter-passing page (§3.2).
 constexpr ObjectId kParamObject = kMaxObjects - 1;
 
+/// Address-space identifier widening the CAM tag for multi-tenant
+/// service (os/vcopd.h): entries of one tenant survive a switch to
+/// another without a full flush, exactly like ASID-tagged MMU TLBs.
+/// 0 is the kernel's default (single-tenant) space, so every legacy
+/// call site that never mentions ASIDs keeps its exact behaviour.
+using Asid = u16;
+
 struct TlbEntry {
   bool valid = false;
   bool dirty = false;
@@ -39,6 +46,7 @@ struct TlbEntry {
   /// the OS to approximate recency (like an MMU's accessed bit).
   bool accessed = false;
   ObjectId object = 0;
+  Asid asid = 0;
   mem::VirtPage vpage = 0;
   mem::FrameId frame = 0;
 };
@@ -57,12 +65,15 @@ class Tlb {
   u32 num_entries() const { return static_cast<u32>(entries_.size()); }
 
   /// CAM lookup: returns the index of the valid entry matching
-  /// (object, vpage), or nullopt on a miss. Updates hit/miss counters.
-  std::optional<u32> Lookup(ObjectId object, mem::VirtPage vpage);
+  /// (asid, object, vpage), or nullopt on a miss. Updates hit/miss
+  /// counters.
+  std::optional<u32> Lookup(ObjectId object, mem::VirtPage vpage,
+                            Asid asid = 0);
 
   /// Lookup without touching the statistics (used by the OS when it
   /// inspects IMU state during fault handling).
-  std::optional<u32> Probe(ObjectId object, mem::VirtPage vpage) const;
+  std::optional<u32> Probe(ObjectId object, mem::VirtPage vpage,
+                           Asid asid = 0) const;
 
   /// Records a hit on entry `index` without a CAM scan — the IMU's
   /// last-translation cache uses this when its cached entry is provably
@@ -78,7 +89,7 @@ class Tlb {
 
   /// OS interface: writes entry `index` (clears dirty).
   void Install(u32 index, ObjectId object, mem::VirtPage vpage,
-               mem::FrameId frame);
+               mem::FrameId frame, Asid asid = 0);
 
   /// OS interface: invalidates entry `index`; returns the entry as it
   /// was (so the OS can propagate its dirty bit to the page tables).
@@ -86,6 +97,10 @@ class Tlb {
 
   /// Invalidates every entry (used at FPGA_EXECUTE start / end).
   void InvalidateAll();
+
+  /// Invalidates only the entries tagged `asid` (tenant teardown /
+  /// scoped end-of-operation sweeps). Returns how many were dropped.
+  u32 InvalidateAsid(Asid asid);
 
   /// IMU datapath: marks entry `index` dirty after a write access.
   void MarkDirty(u32 index);

@@ -1,0 +1,38 @@
+#include "os/address_space.h"
+
+#include "base/table.h"
+
+namespace vcop::os {
+
+AsidAllocator::AsidAllocator(u32 capacity) : used_(capacity, false) {
+  VCOP_CHECK_MSG(capacity >= 2, "ASID space needs at least one free tag");
+  used_[0] = true;  // kernel default space
+  in_use_ = 1;
+}
+
+Result<hw::Asid> AsidAllocator::Allocate() {
+  for (u32 step = 0; step < used_.size(); ++step) {
+    const u32 candidate = (cursor_ + step) % used_.size();
+    if (candidate == 0 || used_[candidate]) continue;
+    used_[candidate] = true;
+    ++in_use_;
+    cursor_ = (candidate + 1) % used_.size();
+    return static_cast<hw::Asid>(candidate);
+  }
+  return ResourceExhaustedError(
+      StrFormat("all %zu ASIDs in use", used_.size() - 1));
+}
+
+void AsidAllocator::Release(hw::Asid asid) {
+  VCOP_CHECK_MSG(asid != 0, "ASID 0 is reserved for the kernel");
+  VCOP_CHECK_MSG(asid < used_.size() && used_[asid],
+                 "releasing an ASID that is not allocated");
+  used_[asid] = false;
+  --in_use_;
+}
+
+bool AsidAllocator::InUse(hw::Asid asid) const {
+  return asid < used_.size() && used_[asid];
+}
+
+}  // namespace vcop::os

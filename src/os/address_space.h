@@ -1,0 +1,156 @@
+// Per-tenant address spaces for the vcopd service layer.
+//
+// The paper models one process owning the coprocessor for the duration
+// of a blocking FPGA_EXECUTE. To serve many concurrent clients (§5's
+// "managing the reconfigurable fabric across tasks"), each tenant gets
+// an AddressSpace: its own Process, its own object table, and — the
+// part that makes preemption possible — the VIM execution context that
+// used to live inside the Vim itself (accounting, write-back history,
+// parameter-page state, a TLB snapshot taken at preemption). The Vim
+// operates on exactly one attached AddressSpace at a time; vcopd swaps
+// spaces at dispatch boundaries.
+//
+// Spaces are identified by an ASID, the tag the shared interface TLB
+// keys entries on (hw/tlb.h): a tenant's translations survive other
+// tenants' slices until capacity evicts them. ASID 0 is reserved for
+// the kernel's default single-tenant space, which keeps every legacy
+// code path bit-identical.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "base/units.h"
+#include "hw/tlb.h"
+#include "mem/page.h"
+#include "os/object_table.h"
+#include "os/process.h"
+#include "sim/stats.h"
+
+namespace vcop::os {
+
+/// Per-execution accounting, matching the decomposition of Figures 8/9.
+/// Lives with the address space so a preempted tenant's partial charges
+/// survive the slices of other tenants.
+struct VimAccounting {
+  /// "software execution time for the dual-port RAM management (time
+  /// spent in the OS transferring data from/to user-space memory)"
+  Picoseconds t_dp = 0;
+  /// "software execution time for the IMU management (time spent in the
+  /// OS checking which address has generated the fault and updating the
+  /// translation table)"
+  Picoseconds t_imu = 0;
+  /// Waking the sleeping caller at end of operation — invocation
+  /// machinery, reported with the invocation overhead, not as IMU
+  /// management.
+  Picoseconds t_wakeup = 0;
+
+  u64 faults = 0;           // hard faults: page not resident
+  u64 tlb_refills = 0;      // soft faults: resident, TLB entry missing
+  u64 evictions = 0;
+  u64 writebacks = 0;
+  u64 loads = 0;
+  u64 prefetched_pages = 0;
+  /// Pages written back in place by background cleaning (overlap mode).
+  u64 cleaned_pages = 0;
+  u64 bytes_loaded = 0;
+  u64 bytes_written_back = 0;
+  /// CPU time spent on transfers that ran concurrently with coprocessor
+  /// execution (overlapped prefetch). NOT part of the serial t_dp sum —
+  /// it does not extend the wall time unless a fault has to wait.
+  Picoseconds t_dp_overlapped = 0;
+  /// Portion of fault-service time spent waiting for an in-flight
+  /// overlapped transfer (or for the CPU to finish one). Included in
+  /// t_dp.
+  Picoseconds t_dp_wait = 0;
+  /// Writes observed to pages of objects mapped IN (coprocessor bug
+  /// indicator: those dirty pages are dropped, honouring the hint).
+  u64 dirty_in_pages_dropped = 0;
+  /// Times this execution was preempted at a fault boundary (vcopd).
+  u64 preemptions = 0;
+  /// Distribution of individual fault-service times in microseconds
+  /// (interrupt entry to coprocessor restart).
+  sim::Summary fault_service_us;
+};
+
+/// A TLB entry as remembered by SaveContext: enough to re-install the
+/// translation at resume if the backing frame is still resident.
+struct TlbSnapshotEntry {
+  hw::ObjectId object = 0;
+  mem::VirtPage vpage = 0;
+  mem::FrameId frame = 0;
+};
+
+class AddressSpace {
+ public:
+  AddressSpace(u32 pid, hw::Asid asid, std::string name = "")
+      : asid_(asid), name_(std::move(name)), process_(pid) {}
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  u32 pid() const { return process_.pid(); }
+  hw::Asid asid() const { return asid_; }
+  const std::string& name() const { return name_; }
+  Process& process() { return process_; }
+  const Process& process() const { return process_; }
+  ObjectTable& objects() { return objects_; }
+  const ObjectTable& objects() const { return objects_; }
+
+  // ----- VIM execution context (driven by the Vim while attached) -----
+
+  VimAccounting accounting{};
+  /// Pages of OUT objects that have been written back at least once;
+  /// their next fault must reload them (see Vim::EnsureMapped).
+  std::set<std::pair<hw::ObjectId, mem::VirtPage>> written_back;
+  /// Frame pinned under the parameter page, while established.
+  std::optional<mem::FrameId> param_frame;
+  /// The scalar parameters of the current execution, kept so a
+  /// preempted run can re-materialise its parameter page at resume.
+  std::vector<u32> saved_params;
+  /// True from PrepareExecution until the coprocessor releases the
+  /// parameter page (or the run ends): the page must exist — or be
+  /// restored — whenever the job is on the fabric.
+  bool params_live = false;
+  /// The run was aborted; late interrupts are ignored.
+  bool aborted = false;
+  /// Own TLB entries at the last SaveContext (restored if still valid).
+  std::vector<TlbSnapshotEntry> tlb_snapshot;
+
+ private:
+  hw::Asid asid_;
+  std::string name_;
+  Process process_;
+  ObjectTable objects_;
+};
+
+/// Allocates ASIDs from the finite tag space of the shared TLB's CAM.
+/// ASID 0 is permanently reserved for the kernel's default space. The
+/// cursor keeps advancing across Release, so freed tags are reused in
+/// wrap-around order — the classic generation problem; safe here
+/// because UnregisterTenant flushes the dying ASID from TLB and frames
+/// before its tag can be recycled.
+class AsidAllocator {
+ public:
+  /// `capacity` = total tags including the reserved 0; must be >= 2.
+  explicit AsidAllocator(u32 capacity);
+
+  Result<hw::Asid> Allocate();
+  void Release(hw::Asid asid);
+  bool InUse(hw::Asid asid) const;
+
+  u32 capacity() const { return static_cast<u32>(used_.size()); }
+  u32 in_use() const { return in_use_; }
+
+ private:
+  std::vector<bool> used_;
+  u32 in_use_ = 0;
+  u32 cursor_ = 1;
+};
+
+}  // namespace vcop::os

@@ -49,6 +49,15 @@ struct CostModel {
   /// Waking the sleeping caller at end of operation: ~6 us.
   u32 wakeup_cycles = 800;
 
+  /// vcopd preemption: saving a job's interface context at a fault
+  /// boundary (snapshotting translations, page bookkeeping): ~3 us.
+  /// Dirty-page write-back is priced separately by the TransferEngine.
+  u32 context_save_cycles = 400;
+
+  /// vcopd preemption: re-installing a saved context at resume
+  /// (validating and re-loading surviving translations): ~2.4 us.
+  u32 context_restore_cycles = 320;
+
   /// SDRAM-side cost of one 32-bit word within an OS copy loop
   /// (uncached user-page access on ARM9): feeds the TransferEngine.
   /// With the AHB timing below this yields an effective page-move rate

@@ -9,15 +9,17 @@ Kernel::Kernel(const KernelConfig& config)
       user_memory_(config.user_memory_bytes),
       dp_ram_(config.dp_ram_bytes),
       fabric_(config.pld_capacity_les, config.config_bytes_per_second),
+      shared_tlb_(config.tlb_entries),
       vim_(config.costs,
            mem::PageGeometry(config.page_bytes,
                              config.dp_ram_bytes / config.page_bytes),
            dp_ram_, user_memory_, sim_),
-      process_(/*pid=*/1) {
+      default_space_(/*pid=*/1, /*asid=*/0) {
   VCOP_CHECK_MSG(config.dp_ram_bytes % config.page_bytes == 0,
                  "dual-port RAM size must be a whole number of pages");
   sim_.set_tuning(config.sim_tuning);
   vim_.Configure(config.vim);
+  vim_.AttachSpace(&default_space_);
   vim_.set_timeline(&timeline_);
   irq_.set_handler([this](hw::InterruptCause cause) {
     switch (cause) {
@@ -47,11 +49,13 @@ Status Kernel::FpgaLoad(const hw::Bitstream& bitstream) {
   imu_config.bounds_check = config_.imu_bounds_check;
   imu_config.posted_writes = config_.imu_posted_writes;
   imu_config.translation_cache = config_.imu_translation_cache;
+  shared_tlb_.InvalidateAll();
+  shared_tlb_.ResetStats();
   imu_ = std::make_unique<hw::Imu>(
       imu_config,
       mem::PageGeometry(config_.page_bytes,
                         config_.dp_ram_bytes / config_.page_bytes),
-      dp_ram_, irq_, sim_);
+      dp_ram_, irq_, sim_, &shared_tlb_);
 
   imu_domain_ = &sim_.AddClockDomain(
       StrFormat("imu%u@%s", load_count_,
@@ -113,7 +117,7 @@ Result<ExecutionReport> Kernel::FpgaExecute(std::span<const u32> params) {
     done = true;
   });
 
-  process_.Sleep(t0);
+  default_space_.process().Sleep(t0);
   const usize num_params = params.size();
   sim_.ScheduleAt(t0 + setup.value(), [this, num_params] {
     imu_->AssertStart();
@@ -122,7 +126,7 @@ Result<ExecutionReport> Kernel::FpgaExecute(std::span<const u32> params) {
   });
 
   const bool converged = sim_.RunUntil([&done] { return done; });
-  process_.Wake(sim_.now());
+  default_space_.process().Wake(sim_.now());
   vim_.set_completion_handler(nullptr);
   vim_.set_abort_handler(nullptr);
   if (!converged) {

@@ -25,8 +25,10 @@
 #include "hw/fabric.h"
 #include "hw/imu.h"
 #include "hw/interrupt.h"
+#include "hw/tlb.h"
 #include "mem/dp_ram.h"
 #include "mem/user_memory.h"
+#include "os/address_space.h"
 #include "os/calibration.h"
 #include "os/process.h"
 #include "os/timeline.h"
@@ -116,9 +118,16 @@ class Kernel {
   mem::DualPortRam& dp_ram() { return dp_ram_; }
   sim::Simulator& simulator() { return sim_; }
   Vim& vim() { return vim_; }
-  Process& process() { return process_; }
+  Process& process() { return default_space_.process(); }
   hw::FpgaFabric& fabric() { return fabric_; }
   hw::Imu* imu() { return imu_.get(); }
+  hw::InterruptLine& irq() { return irq_; }
+  /// The single interface TLB shared by every IMU instantiated on this
+  /// platform (ASID-tagged; see os/vcopd.h).
+  hw::Tlb& shared_tlb() { return shared_tlb_; }
+  /// The kernel's own address space (ASID 0), used by the blocking
+  /// single-tenant system calls.
+  AddressSpace& default_space() { return default_space_; }
   const KernelConfig& config() const { return config_; }
 
   /// Configuration time of the most recent FPGA_LOAD.
@@ -134,8 +143,9 @@ class Kernel {
   mem::DualPortRam dp_ram_;
   hw::InterruptLine irq_;
   hw::FpgaFabric fabric_;
+  hw::Tlb shared_tlb_;
   Vim vim_;
-  Process process_;
+  AddressSpace default_space_;
 
   TimelineRecorder timeline_;
   std::unique_ptr<hw::Imu> imu_;

@@ -11,10 +11,13 @@ void PageManager::Reset() {
 }
 
 std::optional<mem::FrameId> PageManager::FindResident(
-    hw::ObjectId object, mem::VirtPage vpage) const {
+    hw::ObjectId object, mem::VirtPage vpage, hw::Asid asid) const {
   for (mem::FrameId f = 0; f < frames_.size(); ++f) {
     const FrameState& s = frames_[f];
-    if (s.in_use && s.object == object && s.vpage == vpage) return f;
+    if (s.in_use && s.object == object && s.vpage == vpage &&
+        s.asid == asid) {
+      return f;
+    }
   }
   return std::nullopt;
 }
@@ -27,15 +30,16 @@ std::optional<mem::FrameId> PageManager::FindFree() const {
 }
 
 void PageManager::Install(mem::FrameId frame, hw::ObjectId object,
-                          mem::VirtPage vpage, bool pinned) {
+                          mem::VirtPage vpage, bool pinned, hw::Asid asid) {
   FrameState& s = MutableFrame(frame);
   VCOP_CHECK_MSG(!s.in_use, "Install into an occupied frame");
-  VCOP_CHECK_MSG(!FindResident(object, vpage).has_value(),
+  VCOP_CHECK_MSG(!FindResident(object, vpage, asid).has_value(),
                  "page is already resident in another frame");
   FrameState next;
   next.in_use = true;
   next.pinned = pinned;
   next.object = object;
+  next.asid = asid;
   next.vpage = vpage;
   s = next;
   ++in_use_;
@@ -90,6 +94,14 @@ std::vector<mem::FrameId> PageManager::InUseFrames() const {
   std::vector<mem::FrameId> out;
   for (mem::FrameId f = 0; f < frames_.size(); ++f) {
     if (frames_[f].in_use) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<mem::FrameId> PageManager::InUseFramesOf(hw::Asid asid) const {
+  std::vector<mem::FrameId> out;
+  for (mem::FrameId f = 0; f < frames_.size(); ++f) {
+    if (frames_[f].in_use && frames_[f].asid == asid) out.push_back(f);
   }
   return out;
 }

@@ -29,6 +29,8 @@ struct FrameState {
   /// entry's dirty bit is merged in by the Vim at eviction time.
   bool dirty = false;
   hw::ObjectId object = 0;
+  /// Owning address space (vcopd multi-tenancy); 0 = kernel default.
+  hw::Asid asid = 0;
   mem::VirtPage vpage = 0;
 };
 
@@ -44,16 +46,18 @@ class PageManager {
   u32 frames_in_use() const { return in_use_; }
   u32 frames_free() const { return num_frames() - in_use_; }
 
-  /// Frame currently holding (object, vpage), if resident.
+  /// Frame currently holding (asid, object, vpage), if resident.
   std::optional<mem::FrameId> FindResident(hw::ObjectId object,
-                                           mem::VirtPage vpage) const;
+                                           mem::VirtPage vpage,
+                                           hw::Asid asid = 0) const;
 
   /// Any free frame (lowest index first).
   std::optional<mem::FrameId> FindFree() const;
 
-  /// Claims `frame` for (object, vpage). Precondition: frame is free.
+  /// Claims `frame` for (asid, object, vpage). Precondition: frame is
+  /// free.
   void Install(mem::FrameId frame, hw::ObjectId object, mem::VirtPage vpage,
-               bool pinned = false);
+               bool pinned = false, hw::Asid asid = 0);
 
   /// Releases `frame`. Precondition: frame is in use.
   /// Returns its final state (the caller decides about write-back
@@ -75,6 +79,10 @@ class PageManager {
 
   /// All in-use frames (for end-of-operation write-back sweeps).
   std::vector<mem::FrameId> InUseFrames() const;
+
+  /// In-use frames owned by `asid` (vcopd's scoped sweeps and context
+  /// save/restore only touch the attached tenant's frames).
+  std::vector<mem::FrameId> InUseFramesOf(hw::Asid asid) const;
 
  private:
   FrameState& MutableFrame(mem::FrameId frame);

@@ -1,6 +1,8 @@
 #include "os/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_map>
 
 #include "base/table.h"
 
@@ -27,6 +29,50 @@ usize ScheduleReport::failures() const {
   return n;
 }
 
+Picoseconds Percentile(std::vector<Picoseconds> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = std::ceil(q * static_cast<double>(samples.size()));
+  const usize index = static_cast<usize>(
+      std::clamp(rank - 1.0, 0.0, static_cast<double>(samples.size() - 1)));
+  return samples[index];
+}
+
+Picoseconds ScheduleReport::max_wait() const {
+  Picoseconds w = 0;
+  for (const JobOutcome& o : outcomes) w = std::max(w, o.wait());
+  return w;
+}
+
+std::vector<TenantFairness> ScheduleReport::per_pid() const {
+  std::map<u32, std::vector<const JobOutcome*>> by_pid;
+  for (const JobOutcome& o : outcomes) by_pid[o.pid].push_back(&o);
+
+  std::vector<TenantFairness> result;
+  result.reserve(by_pid.size());
+  for (const auto& [pid, jobs] : by_pid) {
+    TenantFairness f;
+    f.pid = pid;
+    f.jobs = jobs.size();
+    std::vector<Picoseconds> turnarounds;
+    turnarounds.reserve(jobs.size());
+    for (const JobOutcome* o : jobs) {
+      f.busy += o->finished_at - o->started_at;
+      f.max_wait = std::max(f.max_wait, o->wait());
+      f.max_turnaround = std::max(f.max_turnaround, o->turnaround());
+      turnarounds.push_back(o->turnaround());
+    }
+    f.p50_turnaround = Percentile(turnarounds, 0.50);
+    f.p99_turnaround = Percentile(std::move(turnarounds), 0.99);
+    f.makespan_share =
+        makespan == 0 ? 0.0
+                      : static_cast<double>(f.busy) /
+                            static_cast<double>(makespan);
+    result.push_back(f);
+  }
+  return result;
+}
+
 FpgaScheduler::FpgaScheduler(Kernel& kernel,
                              std::map<std::string, hw::Bitstream> designs)
     : kernel_(kernel), designs_(std::move(designs)) {}
@@ -36,22 +82,18 @@ ScheduleReport FpgaScheduler::RunAll(std::vector<FpgaJob> jobs,
   if (order == ScheduleOrder::kBatchBitstream) {
     // Stable partition by design, groups ordered by first submission —
     // within a group the submission order is preserved, so no job can
-    // be starved by a later arrival of the same design.
-    std::vector<std::string> group_order;
+    // be starved by a later arrival of the same design. One pass builds
+    // the first-seen rank of each design; the comparator is then an
+    // integer compare instead of a linear scan per comparison.
+    std::unordered_map<std::string, u32> group_index;
     for (const FpgaJob& job : jobs) {
-      if (std::find(group_order.begin(), group_order.end(),
-                    job.bitstream) == group_order.end()) {
-        group_order.push_back(job.bitstream);
-      }
+      group_index.emplace(job.bitstream,
+                          static_cast<u32>(group_index.size()));
     }
     std::stable_sort(
         jobs.begin(), jobs.end(),
-        [&group_order](const FpgaJob& a, const FpgaJob& b) {
-          const auto ia = std::find(group_order.begin(), group_order.end(),
-                                    a.bitstream);
-          const auto ib = std::find(group_order.begin(), group_order.end(),
-                                    b.bitstream);
-          return ia < ib;
+        [&group_index](const FpgaJob& a, const FpgaJob& b) {
+          return group_index.at(a.bitstream) < group_index.at(b.bitstream);
         });
   }
 

@@ -57,10 +57,30 @@ struct JobOutcome {
   Picoseconds finished_at = 0;
   bool reconfigured = false;   // this job paid an FPGA_LOAD
   Picoseconds config_time = 0;
+  /// Times the job was preempted at a fault boundary (always 0 under
+  /// FpgaScheduler, which runs jobs to completion; vcopd fills it in).
+  u32 preemptions = 0;
   ExecutionReport report;  // valid when status.ok()
 
   Picoseconds turnaround() const { return finished_at - submitted_at; }
   Picoseconds wait() const { return started_at - submitted_at; }
+};
+
+/// Nearest-rank percentile of a sample set (q in [0, 1]); 0 when empty.
+Picoseconds Percentile(std::vector<Picoseconds> samples, double q);
+
+/// Per-submitter fairness digest of a schedule, for starvation and
+/// tail-latency analysis across competing tenants.
+struct TenantFairness {
+  u32 pid = 0;
+  usize jobs = 0;
+  Picoseconds busy = 0;  // sum of started->finished spans
+  Picoseconds max_wait = 0;
+  Picoseconds max_turnaround = 0;
+  Picoseconds p50_turnaround = 0;
+  Picoseconds p99_turnaround = 0;
+  /// busy / makespan: the fraction of the batch this pid held the PLD.
+  double makespan_share = 0.0;
 };
 
 struct ScheduleReport {
@@ -71,6 +91,10 @@ struct ScheduleReport {
 
   Picoseconds mean_turnaround() const;
   usize failures() const;
+  /// Longest time any job waited before starting.
+  Picoseconds max_wait() const;
+  /// Fairness digest per submitting pid, ordered by pid.
+  std::vector<TenantFairness> per_pid() const;
 };
 
 class FpgaScheduler {

@@ -23,7 +23,8 @@ struct TimelineEvent {
   std::string category;  // "fault" | "transfer" | "overlap" | "exec" | "config"
   Picoseconds start = 0;
   Picoseconds duration = 0;
-  /// Virtual lane: 0 = CPU/OS, 1 = coprocessor, 2 = background CPU.
+  /// Virtual lane: 0 = CPU/OS, 1 = coprocessor, 2 = background CPU,
+  /// 3 = service daemon (vcopd dispatches, switches, preemptions).
   u32 track = 0;
 };
 

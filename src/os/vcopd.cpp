@@ -1,0 +1,536 @@
+#include "os/vcopd.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+#include "base/table.h"
+
+namespace vcop::os {
+
+std::string_view ToString(ServicePolicy policy) {
+  switch (policy) {
+    case ServicePolicy::kFairShare: return "fair-share";
+    case ServicePolicy::kFifoBatch: return "fifo-batch";
+  }
+  return "?";
+}
+
+Vcopd::Vcopd(Kernel& kernel, VcopdConfig config)
+    : kernel_(kernel),
+      config_(config),
+      asids_(std::max<u32>(
+          2, std::min<u32>(config.max_asids, 65536))) {
+  Vim& vim = kernel_.vim();
+  vim.set_tlb_tagging(config_.asid_tagging);
+  vim.set_space_resolver([this](hw::Asid asid) { return FindSpace(asid); });
+}
+
+Vcopd::~Vcopd() {
+  Vim& vim = kernel_.vim();
+  vim.set_space_resolver(nullptr);
+  vim.set_preempt_check(nullptr);
+  vim.set_preempt_handler(nullptr);
+  vim.set_tlb_tagging(true);
+  RestoreKernelBinding();
+}
+
+Result<TenantId> Vcopd::RegisterTenant(std::string name, u32 weight) {
+  if (weight == 0) {
+    return InvalidArgumentError("tenant weight must be >= 1");
+  }
+  Result<hw::Asid> asid = asids_.Allocate();
+  if (!asid.ok()) return asid.status();
+
+  auto tenant = std::make_unique<Tenant>();
+  tenant->id = static_cast<TenantId>(tenants_.size()) + 1;
+  tenant->weight = weight;
+  tenant->space = std::make_unique<AddressSpace>(next_pid_++, asid.value(),
+                                                 std::move(name));
+  tenants_.push_back(std::move(tenant));
+  return tenants_.back()->id;
+}
+
+Status Vcopd::UnregisterTenant(TenantId tenant) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return NotFoundError(StrFormat("unknown tenant %u", tenant));
+  }
+  if (t->inflight != nullptr || !t->queue.empty()) {
+    return FailedPreconditionError(StrFormat(
+        "tenant %u has queued or in-flight work", tenant));
+  }
+  // A clean tenant holds no frames (the scoped end-of-operation sweep
+  // released them); scrub any surviving TLB entries before the tag can
+  // be recycled.
+  kernel_.shared_tlb().InvalidateAsid(t->space->asid());
+  asids_.Release(t->space->asid());
+  t->active = false;
+  if (current_ == t) current_ = nullptr;
+  return Status::Ok();
+}
+
+Status Vcopd::MapObject(TenantId tenant, hw::ObjectId id,
+                        mem::UserAddr addr, u32 size_bytes, u32 elem_width,
+                        Direction direction) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return NotFoundError(StrFormat("unknown tenant %u", tenant));
+  }
+  if (!kernel_.user_memory().Contains(addr, size_bytes)) {
+    return InvalidArgumentError(StrFormat(
+        "object %u: [%u, +%u) is not in the process address space", id,
+        addr, size_bytes));
+  }
+  MappedObject object;
+  object.id = id;
+  object.user_addr = addr;
+  object.size_bytes = size_bytes;
+  object.elem_width = elem_width;
+  object.direction = direction;
+  return t->space->objects().Map(object);
+}
+
+Status Vcopd::UnmapObject(TenantId tenant, hw::ObjectId id) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return NotFoundError(StrFormat("unknown tenant %u", tenant));
+  }
+  return t->space->objects().Unmap(id);
+}
+
+Result<Ticket> Vcopd::Submit(
+    TenantId tenant, const hw::Bitstream& bitstream,
+    std::span<const u32> params,
+    std::function<void(const JobResult&)> on_complete) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return NotFoundError(StrFormat("unknown tenant %u", tenant));
+  }
+  // Admission control: validate what can be validated without running.
+  const Result<Picoseconds> price =
+      kernel_.fabric().PriceConfigure(bitstream);
+  if (!price.ok()) return price.status();
+  if (params.size() * 4 > kernel_.config().page_bytes) {
+    return InvalidArgumentError(StrFormat(
+        "%zu parameters exceed the parameter page (%u bytes)",
+        params.size(), kernel_.config().page_bytes));
+  }
+  if (t->queue.size() >= config_.queue_depth) {
+    ++stats_.rejected;
+    return ResourceExhaustedError(StrFormat(
+        "tenant %u submission queue is full (%u jobs) — back off and "
+        "resubmit",
+        tenant, config_.queue_depth));
+  }
+
+  auto job = std::make_unique<Job>();
+  job->ticket = ++next_ticket_;
+  job->tenant = tenant;
+  job->bitstream = bitstream;
+  job->params.assign(params.begin(), params.end());
+  job->on_complete = std::move(on_complete);
+  job->result.ticket = job->ticket;
+  job->result.tenant = tenant;
+  job->result.bitstream = bitstream.name;
+  job->result.submitted_at = kernel_.simulator().now();
+  t->queue.push_back(job.get());
+  jobs_.push_back(std::move(job));
+  ++stats_.submitted;
+  return jobs_.back()->ticket;
+}
+
+const JobResult* Vcopd::Poll(Ticket ticket) const {
+  const Job* job = FindJob(ticket);
+  if (job == nullptr) return nullptr;
+  if (job->state != VcopdJobState::kDone &&
+      job->state != VcopdJobState::kFailed) {
+    return nullptr;
+  }
+  return &job->result;
+}
+
+Result<JobResult> Vcopd::Wait(Ticket ticket) {
+  Job* job = FindJob(ticket);
+  if (job == nullptr) {
+    return NotFoundError(StrFormat(
+        "unknown ticket %llu", static_cast<unsigned long long>(ticket)));
+  }
+  while (job->state != VcopdJobState::kDone &&
+         job->state != VcopdJobState::kFailed) {
+    Tenant* next = PickNext();
+    VCOP_CHECK_MSG(next != nullptr,
+                   "ticket pending but no tenant is runnable");
+    const Status status = RunSlice(*next);
+    if (!status.ok()) return status;
+  }
+  RestoreKernelBinding();
+  return job->result;
+}
+
+Status Vcopd::RunUntilIdle() {
+  while (Tenant* next = PickNext()) {
+    const Status status = RunSlice(*next);
+    if (!status.ok()) return status;
+  }
+  RestoreKernelBinding();
+  return Status::Ok();
+}
+
+AddressSpace* Vcopd::FindSpace(hw::Asid asid) {
+  if (asid == 0) return &kernel_.default_space();
+  for (const std::unique_ptr<Tenant>& t : tenants_) {
+    if (t->active && t->space->asid() == asid) return t->space.get();
+  }
+  return nullptr;
+}
+
+ScheduleReport Vcopd::BuildScheduleReport() const {
+  ScheduleReport report;
+  Picoseconds first_submit = 0;
+  Picoseconds last_finish = 0;
+  bool any = false;
+  for (const std::unique_ptr<Job>& job : jobs_) {
+    if (job->state != VcopdJobState::kDone &&
+        job->state != VcopdJobState::kFailed) {
+      continue;
+    }
+    const JobResult& r = job->result;
+    JobOutcome outcome;
+    outcome.pid = tenants_[job->tenant - 1]->space->pid();
+    outcome.bitstream = r.bitstream;
+    outcome.status = r.status;
+    outcome.submitted_at = r.submitted_at;
+    outcome.started_at = r.started_at;
+    outcome.finished_at = r.finished_at;
+    outcome.reconfigured = r.reconfigured;
+    outcome.config_time = r.config_time;
+    outcome.preemptions = r.preemptions;
+    outcome.report = r.report;
+    if (!any || r.submitted_at < first_submit) first_submit = r.submitted_at;
+    last_finish = std::max(last_finish, r.finished_at);
+    any = true;
+    report.outcomes.push_back(std::move(outcome));
+  }
+  if (any) report.makespan = last_finish - first_submit;
+  report.reconfigurations = static_cast<u32>(stats_.reconfigurations);
+  report.total_config_time = stats_.total_config_time;
+  return report;
+}
+
+Vcopd::Tenant* Vcopd::FindTenant(TenantId id) {
+  if (id == 0 || id > tenants_.size()) return nullptr;
+  Tenant* t = tenants_[id - 1].get();
+  return t->active ? t : nullptr;
+}
+
+Vcopd::Job* Vcopd::FindJob(Ticket ticket) const {
+  if (ticket == 0 || ticket > jobs_.size()) return nullptr;
+  return jobs_[ticket - 1].get();
+}
+
+bool Vcopd::Runnable(const Tenant& tenant) const {
+  return tenant.inflight != nullptr || !tenant.queue.empty();
+}
+
+bool Vcopd::AnyOtherRunnable(const Tenant* current) const {
+  for (const std::unique_ptr<Tenant>& t : tenants_) {
+    if (t.get() == current || !t->active) continue;
+    if (Runnable(*t)) return true;
+  }
+  return false;
+}
+
+Vcopd::Tenant* Vcopd::PickNext() {
+  if (config_.policy == ServicePolicy::kFifoBatch) {
+    // Earliest ticket among queue heads, except that a head matching
+    // the design already on the fabric jumps the line (greedy
+    // bit-stream batching; within one design, arrival order holds).
+    Tenant* best = nullptr;
+    Ticket best_ticket = 0;
+    bool best_match = false;
+    for (const std::unique_ptr<Tenant>& t : tenants_) {
+      if (!t->active || !Runnable(*t)) continue;
+      const Job* head = t->inflight != nullptr ? t->inflight
+                                               : t->queue.front();
+      const bool match = head->bitstream.name == current_design_;
+      if (best == nullptr || (match && !best_match) ||
+          (match == best_match && head->ticket < best_ticket)) {
+        best = t.get();
+        best_ticket = head->ticket;
+        best_match = match;
+      }
+    }
+    return best;
+  }
+
+  // Deficit round-robin: stay with the current tenant while it has both
+  // work and deficit, otherwise advance the ring, topping up the next
+  // runnable tenant's deficit by quantum x weight.
+  if (current_ != nullptr && current_->active && Runnable(*current_) &&
+      current_->deficit > 0) {
+    return current_;
+  }
+  usize start = 0;
+  if (current_ != nullptr) {
+    for (usize i = 0; i < tenants_.size(); ++i) {
+      if (tenants_[i].get() == current_) {
+        start = i + 1;
+        break;
+      }
+    }
+  }
+  for (usize k = 0; k < tenants_.size(); ++k) {
+    Tenant* t = tenants_[(start + k) % tenants_.size()].get();
+    if (!t->active || !Runnable(*t)) continue;
+    t->deficit = std::min<i64>(t->deficit, 0) +
+                 static_cast<i64>(config_.quantum) *
+                     static_cast<i64>(t->weight);
+    current_ = t;
+    return t;
+  }
+  return nullptr;
+}
+
+Picoseconds Vcopd::SwitchDesign(Job& job) {
+  if (current_design_ == job.bitstream.name) return 0;
+  const Result<Picoseconds> price =
+      kernel_.fabric().PriceConfigure(job.bitstream);
+  VCOP_CHECK_MSG(price.ok(), price.status().ToString());  // Submit checked
+  current_design_ = job.bitstream.name;
+  ++stats_.reconfigurations;
+  stats_.total_config_time += price.value();
+  if (job.state == VcopdJobState::kQueued) {
+    job.result.reconfigured = true;
+    job.result.config_time = price.value();
+  }
+  kernel_.timeline().Record(
+      StrFormat("vcopd configure %s", job.bitstream.name.c_str()),
+      "config", kernel_.simulator().now(), price.value(), /*track=*/3);
+  return price.value();
+}
+
+void Vcopd::InstantiateHardware(Tenant& tenant, Job& job) {
+  const KernelConfig& kc = kernel_.config();
+  hw::ImuConfig imu_config;
+  imu_config.access_latency_cycles = kc.imu_access_latency;
+  imu_config.pipelined = kc.imu_pipelined;
+  imu_config.tlb_entries = kc.tlb_entries;
+  imu_config.bounds_check = kc.imu_bounds_check;
+  imu_config.posted_writes = kc.imu_posted_writes;
+  imu_config.translation_cache = kc.imu_translation_cache;
+
+  ++hardware_count_;
+  job.imu = std::make_unique<hw::Imu>(
+      imu_config,
+      mem::PageGeometry(kc.page_bytes, kc.dp_ram_bytes / kc.page_bytes),
+      kernel_.dp_ram(), kernel_.irq(), kernel_.simulator(),
+      &kernel_.shared_tlb());
+  job.imu->SetAsid(tenant.space->asid());
+
+  // IMU domain first: on coincident edges the translation pipeline must
+  // advance before the core samples CP_TLBHIT (same as Kernel::FpgaLoad).
+  job.imu_domain = &kernel_.simulator().AddClockDomain(
+      StrFormat("vcopd-imu%u@%s", hardware_count_,
+                job.bitstream.imu_clock.ToString().c_str()),
+      job.bitstream.imu_clock);
+  job.cp_domain = &kernel_.simulator().AddClockDomain(
+      StrFormat("vcopd-cp%u@%s", hardware_count_,
+                job.bitstream.cp_clock.ToString().c_str()),
+      job.bitstream.cp_clock);
+  job.core = job.bitstream.create();
+  job.imu->BindClocks(*job.imu_domain, *job.cp_domain);
+  job.imu_domain->Attach(*job.imu);
+  job.cp_domain->Attach(*job.core);
+  job.core->BindPort(*job.imu);
+}
+
+Status Vcopd::RunSlice(Tenant& tenant) {
+  sim::Simulator& sim = kernel_.simulator();
+  Vim& vim = kernel_.vim();
+
+  const bool resuming = tenant.inflight != nullptr;
+  Job* job;
+  if (resuming) {
+    job = tenant.inflight;
+    VCOP_CHECK_MSG(job->state == VcopdJobState::kPreempted,
+                   "in-flight job in unexpected state");
+  } else {
+    job = tenant.queue.front();
+    tenant.queue.pop_front();
+    tenant.inflight = job;
+  }
+
+  const Picoseconds dispatch_time = sim.now();
+  const Picoseconds lead = SwitchDesign(*job);
+  if (!resuming) {
+    job->result.started_at = dispatch_time;
+    InstantiateHardware(tenant, *job);
+  }
+
+  vim.BindImu(job->imu.get());
+  vim.AttachSpace(tenant.space.get());
+
+  bool done = false;
+  Status failure = Status::Ok();
+  Picoseconds tail_cost = 0;
+  const hw::Asid asid = tenant.space->asid();
+
+  vim.set_completion_handler([&done] { done = true; });
+  vim.set_abort_handler([&, job](Status status) {
+    failure = std::move(status);
+    job->core->Abort();
+    // An aborted run's partial results must never reach user memory.
+    tail_cost += kernel_.vim().FlushAsid(asid, /*write_back=*/false);
+    done = true;
+  });
+  slice_preempted_ = false;
+  slice_preempt_cost_ = 0;
+  vim.set_preempt_check([this, &tenant] {
+    if (config_.policy != ServicePolicy::kFairShare) return false;
+    if (kernel_.simulator().now() - slice_started_at_ <
+        config_.time_slice) {
+      return false;
+    }
+    return AnyOtherRunnable(&tenant);
+  });
+  vim.set_preempt_handler([this](Picoseconds cost) {
+    slice_preempted_ = true;
+    slice_preempt_cost_ = cost;
+  });
+
+  const hw::TlbStats tlb_mark = kernel_.shared_tlb().stats();
+  ++stats_.dispatches;
+  tenant.space->process().NoteSlice();
+
+  if (!resuming) {
+    const Result<Picoseconds> setup =
+        vim.PrepareExecution(job->params, ResetScope::kAsidScoped);
+    if (!setup.ok()) {
+      vim.set_completion_handler(nullptr);
+      vim.set_abort_handler(nullptr);
+      vim.set_preempt_check(nullptr);
+      vim.set_preempt_handler(nullptr);
+      FinishJob(tenant, *job, setup.status());
+      return Status::Ok();
+    }
+    job->state = VcopdJobState::kRunning;
+    job->result.report.t_invoke += lead + setup.value();
+    const Picoseconds go = dispatch_time + lead + setup.value();
+    slice_started_at_ = go;
+    hw::Imu* imu = job->imu.get();
+    hw::Coprocessor* core = job->core.get();
+    sim::ClockDomain* cp = job->cp_domain;
+    const u32 nparams = static_cast<u32>(job->params.size());
+    kernel_.timeline().Record(
+        StrFormat("vcopd dispatch pid%u %s", tenant.space->pid(),
+                  job->bitstream.name.c_str()),
+        "exec", dispatch_time, lead + setup.value(), /*track=*/3);
+    sim.ScheduleAt(go, [imu, core, cp, nparams] {
+      imu->AssertStart();
+      core->Start(nparams);
+      cp->Kick();
+    });
+  } else {
+    job->state = VcopdJobState::kRunning;
+    job->result.report.t_invoke += lead;
+    // RestoreContext charges its own time to the space's accounting.
+    const Picoseconds restore = vim.RestoreContext();
+    const Picoseconds go = dispatch_time + lead + restore;
+    slice_started_at_ = go;
+    kernel_.timeline().Record(
+        StrFormat("vcopd resume pid%u %s", tenant.space->pid(),
+                  job->bitstream.name.c_str()),
+        "exec", dispatch_time, lead + restore, /*track=*/3);
+    // The preempting fault is still latched in the IMU: re-enter its
+    // service now that the context is back.
+    Vim* vimp = &vim;
+    sim.ScheduleAt(go, [vimp] { vimp->OnPageFault(); });
+  }
+
+  const bool converged =
+      sim.RunUntil([&] { return done || slice_preempted_; });
+
+  // Attribute this slice's shared-TLB traffic to the job.
+  const hw::TlbStats tlb_now = kernel_.shared_tlb().stats();
+  job->tlb_acc.lookups += tlb_now.lookups - tlb_mark.lookups;
+  job->tlb_acc.hits += tlb_now.hits - tlb_mark.hits;
+  job->tlb_acc.misses += tlb_now.misses - tlb_mark.misses;
+
+  vim.set_completion_handler(nullptr);
+  vim.set_abort_handler(nullptr);
+  vim.set_preempt_check(nullptr);
+  vim.set_preempt_handler(nullptr);
+
+  if (!converged) {
+    failure = UnavailableError(
+        "coprocessor did not complete (simulation went idle or exceeded "
+        "its event budget) — FSM deadlock?");
+    job->core->Abort();
+    tail_cost += vim.FlushAsid(asid, /*write_back=*/false);
+    done = true;
+    slice_preempted_ = false;
+  }
+
+  if (slice_preempted_ && !done) {
+    // The decode + save service takes real time: advance the clock
+    // before the next tenant is dispatched.
+    sim.ScheduleAfter(slice_preempt_cost_, [] {});
+    sim.RunToIdle();
+    job->state = VcopdJobState::kPreempted;
+    ++job->result.preemptions;
+    ++stats_.preemptions;
+  } else {
+    if (tail_cost > 0) {
+      sim.ScheduleAfter(tail_cost, [] {});
+      sim.RunToIdle();
+    }
+    FinishJob(tenant, *job, failure);
+  }
+  tenant.deficit -= static_cast<i64>(sim.now() - dispatch_time);
+  return Status::Ok();
+}
+
+void Vcopd::FinishJob(Tenant& tenant, Job& job, Status status) {
+  job.state =
+      status.ok() ? VcopdJobState::kDone : VcopdJobState::kFailed;
+  tenant.inflight = nullptr;
+
+  JobResult& r = job.result;
+  r.status = std::move(status);
+  r.finished_at = kernel_.simulator().now();
+
+  const VimAccounting& acct = tenant.space->accounting;
+  ExecutionReport& report = r.report;
+  report.total = r.finished_at - r.started_at;
+  report.t_invoke += acct.t_wakeup;
+  report.t_dp = acct.t_dp;
+  report.t_imu = acct.t_imu;
+  // `total` includes switched-out time under other tenants, so the
+  // remainder is not pure hardware time for preempted jobs (see
+  // JobResult). Clamp defensively for failed-before-start jobs.
+  const Picoseconds charged = report.t_invoke + report.t_dp + report.t_imu;
+  report.t_hw = report.total > charged ? report.total - charged : 0;
+  report.vim = acct;
+  if (job.imu != nullptr) report.imu = job.imu->stats();
+  report.tlb = job.tlb_acc;
+  if (job.core != nullptr) report.cp_cycles = job.core->cycles_run();
+
+  if (r.status.ok()) {
+    ++stats_.completed;
+  } else {
+    ++stats_.failed;
+  }
+  kernel_.timeline().Record(
+      StrFormat("vcopd complete pid%u %s%s", tenant.space->pid(),
+                job.bitstream.name.c_str(),
+                r.status.ok() ? "" : " (failed)"),
+      "exec", r.finished_at, 0, /*track=*/3);
+  if (job.on_complete) job.on_complete(r);
+}
+
+void Vcopd::RestoreKernelBinding() {
+  kernel_.vim().AttachSpace(&kernel_.default_space());
+  kernel_.vim().BindImu(kernel_.imu());
+}
+
+}  // namespace vcop::os

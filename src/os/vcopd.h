@@ -1,0 +1,258 @@
+// vcopd — the asynchronous multi-tenant coprocessor service daemon.
+//
+// The paper's system calls give one process exclusive, blocking use of
+// the fabric (§3.1); §5 points at the open problem of "managing the
+// reconfigurable lattice across tasks". vcopd is that service layer:
+// a daemon owning the PLD and serving many tenants at once.
+//
+//   * Each tenant registers and receives its own AddressSpace (private
+//     Process, object table, ASID). FPGA_EXECUTE becomes asynchronous:
+//     Submit() validates, enqueues and returns a ticket immediately;
+//     completions are observed by Poll()/Wait() or delivered through a
+//     callback on the simulated timeline.
+//   * Submission queues are bounded (admission control): a full queue
+//     rejects with ResourceExhausted instead of growing without bound.
+//   * The shared interface TLB is ASID-tagged (hw/tlb.h), so a tenant
+//     switch does not force a full flush — entries of switched-out
+//     tenants survive until capacity evicts them, and the VIM restores
+//     whatever was recycled at resume (Vim::SaveContext/RestoreContext).
+//   * Under the fair-share policy (deficit round-robin over tenant
+//     weights) a job whose time slice has expired is preempted at its
+//     next page-fault boundary: the fault stays latched in the IMU, the
+//     interface context is saved, and the fabric is handed to the next
+//     tenant. The FIFO policy instead runs jobs to completion, batching
+//     by bit-stream to amortise reconfiguration.
+//
+// Hardware model: vcopd treats the PLD as partially reconfigurable —
+// per-job cores and IMU instances front the same physical dual-port RAM
+// and the same shared TLB CAM, and switching designs costs the
+// configuration-port transfer time (FpgaFabric::PriceConfigure) without
+// tearing the platform down. Only one core executes at any instant.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "base/units.h"
+#include "hw/fabric.h"
+#include "hw/imu.h"
+#include "hw/tlb.h"
+#include "os/address_space.h"
+#include "os/kernel.h"
+#include "os/scheduler.h"
+#include "sim/clock.h"
+
+namespace vcop::os {
+
+using TenantId = u32;
+using Ticket = u64;
+
+enum class ServicePolicy : u8 {
+  /// Deficit round-robin over tenant weights; running jobs are preempted
+  /// at fault boundaries when their slice expires and another tenant is
+  /// runnable.
+  kFairShare,
+  /// Strict arrival order, refined by greedy bit-stream batching (a
+  /// queued job matching the loaded design goes first). No preemption.
+  kFifoBatch,
+};
+
+std::string_view ToString(ServicePolicy policy);
+
+struct VcopdConfig {
+  ServicePolicy policy = ServicePolicy::kFairShare;
+  /// Per-tenant submission-queue bound (admission control).
+  u32 queue_depth = 16;
+  /// Fair share: a running job becomes preemptible once its slice has
+  /// held the fabric this long (checked at fault boundaries).
+  Picoseconds time_slice = 200 * 1000 * 1000;  // 200 us
+  /// Fair share: fabric time granted per round and unit of weight.
+  Picoseconds quantum = 400 * 1000 * 1000;  // 400 us
+  /// Off = flush-on-switch baseline for the ASID experiment. Entries
+  /// are tagged either way; only switch behaviour changes.
+  bool asid_tagging = true;
+  /// ASID tag space (including the reserved kernel tag 0).
+  u32 max_asids = 64;
+};
+
+enum class VcopdJobState : u8 {
+  kQueued,
+  kRunning,
+  kPreempted,  // context saved, fault latched, awaiting resume
+  kDone,
+  kFailed,
+};
+
+/// Completion record of one submitted job.
+struct JobResult {
+  Ticket ticket = 0;
+  TenantId tenant = 0;
+  std::string bitstream;
+  Status status;
+  Picoseconds submitted_at = 0;
+  Picoseconds started_at = 0;   // first dispatch
+  Picoseconds finished_at = 0;
+  u32 preemptions = 0;
+  bool reconfigured = false;  // first slice paid a design switch
+  Picoseconds config_time = 0;
+  /// The usual decomposition — with one caveat: `total` spans first
+  /// dispatch to completion, so for preempted jobs it includes time
+  /// switched out while other tenants held the fabric (t_hw absorbs
+  /// that remainder).
+  ExecutionReport report;
+
+  Picoseconds turnaround() const { return finished_at - submitted_at; }
+  Picoseconds wait() const { return started_at - submitted_at; }
+};
+
+struct VcopdStats {
+  u64 submitted = 0;
+  u64 rejected = 0;   // admission-control rejections (queue full)
+  u64 completed = 0;
+  u64 failed = 0;
+  u64 dispatches = 0;  // slices granted (initial dispatches + resumes)
+  u64 preemptions = 0;
+  u64 reconfigurations = 0;
+  Picoseconds total_config_time = 0;
+};
+
+class Vcopd {
+ public:
+  /// The daemon drives the kernel's platform (simulator, VIM, memories,
+  /// shared TLB) directly; the kernel must not run its own blocking
+  /// FPGA_EXECUTE while vcopd has work in flight.
+  explicit Vcopd(Kernel& kernel, VcopdConfig config = {});
+  ~Vcopd();
+
+  Vcopd(const Vcopd&) = delete;
+  Vcopd& operator=(const Vcopd&) = delete;
+
+  // ----- tenant lifecycle -----
+
+  /// Registers a tenant with a fair-share `weight` >= 1. Fails when the
+  /// ASID space is exhausted.
+  Result<TenantId> RegisterTenant(std::string name, u32 weight = 1);
+
+  /// Removes a tenant. Fails while the tenant has queued or in-flight
+  /// work. Its ASID is scrubbed from the shared TLB and recycled.
+  Status UnregisterTenant(TenantId tenant);
+
+  /// Declares / removes an interface object in the tenant's own table.
+  Status MapObject(TenantId tenant, hw::ObjectId id, mem::UserAddr addr,
+                   u32 size_bytes, u32 elem_width, Direction direction);
+  Status UnmapObject(TenantId tenant, hw::ObjectId id);
+
+  // ----- asynchronous execution -----
+
+  /// Validates and enqueues a job; returns its ticket without running
+  /// anything. `on_complete` (optional) fires on the simulated timeline
+  /// at the job's completion instant, before Wait/Poll observe it.
+  Result<Ticket> Submit(
+      TenantId tenant, const hw::Bitstream& bitstream,
+      std::span<const u32> params,
+      std::function<void(const JobResult&)> on_complete = nullptr);
+
+  /// Non-blocking completion check: the result once the job reached
+  /// kDone/kFailed, nullptr while it is still queued or on the fabric.
+  const JobResult* Poll(Ticket ticket) const;
+
+  /// Drives the service until `ticket` completes (other tenants' work
+  /// proceeds meanwhile, exactly as the daemon would schedule it).
+  Result<JobResult> Wait(Ticket ticket);
+
+  /// Drives the service until every queue is empty.
+  Status RunUntilIdle();
+
+  // ----- introspection -----
+
+  const VcopdStats& stats() const { return stats_; }
+  const VcopdConfig& config() const { return config_; }
+  AddressSpace* FindSpace(hw::Asid asid);
+  /// Completed work bridged into the scheduler's fairness report
+  /// (JobOutcome per finished job, per-pid digests via per_pid()).
+  ScheduleReport BuildScheduleReport() const;
+
+ private:
+  struct Job {
+    Ticket ticket = 0;
+    TenantId tenant = 0;
+    VcopdJobState state = VcopdJobState::kQueued;
+    hw::Bitstream bitstream;
+    std::vector<u32> params;
+    std::function<void(const JobResult&)> on_complete;
+    JobResult result;
+
+    // Per-job hardware, instantiated at first dispatch and kept alive
+    // for the daemon's lifetime (clock domains hold raw module
+    // pointers; dormant domains cost nothing).
+    std::unique_ptr<hw::Coprocessor> core;
+    std::unique_ptr<hw::Imu> imu;
+    sim::ClockDomain* imu_domain = nullptr;
+    sim::ClockDomain* cp_domain = nullptr;
+
+    /// Shared-TLB statistics attributed to this job, accumulated as
+    /// deltas over the monotonic counters between slice start/end.
+    hw::TlbStats tlb_acc;
+  };
+
+  struct Tenant {
+    TenantId id = 0;
+    bool active = true;
+    u32 weight = 1;
+    std::unique_ptr<AddressSpace> space;
+    std::deque<Job*> queue;       // submitted, not yet dispatched
+    Job* inflight = nullptr;      // running or preempted
+    i64 deficit = 0;              // fair-share deficit (picoseconds)
+  };
+
+  Tenant* FindTenant(TenantId id);
+  Job* FindJob(Ticket ticket) const;
+  bool Runnable(const Tenant& tenant) const;
+  bool AnyOtherRunnable(const Tenant* current) const;
+
+  /// Next tenant to grant a slice, honouring the configured policy;
+  /// nullptr when no queue has work.
+  Tenant* PickNext();
+
+  /// Grants one slice: dispatches (or resumes) the tenant's job, runs
+  /// the simulation until it completes or is preempted, and settles
+  /// accounting. Returns a non-OK status only for simulation failures.
+  Status RunSlice(Tenant& tenant);
+
+  /// Pays the configuration-port cost when `job`'s design is not the
+  /// one on the fabric (partial-reconfiguration model).
+  Picoseconds SwitchDesign(Job& job);
+
+  void InstantiateHardware(Tenant& tenant, Job& job);
+  void FinishJob(Tenant& tenant, Job& job, Status status);
+  /// Points the VIM back at the kernel's default space / IMU so the
+  /// blocking single-tenant path keeps working after the daemon idles.
+  void RestoreKernelBinding();
+
+  Kernel& kernel_;
+  VcopdConfig config_;
+  AsidAllocator asids_;
+
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::vector<std::unique_ptr<Job>> jobs_;  // every job ever submitted
+  Ticket next_ticket_ = 0;
+  u32 next_pid_ = 2;  // pid 1 is the kernel's default space
+  u32 hardware_count_ = 0;
+
+  /// Design currently on the fabric ("" = none yet).
+  std::string current_design_;
+  Tenant* current_ = nullptr;  // fair-share round-robin position
+  Picoseconds slice_started_at_ = 0;
+  bool slice_preempted_ = false;  // set by the VIM's preempt handler
+  Picoseconds slice_preempt_cost_ = 0;
+
+  VcopdStats stats_;
+};
+
+}  // namespace vcop::os

@@ -39,13 +39,27 @@ void Vim::BindImu(hw::Imu* imu) {
   imu_ = imu;
   if (imu_ == nullptr) return;
   imu_->set_param_release_hook([this] {
-    if (param_frame_.has_value()) {
-      pages_.Unpin(*param_frame_);
-      pages_.Release(*param_frame_);
-      policy_->OnFreed(*param_frame_);
-      param_frame_.reset();
+    if (space_->param_frame.has_value()) {
+      pages_.Unpin(*space_->param_frame);
+      pages_.Release(*space_->param_frame);
+      policy_->OnFreed(*space_->param_frame);
+      space_->param_frame.reset();
     }
+    // The coprocessor gave the page up for good: a preempted run must
+    // not re-materialise it at resume.
+    space_->params_live = false;
   });
+}
+
+void Vim::AttachSpace(AddressSpace* space) {
+  VCOP_CHECK_MSG(space != nullptr, "attaching a null address space");
+  space_ = space;
+}
+
+AddressSpace* Vim::ResolveSpace(hw::Asid asid) {
+  if (space_ != nullptr && space_->asid() == asid) return space_;
+  if (space_resolver_) return space_resolver_(asid);
+  return nullptr;
 }
 
 u32 Vim::PageLength(const MappedObject& object, mem::VirtPage vpage) const {
@@ -56,42 +70,54 @@ u32 Vim::PageLength(const MappedObject& object, mem::VirtPage vpage) const {
       std::min<u64>(remaining, geometry_.page_bytes()));
 }
 
-Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params) {
+Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params,
+                                          ResetScope scope) {
   if (imu_ == nullptr) {
     return FailedPreconditionError("FPGA_EXECUTE before FPGA_LOAD");
   }
+  VCOP_CHECK_MSG(space_ != nullptr, "FPGA_EXECUTE with no space attached");
   const u32 param_bytes = static_cast<u32>(params.size() * 4);
   if (param_bytes > geometry_.page_bytes()) {
     return InvalidArgumentError(StrFormat(
         "%zu parameters exceed the parameter page (%u bytes)",
         params.size(), geometry_.page_bytes()));
   }
-  for (const MappedObject& object : objects_.All()) {
+  for (const MappedObject& object : objects().All()) {
     if (!user_memory_.Contains(object.user_addr, object.size_bytes)) {
       return InvalidArgumentError(StrFormat(
           "object %u points outside the process address space", object.id));
     }
   }
 
-  aborted_ = false;
-  accounting_ = VimAccounting{};
-  pages_.Reset();
-  policy_->Reset(geometry_.num_frames());
-  imu_->tlb().InvalidateAll();
-  imu_->tlb().ResetStats();
-  imu_->ResetStats();
-  tlb_recycle_cursor_ = 0;
-  param_frame_.reset();
-  written_back_.clear();
+  current_scope_ = scope;
+  space_->aborted = false;
+  space_->accounting = VimAccounting{};
+  if (scope == ResetScope::kFullReset) {
+    pages_.Reset();
+    policy_->Reset(geometry_.num_frames());
+    imu_->tlb().InvalidateAll();
+    imu_->tlb().ResetStats();
+    imu_->ResetStats();
+    tlb_recycle_cursor_ = 0;
+    hot_frames_.assign(geometry_.num_frames(), false);
+  } else {
+    // Shared fabric: clear only this space's residue (defensive — a
+    // clean prior end-of-operation leaves none), discarding stale data.
+    FlushAsid(space_->asid(), /*write_back=*/false);
+  }
+  space_->param_frame.reset();
+  space_->written_back.clear();
+  space_->tlb_snapshot.clear();
+  space_->saved_params.assign(params.begin(), params.end());
+  space_->params_live = false;
   ++epoch_;
   in_flight_.clear();
   cpu_busy_until_ = 0;
-  hot_frames_.assign(geometry_.num_frames(), false);
 
   // Program the object descriptor table: the hardware contract of §3.1
   // ("the hardware designer implements a coprocessor having in mind the
   // programmer-declared data").
-  for (const MappedObject& object : objects_.All()) {
+  for (const MappedObject& object : objects().All()) {
     imu_->SetObjectWidth(object.id, object.elem_width);
     imu_->SetObjectLimit(object.id,
                          object.size_bytes / object.elem_width);
@@ -102,22 +128,41 @@ Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params) {
 
   u64 setup_cycles =
       costs_.syscall_cycles +
-      static_cast<u64>(objects_.size()) * costs_.execute_setup_cycles_per_object;
+      static_cast<u64>(objects().size()) * costs_.execute_setup_cycles_per_object;
   Picoseconds setup = costs_.Cycles(setup_cycles);
 
   if (!params.empty()) {
-    const std::optional<mem::FrameId> frame = pages_.FindFree();
+    std::optional<mem::FrameId> frame = pages_.FindFree();
+    if (!frame.has_value() && scope == ResetScope::kAsidScoped) {
+      // Other tenants hold every frame: evict a victim for the
+      // parameter page (charged to this tenant's setup).
+      const std::vector<bool> evictable = pages_.EvictableMask();
+      bool any = false;
+      for (const bool e : evictable) any = any || e;
+      if (!any) {
+        return ResourceExhaustedError(
+            "no frame available for the parameter page (all pinned)");
+      }
+      const mem::FrameId victim = policy_->PickVictim(evictable);
+      Picoseconds evict_dp = 0;
+      Picoseconds evict_imu = 0;
+      EvictFrame(victim, evict_dp, evict_imu);
+      setup += evict_dp + evict_imu;
+      frame = victim;
+    }
     VCOP_CHECK_MSG(frame.has_value(), "no frame free after reset");
     for (usize i = 0; i < params.size(); ++i) {
       dp_ram_.WriteWord(mem::DualPortRam::Port::kProcessor,
                         geometry_.FrameBase(*frame) + static_cast<u32>(4 * i),
                         4, params[i]);
     }
-    pages_.Install(*frame, hw::kParamObject, 0, /*pinned=*/true);
+    pages_.Install(*frame, hw::kParamObject, 0, /*pinned=*/true,
+                   space_->asid());
     policy_->OnInstalled(*frame);
     policy_->OnInstalledAt(*frame, hw::kParamObject, 0);
     InstallTlbEntry(hw::kParamObject, 0, *frame);
-    param_frame_ = frame;
+    space_->param_frame = frame;
+    space_->params_live = true;
     setup += transfers_.PriceTransfer(param_bytes);
   }
   return setup;
@@ -125,7 +170,7 @@ Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params) {
 
 void Vim::OnPageFault() {
   VCOP_CHECK_MSG(imu_ != nullptr, "fault with no IMU bound");
-  if (aborted_) return;
+  if (space_->aborted) return;
 
   Picoseconds imu_cost = costs_.Cycles(costs_.interrupt_entry_cycles +
                                        costs_.fault_decode_cycles);
@@ -143,7 +188,21 @@ void Vim::OnPageFault() {
     return;
   }
 
-  const MappedObject* object = objects_.Find(oid);
+  if (oid == hw::kParamObject && space_->param_frame.has_value()) {
+    // The parameter page is resident but its translation fell out of
+    // the TLB (entry recycled, or dropped across a preemption): a pure
+    // TLB refill — the parameter object has no user-space backing.
+    InstallTlbEntry(hw::kParamObject, 0, *space_->param_frame);
+    imu_cost += costs_.Cycles(costs_.tlb_update_cycles);
+    ++acct().tlb_refills;
+    acct().t_imu += imu_cost;
+    acct().fault_service_us.Add(ToMicroseconds(imu_cost));
+    hw::Imu* imu = imu_;
+    sim_.ScheduleAt(sim_.now() + imu_cost, [imu] { imu->ResolveFault(); });
+    return;
+  }
+
+  const MappedObject* object = objects().Find(oid);
   if (object == nullptr) {
     Abort(NotFoundError(StrFormat(
         "coprocessor accessed object %u which was never mapped "
@@ -156,6 +215,24 @@ void Vim::OnPageFault() {
     Abort(OutOfRangeError(StrFormat(
         "coprocessor accessed element %u of object %u, beyond its %u bytes",
         index, oid, object->size_bytes)));
+    return;
+  }
+
+  if (preempt_check_ && preempt_check_()) {
+    // Time-slice expiry at a fault boundary: instead of servicing the
+    // fault, save the context and hand the fabric back to the
+    // dispatcher. The fault stays latched in the IMU (it never gets
+    // ResolveFault); re-entering OnPageFault after RestoreContext
+    // services it then.
+    acct().t_imu += imu_cost;
+    const Picoseconds save = SaveContext();
+    ++acct().preemptions;
+    if (timeline_ != nullptr) {
+      timeline_->Record(
+          StrFormat("preempt pid%u obj%u", space_->pid(), oid), "preempt",
+          sim_.now(), imu_cost + save, /*track=*/3);
+    }
+    if (on_preempt_) on_preempt_(imu_cost + save);
     return;
   }
 
@@ -172,10 +249,10 @@ void Vim::OnPageFault() {
       if (unit.object == oid && unit.vpage == vpage) {
         const Picoseconds decode_done = sim_.now() + imu_cost;
         const Picoseconds done = std::max(decode_done, unit.ready_at);
-        accounting_.t_imu += imu_cost;
-        accounting_.t_dp += done - decode_done;
-        accounting_.t_dp_wait += done - decode_done;
-        accounting_.fault_service_us.Add(
+        acct().t_imu += imu_cost;
+        acct().t_dp += done - decode_done;
+        acct().t_dp_wait += done - decode_done;
+        acct().fault_service_us.Add(
             ToMicroseconds(done - sim_.now()));
         sim_.ScheduleAt(done, [imu] { imu->ResolveFault(); });
         return;
@@ -186,7 +263,7 @@ void Vim::OnPageFault() {
     if (cpu_busy_until_ > sim_.now()) {
       const Picoseconds wait = cpu_busy_until_ - sim_.now();
       dp_cost += wait;
-      accounting_.t_dp_wait += wait;
+      acct().t_dp_wait += wait;
     }
   }
 
@@ -228,13 +305,13 @@ void Vim::OnPageFault() {
                                               imu_cost);
       if (outcome == MapOutcome::kAborted) return;
       if (outcome == MapOutcome::kSkipped) break;
-      ++accounting_.prefetched_pages;
+      ++acct().prefetched_pages;
     }
   }
 
-  accounting_.t_imu += imu_cost;
-  accounting_.t_dp += dp_cost;
-  accounting_.fault_service_us.Add(ToMicroseconds(imu_cost + dp_cost));
+  acct().t_imu += imu_cost;
+  acct().t_dp += dp_cost;
+  acct().fault_service_us.Add(ToMicroseconds(imu_cost + dp_cost));
   if (timeline_ != nullptr) {
     timeline_->Record(
         StrFormat("fault obj%u page%u", oid, vpage), "fault", sim_.now(),
@@ -276,15 +353,15 @@ void Vim::ScheduleOverlappedPrefetch(const MappedObject& object,
   const u32 len = PageLength(object, vpage);
   const bool needs_load =
       object.direction != Direction::kOut ||
-      written_back_.count({object.id, vpage}) != 0;
+      space_->written_back.count({object.id, vpage}) != 0;
   unit_cost +=
       costs_.Cycles(costs_.tlb_update_cycles + costs_.page_table_cycles);
   if (needs_load) unit_cost += transfers_.PriceTransfer(len);
 
   tail = std::max(tail, sim_.now()) + unit_cost;
   in_flight_.push_back(InFlight{object.id, vpage, *frame, tail});
-  accounting_.t_dp_overlapped += unit_cost;
-  ++accounting_.prefetched_pages;
+  acct().t_dp_overlapped += unit_cost;
+  ++acct().prefetched_pages;
   if (timeline_ != nullptr) {
     timeline_->Record(
         StrFormat("prefetch obj%u page%u", object.id, vpage), "overlap",
@@ -301,8 +378,8 @@ void Vim::ScheduleOverlappedPrefetch(const MappedObject& object,
     if (needs_load) {
       dp_ram_.Write(mem::DualPortRam::Port::kProcessor,
                     geometry_.FrameBase(f), user_memory_.View(src, len));
-      ++accounting_.loads;
-      accounting_.bytes_loaded += len;
+      ++acct().loads;
+      acct().bytes_loaded += len;
     }
     pages_.Unpin(f);
     InstallTlbEntry(oid, vpage, f);
@@ -320,12 +397,12 @@ Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
                                   Picoseconds& dp_cost,
                                   Picoseconds& imu_cost) {
   if (const std::optional<mem::FrameId> resident =
-          pages_.FindResident(object.id, vpage)) {
+          pages_.FindResident(object.id, vpage, space_->asid())) {
     // Soft fault: the page is in the dual-port RAM but its translation
     // fell out of the TLB (possible when tlb_entries < num_frames).
     InstallTlbEntry(object.id, vpage, *resident);
     imu_cost += costs_.Cycles(costs_.tlb_update_cycles);
-    ++accounting_.tlb_refills;
+    ++acct().tlb_refills;
     return MapOutcome::kMapped;
   }
 
@@ -356,7 +433,7 @@ Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
     EvictFrame(victim, dp_cost, imu_cost);
     frame = victim;
   }
-  if (!prefetch) ++accounting_.faults;
+  if (!prefetch) ++acct().faults;
 
   const u32 len = PageLength(object, vpage);
   // The OUT hint skips the load only on a page's *first* touch; once a
@@ -364,17 +441,18 @@ Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
   // final write-back would clobber earlier results with stale bytes.
   const bool needs_load =
       object.direction != Direction::kOut ||
-      written_back_.count({object.id, vpage}) != 0;
+      space_->written_back.count({object.id, vpage}) != 0;
   if (needs_load) {
     const mem::TransferResult r = transfers_.LoadPage(
         user_memory_,
         object.user_addr + vpage * geometry_.page_bytes(), dp_ram_,
         geometry_.FrameBase(*frame), len);
     dp_cost += r.time;
-    ++accounting_.loads;
-    accounting_.bytes_loaded += len;
+    ++acct().loads;
+    acct().bytes_loaded += len;
   }
-  pages_.Install(*frame, object.id, vpage);
+  pages_.Install(*frame, object.id, vpage, /*pinned=*/false,
+                 space_->asid());
   policy_->OnInstalled(*frame);
   policy_->OnInstalledAt(*frame, object.id, vpage);
   InstallTlbEntry(object.id, vpage, *frame);
@@ -391,28 +469,32 @@ void Vim::EvictFrame(mem::FrameId frame, Picoseconds& dp_cost,
     if (old.dirty) pages_.MarkDirty(frame);
   }
   const FrameState state = pages_.frame(frame);
-  const MappedObject* object = objects_.Find(state.object);
+  AddressSpace* owner = ResolveSpace(state.asid);
+  VCOP_CHECK_MSG(owner != nullptr, "evicting a frame of an unknown space");
+  const MappedObject* object = owner->objects().Find(state.object);
   VCOP_CHECK_MSG(object != nullptr,
                  "evicting a frame of an unknown object");
   if (state.dirty) {
     if (object->direction == Direction::kIn) {
       // The hint says the coprocessor only reads this object; honour it
       // and drop the (buggy) writes, but record that it happened.
-      ++accounting_.dirty_in_pages_dropped;
+      ++owner->accounting.dirty_in_pages_dropped;
     } else {
+      // Write-back bookkeeping goes to the owning space (its data left
+      // the fabric); the transfer time extends the *current* service.
       const u32 len = PageLength(*object, state.vpage);
       const mem::TransferResult r = transfers_.StorePage(
           dp_ram_, geometry_.FrameBase(frame), user_memory_,
           object->user_addr + state.vpage * geometry_.page_bytes(), len);
       dp_cost += r.time;
-      ++accounting_.writebacks;
-      accounting_.bytes_written_back += len;
-      written_back_.insert({state.object, state.vpage});
+      ++owner->accounting.writebacks;
+      owner->accounting.bytes_written_back += len;
+      owner->written_back.insert({state.object, state.vpage});
     }
   }
   pages_.Release(frame);
   policy_->OnFreed(frame);
-  ++accounting_.evictions;
+  ++acct().evictions;
   imu_cost += costs_.Cycles(costs_.page_table_cycles);
 }
 
@@ -431,7 +513,7 @@ void Vim::InstallTlbEntry(hw::ObjectId object, mem::VirtPage vpage,
     }
     slot = victim;
   }
-  tlb.Install(*slot, object, vpage, frame);
+  tlb.Install(*slot, object, vpage, frame, space_->asid());
 }
 
 void Vim::ScheduleBackgroundCleaning(Picoseconds& tail) {
@@ -449,7 +531,7 @@ void Vim::ScheduleBackgroundCleaning(Picoseconds& tail) {
       flying = flying || unit.frame == f;
     }
     if (flying) continue;
-    const MappedObject* object = objects_.Find(state.object);
+    const MappedObject* object = space_->objects().Find(state.object);
     if (object == nullptr || object->direction == Direction::kIn) continue;
 
     const u32 len = PageLength(*object, state.vpage);
@@ -457,7 +539,7 @@ void Vim::ScheduleBackgroundCleaning(Picoseconds& tail) {
         transfers_.PriceTransfer(len) +
         costs_.Cycles(costs_.page_table_cycles);
     tail = std::max(tail, sim_.now()) + unit_cost;
-    accounting_.t_dp_overlapped += unit_cost;
+    acct().t_dp_overlapped += unit_cost;
     --budget;
     if (timeline_ != nullptr) {
       timeline_->Record(
@@ -487,13 +569,13 @@ void Vim::ScheduleBackgroundCleaning(Picoseconds& tail) {
       dp_ram_.Read(mem::DualPortRam::Port::kProcessor,
                    geometry_.FrameBase(f), buf);
       user_memory_.WriteBytes(dst, buf);
-      written_back_.insert({oid, vpage});
+      space_->written_back.insert({oid, vpage});
       pages_.ClearDirty(f);
       if (const std::optional<u32> entry = imu_->tlb().FindByFrame(f)) {
         imu_->tlb().ClearDirty(*entry);
       }
-      ++accounting_.cleaned_pages;
-      accounting_.bytes_written_back += len;
+      ++acct().cleaned_pages;
+      acct().bytes_written_back += len;
     });
   }
 }
@@ -514,7 +596,7 @@ bool Vim::FrameDirty(mem::FrameId frame) const {
 
 void Vim::OnEndOfOperation() {
   VCOP_CHECK_MSG(imu_ != nullptr, "end-of-operation with no IMU bound");
-  if (aborted_) return;
+  if (space_->aborted) return;
 
   // Abandon any still-flying speculative transfers.
   ++epoch_;
@@ -526,55 +608,106 @@ void Vim::OnEndOfOperation() {
   if (cpu_busy_until_ > sim_.now()) {
     const Picoseconds wait = cpu_busy_until_ - sim_.now();
     dp_cost += wait;
-    accounting_.t_dp_wait += wait;
+    acct().t_dp_wait += wait;
   }
   cpu_busy_until_ = 0;
 
-  // Merge all live dirty bits, then drop the translations.
+  // Merge live dirty bits, then drop the translations. In the classic
+  // single-tenant path everything on the fabric belongs to this run; in
+  // the vcopd (ASID-scoped) path only this space's entries and frames
+  // are touched, so other tenants' working sets survive the switch.
   hw::Tlb& tlb = imu_->tlb();
-  for (u32 i = 0; i < tlb.num_entries(); ++i) {
-    const hw::TlbEntry e = tlb.entry(i);
-    if (e.valid && e.dirty && pages_.frame(e.frame).in_use) {
-      pages_.MarkDirty(e.frame);
-    }
-  }
-  tlb.InvalidateAll();
-
-  // "The interface manager copies back to user space all the dirty data
-  // currently residing in the dual-port memory." (§3.3)
-  for (const mem::FrameId f : pages_.InUseFrames()) {
-    const FrameState state = pages_.frame(f);
-    if (state.object == hw::kParamObject) {
-      if (state.pinned) pages_.Unpin(f);
-      pages_.Release(f);
-      param_frame_.reset();
-      continue;
-    }
-    const MappedObject* object = objects_.Find(state.object);
-    VCOP_CHECK_MSG(object != nullptr, "resident page of unknown object");
-    if (state.dirty) {
-      if (object->direction == Direction::kIn) {
-        ++accounting_.dirty_in_pages_dropped;
-      } else {
-        const u32 len = PageLength(*object, state.vpage);
-        const mem::TransferResult r = transfers_.StorePage(
-            dp_ram_, geometry_.FrameBase(f), user_memory_,
-            object->user_addr + state.vpage * geometry_.page_bytes(), len);
-        dp_cost += r.time;
-        ++accounting_.writebacks;
-        accounting_.bytes_written_back += len;
+  if (current_scope_ == ResetScope::kFullReset) {
+    for (u32 i = 0; i < tlb.num_entries(); ++i) {
+      const hw::TlbEntry e = tlb.entry(i);
+      if (e.valid && e.dirty && pages_.frame(e.frame).in_use) {
+        pages_.MarkDirty(e.frame);
       }
     }
-    pages_.Release(f);
-    policy_->OnFreed(f);
-    imu_cost += costs_.Cycles(costs_.page_table_cycles);
+    tlb.InvalidateAll();
+
+    // "The interface manager copies back to user space all the dirty data
+    // currently residing in the dual-port memory." (§3.3)
+    for (const mem::FrameId f : pages_.InUseFrames()) {
+      const FrameState state = pages_.frame(f);
+      if (state.object == hw::kParamObject) {
+        if (state.pinned) pages_.Unpin(f);
+        pages_.Release(f);
+        space_->param_frame.reset();
+        continue;
+      }
+      const MappedObject* object = space_->objects().Find(state.object);
+      VCOP_CHECK_MSG(object != nullptr, "resident page of unknown object");
+      if (state.dirty) {
+        if (object->direction == Direction::kIn) {
+          ++acct().dirty_in_pages_dropped;
+        } else {
+          const u32 len = PageLength(*object, state.vpage);
+          const mem::TransferResult r = transfers_.StorePage(
+              dp_ram_, geometry_.FrameBase(f), user_memory_,
+              object->user_addr + state.vpage * geometry_.page_bytes(), len);
+          dp_cost += r.time;
+          ++acct().writebacks;
+          acct().bytes_written_back += len;
+        }
+      }
+      pages_.Release(f);
+      policy_->OnFreed(f);
+      imu_cost += costs_.Cycles(costs_.page_table_cycles);
+    }
+  } else {
+    const hw::Asid asid = space_->asid();
+    for (u32 i = 0; i < tlb.num_entries(); ++i) {
+      const hw::TlbEntry e = tlb.entry(i);
+      if (e.valid && e.asid == asid && e.dirty &&
+          pages_.frame(e.frame).in_use) {
+        pages_.MarkDirty(e.frame);
+      }
+    }
+    if (tlb_tagging_) {
+      tlb.InvalidateAsid(asid);
+      ++service_stats_.tlb_flushes_avoided;
+    } else {
+      tlb.InvalidateAll();
+      ++service_stats_.full_tlb_flushes;
+    }
+
+    for (const mem::FrameId f : pages_.InUseFramesOf(asid)) {
+      const FrameState state = pages_.frame(f);
+      if (state.object == hw::kParamObject) {
+        if (state.pinned) pages_.Unpin(f);
+        pages_.Release(f);
+        policy_->OnFreed(f);
+        space_->param_frame.reset();
+        continue;
+      }
+      const MappedObject* object = space_->objects().Find(state.object);
+      VCOP_CHECK_MSG(object != nullptr, "resident page of unknown object");
+      if (state.dirty) {
+        if (object->direction == Direction::kIn) {
+          ++acct().dirty_in_pages_dropped;
+        } else {
+          const u32 len = PageLength(*object, state.vpage);
+          const mem::TransferResult r = transfers_.StorePage(
+              dp_ram_, geometry_.FrameBase(f), user_memory_,
+              object->user_addr + state.vpage * geometry_.page_bytes(), len);
+          dp_cost += r.time;
+          ++acct().writebacks;
+          acct().bytes_written_back += len;
+        }
+      }
+      pages_.Release(f);
+      policy_->OnFreed(f);
+      imu_cost += costs_.Cycles(costs_.page_table_cycles);
+    }
+    space_->params_live = false;
   }
 
   imu_->AckEnd();
   const Picoseconds wake = costs_.Cycles(costs_.wakeup_cycles);
-  accounting_.t_imu += imu_cost;
-  accounting_.t_dp += dp_cost;
-  accounting_.t_wakeup += wake;
+  acct().t_imu += imu_cost;
+  acct().t_dp += dp_cost;
+  acct().t_wakeup += wake;
   if (timeline_ != nullptr) {
     timeline_->Record("end-of-operation sweep", "transfer", sim_.now(),
                       imu_cost + dp_cost + wake, /*track=*/0);
@@ -585,9 +718,191 @@ void Vim::OnEndOfOperation() {
   });
 }
 
+Picoseconds Vim::SaveContext() {
+  VCOP_CHECK_MSG(imu_ != nullptr, "context save with no IMU bound");
+  VCOP_CHECK_MSG(space_ != nullptr, "context save with no space attached");
+  const hw::Asid asid = space_->asid();
+  hw::Tlb& tlb = imu_->tlb();
+  Picoseconds dp_cost = 0;
+  Picoseconds imu_cost = costs_.Cycles(costs_.context_save_cycles);
+
+  HarvestRecency();
+
+  // Release the pinned parameter frame; a resume re-materialises it from
+  // the saved words (params_live stays true), so holding a pinned frame
+  // across the switched-out window would starve the other tenants.
+  if (space_->param_frame.has_value()) {
+    if (const std::optional<u32> entry =
+            tlb.Probe(hw::kParamObject, 0, asid)) {
+      tlb.Invalidate(*entry);
+    }
+    pages_.Unpin(*space_->param_frame);
+    pages_.Release(*space_->param_frame);
+    policy_->OnFreed(*space_->param_frame);
+    space_->param_frame.reset();
+    imu_cost += costs_.Cycles(costs_.page_table_cycles);
+  }
+
+  space_->tlb_snapshot.clear();
+  if (tlb_tagging_) {
+    // Tagged mode: translations stay installed (that is the point of the
+    // ASID), but we snapshot them so a resume can re-install whatever an
+    // intervening tenant recycled. Dirty pages are written back eagerly,
+    // so a foreign eviction of one of our frames while we are switched
+    // out is a free drop.
+    for (u32 i = 0; i < tlb.num_entries(); ++i) {
+      const hw::TlbEntry e = tlb.entry(i);
+      if (!e.valid || e.asid != asid || e.object == hw::kParamObject) {
+        continue;
+      }
+      if (e.dirty && pages_.frame(e.frame).in_use) {
+        pages_.MarkDirty(e.frame);
+      }
+      space_->tlb_snapshot.push_back(
+          TlbSnapshotEntry{e.object, e.vpage, e.frame});
+    }
+    for (const mem::FrameId f : pages_.InUseFramesOf(asid)) {
+      const FrameState state = pages_.frame(f);
+      if (!state.dirty) continue;
+      const MappedObject* object = space_->objects().Find(state.object);
+      VCOP_CHECK_MSG(object != nullptr, "resident page of unknown object");
+      // kIn pages never reach user space; if a foreign eviction drops
+      // one later it is counted there, not here.
+      if (object->direction == Direction::kIn) continue;
+      const u32 len = PageLength(*object, state.vpage);
+      const mem::TransferResult r = transfers_.StorePage(
+          dp_ram_, geometry_.FrameBase(f), user_memory_,
+          object->user_addr + state.vpage * geometry_.page_bytes(), len);
+      dp_cost += r.time;
+      ++acct().writebacks;
+      acct().bytes_written_back += len;
+      space_->written_back.insert({state.object, state.vpage});
+      ++service_stats_.pages_written_back_on_save;
+      pages_.ClearDirty(f);
+      if (const std::optional<u32> entry = tlb.FindByFrame(f)) {
+        tlb.ClearDirty(*entry);
+      }
+    }
+    ++service_stats_.tlb_flushes_avoided;
+  } else {
+    // Untagged baseline: the TLB cannot distinguish tenants, so the
+    // whole working set leaves the fabric and the TLB is flushed.
+    for (const mem::FrameId f : pages_.InUseFramesOf(asid)) {
+      EvictFrame(f, dp_cost, imu_cost);
+    }
+    tlb.InvalidateAll();
+    ++service_stats_.full_tlb_flushes;
+  }
+
+  ++service_stats_.context_saves;
+  acct().t_dp += dp_cost;
+  acct().t_imu += imu_cost;
+  return dp_cost + imu_cost;
+}
+
+Picoseconds Vim::RestoreContext() {
+  VCOP_CHECK_MSG(imu_ != nullptr, "context restore with no IMU bound");
+  VCOP_CHECK_MSG(space_ != nullptr,
+                 "context restore with no space attached");
+  const hw::Asid asid = space_->asid();
+  hw::Tlb& tlb = imu_->tlb();
+  Picoseconds dp_cost = 0;
+  Picoseconds imu_cost = costs_.Cycles(costs_.context_restore_cycles);
+
+  if (tlb_tagging_) {
+    for (const TlbSnapshotEntry& snap : space_->tlb_snapshot) {
+      if (tlb.Probe(snap.object, snap.vpage, asid).has_value()) {
+        continue;  // Survived the switched-out window in place.
+      }
+      if (pages_.FindResident(snap.object, snap.vpage, asid) !=
+          snap.frame) {
+        continue;  // Frame was evicted meanwhile; a fault will reload it.
+      }
+      InstallTlbEntry(snap.object, snap.vpage, snap.frame);
+      imu_cost += costs_.Cycles(costs_.tlb_update_cycles);
+      ++service_stats_.tlb_entries_restored;
+    }
+  }
+  space_->tlb_snapshot.clear();
+
+  // Re-materialise the parameter page released at save time.
+  if (space_->params_live && !space_->param_frame.has_value()) {
+    std::optional<mem::FrameId> frame = pages_.FindFree();
+    if (!frame.has_value()) {
+      const std::vector<bool> evictable = pages_.EvictableMask();
+      bool any = false;
+      for (const bool e : evictable) any = any || e;
+      VCOP_CHECK_MSG(any, "no frame available to restore the parameter "
+                          "page (all pinned)");
+      const mem::FrameId victim = policy_->PickVictim(evictable);
+      EvictFrame(victim, dp_cost, imu_cost);
+      frame = victim;
+    }
+    for (usize i = 0; i < space_->saved_params.size(); ++i) {
+      dp_ram_.WriteWord(mem::DualPortRam::Port::kProcessor,
+                        geometry_.FrameBase(*frame) + static_cast<u32>(4 * i),
+                        4, space_->saved_params[i]);
+    }
+    pages_.Install(*frame, hw::kParamObject, 0, /*pinned=*/true, asid);
+    policy_->OnInstalled(*frame);
+    policy_->OnInstalledAt(*frame, hw::kParamObject, 0);
+    InstallTlbEntry(hw::kParamObject, 0, *frame);
+    space_->param_frame = frame;
+    dp_cost += transfers_.PriceTransfer(
+        static_cast<u32>(space_->saved_params.size() * 4));
+    imu_cost += costs_.Cycles(costs_.tlb_update_cycles);
+    ++service_stats_.param_page_restores;
+  }
+
+  ++service_stats_.context_restores;
+  acct().t_dp += dp_cost;
+  acct().t_imu += imu_cost;
+  return dp_cost + imu_cost;
+}
+
+Picoseconds Vim::FlushAsid(hw::Asid asid, bool write_back) {
+  VCOP_CHECK_MSG(imu_ != nullptr, "flush with no IMU bound");
+  hw::Tlb& tlb = imu_->tlb();
+  Picoseconds cost = 0;
+
+  // Fold live dirty bits for this space before dropping translations.
+  for (u32 i = 0; i < tlb.num_entries(); ++i) {
+    const hw::TlbEntry e = tlb.entry(i);
+    if (e.valid && e.asid == asid && e.dirty &&
+        pages_.frame(e.frame).in_use) {
+      pages_.MarkDirty(e.frame);
+    }
+  }
+  tlb.InvalidateAsid(asid);
+
+  AddressSpace* owner = ResolveSpace(asid);
+  for (const mem::FrameId f : pages_.InUseFramesOf(asid)) {
+    const FrameState state = pages_.frame(f);
+    if (write_back && state.dirty && state.object != hw::kParamObject &&
+        owner != nullptr) {
+      const MappedObject* object = owner->objects().Find(state.object);
+      if (object != nullptr && object->direction != Direction::kIn) {
+        const u32 len = PageLength(*object, state.vpage);
+        const mem::TransferResult r = transfers_.StorePage(
+            dp_ram_, geometry_.FrameBase(f), user_memory_,
+            object->user_addr + state.vpage * geometry_.page_bytes(), len);
+        cost += r.time;
+        ++owner->accounting.writebacks;
+        owner->accounting.bytes_written_back += len;
+        owner->written_back.insert({state.object, state.vpage});
+      }
+    }
+    if (state.pinned) pages_.Unpin(f);
+    pages_.Release(f);
+    policy_->OnFreed(f);
+  }
+  if (owner != nullptr) owner->param_frame.reset();
+  return cost;
+}
+
 void Vim::Abort(Status status) {
   VCOP_CHECK_MSG(!status.ok(), "abort with OK status");
-  aborted_ = true;
+  space_->aborted = true;
   ++epoch_;
   in_flight_.clear();
   cpu_busy_until_ = 0;

@@ -39,6 +39,7 @@
 #include "hw/imu.h"
 #include "mem/transfer.h"
 #include "mem/user_memory.h"
+#include "os/address_space.h"
 #include "os/calibration.h"
 #include "os/object_table.h"
 #include "os/page_manager.h"
@@ -66,44 +67,39 @@ struct VimConfig {
   u64 seed = 1;
 };
 
-/// Per-execution accounting, matching the decomposition of Figures 8/9.
-struct VimAccounting {
-  /// "software execution time for the dual-port RAM management (time
-  /// spent in the OS transferring data from/to user-space memory)"
-  Picoseconds t_dp = 0;
-  /// "software execution time for the IMU management (time spent in the
-  /// OS checking which address has generated the fault and updating the
-  /// translation table)"
-  Picoseconds t_imu = 0;
-  /// Waking the sleeping caller at end of operation — invocation
-  /// machinery, reported with the invocation overhead, not as IMU
-  /// management.
-  Picoseconds t_wakeup = 0;
+/// How PrepareExecution treats state that outlives one execution.
+enum class ResetScope {
+  /// Single-tenant semantics (the legacy kernel path): wipe all frames,
+  /// policy state and TLB content/statistics. Bit-identical to the
+  /// behaviour before multi-tenancy existed.
+  kFullReset,
+  /// vcopd semantics: the fabric is shared — only the attached space's
+  /// own residue is cleared; other tenants' frames and (ASID-tagged)
+  /// TLB entries stay resident.
+  kAsidScoped,
+};
 
-  u64 faults = 0;           // hard faults: page not resident
-  u64 tlb_refills = 0;      // soft faults: resident, TLB entry missing
-  u64 evictions = 0;
-  u64 writebacks = 0;
-  u64 loads = 0;
-  u64 prefetched_pages = 0;
-  /// Pages written back in place by background cleaning (overlap mode).
-  u64 cleaned_pages = 0;
-  u64 bytes_loaded = 0;
-  u64 bytes_written_back = 0;
-  /// CPU time spent on transfers that ran concurrently with coprocessor
-  /// execution (overlapped prefetch). NOT part of the serial t_dp sum —
-  /// it does not extend the wall time unless a fault has to wait.
-  Picoseconds t_dp_overlapped = 0;
-  /// Portion of fault-service time spent waiting for an in-flight
-  /// overlapped transfer (or for the CPU to finish one). Included in
-  /// t_dp.
-  Picoseconds t_dp_wait = 0;
-  /// Writes observed to pages of objects mapped IN (coprocessor bug
-  /// indicator: those dirty pages are dropped, honouring the hint).
-  u64 dirty_in_pages_dropped = 0;
-  /// Distribution of individual fault-service times in microseconds
-  /// (interrupt entry to coprocessor restart).
-  sim::Summary fault_service_us;
+/// Service-daemon wide counters over all SaveContext / RestoreContext /
+/// end-of-operation events, independent of which space was attached.
+/// These are the numbers the ASID experiment gates on: tagging turns
+/// full flushes into per-ASID invalidations and lets entries survive to
+/// be counted as restored (or never dropped at all).
+struct VimServiceStats {
+  u64 context_saves = 0;
+  u64 context_restores = 0;
+  /// Whole-TLB invalidations forced by a tenant switch or scoped
+  /// end-of-operation when ASID tagging is off.
+  u64 full_tlb_flushes = 0;
+  /// Switch/end events where tagging made a full flush unnecessary.
+  u64 tlb_flushes_avoided = 0;
+  /// Snapshot entries re-installed at resume because frame and mapping
+  /// were still intact.
+  u64 tlb_entries_restored = 0;
+  /// Dirty pages eagerly written back during SaveContext (they stay
+  /// resident and clean, so later cross-tenant eviction is free).
+  u64 pages_written_back_on_save = 0;
+  /// Parameter pages re-materialised at resume.
+  u64 param_page_restores = 0;
 };
 
 class Vim {
@@ -120,21 +116,81 @@ class Vim {
   /// Belady oracle) — Configure() would reinstall a built-in one.
   void SetPolicy(std::unique_ptr<ReplacementPolicy> policy);
 
-  /// Rebinds to a freshly configured IMU (at FPGA_LOAD).
+  /// Rebinds to a freshly configured IMU (at FPGA_LOAD, and by vcopd at
+  /// every dispatch boundary).
   void BindImu(hw::Imu* imu);
 
-  ObjectTable& objects() { return objects_; }
-  const ObjectTable& objects() const { return objects_; }
+  /// Attaches the address space the VIM operates on. The kernel
+  /// attaches its default space once; vcopd swaps tenant spaces at
+  /// dispatch boundaries. Must outlive the attachment.
+  void AttachSpace(AddressSpace* space);
+  AddressSpace* space() { return space_; }
+
+  ObjectTable& objects() { return space_->objects(); }
+  const ObjectTable& objects() const { return space_->objects(); }
 
   /// Prepares an execution: validates mappings, programs the IMU object
-  /// descriptor table, clears TLB and page frames, writes the scalar
-  /// `params` into the parameter page and maps it. Returns the setup
-  /// cost on success.
-  Result<Picoseconds> PrepareExecution(std::span<const u32> params);
+  /// descriptor table, clears TLB and page frames (to the requested
+  /// scope), writes the scalar `params` into the parameter page and
+  /// maps it. Returns the setup cost on success.
+  Result<Picoseconds> PrepareExecution(std::span<const u32> params,
+                                       ResetScope scope =
+                                           ResetScope::kFullReset);
 
   /// Interrupt services (wired to the InterruptLine by the kernel).
   void OnPageFault();
   void OnEndOfOperation();
+
+  // ----- preemptive context switching (vcopd) -----
+
+  /// Saves the attached space's interface context at a fault boundary:
+  /// merges TLB dirty bits, snapshots the space's translations,
+  /// releases the pinned parameter frame, and either eagerly cleans
+  /// dirty frames (ASID tagging on — frames stay resident and clean) or
+  /// evicts everything with a full TLB flush (tagging off, the
+  /// flush-on-switch baseline). Charges the space's accounting and
+  /// returns the total service time. The faulting IMU stays
+  /// fault-stalled; re-enter via OnPageFault after RestoreContext.
+  Picoseconds SaveContext();
+
+  /// Restores a previously saved context: re-installs surviving TLB
+  /// snapshot entries and re-materialises the parameter page if it was
+  /// live. Returns the service time (charged to the space).
+  Picoseconds RestoreContext();
+
+  /// Drops every frame and TLB entry owned by `asid`. With `write_back`
+  /// dirty non-IN pages go to user memory first; without, partial
+  /// results are discarded (abort/teardown). Returns the transfer time.
+  /// Does not charge any space's accounting — callers decide.
+  Picoseconds FlushAsid(hw::Asid asid, bool write_back);
+
+  /// Consulted at each fault *before* servicing it; returning true
+  /// preempts: the VIM saves context and calls the preempt handler
+  /// instead of mapping the page. Unset = never preempt (legacy path).
+  void set_preempt_check(std::function<bool()> check) {
+    preempt_check_ = std::move(check);
+  }
+
+  /// Invoked when a fault was turned into a preemption; the argument is
+  /// the service time already spent (decode + context save).
+  void set_preempt_handler(std::function<void(Picoseconds)> handler) {
+    on_preempt_ = std::move(handler);
+  }
+
+  /// Resolves a foreign ASID to its space (owner of a frame the current
+  /// tenant is evicting). Required for multi-tenant operation.
+  void set_space_resolver(std::function<AddressSpace*(hw::Asid)> resolver) {
+    space_resolver_ = std::move(resolver);
+  }
+
+  /// ASID tagging policy (vcopd experiment knob): on, tenant switches
+  /// keep entries tagged; off, every switch flushes the whole TLB.
+  /// Entries are tagged either way — only switch behaviour changes.
+  void set_tlb_tagging(bool enabled) { tlb_tagging_ = enabled; }
+  bool tlb_tagging() const { return tlb_tagging_; }
+
+  const VimServiceStats& service_stats() const { return service_stats_; }
+  void ResetServiceStats() { service_stats_ = VimServiceStats{}; }
 
   /// Called when the end-of-operation service (including write-backs)
   /// completes; the kernel uses it to wake the sleeping process.
@@ -151,7 +207,7 @@ class Vim {
   /// Optional event timeline (owned by the kernel); nullptr disables.
   void set_timeline(TimelineRecorder* timeline) { timeline_ = timeline; }
 
-  const VimAccounting& accounting() const { return accounting_; }
+  const VimAccounting& accounting() const { return space_->accounting; }
   const VimConfig& config() const { return config_; }
   const CostModel& costs() const { return costs_; }
   PageManager& page_manager() { return pages_; }
@@ -172,9 +228,16 @@ class Vim {
                           bool prefetch, Picoseconds& dp_cost,
                           Picoseconds& imu_cost);
 
-  /// Evicts the page in `frame` (write-back iff dirty and not IN).
+  /// Evicts the page in `frame` (write-back iff dirty and not IN). The
+  /// frame may belong to a space other than the attached one (vcopd:
+  /// the running tenant evicts a switched-out tenant's page); write-back
+  /// bookkeeping is charged to the owner, time to the current service.
   void EvictFrame(mem::FrameId frame, Picoseconds& dp_cost,
                   Picoseconds& imu_cost);
+
+  /// Owner space of `asid`: the attached space or, for foreign tags,
+  /// whatever the resolver returns (nullptr when unknown).
+  AddressSpace* ResolveSpace(hw::Asid asid);
 
   /// Installs a TLB entry for (object, vpage)->frame, recycling a TLB
   /// slot round-robin when none is free; propagates the recycled
@@ -202,16 +265,14 @@ class Vim {
   std::unique_ptr<Prefetcher> prefetcher_;
 
   hw::Imu* imu_ = nullptr;
-  ObjectTable objects_;
+  /// The space whose execution context the VIM is operating on. The
+  /// per-execution state that used to live here (object table,
+  /// accounting, write-back history, parameter frame) moved into it.
+  AddressSpace* space_ = nullptr;
   PageManager pages_;
   u32 tlb_recycle_cursor_ = 0;
-  std::optional<mem::FrameId> param_frame_;
-  /// Pages of OUT objects that have been written back at least once.
-  /// Their next fault must reload them: skipping the load (the OUT
-  /// optimisation) is only sound for a page's *first* touch, otherwise
-  /// the end-of-run write-back would clobber earlier results with the
-  /// frame's stale content.
-  std::set<std::pair<hw::ObjectId, mem::VirtPage>> written_back_;
+  ResetScope current_scope_ = ResetScope::kFullReset;
+  bool tlb_tagging_ = true;
 
   /// Overlapped-prefetch state: transfers the CPU is running in the
   /// background while the coprocessor executes.
@@ -244,11 +305,16 @@ class Vim {
   /// (refreshed by HarvestRecency); speculation never evicts them.
   std::vector<bool> hot_frames_;
 
-  VimAccounting accounting_{};
+  /// Shorthand for the attached space's accounting.
+  VimAccounting& acct() { return space_->accounting; }
+
+  VimServiceStats service_stats_{};
   TimelineRecorder* timeline_ = nullptr;
   std::function<void()> on_complete_;
   std::function<void(Status)> on_abort_;
-  bool aborted_ = false;
+  std::function<bool()> preempt_check_;
+  std::function<void(Picoseconds)> on_preempt_;
+  std::function<AddressSpace*(hw::Asid)> space_resolver_;
 };
 
 }  // namespace vcop::os

@@ -12,14 +12,17 @@
 #pragma once
 
 #include <algorithm>
+#include <functional>
 #include <initializer_list>
 #include <span>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "base/status.h"
 #include "hw/fabric.h"
 #include "os/kernel.h"
+#include "os/vcopd.h"
 
 namespace vcop::runtime {
 
@@ -126,6 +129,67 @@ class FpgaSystem {
 
  private:
   os::Kernel kernel_;
+};
+
+/// Per-tenant facade over the vcopd service daemon — the asynchronous,
+/// multi-tenant counterpart of FpgaSystem's blocking calls. Buffers
+/// still live in the one simulated user memory; allocate them through
+/// the FpgaSystem (or kernel) that owns the daemon's platform.
+class VcopdClient {
+ public:
+  VcopdClient(os::Vcopd& daemon, os::TenantId tenant)
+      : daemon_(&daemon), tenant_(tenant) {}
+
+  os::TenantId tenant() const { return tenant_; }
+
+  /// FPGA_MAP_OBJECT into this tenant's private object table.
+  template <typename T>
+  Status Map(hw::ObjectId id, const HostBuffer<T>& buffer,
+             os::Direction direction) {
+    return daemon_->MapObject(tenant_, id, buffer.addr(),
+                              buffer.size_bytes(),
+                              static_cast<u32>(sizeof(T)), direction);
+  }
+
+  /// Same with an explicit element width (cores that address a byte
+  /// buffer as 32-bit elements, e.g. IDEA's in/out streams).
+  template <typename T>
+  Status Map(hw::ObjectId id, const HostBuffer<T>& buffer, u32 elem_width,
+             os::Direction direction) {
+    return daemon_->MapObject(tenant_, id, buffer.addr(),
+                              buffer.size_bytes(), elem_width, direction);
+  }
+
+  Status Unmap(hw::ObjectId id) {
+    return daemon_->UnmapObject(tenant_, id);
+  }
+
+  /// Asynchronous FPGA_EXECUTE: enqueue and return a ticket. The
+  /// optional callback fires on the simulated timeline at completion.
+  Result<os::Ticket> Submit(
+      const hw::Bitstream& bitstream, std::span<const u32> params,
+      std::function<void(const os::JobResult&)> on_complete = nullptr) {
+    return daemon_->Submit(tenant_, bitstream, params,
+                           std::move(on_complete));
+  }
+  Result<os::Ticket> Submit(
+      const hw::Bitstream& bitstream, std::initializer_list<u32> params,
+      std::function<void(const os::JobResult&)> on_complete = nullptr) {
+    return Submit(bitstream,
+                  std::span<const u32>(params.begin(), params.size()),
+                  std::move(on_complete));
+  }
+
+  const os::JobResult* Poll(os::Ticket ticket) const {
+    return daemon_->Poll(ticket);
+  }
+  Result<os::JobResult> Wait(os::Ticket ticket) {
+    return daemon_->Wait(ticket);
+  }
+
+ private:
+  os::Vcopd* daemon_;
+  os::TenantId tenant_;
 };
 
 }  // namespace vcop::runtime

@@ -99,6 +99,50 @@ TEST(TlbTest, InvalidateAllAndResetStats) {
   EXPECT_EQ(tlb.stats().lookups, 0u);
 }
 
+// ----- ASID tagging -----
+
+TEST(TlbTest, AsidTagsDisambiguateIdenticalVirtualPages) {
+  Tlb tlb(8);
+  // Two tenants map the same (object, vpage) to different frames.
+  tlb.Install(0, /*object=*/2, /*vpage=*/5, /*frame=*/1, /*asid=*/1);
+  tlb.Install(1, /*object=*/2, /*vpage=*/5, /*frame=*/6, /*asid=*/2);
+  const auto t1 = tlb.Lookup(2, 5, /*asid=*/1);
+  const auto t2 = tlb.Lookup(2, 5, /*asid=*/2);
+  ASSERT_TRUE(t1.has_value());
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(tlb.entry(*t1).frame, 1u);
+  EXPECT_EQ(tlb.entry(*t2).frame, 6u);
+  // A third tenant sees neither.
+  EXPECT_FALSE(tlb.Lookup(2, 5, /*asid=*/3).has_value());
+}
+
+TEST(TlbTest, InvalidateAsidOnlyDropsMatchingEntries) {
+  Tlb tlb(8);
+  tlb.Install(0, 1, 0, 0, /*asid=*/1);
+  tlb.Install(1, 1, 1, 1, /*asid=*/1);
+  tlb.Install(2, 1, 0, 2, /*asid=*/2);
+  const u64 generation = tlb.generation();
+  EXPECT_EQ(tlb.InvalidateAsid(1), 2u);
+  EXPECT_FALSE(tlb.Probe(1, 0, 1).has_value());
+  EXPECT_FALSE(tlb.Probe(1, 1, 1).has_value());
+  EXPECT_TRUE(tlb.Probe(1, 0, 2).has_value());  // other tenant survives
+  EXPECT_GT(tlb.generation(), generation);      // cached lookups invalid
+  // Nothing left under ASID 1: a repeat is a no-op (generation stable).
+  const u64 after = tlb.generation();
+  EXPECT_EQ(tlb.InvalidateAsid(1), 0u);
+  EXPECT_EQ(tlb.generation(), after);
+}
+
+TEST(TlbTest, DefaultAsidZeroKeepsLegacyCallsitesWorking) {
+  Tlb tlb(4);
+  tlb.Install(0, 3, 7, 2);                      // no ASID argument
+  EXPECT_TRUE(tlb.Lookup(3, 7).has_value());    // found under default 0
+  EXPECT_EQ(tlb.entry(0).asid, 0u);
+  EXPECT_FALSE(tlb.Lookup(3, 7, /*asid=*/1).has_value());
+  EXPECT_EQ(tlb.InvalidateAsid(0), 1u);
+  EXPECT_FALSE(tlb.Probe(3, 7).has_value());
+}
+
 TEST(TlbDeathTest, MarkDirtyOnInvalidEntryAborts) {
   Tlb tlb(2);
   EXPECT_DEATH(tlb.MarkDirty(0), "invalid entry");

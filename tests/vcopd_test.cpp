@@ -1,0 +1,428 @@
+// Tests for the vcopd service daemon: asynchronous submission,
+// admission control, preemptive context switching (dirty pages pending
+// at the fault boundary, TLB restore after intervening eviction),
+// ASID allocation/wrap, tenant teardown, and the tagged-vs-untagged
+// TLB switch policies.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "apps/adpcm.h"
+#include "apps/idea.h"
+#include "cp/adpcm_cp.h"
+#include "cp/idea_cp.h"
+#include "cp/registry.h"
+#include "cp/vecadd_cp.h"
+#include "os/address_space.h"
+#include "os/vcopd.h"
+#include "runtime/fpga_api.h"
+
+namespace vcop::os {
+namespace {
+
+using runtime::FpgaSystem;
+using runtime::HostBuffer;
+using runtime::VcopdClient;
+
+KernelConfig TestConfig() {
+  KernelConfig config;  // EPXA1 defaults: 8 x 2KB pages, 8-entry TLB
+  return config;
+}
+
+// ----- AsidAllocator -----
+
+TEST(AsidAllocatorTest, SkipsReservedZeroAndExhausts) {
+  AsidAllocator allocator(4);  // tags {0,1,2,3}, 0 reserved
+  EXPECT_EQ(allocator.Allocate().value(), 1u);
+  EXPECT_EQ(allocator.Allocate().value(), 2u);
+  EXPECT_EQ(allocator.Allocate().value(), 3u);
+  const Result<hw::Asid> full = allocator.Allocate();
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(AsidAllocatorTest, WrapAroundReuseAfterRelease) {
+  AsidAllocator allocator(4);
+  EXPECT_EQ(allocator.Allocate().value(), 1u);
+  EXPECT_EQ(allocator.Allocate().value(), 2u);
+  EXPECT_EQ(allocator.Allocate().value(), 3u);
+  allocator.Release(2);
+  EXPECT_FALSE(allocator.InUse(2));
+  // The cursor keeps advancing: the freed tag is found by wrapping past
+  // the reserved 0, not by restarting at the lowest free tag.
+  EXPECT_EQ(allocator.Allocate().value(), 2u);
+  EXPECT_TRUE(allocator.InUse(2));
+  EXPECT_EQ(allocator.in_use(), 4u);  // includes the reserved kernel tag
+}
+
+// ----- staging helpers -----
+
+struct VecAddJob {
+  TenantId tenant = 0;
+  HostBuffer<u32> a, b, c;
+  std::vector<u32> expect;
+};
+
+VecAddJob StageVecAdd(FpgaSystem& sys, Vcopd& daemon, const char* name,
+                      u32 n, u32 seed, u32 weight = 1) {
+  VecAddJob job;
+  job.tenant = daemon.RegisterTenant(name, weight).value();
+  job.a = sys.Allocate<u32>(n).value();
+  job.b = sys.Allocate<u32>(n).value();
+  job.c = sys.Allocate<u32>(n).value();
+  std::vector<u32> a(n), b(n);
+  for (u32 i = 0; i < n; ++i) {
+    a[i] = seed * 1000003u + i;
+    b[i] = seed * 7919u + 3u * i;
+  }
+  job.a.Fill(a);
+  job.b.Fill(b);
+  job.expect.resize(n);
+  for (u32 i = 0; i < n; ++i) job.expect[i] = a[i] + b[i];
+  VcopdClient client(daemon, job.tenant);
+  VCOP_CHECK(client.Map(cp::VecAddCoprocessor::kObjA, job.a,
+                        Direction::kIn).ok());
+  VCOP_CHECK(client.Map(cp::VecAddCoprocessor::kObjB, job.b,
+                        Direction::kIn).ok());
+  VCOP_CHECK(client.Map(cp::VecAddCoprocessor::kObjC, job.c,
+                        Direction::kOut).ok());
+  return job;
+}
+
+struct AdpcmJob {
+  TenantId tenant = 0;
+  HostBuffer<u8> in;
+  HostBuffer<i16> out;
+  std::vector<i16> expect;
+  u32 input_bytes = 0;
+};
+
+AdpcmJob StageAdpcm(FpgaSystem& sys, Vcopd& daemon, const char* name,
+                    u32 bytes, u32 seed, u32 weight = 1) {
+  AdpcmJob job;
+  job.tenant = daemon.RegisterTenant(name, weight).value();
+  job.input_bytes = bytes;
+  std::vector<u8> input(bytes);
+  for (u32 i = 0; i < bytes; ++i) {
+    input[i] = static_cast<u8>((seed * 2654435761u + i * 97u) >> 13);
+  }
+  job.in = sys.Allocate<u8>(bytes).value();
+  job.in.Fill(input);
+  job.out = sys.Allocate<i16>(bytes * 2).value();
+  job.expect.resize(bytes * 2);
+  apps::AdpcmState state;
+  apps::AdpcmDecode(input, job.expect, state);
+  VcopdClient client(daemon, job.tenant);
+  VCOP_CHECK(client.Map(cp::AdpcmDecodeCoprocessor::kObjIn, job.in,
+                        Direction::kIn).ok());
+  VCOP_CHECK(client.Map(cp::AdpcmDecodeCoprocessor::kObjOut, job.out,
+                        Direction::kOut).ok());
+  return job;
+}
+
+// ----- asynchronous lifecycle -----
+
+TEST(VcopdTest, SubmitPollWaitRoundTrip) {
+  FpgaSystem sys(TestConfig());
+  Vcopd daemon(sys.kernel());
+  VecAddJob job = StageVecAdd(sys, daemon, "solo", 512, 1);
+  VcopdClient client(daemon, job.tenant);
+
+  const Ticket ticket =
+      client.Submit(cp::VecAddBitstream(), {512u}).value();
+  EXPECT_EQ(daemon.Poll(ticket), nullptr);  // queued, nothing ran yet
+  EXPECT_EQ(daemon.stats().submitted, 1u);
+
+  const Result<JobResult> result = client.Wait(ticket);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().status.ok());
+  EXPECT_EQ(job.c.ToVector(), job.expect);
+
+  const JobResult* polled = daemon.Poll(ticket);
+  ASSERT_NE(polled, nullptr);
+  EXPECT_EQ(polled->ticket, ticket);
+  EXPECT_GT(polled->finished_at, polled->started_at);
+  EXPECT_EQ(daemon.stats().completed, 1u);
+  EXPECT_EQ(polled->preemptions, 0u);  // nobody to preempt for
+}
+
+TEST(VcopdTest, CompletionCallbackFiresAtCompletionInstant) {
+  FpgaSystem sys(TestConfig());
+  Vcopd daemon(sys.kernel());
+  VecAddJob job = StageVecAdd(sys, daemon, "cb", 256, 2);
+  VcopdClient client(daemon, job.tenant);
+
+  Picoseconds callback_at = 0;
+  std::vector<u32> snapshot;
+  const Ticket ticket =
+      client
+          .Submit(cp::VecAddBitstream(), {256u},
+                  [&](const JobResult& r) {
+                    callback_at = r.finished_at;
+                    // The payload must already be in user memory when
+                    // the completion event fires.
+                    snapshot = job.c.ToVector();
+                  })
+          .value();
+  ASSERT_TRUE(daemon.RunUntilIdle().ok());
+
+  const JobResult* result = daemon.Poll(ticket);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(callback_at, result->finished_at);
+  EXPECT_EQ(snapshot, job.expect);
+}
+
+TEST(VcopdTest, BoundedQueueRejectsWithBackpressure) {
+  FpgaSystem sys(TestConfig());
+  VcopdConfig config;
+  config.queue_depth = 2;
+  Vcopd daemon(sys.kernel(), config);
+  VecAddJob job = StageVecAdd(sys, daemon, "burst", 64, 3);
+  VcopdClient client(daemon, job.tenant);
+
+  ASSERT_TRUE(client.Submit(cp::VecAddBitstream(), {64u}).ok());
+  ASSERT_TRUE(client.Submit(cp::VecAddBitstream(), {64u}).ok());
+  const Result<Ticket> third = client.Submit(cp::VecAddBitstream(), {64u});
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(daemon.stats().rejected, 1u);
+
+  // Draining the queue restores admission.
+  ASSERT_TRUE(daemon.RunUntilIdle().ok());
+  EXPECT_TRUE(client.Submit(cp::VecAddBitstream(), {64u}).ok());
+  ASSERT_TRUE(daemon.RunUntilIdle().ok());
+  EXPECT_EQ(daemon.stats().completed, 3u);
+}
+
+// ----- preemptive context switching -----
+
+/// Two ADPCM tenants big enough to fault repeatedly, with a time slice
+/// far below their runtime: forces preemptions with dirty output pages
+/// pending at the fault boundary, TLB snapshots restored after the
+/// other tenant evicted entries, and parameter-page re-materialisation.
+struct PreemptionRun {
+  u64 preemptions = 0;
+  VimServiceStats service;
+  bool correct = false;
+};
+
+PreemptionRun RunContendedAdpcm(bool asid_tagging) {
+  FpgaSystem sys(TestConfig());
+  VcopdConfig config;
+  config.policy = ServicePolicy::kFairShare;
+  config.time_slice = 50ull * 1000 * 1000;  // 50 us: well below runtime
+  config.quantum = 100ull * 1000 * 1000;
+  config.asid_tagging = asid_tagging;
+  Vcopd daemon(sys.kernel(), config);
+  sys.kernel().vim().ResetServiceStats();
+
+  AdpcmJob first = StageAdpcm(sys, daemon, "alpha", 12 * 1024, 1);
+  AdpcmJob second = StageAdpcm(sys, daemon, "beta", 12 * 1024, 2);
+  VcopdClient c1(daemon, first.tenant);
+  VcopdClient c2(daemon, second.tenant);
+  const Ticket t1 =
+      c1.Submit(cp::AdpcmDecodeBitstream(),
+                {first.input_bytes, 0u, 0u}).value();
+  const Ticket t2 =
+      c2.Submit(cp::AdpcmDecodeBitstream(),
+                {second.input_bytes, 0u, 0u}).value();
+  VCOP_CHECK(daemon.RunUntilIdle().ok());
+
+  PreemptionRun run;
+  run.preemptions = daemon.stats().preemptions;
+  run.service = sys.kernel().vim().service_stats();
+  run.correct = daemon.Poll(t1)->status.ok() &&
+                daemon.Poll(t2)->status.ok() &&
+                first.out.ToVector() == first.expect &&
+                second.out.ToVector() == second.expect;
+  return run;
+}
+
+TEST(VcopdTest, PreemptionWithDirtyPagesKeepsResultsExact) {
+  const PreemptionRun run = RunContendedAdpcm(/*asid_tagging=*/true);
+  EXPECT_TRUE(run.correct);
+  EXPECT_GT(run.preemptions, 0u);
+  EXPECT_GT(run.service.context_saves, 0u);
+  EXPECT_GT(run.service.context_restores, 0u);
+  // Dirty output pages were pending at fault boundaries and written
+  // back eagerly by SaveContext.
+  EXPECT_GT(run.service.pages_written_back_on_save, 0u);
+}
+
+TEST(VcopdTest, TaggedTlbAvoidsFullFlushesAndRestoresEntries) {
+  const PreemptionRun tagged = RunContendedAdpcm(/*asid_tagging=*/true);
+  ASSERT_TRUE(tagged.correct);
+  EXPECT_GT(tagged.service.tlb_flushes_avoided, 0u);
+  EXPECT_EQ(tagged.service.full_tlb_flushes, 0u);
+  // The 8-entry CAM is contended by two streaming tenants, so some
+  // snapshot entries must have survived (or been re-installed).
+  EXPECT_GT(tagged.service.tlb_entries_restored +
+                tagged.service.tlb_flushes_avoided,
+            0u);
+}
+
+TEST(VcopdTest, UntaggedBaselineFlushesOnEverySwitch) {
+  const PreemptionRun untagged = RunContendedAdpcm(/*asid_tagging=*/false);
+  ASSERT_TRUE(untagged.correct);  // policy changes timing, never bytes
+  EXPECT_GT(untagged.service.full_tlb_flushes, 0u);
+  EXPECT_EQ(untagged.service.tlb_flushes_avoided, 0u);
+  EXPECT_EQ(untagged.service.tlb_entries_restored, 0u);
+}
+
+// ----- mixed multi-tenant correctness -----
+
+TEST(VcopdTest, MixedTenantsMatchSoloByteForByte) {
+  FpgaSystem sys(TestConfig());
+  VcopdConfig config;
+  config.time_slice = 100ull * 1000 * 1000;
+  Vcopd daemon(sys.kernel(), config);
+
+  AdpcmJob adpcm = StageAdpcm(sys, daemon, "adpcm", 8 * 1024, 7);
+  VecAddJob vecadd = StageVecAdd(sys, daemon, "vecadd", 2048, 8);
+
+  // IDEA tenant staged by hand (in/out are byte buffers the core
+  // addresses as 32-bit elements).
+  const TenantId idea_tenant = daemon.RegisterTenant("idea").value();
+  const u32 idea_bytes = 4 * 1024;
+  std::vector<u8> plain(idea_bytes);
+  for (u32 i = 0; i < idea_bytes; ++i) {
+    plain[i] = static_cast<u8>(i * 131u + 17u);
+  }
+  apps::IdeaKey key{};
+  std::iota(key.begin(), key.end(), u8{1});
+  const apps::IdeaSubkeys subkeys = apps::IdeaExpandKey(key);
+  std::vector<u8> expect_cipher(idea_bytes);
+  apps::IdeaCryptEcb(subkeys, plain, expect_cipher);
+
+  HostBuffer<u8> idea_in = sys.Allocate<u8>(idea_bytes).value();
+  idea_in.Fill(plain);
+  HostBuffer<u8> idea_out = sys.Allocate<u8>(idea_bytes).value();
+  HostBuffer<u16> idea_key =
+      sys.Allocate<u16>(static_cast<u32>(subkeys.size())).value();
+  idea_key.Fill(std::span<const u16>(subkeys.data(), subkeys.size()));
+  VcopdClient idea_client(daemon, idea_tenant);
+  ASSERT_TRUE(idea_client.Map(cp::IdeaCoprocessor::kObjIn, idea_in,
+                              /*elem_width=*/4, Direction::kIn).ok());
+  ASSERT_TRUE(idea_client.Map(cp::IdeaCoprocessor::kObjOut, idea_out,
+                              /*elem_width=*/4, Direction::kOut).ok());
+  ASSERT_TRUE(idea_client.Map(cp::IdeaCoprocessor::kObjKey, idea_key,
+                              Direction::kIn).ok());
+
+  VcopdClient adpcm_client(daemon, adpcm.tenant);
+  VcopdClient vecadd_client(daemon, vecadd.tenant);
+  ASSERT_TRUE(adpcm_client.Submit(cp::AdpcmDecodeBitstream(),
+                                  {adpcm.input_bytes, 0u, 0u}).ok());
+  ASSERT_TRUE(idea_client
+                  .Submit(cp::IdeaBitstream(),
+                          {idea_bytes / 8, cp::IdeaCoprocessor::kModeEcb,
+                           0u, 0u})
+                  .ok());
+  ASSERT_TRUE(vecadd_client.Submit(cp::VecAddBitstream(), {2048u}).ok());
+
+  ASSERT_TRUE(daemon.RunUntilIdle().ok());
+  EXPECT_EQ(daemon.stats().completed, 3u);
+  EXPECT_EQ(daemon.stats().failed, 0u);
+  EXPECT_EQ(adpcm.out.ToVector(), adpcm.expect);
+  EXPECT_EQ(vecadd.c.ToVector(), vecadd.expect);
+  EXPECT_EQ(idea_out.ToVector(), expect_cipher);
+  // Three different designs were time-multiplexed onto the fabric.
+  EXPECT_GE(daemon.stats().reconfigurations, 3u);
+
+  const ScheduleReport report = daemon.BuildScheduleReport();
+  EXPECT_EQ(report.outcomes.size(), 3u);
+  const std::vector<TenantFairness> fairness = report.per_pid();
+  EXPECT_EQ(fairness.size(), 3u);
+  for (const TenantFairness& f : fairness) {
+    EXPECT_EQ(f.jobs, 1u);
+    EXPECT_LE(f.p50_turnaround, f.p99_turnaround);
+    EXPECT_LE(f.makespan_share, 1.0);
+  }
+  EXPECT_GE(report.max_wait(), 0u);
+}
+
+// ----- tenant lifecycle -----
+
+TEST(VcopdTest, UnregisterTenantLifecycle) {
+  FpgaSystem sys(TestConfig());
+  Vcopd daemon(sys.kernel());
+  VecAddJob job = StageVecAdd(sys, daemon, "transient", 128, 4);
+  VcopdClient client(daemon, job.tenant);
+
+  const Ticket ticket =
+      client.Submit(cp::VecAddBitstream(), {128u}).value();
+  // Work in flight: teardown must be refused.
+  const Status busy = daemon.UnregisterTenant(job.tenant);
+  ASSERT_FALSE(busy.ok());
+  EXPECT_EQ(busy.code(), ErrorCode::kFailedPrecondition);
+
+  ASSERT_TRUE(client.Wait(ticket).ok());
+  ASSERT_TRUE(daemon.UnregisterTenant(job.tenant).ok());
+  // Gone: further calls fail, and the ASID tag is recyclable.
+  EXPECT_EQ(daemon.UnregisterTenant(job.tenant).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(client.Submit(cp::VecAddBitstream(), {128u}).status().code(),
+            ErrorCode::kNotFound);
+  const TenantId reborn = daemon.RegisterTenant("reborn").value();
+  EXPECT_NE(reborn, job.tenant);
+}
+
+TEST(VcopdTest, AsidReuseAfterTeardownIsClean) {
+  FpgaSystem sys(TestConfig());
+  VcopdConfig config;
+  config.max_asids = 3;  // tags {0,1,2}: two usable tenants
+  Vcopd daemon(sys.kernel(), config);
+
+  VecAddJob first = StageVecAdd(sys, daemon, "first", 256, 5);
+  VcopdClient c1(daemon, first.tenant);
+  ASSERT_TRUE(c1.Wait(c1.Submit(cp::VecAddBitstream(), {256u}).value())
+                  .ok());
+  ASSERT_TRUE(daemon.RegisterTenant("second").ok());
+  // Tag space full until the first tenant is torn down.
+  ASSERT_FALSE(daemon.RegisterTenant("third").ok());
+  ASSERT_TRUE(daemon.UnregisterTenant(first.tenant).ok());
+
+  // The recycled tag must start with a clean slate: a new tenant under
+  // the reused ASID computes correct results from its own pages.
+  VecAddJob reuse = StageVecAdd(sys, daemon, "reuse", 256, 6);
+  VcopdClient c3(daemon, reuse.tenant);
+  ASSERT_TRUE(c3.Wait(c3.Submit(cp::VecAddBitstream(), {256u}).value())
+                  .ok());
+  EXPECT_EQ(reuse.c.ToVector(), reuse.expect);
+}
+
+// ----- coexistence with the blocking kernel path -----
+
+TEST(VcopdTest, KernelBlockingPathStillWorksAfterDaemonIdles) {
+  FpgaSystem sys(TestConfig());
+  {
+    Vcopd daemon(sys.kernel());
+    VecAddJob job = StageVecAdd(sys, daemon, "tenant", 256, 9);
+    VcopdClient client(daemon, job.tenant);
+    ASSERT_TRUE(
+        client.Wait(client.Submit(cp::VecAddBitstream(), {256u}).value())
+            .ok());
+    EXPECT_EQ(job.c.ToVector(), job.expect);
+  }  // daemon restores the kernel binding on destruction
+
+  // The classic exclusive blocking path on the very same kernel.
+  ASSERT_TRUE(sys.Load(cp::VecAddBitstream()).ok());
+  HostBuffer<u32> a = sys.Allocate<u32>(128).value();
+  HostBuffer<u32> b = sys.Allocate<u32>(128).value();
+  HostBuffer<u32> c = sys.Allocate<u32>(128).value();
+  std::vector<u32> va(128, 3), vb(128, 4);
+  a.Fill(va);
+  b.Fill(vb);
+  ASSERT_TRUE(sys.Map(cp::VecAddCoprocessor::kObjA, a,
+                      Direction::kIn).ok());
+  ASSERT_TRUE(sys.Map(cp::VecAddCoprocessor::kObjB, b,
+                      Direction::kIn).ok());
+  ASSERT_TRUE(sys.Map(cp::VecAddCoprocessor::kObjC, c,
+                      Direction::kOut).ok());
+  const Result<ExecutionReport> report = sys.Execute({128u});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(c.ToVector(), std::vector<u32>(128, 7));
+}
+
+}  // namespace
+}  // namespace vcop::os
