@@ -1,0 +1,106 @@
+#include "base/fault.h"
+
+namespace vcop {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAhbError: return "ahb_error";
+    case FaultSite::kAhbRetry: return "ahb_retry";
+    case FaultSite::kIrqDrop: return "irq_drop";
+    case FaultSite::kIrqDuplicate: return "irq_duplicate";
+    case FaultSite::kTlbParity: return "tlb_parity";
+    case FaultSite::kSpuriousFault: return "spurious_fault";
+    case FaultSite::kCpStall: return "cp_stall";
+    case FaultSite::kCpHang: return "cp_hang";
+    case FaultSite::kConfigError: return "config_error";
+    case FaultSite::kNumSites: break;
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::Random(u64 seed, double intensity) {
+  FaultPlan plan;
+  plan.seed_ = seed;
+  plan.rng_ = Rng(seed);
+
+  // Per-opportunity probabilities for the recoverable sites. The mix is
+  // tuned so a typical plan injects a handful of faults per kernel run:
+  // enough to exercise every recovery path across a few thousand seeds
+  // without drowning every run in its fault budget.
+  const struct {
+    FaultSite site;
+    double base;
+  } kMix[] = {
+      {FaultSite::kAhbError, 0.02},
+      {FaultSite::kAhbRetry, 0.05},
+      {FaultSite::kIrqDrop, 0.05},
+      {FaultSite::kIrqDuplicate, 0.05},
+      {FaultSite::kTlbParity, 0.03},
+      {FaultSite::kSpuriousFault, 0.05},
+      {FaultSite::kCpStall, 0.01},
+  };
+  for (const auto& m : kMix) {
+    // Each site is only armed on a subset of seeds so plans differ in
+    // *shape*, not just in where the coin flips land.
+    if (plan.rng_.NextBool(0.5)) {
+      double p = m.base * intensity;
+      if (p > 1.0) p = 1.0;
+      plan.WithProbability(m.site, p);
+    }
+  }
+
+  // Catastrophic faults are schedule-driven and rare: ~1 in 16 plans
+  // wedges the coprocessor once, ~1 in 16 fails a configuration.
+  if (plan.rng_.NextBool(1.0 / 16.0)) {
+    plan.At(FaultSite::kCpHang, plan.rng_.NextInRange(1, 64));
+  }
+  if (plan.rng_.NextBool(1.0 / 16.0)) {
+    plan.At(FaultSite::kConfigError, plan.rng_.NextInRange(1, 4));
+  }
+  return plan;
+}
+
+void FaultPlan::At(FaultSite site, u64 nth) {
+  VCOP_CHECK_MSG(nth > 0, "fault schedule ordinals are 1-based");
+  SiteConfig& cfg = sites_[static_cast<usize>(site)];
+  if (cfg.scheduled < cfg.schedule.size()) {
+    cfg.schedule[cfg.scheduled++] = nth;
+    any_armed_ = true;
+  }
+}
+
+void FaultPlan::WithProbability(FaultSite site, double p) {
+  sites_[static_cast<usize>(site)].probability = p;
+  if (p > 0.0) any_armed_ = true;
+}
+
+bool FaultPlan::empty() const { return !any_armed_; }
+
+bool FaultPlan::ShouldInject(FaultSite site) {
+  SiteConfig& cfg = sites_[static_cast<usize>(site)];
+  FaultSiteStats& st = stats_[static_cast<usize>(site)];
+  const u64 ordinal = ++st.opportunities;
+
+  bool fire = false;
+  for (u32 i = 0; i < cfg.scheduled; ++i) {
+    if (cfg.schedule[i] == ordinal) {
+      fire = true;
+      break;
+    }
+  }
+  // The Bernoulli draw is made even when a scheduled fault already
+  // fired, so arming extra schedule slots does not shift the random
+  // stream of later opportunities.
+  if (cfg.probability > 0.0 && rng_.NextBool(cfg.probability)) fire = true;
+
+  if (fire) ++st.injected;
+  return fire;
+}
+
+u64 FaultPlan::total_injected() const {
+  u64 total = 0;
+  for (const auto& st : stats_) total += st.injected;
+  return total;
+}
+
+}  // namespace vcop

@@ -20,6 +20,12 @@ Result<Picoseconds> FpgaFabric::Configure(const Bitstream& bitstream) {
   }
   const Result<Picoseconds> priced = PriceConfigure(bitstream);
   if (!priced.ok()) return priced;
+  if (InjectConfigError()) {
+    return UnavailableError(
+        StrFormat("configuration of '%s' failed (CRC error on the "
+                  "configuration stream)",
+                  bitstream.name.c_str()));
+  }
   bitstream_ = bitstream;
   coprocessor_ = bitstream.create();
   VCOP_CHECK_MSG(coprocessor_ != nullptr, "bitstream factory returned null");
@@ -45,6 +51,11 @@ Result<Picoseconds> FpgaFabric::PriceConfigure(
       static_cast<unsigned __int128>(bitstream.size_bytes) *
       kPicosecondsPerSecond / config_bytes_per_second_;
   return static_cast<Picoseconds>(ps);
+}
+
+bool FpgaFabric::InjectConfigError() {
+  return fault_plan_ != nullptr &&
+         fault_plan_->ShouldInject(FaultSite::kConfigError);
 }
 
 void FpgaFabric::Release() {

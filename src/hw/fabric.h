@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "base/fault.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "base/units.h"
@@ -63,11 +64,22 @@ class FpgaFabric {
 
   u32 capacity_les() const { return capacity_les_; }
 
+  /// Installs (or clears) the fault plan consulted on the configuration
+  /// port (kConfigError). Not owned.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
+  /// Counts one configuration attempt against the fault plan; true when
+  /// the programming fails (CRC error on the configuration stream).
+  /// Configure calls this internally; vcopd's partial-reconfiguration
+  /// path (which prices but never calls Configure) calls it directly.
+  bool InjectConfigError();
+
  private:
   u32 capacity_les_;
   u64 config_bytes_per_second_;
   Bitstream bitstream_{};
   std::unique_ptr<Coprocessor> coprocessor_;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace vcop::hw

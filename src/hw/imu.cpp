@@ -88,6 +88,13 @@ void Imu::ResolveFault() {
   } else if (own_domain_ != nullptr) {
     own_domain_->Kick();
   }
+  if (fault_plan_ &&
+      fault_plan_->ShouldInject(FaultSite::kSpuriousFault)) {
+    // A glitch re-raises the page-fault line after the fault was
+    // already serviced. The VIM's idempotent handler must notice that
+    // SR no longer shows a pending fault and ignore the edge.
+    irq_.Raise(InterruptCause::kPageFault);
+  }
 }
 
 void Imu::AttachTracer(sim::Tracer* tracer) {
@@ -254,6 +261,13 @@ Picoseconds Imu::NextOwnEdgeTime() const {
 }
 
 void Imu::Translate() {
+  if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kCpHang)) {
+    // The datapath wedges: no DP-RAM access, no fault, no kick. The
+    // clock domain goes idle and only the VIM's watchdog (which sees no
+    // progress) can recover via HardStop + abort.
+    state_ = State::kHung;
+    return;
+  }
   const u32 width = elem_width_[current_.object];
   const bool limit_violation =
       config_.bounds_check && elem_limit_[current_.object] != 0 &&
@@ -317,6 +331,11 @@ void Imu::Translate() {
   ar_ = PackAr(current_.object, current_.index);
 
   ready_at_ = NextOwnEdgeTime();
+  if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kCpStall)) {
+    // The port holds CP_TLBHIT low for extra cycles (e.g. DP-RAM
+    // arbitration loss); the access completes late but correctly.
+    ready_at_ += own_domain_->frequency().Duration(16);
+  }
   stats_.access_latency_time += ready_at_ - issue_time_;
   if (posted_) {
     // Background retirement of the posted write; the core was (or will

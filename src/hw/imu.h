@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 
+#include "base/fault.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "hw/cp_port.h"
@@ -168,6 +169,13 @@ class Imu final : public sim::ClockedModule, public CoprocessorPort {
   const mem::PageGeometry& geometry() const { return geometry_; }
   bool fault_pending() const { return (sr_ & kSrFaultPending) != 0; }
   bool busy() const { return (sr_ & kSrBusy) != 0; }
+  /// True when a kCpHang fault wedged the datapath: no response will
+  /// ever arrive and only HardStop (the VIM's watchdog abort) recovers.
+  bool hung() const { return state_ == State::kHung; }
+
+  /// Installs (or clears) the fault plan consulted at the coprocessor
+  /// port (kCpStall, kCpHang, kSpuriousFault). Not owned.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
 
   // ----- CoprocessorPort (coprocessor-side interface) -----
   bool CanIssue() const override;
@@ -193,6 +201,7 @@ class Imu final : public sim::ClockedModule, public CoprocessorPort {
     kTranslating,   // counting translation cycles
     kFaultStalled,  // TLB missed; waiting for the OS
     kResponding,    // translated; data valid at ready_at_
+    kHung,          // fault injection wedged the datapath for good
   };
 
   /// Performs the TLB lookup and, on a hit, the DP-RAM access;
@@ -265,6 +274,7 @@ class Imu final : public sim::ClockedModule, public CoprocessorPort {
   std::function<void()> param_release_hook_;
   std::function<void(ObjectId, mem::VirtPage)> page_ref_probe_;
   ImuStats stats_;
+  FaultPlan* fault_plan_ = nullptr;
 
   // Tracing. CP_ACCESS/CP_TLBHIT stay asserted through the edge that
   // samples them; their deassertion is held pending until the next

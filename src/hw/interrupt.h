@@ -3,6 +3,7 @@
 
 #include <functional>
 
+#include "base/fault.h"
 #include "base/status.h"
 #include "base/types.h"
 
@@ -22,20 +23,37 @@ class InterruptLine {
 
   void set_handler(Handler handler) { handler_ = std::move(handler); }
 
+  /// Installs (or clears) the fault plan consulted on every edge.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
   /// Signals the processor. A handler must be connected — the platform
-  /// wiring installs it before any coprocessor can run.
+  /// wiring installs it before any coprocessor can run. Under a fault
+  /// plan the edge can be lost (never reaches the CPU) or seen twice.
   void Raise(InterruptCause cause) {
     VCOP_CHECK_MSG(static_cast<bool>(handler_),
                    "interrupt raised with no handler connected");
     ++raised_;
+    if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kIrqDrop)) {
+      ++dropped_;
+      return;
+    }
+    if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kIrqDuplicate)) {
+      ++duplicated_;
+      handler_(cause);
+    }
     handler_(cause);
   }
 
   u64 times_raised() const { return raised_; }
+  u64 times_dropped() const { return dropped_; }
+  u64 times_duplicated() const { return duplicated_; }
 
  private:
   Handler handler_;
   u64 raised_ = 0;
+  u64 dropped_ = 0;
+  u64 duplicated_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace vcop::hw

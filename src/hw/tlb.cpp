@@ -11,6 +11,18 @@ std::optional<u32> Tlb::Lookup(ObjectId object, mem::VirtPage vpage,
   ++stats_.lookups;
   const std::optional<u32> idx = Probe(object, vpage, asid);
   if (idx.has_value()) {
+    if (!entries_[*idx].parity_ok) {
+      // The CAM match hit a corrupted entry: the parity check rejects
+      // it, the entry is dropped, and the access takes the miss path so
+      // the OS re-installs a good mapping.
+      ++stats_.parity_errors;
+      const TlbEntry old = entries_[*idx];
+      entries_[*idx] = TlbEntry{};
+      ++generation_;
+      if (parity_drop_hook_) parity_drop_hook_(old);
+      ++stats_.misses;
+      return std::nullopt;
+    }
     ++stats_.hits;
     entries_[*idx].accessed = true;
   } else {
@@ -49,6 +61,9 @@ void Tlb::Install(u32 index, ObjectId object, mem::VirtPage vpage,
   entry.asid = asid;
   entry.vpage = vpage;
   entry.frame = frame;
+  if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kTlbParity)) {
+    entry.parity_ok = false;
+  }
   entries_[index] = entry;
   ++generation_;
 }

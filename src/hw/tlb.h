@@ -13,9 +13,11 @@
 // and sets dirty bits.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
+#include "base/fault.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "mem/page.h"
@@ -49,12 +51,20 @@ struct TlbEntry {
   Asid asid = 0;
   mem::VirtPage vpage = 0;
   mem::FrameId frame = 0;
+  /// Parity over the tag+payload, recomputed by the CAM on every match.
+  /// A corrupted entry (fault injection) fails the check; the hardware
+  /// then treats the entry as invalid and the lookup as a miss, so the
+  /// OS refill path repairs the mapping instead of the coprocessor
+  /// silently reading the wrong frame.
+  bool parity_ok = true;
 };
 
 struct TlbStats {
   u64 lookups = 0;
   u64 hits = 0;
   u64 misses = 0;
+  /// Matches discarded because the entry failed its parity check.
+  u64 parity_errors = 0;
 };
 
 class Tlb {
@@ -123,10 +133,23 @@ class Tlb {
   const TlbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TlbStats{}; }
 
+  /// Installs (or clears) the fault plan; kTlbParity opportunities are
+  /// counted at Install time (the corruption happens on the write).
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
+  /// Called with the dropped entry (as it was) whenever a lookup
+  /// discards a parity-corrupt entry, so the OS can propagate its dirty
+  /// bit before the mapping disappears.
+  void set_parity_drop_hook(std::function<void(const TlbEntry&)> hook) {
+    parity_drop_hook_ = std::move(hook);
+  }
+
  private:
   std::vector<TlbEntry> entries_;
   TlbStats stats_;
   u64 generation_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
+  std::function<void(const TlbEntry&)> parity_drop_hook_;
 };
 
 }  // namespace vcop::hw

@@ -58,24 +58,56 @@ Picoseconds TransferEngine::PriceTransfer(u32 len) const {
 
 TransferResult TransferEngine::LoadPage(const UserMemory& user, UserAddr src,
                                         DualPortRam& dp, u32 dst, u32 len) {
+  if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbError)) {
+    // The transfer errors mid-pass: no data reaches the DP-RAM, but the
+    // bus time was wasted. The VIM decides whether to retry.
+    TransferResult r;
+    r.time = PriceTransfer(len);
+    r.bus_error = true;
+    total_time_ += r.time;
+    return r;
+  }
   auto view = user.View(src, len);
   dp.Write(DualPortRam::Port::kProcessor, dst, view);
-  const Picoseconds t = PriceTransfer(len);
+  TransferResult r;
+  r.bytes = len;
+  r.time = PriceTransfer(len);
+  if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbRetry)) {
+    // The slave RETRYed one beat; the transfer still succeeds but the
+    // beat was run twice.
+    r.retried_beats = 1;
+    r.time += ahb_.clock().Duration(ahb_.timing().setup_cycles +
+                                    ahb_.timing().cycles_per_beat);
+  }
   bytes_loaded_ += len;
-  total_time_ += t;
-  return TransferResult{len, t};
+  total_time_ += r.time;
+  return r;
 }
 
 TransferResult TransferEngine::StorePage(DualPortRam& dp, u32 src,
                                          UserMemory& user, UserAddr dst,
                                          u32 len) {
+  if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbError)) {
+    TransferResult r;
+    r.time = PriceTransfer(len);
+    r.bus_error = true;
+    total_time_ += r.time;
+    return r;
+  }
   std::vector<u8> buf(len);
   dp.Read(DualPortRam::Port::kProcessor, src, buf);
   user.WriteBytes(dst, buf);
-  const Picoseconds t = PriceTransfer(len);
+  TransferResult r;
+  r.bytes = len;
+  r.time = PriceTransfer(len);
+  if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbRetry)) {
+    r.retried_beats = 1;
+    r.time += ahb_.clock().Duration(ahb_.timing().setup_cycles +
+                                    ahb_.timing().cycles_per_beat);
+  }
   bytes_stored_ += len;
-  total_time_ += t;
-  return TransferResult{len, t};
+  total_time_ += r.time;
+  return r;
 }
 
 }  // namespace vcop::mem

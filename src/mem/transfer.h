@@ -11,6 +11,7 @@
 
 #include <string_view>
 
+#include "base/fault.h"
 #include "base/units.h"
 #include "mem/ahb.h"
 #include "mem/dp_ram.h"
@@ -34,6 +35,12 @@ std::string_view ToString(CopyMode mode);
 struct TransferResult {
   u64 bytes = 0;
   Picoseconds time = 0;
+  /// The transfer aborted with an AHB bus error: no data moved, but the
+  /// wasted bus pass was still paid for in `time`. The caller (VIM)
+  /// decides whether to retry.
+  bool bus_error = false;
+  /// Beats that were RETRYed by the slave and re-run (time only).
+  u32 retried_beats = 0;
 };
 
 class TransferEngine {
@@ -59,6 +66,10 @@ class TransferEngine {
   CopyMode mode() const { return mode_; }
   void set_mode(CopyMode mode) { mode_ = mode; }
 
+  /// Installs (or clears, with nullptr) the fault plan consulted on
+  /// every transfer. Not owned.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
   /// Cumulative counters.
   u64 total_bytes_loaded() const { return bytes_loaded_; }
   u64 total_bytes_stored() const { return bytes_stored_; }
@@ -72,6 +83,7 @@ class TransferEngine {
   u64 bytes_loaded_ = 0;
   u64 bytes_stored_ = 0;
   Picoseconds total_time_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace vcop::mem

@@ -12,11 +12,24 @@ AsidAllocator::AsidAllocator(u32 capacity) : used_(capacity, false) {
 
 Result<hw::Asid> AsidAllocator::Allocate() {
   for (u32 step = 0; step < used_.size(); ++step) {
-    const u32 candidate = (cursor_ + step) % used_.size();
+    const u32 candidate =
+        (cursor_ + step) % static_cast<u32>(used_.size());
     if (candidate == 0 || used_[candidate]) continue;
+    if (cursor_ + step >= used_.size()) {
+      // The scan wrapped past the top of the tag space: `candidate` may
+      // have been handed out in a previous pass, and TLB entries
+      // installed under its previous owner could still be live. Fire
+      // the rollover hook so the owner flushes them before the tag is
+      // reused under a new identity.
+      ++generation_;
+      if (rollover_hook_) rollover_hook_();
+    }
     used_[candidate] = true;
     ++in_use_;
-    cursor_ = (candidate + 1) % used_.size();
+    // Deliberately not wrapped: cursor_ == size() marks "next scan
+    // starts a new pass", so the wrap detection above still sees the
+    // crossing. It is re-normalised by the modulo on the next scan.
+    cursor_ = candidate + 1;
     return static_cast<hw::Asid>(candidate);
   }
   return ResourceExhaustedError(

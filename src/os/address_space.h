@@ -17,6 +17,7 @@
 // code path bit-identical.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <set>
 #include <string>
@@ -73,6 +74,9 @@ struct VimAccounting {
   u64 dirty_in_pages_dropped = 0;
   /// Times this execution was preempted at a fault boundary (vcopd).
   u64 preemptions = 0;
+  /// Recovery actions (transfer retries, watchdog re-polls) consumed
+  /// against this execution's fault budget (VimConfig::fault_budget).
+  u64 fault_recoveries = 0;
   /// Distribution of individual fault-service times in microseconds
   /// (interrupt entry to coprocessor restart).
   sim::Summary fault_service_us;
@@ -132,9 +136,15 @@ class AddressSpace {
 /// Allocates ASIDs from the finite tag space of the shared TLB's CAM.
 /// ASID 0 is permanently reserved for the kernel's default space. The
 /// cursor keeps advancing across Release, so freed tags are reused in
-/// wrap-around order — the classic generation problem; safe here
-/// because UnregisterTenant flushes the dying ASID from TLB and frames
-/// before its tag can be recycled.
+/// wrap-around order — the classic generation problem: after 2^N
+/// allocations a tag can be handed out again while TLB entries created
+/// under its previous owner are still live, aliasing the new tenant
+/// onto stale translations. UnregisterTenant flushes a dying ASID's
+/// residue, but nothing forces that invariant on other users of the
+/// allocator, so the allocator itself tracks generations: every
+/// wrap-around of the cursor past the top of the tag space bumps the
+/// generation and fires the rollover hook, which the owner (vcopd)
+/// wires to a full TLB invalidation.
 class AsidAllocator {
  public:
   /// `capacity` = total tags including the reserved 0; must be >= 2.
@@ -147,10 +157,24 @@ class AsidAllocator {
   u32 capacity() const { return static_cast<u32>(used_.size()); }
   u32 in_use() const { return in_use_; }
 
+  /// Completed passes through the tag space (i.e. times the cursor
+  /// wrapped past the top while scanning or advancing).
+  u64 generation() const { return generation_; }
+
+  /// Invoked once per generation rollover, before the recycled tag is
+  /// returned: the hook must make sure no stale entries tagged with a
+  /// previous generation's ASIDs survive (vcopd installs a full flush
+  /// of the shared TLB).
+  void set_rollover_hook(std::function<void()> hook) {
+    rollover_hook_ = std::move(hook);
+  }
+
  private:
   std::vector<bool> used_;
   u32 in_use_ = 0;
   u32 cursor_ = 1;
+  u64 generation_ = 0;
+  std::function<void()> rollover_hook_;
 };
 
 }  // namespace vcop::os

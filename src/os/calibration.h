@@ -58,6 +58,11 @@ struct CostModel {
   /// (validating and re-loading surviving translations): ~2.4 us.
   u32 context_restore_cycles = 320;
 
+  /// Base backoff after a failed (bus-errored) page transfer before the
+  /// VIM re-runs it; doubles per attempt (~2 us, 4 us, 8 us). Only paid
+  /// under fault injection — fault-free transfers never back off.
+  u32 transfer_retry_backoff_cycles = 260;
+
   /// SDRAM-side cost of one 32-bit word within an OS copy loop
   /// (uncached user-page access on ARM9): feeds the TransferEngine.
   /// With the AHB timing below this yields an effective page-move rate

@@ -31,6 +31,23 @@ Kernel::Kernel(const KernelConfig& config)
         break;
     }
   });
+  // Recovery wiring. Both hooks are inert without an installed fault
+  // plan: parity bits only flip under kTlbParity, and the progress
+  // probe is consulted only by the (plan-gated) watchdog.
+  shared_tlb_.set_parity_drop_hook(
+      [this](const hw::TlbEntry& dropped) { vim_.OnTlbParityDrop(dropped); });
+  vim_.set_progress_probe([this]() -> u64 {
+    return fabric_.coprocessor() ? fabric_.coprocessor()->cycles_run() : 0;
+  });
+}
+
+void Kernel::InstallFaultPlan(FaultPlan* plan) {
+  fault_plan_ = plan;
+  irq_.set_fault_plan(plan);
+  fabric_.set_fault_plan(plan);
+  shared_tlb_.set_fault_plan(plan);
+  vim_.InstallFaultPlan(plan);
+  if (imu_) imu_->set_fault_plan(plan);
 }
 
 Status Kernel::FpgaLoad(const hw::Bitstream& bitstream) {
@@ -65,6 +82,7 @@ Status Kernel::FpgaLoad(const hw::Bitstream& bitstream) {
       StrFormat("cp%u@%s", load_count_,
                 bitstream.cp_clock.ToString().c_str()),
       bitstream.cp_clock);
+  imu_->set_fault_plan(fault_plan_);
   imu_->BindClocks(*imu_domain_, *cp_domain_);
   imu_domain_->Attach(*imu_);
   cp_domain_->Attach(*fabric_.coprocessor());

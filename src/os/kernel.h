@@ -133,6 +133,17 @@ class Kernel {
   /// Configuration time of the most recent FPGA_LOAD.
   Picoseconds last_load_time() const { return last_load_time_; }
 
+  // ----- fault injection (base/fault.h) -----
+
+  /// Installs `plan` across every model on the platform (bus, interrupt
+  /// line, shared TLB, fabric, VIM, the current IMU and any IMU created
+  /// by a later FPGA_LOAD). Pass nullptr to remove it. The plan is not
+  /// owned and must outlive the kernel or the next InstallFaultPlan.
+  /// With no plan installed — or an empty one — every code path is
+  /// bit-identical to the fault-free engine.
+  void InstallFaultPlan(FaultPlan* plan);
+  FaultPlan* fault_plan() { return fault_plan_; }
+
   /// Event timeline across all calls (Chrome-trace exportable).
   TimelineRecorder& timeline() { return timeline_; }
 
@@ -153,6 +164,7 @@ class Kernel {
   sim::ClockDomain* cp_domain_ = nullptr;
   u32 load_count_ = 0;
   Picoseconds last_load_time_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace vcop::os

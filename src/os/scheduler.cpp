@@ -155,6 +155,9 @@ ScheduleReport FpgaScheduler::RunAll(std::vector<FpgaJob> jobs,
   }
 
   schedule.makespan = kernel_.simulator().now() - batch_start;
+  schedule.transfer_retries = kernel_.vim().service_stats().transfer_retries;
+  schedule.watchdog_recoveries =
+      kernel_.vim().service_stats().watchdog_recoveries;
   return schedule;
 }
 

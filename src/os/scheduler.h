@@ -88,6 +88,13 @@ struct ScheduleReport {
   Picoseconds makespan = 0;
   Picoseconds total_config_time = 0;
   u32 reconfigurations = 0;
+  // Fault-recovery rollup across the batch (all 0 on fault-free runs).
+  /// Page transfers the VIM re-ran after an injected bus error.
+  u64 transfer_retries = 0;
+  /// Lost interrupts recovered by the VIM watchdog.
+  u64 watchdog_recoveries = 0;
+  /// Tenants quarantined after exhausting a fault budget (vcopd only).
+  u64 quarantines = 0;
 
   Picoseconds mean_turnaround() const;
   usize failures() const;

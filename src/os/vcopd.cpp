@@ -23,6 +23,10 @@ Vcopd::Vcopd(Kernel& kernel, VcopdConfig config)
   Vim& vim = kernel_.vim();
   vim.set_tlb_tagging(config_.asid_tagging);
   vim.set_space_resolver([this](hw::Asid asid) { return FindSpace(asid); });
+  // ASID generation rollover: when the allocator's cursor wraps past
+  // the top of the tag space, a recycled tag could alias stale shared-
+  // TLB entries installed under its previous owner. Flush everything.
+  asids_.set_rollover_hook([this] { kernel_.shared_tlb().InvalidateAll(); });
 }
 
 Vcopd::~Vcopd() {
@@ -105,6 +109,11 @@ Result<Ticket> Vcopd::Submit(
   Tenant* t = FindTenant(tenant);
   if (t == nullptr) {
     return NotFoundError(StrFormat("unknown tenant %u", tenant));
+  }
+  if (t->quarantined) {
+    return FailedPreconditionError(StrFormat(
+        "tenant %u is quarantined after a fault-budget or hang abort",
+        tenant));
   }
   // Admission control: validate what can be validated without running.
   const Result<Picoseconds> price =
@@ -214,6 +223,10 @@ ScheduleReport Vcopd::BuildScheduleReport() const {
   if (any) report.makespan = last_finish - first_submit;
   report.reconfigurations = static_cast<u32>(stats_.reconfigurations);
   report.total_config_time = stats_.total_config_time;
+  const VimServiceStats& svc = kernel_.vim().service_stats();
+  report.transfer_retries = svc.transfer_retries;
+  report.watchdog_recoveries = svc.watchdog_recoveries;
+  report.quarantines = stats_.quarantined;
   return report;
 }
 
@@ -291,11 +304,19 @@ Vcopd::Tenant* Vcopd::PickNext() {
   return nullptr;
 }
 
-Picoseconds Vcopd::SwitchDesign(Job& job) {
-  if (current_design_ == job.bitstream.name) return 0;
+Result<Picoseconds> Vcopd::SwitchDesign(Job& job) {
+  if (current_design_ == job.bitstream.name) return Picoseconds{0};
   const Result<Picoseconds> price =
       kernel_.fabric().PriceConfigure(job.bitstream);
-  VCOP_CHECK_MSG(price.ok(), price.status().ToString());  // Submit checked
+  // Submit validated the price, but the library could have changed
+  // since; a stale design fails the job, not the daemon.
+  if (!price.ok()) return price.status();
+  if (kernel_.fabric().InjectConfigError()) {
+    return UnavailableError(StrFormat(
+        "partial reconfiguration of '%s' failed (CRC error on the "
+        "configuration stream)",
+        job.bitstream.name.c_str()));
+  }
   current_design_ = job.bitstream.name;
   ++stats_.reconfigurations;
   stats_.total_config_time += price.value();
@@ -326,6 +347,7 @@ void Vcopd::InstantiateHardware(Tenant& tenant, Job& job) {
       kernel_.dp_ram(), kernel_.irq(), kernel_.simulator(),
       &kernel_.shared_tlb());
   job.imu->SetAsid(tenant.space->asid());
+  job.imu->set_fault_plan(kernel_.fault_plan());
 
   // IMU domain first: on coincident edges the translation pipeline must
   // advance before the core samples CP_TLBHIT (same as Kernel::FpgaLoad).
@@ -361,7 +383,20 @@ Status Vcopd::RunSlice(Tenant& tenant) {
   }
 
   const Picoseconds dispatch_time = sim.now();
-  const Picoseconds lead = SwitchDesign(*job);
+  const Result<Picoseconds> switched = SwitchDesign(*job);
+  if (!switched.ok()) {
+    // The configuration stream failed: the fabric keeps its previous
+    // design, the job fails cleanly. A resumed job's saved context is
+    // discarded without writing partial results back to user memory.
+    if (resuming) {
+      kernel_.vim().FlushAsid(tenant.space->asid(), /*write_back=*/false);
+    } else {
+      job->result.started_at = dispatch_time;
+    }
+    FinishJob(tenant, *job, switched.status());
+    return Status::Ok();
+  }
+  const Picoseconds lead = switched.value();
   if (!resuming) {
     job->result.started_at = dispatch_time;
     InstantiateHardware(tenant, *job);
@@ -369,6 +404,12 @@ Status Vcopd::RunSlice(Tenant& tenant) {
 
   vim.BindImu(job->imu.get());
   vim.AttachSpace(tenant.space.get());
+  // The watchdog's hang detector tracks this job's core, not the
+  // kernel's exclusive coprocessor.
+  hw::Coprocessor* slice_core = job->core.get();
+  vim.set_progress_probe([slice_core]() -> u64 {
+    return slice_core != nullptr ? slice_core->cycles_run() : 0;
+  });
 
   bool done = false;
   Status failure = Status::Ok();
@@ -410,6 +451,7 @@ Status Vcopd::RunSlice(Tenant& tenant) {
       vim.set_abort_handler(nullptr);
       vim.set_preempt_check(nullptr);
       vim.set_preempt_handler(nullptr);
+      if (vim.fault_abort()) Quarantine(tenant);
       FinishJob(tenant, *job, setup.status());
       return Status::Ok();
     }
@@ -484,10 +526,24 @@ Status Vcopd::RunSlice(Tenant& tenant) {
       sim.ScheduleAfter(tail_cost, [] {});
       sim.RunToIdle();
     }
+    // A fault-budget abort, hang abort or non-convergence quarantines
+    // the tenant: its later Submits fail fast, other ASIDs keep going.
+    if (!failure.ok() && (vim.fault_abort() || !converged)) {
+      Quarantine(tenant);
+    }
     FinishJob(tenant, *job, failure);
   }
   tenant.deficit -= static_cast<i64>(sim.now() - dispatch_time);
   return Status::Ok();
+}
+
+void Vcopd::Quarantine(Tenant& tenant) {
+  if (tenant.quarantined) return;
+  tenant.quarantined = true;
+  ++stats_.quarantined;
+  VCOP_LOG(kInfo, StrFormat("vcopd: quarantining tenant %u (pid %u) after "
+                            "a fault abort",
+                            tenant.id, tenant.space->pid()));
 }
 
 void Vcopd::FinishJob(Tenant& tenant, Job& job, Status status) {
@@ -531,6 +587,11 @@ void Vcopd::FinishJob(Tenant& tenant, Job& job, Status status) {
 void Vcopd::RestoreKernelBinding() {
   kernel_.vim().AttachSpace(&kernel_.default_space());
   kernel_.vim().BindImu(kernel_.imu());
+  Kernel* kernel = &kernel_;
+  kernel_.vim().set_progress_probe([kernel]() -> u64 {
+    hw::Coprocessor* core = kernel->fabric().coprocessor();
+    return core != nullptr ? core->cycles_run() : 0;
+  });
 }
 
 }  // namespace vcop::os

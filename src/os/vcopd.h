@@ -119,6 +119,8 @@ struct VcopdStats {
   u64 dispatches = 0;  // slices granted (initial dispatches + resumes)
   u64 preemptions = 0;
   u64 reconfigurations = 0;
+  /// Tenants quarantined after a fault-budget or hang abort.
+  u64 quarantined = 0;
   Picoseconds total_config_time = 0;
 };
 
@@ -204,6 +206,10 @@ class Vcopd {
   struct Tenant {
     TenantId id = 0;
     bool active = true;
+    /// Set when one of the tenant's jobs exhausted its fault budget or
+    /// hung the fabric: later Submits fail fast with FailedPrecondition
+    /// while every other tenant keeps running.
+    bool quarantined = false;
     u32 weight = 1;
     std::unique_ptr<AddressSpace> space;
     std::deque<Job*> queue;       // submitted, not yet dispatched
@@ -226,10 +232,15 @@ class Vcopd {
   Status RunSlice(Tenant& tenant);
 
   /// Pays the configuration-port cost when `job`'s design is not the
-  /// one on the fabric (partial-reconfiguration model).
-  Picoseconds SwitchDesign(Job& job);
+  /// one on the fabric (partial-reconfiguration model). Fails when the
+  /// configuration stream errors (injected CRC fault) — the fabric
+  /// keeps its previous design and the job must be failed cleanly.
+  Result<Picoseconds> SwitchDesign(Job& job);
 
   void InstantiateHardware(Tenant& tenant, Job& job);
+  /// Marks the tenant quarantined (idempotent) after a fault-budget,
+  /// hang or non-convergence abort.
+  void Quarantine(Tenant& tenant);
   void FinishJob(Tenant& tenant, Job& job, Status status);
   /// Points the VIM back at the kernel's default space / IMU so the
   /// blocking single-tenant path keeps working after the daemon idles.

@@ -92,6 +92,9 @@ Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params,
   current_scope_ = scope;
   space_->aborted = false;
   space_->accounting = VimAccounting{};
+  fault_abort_ = false;
+  fault_service_pending_ = false;
+  last_transfer_failure_ = Status::Ok();
   if (scope == ResetScope::kFullReset) {
     pages_.Reset();
     policy_->Reset(geometry_.num_frames());
@@ -148,6 +151,15 @@ Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params,
       Picoseconds evict_imu = 0;
       EvictFrame(victim, evict_dp, evict_imu);
       setup += evict_dp + evict_imu;
+      if (space_->aborted || !last_transfer_failure_.ok()) {
+        // The victim's write-back failed even after retries: no abort
+        // handler is installed at setup time, so the failure is
+        // returned as a plain Status for the caller to surface.
+        return !last_transfer_failure_.ok()
+                   ? last_transfer_failure_
+                   : UnavailableError("execution setup failed on a "
+                                      "device fault");
+      }
       frame = victim;
     }
     VCOP_CHECK_MSG(frame.has_value(), "no frame free after reset");
@@ -165,12 +177,26 @@ Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params,
     space_->params_live = true;
     setup += transfers_.PriceTransfer(param_bytes);
   }
+  ArmWatchdog();
   return setup;
 }
 
 void Vim::OnPageFault() {
   VCOP_CHECK_MSG(imu_ != nullptr, "fault with no IMU bound");
   if (space_->aborted) return;
+  // Idempotent fault service: a second edge while the service for the
+  // latched fault is already scheduled is a duplicate delivery, and an
+  // edge with no pending fault in SR is a spurious re-fire — the real
+  // handler reads SR before doing anything, so both are ignored for
+  // free. Neither branch can trigger on fault-free hardware.
+  if (fault_service_pending_) {
+    ++service_stats_.duplicate_irqs_ignored;
+    return;
+  }
+  if (!imu_->fault_pending()) {
+    ++service_stats_.spurious_faults_ignored;
+    return;
+  }
 
   Picoseconds imu_cost = costs_.Cycles(costs_.interrupt_entry_cycles +
                                        costs_.fault_decode_cycles);
@@ -198,7 +224,13 @@ void Vim::OnPageFault() {
     acct().t_imu += imu_cost;
     acct().fault_service_us.Add(ToMicroseconds(imu_cost));
     hw::Imu* imu = imu_;
-    sim_.ScheduleAt(sim_.now() + imu_cost, [imu] { imu->ResolveFault(); });
+    fault_service_pending_ = true;
+    const u64 epoch = epoch_;
+    sim_.ScheduleAt(sim_.now() + imu_cost, [this, imu, epoch] {
+      if (epoch != epoch_) return;
+      fault_service_pending_ = false;
+      imu->ResolveFault();
+    });
     return;
   }
 
@@ -226,6 +258,7 @@ void Vim::OnPageFault() {
     // services it then.
     acct().t_imu += imu_cost;
     const Picoseconds save = SaveContext();
+    if (space_->aborted) return;  // write-back failed mid-save
     ++acct().preemptions;
     if (timeline_ != nullptr) {
       timeline_->Record(
@@ -254,7 +287,13 @@ void Vim::OnPageFault() {
         acct().t_dp_wait += done - decode_done;
         acct().fault_service_us.Add(
             ToMicroseconds(done - sim_.now()));
-        sim_.ScheduleAt(done, [imu] { imu->ResolveFault(); });
+        fault_service_pending_ = true;
+        const u64 epoch = epoch_;
+        sim_.ScheduleAt(done, [this, imu, epoch] {
+          if (epoch != epoch_) return;
+          fault_service_pending_ = false;
+          imu->ResolveFault();
+        });
         return;
       }
     }
@@ -318,8 +357,13 @@ void Vim::OnPageFault() {
         imu_cost + dp_cost, /*track=*/0);
   }
 
-  sim_.ScheduleAt(sim_.now() + imu_cost + dp_cost,
-                  [imu] { imu->ResolveFault(); });
+  fault_service_pending_ = true;
+  const u64 epoch = epoch_;
+  sim_.ScheduleAt(sim_.now() + imu_cost + dp_cost, [this, imu, epoch] {
+    if (epoch != epoch_) return;
+    fault_service_pending_ = false;
+    imu->ResolveFault();
+  });
 }
 
 void Vim::ScheduleOverlappedPrefetch(const MappedObject& object,
@@ -431,6 +475,7 @@ Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
     }
     const mem::FrameId victim = policy_->PickVictim(evictable);
     EvictFrame(victim, dp_cost, imu_cost);
+    if (space_->aborted) return MapOutcome::kAborted;
     frame = victim;
   }
   if (!prefetch) ++acct().faults;
@@ -443,11 +488,14 @@ Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
       object.direction != Direction::kOut ||
       space_->written_back.count({object.id, vpage}) != 0;
   if (needs_load) {
-    const mem::TransferResult r = transfers_.LoadPage(
-        user_memory_,
-        object.user_addr + vpage * geometry_.page_bytes(), dp_ram_,
+    const mem::TransferResult r = LoadPageRetried(
+        object.user_addr + vpage * geometry_.page_bytes(),
         geometry_.FrameBase(*frame), len);
     dp_cost += r.time;
+    if (r.bus_error) {
+      if (!space_->aborted) Abort(last_transfer_failure_);
+      return MapOutcome::kAborted;
+    }
     ++acct().loads;
     acct().bytes_loaded += len;
   }
@@ -483,10 +531,20 @@ void Vim::EvictFrame(mem::FrameId frame, Picoseconds& dp_cost,
       // Write-back bookkeeping goes to the owning space (its data left
       // the fabric); the transfer time extends the *current* service.
       const u32 len = PageLength(*object, state.vpage);
-      const mem::TransferResult r = transfers_.StorePage(
-          dp_ram_, geometry_.FrameBase(frame), user_memory_,
+      const mem::TransferResult r = StorePageRetried(
+          geometry_.FrameBase(frame),
           object->user_addr + state.vpage * geometry_.page_bytes(), len);
       dp_cost += r.time;
+      if (r.bus_error) {
+        // The dirty page cannot leave the fabric: its data would be
+        // lost, so the run must fail (callers notice space_->aborted,
+        // PrepareExecution notices last_transfer_failure_).
+        if (!space_->aborted) Abort(last_transfer_failure_);
+        pages_.Release(frame);
+        policy_->OnFreed(frame);
+        ++acct().evictions;
+        return;
+      }
       ++owner->accounting.writebacks;
       owner->accounting.bytes_written_back += len;
       owner->written_back.insert({state.object, state.vpage});
@@ -597,6 +655,14 @@ bool Vim::FrameDirty(mem::FrameId frame) const {
 void Vim::OnEndOfOperation() {
   VCOP_CHECK_MSG(imu_ != nullptr, "end-of-operation with no IMU bound");
   if (space_->aborted) return;
+  // Duplicate-delivery safety: the sweep acknowledges the interrupt
+  // (AckEnd clears SR.end), so a second edge finds the bit clear and is
+  // ignored — re-running the sweep would wake the caller twice.
+  if ((imu_->ReadRegister(hw::ImuRegister::kSR) & hw::kSrEndPending) == 0) {
+    ++service_stats_.duplicate_irqs_ignored;
+    return;
+  }
+  ++watchdog_epoch_;  // the run is over; kill any pending watchdog tick
 
   // Abandon any still-flying speculative transfers.
   ++epoch_;
@@ -643,10 +709,16 @@ void Vim::OnEndOfOperation() {
           ++acct().dirty_in_pages_dropped;
         } else {
           const u32 len = PageLength(*object, state.vpage);
-          const mem::TransferResult r = transfers_.StorePage(
-              dp_ram_, geometry_.FrameBase(f), user_memory_,
+          const mem::TransferResult r = StorePageRetried(
+              geometry_.FrameBase(f),
               object->user_addr + state.vpage * geometry_.page_bytes(), len);
           dp_cost += r.time;
+          if (r.bus_error) {
+            acct().t_imu += imu_cost;
+            acct().t_dp += dp_cost;
+            if (!space_->aborted) Abort(last_transfer_failure_);
+            return;
+          }
           ++acct().writebacks;
           acct().bytes_written_back += len;
         }
@@ -688,10 +760,16 @@ void Vim::OnEndOfOperation() {
           ++acct().dirty_in_pages_dropped;
         } else {
           const u32 len = PageLength(*object, state.vpage);
-          const mem::TransferResult r = transfers_.StorePage(
-              dp_ram_, geometry_.FrameBase(f), user_memory_,
+          const mem::TransferResult r = StorePageRetried(
+              geometry_.FrameBase(f),
               object->user_addr + state.vpage * geometry_.page_bytes(), len);
           dp_cost += r.time;
+          if (r.bus_error) {
+            acct().t_imu += imu_cost;
+            acct().t_dp += dp_cost;
+            if (!space_->aborted) Abort(last_transfer_failure_);
+            return;
+          }
           ++acct().writebacks;
           acct().bytes_written_back += len;
         }
@@ -725,6 +803,10 @@ Picoseconds Vim::SaveContext() {
   hw::Tlb& tlb = imu_->tlb();
   Picoseconds dp_cost = 0;
   Picoseconds imu_cost = costs_.Cycles(costs_.context_save_cycles);
+
+  // The tenant leaves the fabric; its watchdog must not fire into some
+  // other tenant's slice. RestoreContext re-arms.
+  ++watchdog_epoch_;
 
   HarvestRecency();
 
@@ -770,10 +852,16 @@ Picoseconds Vim::SaveContext() {
       // one later it is counted there, not here.
       if (object->direction == Direction::kIn) continue;
       const u32 len = PageLength(*object, state.vpage);
-      const mem::TransferResult r = transfers_.StorePage(
-          dp_ram_, geometry_.FrameBase(f), user_memory_,
+      const mem::TransferResult r = StorePageRetried(
+          geometry_.FrameBase(f),
           object->user_addr + state.vpage * geometry_.page_bytes(), len);
       dp_cost += r.time;
+      if (r.bus_error) {
+        if (!space_->aborted) Abort(last_transfer_failure_);
+        acct().t_dp += dp_cost;
+        acct().t_imu += imu_cost;
+        return dp_cost + imu_cost;
+      }
       ++acct().writebacks;
       acct().bytes_written_back += len;
       space_->written_back.insert({state.object, state.vpage});
@@ -857,6 +945,7 @@ Picoseconds Vim::RestoreContext() {
   ++service_stats_.context_restores;
   acct().t_dp += dp_cost;
   acct().t_imu += imu_cost;
+  ArmWatchdog();
   return dp_cost + imu_cost;
 }
 
@@ -883,10 +972,16 @@ Picoseconds Vim::FlushAsid(hw::Asid asid, bool write_back) {
       const MappedObject* object = owner->objects().Find(state.object);
       if (object != nullptr && object->direction != Direction::kIn) {
         const u32 len = PageLength(*object, state.vpage);
-        const mem::TransferResult r = transfers_.StorePage(
-            dp_ram_, geometry_.FrameBase(f), user_memory_,
+        const mem::TransferResult r = StorePageRetried(
+            geometry_.FrameBase(f),
             object->user_addr + state.vpage * geometry_.page_bytes(), len);
         cost += r.time;
+        if (r.bus_error) {
+          // Teardown is best-effort: the page's data is lost, which
+          // fault_abort_ (set by the failed retry chain) reports to
+          // vcopd so the job is failed rather than silently truncated.
+          continue;
+        }
         ++owner->accounting.writebacks;
         owner->accounting.bytes_written_back += len;
         owner->written_back.insert({state.object, state.vpage});
@@ -904,11 +999,161 @@ void Vim::Abort(Status status) {
   VCOP_CHECK_MSG(!status.ok(), "abort with OK status");
   space_->aborted = true;
   ++epoch_;
+  ++watchdog_epoch_;
+  fault_service_pending_ = false;
   in_flight_.clear();
   cpu_busy_until_ = 0;
   VCOP_LOG(kWarning, "VIM aborting run: " + status.ToString());
   imu_->HardStop();
   if (on_abort_) on_abort_(std::move(status));
+}
+
+// ----- fault injection and recovery -----
+
+void Vim::InstallFaultPlan(FaultPlan* plan) {
+  fault_plan_ = plan;
+  transfers_.set_fault_plan(plan);
+}
+
+void Vim::OnTlbParityDrop(const hw::TlbEntry& dropped) {
+  ++service_stats_.tlb_parity_drops;
+  // Keep the dropped entry's dirty information: the page is still
+  // resident, and the refill fault that follows must not forget that
+  // the coprocessor wrote to it.
+  if (dropped.dirty && pages_.frame(dropped.frame).in_use) {
+    pages_.MarkDirty(dropped.frame);
+  }
+}
+
+mem::TransferResult Vim::LoadPageRetried(mem::UserAddr src, u32 dst,
+                                         u32 len) {
+  mem::TransferResult total;
+  for (u32 attempt = 0;; ++attempt) {
+    const mem::TransferResult r =
+        transfers_.LoadPage(user_memory_, src, dp_ram_, dst, len);
+    total.time += r.time;
+    total.retried_beats += r.retried_beats;
+    if (!r.bus_error) {
+      total.bytes = r.bytes;
+      return total;
+    }
+    ++service_stats_.transfer_retries;
+    if (attempt + 1 >= config_.transfer_retry_limit) break;
+    total.time += costs_.Cycles(
+        static_cast<u64>(costs_.transfer_retry_backoff_cycles) << attempt);
+    if (!ChargeFaultRecovery("AHB load retry")) {
+      total.bus_error = true;
+      return total;
+    }
+  }
+  ++service_stats_.transfer_retry_failures;
+  fault_abort_ = true;
+  last_transfer_failure_ = UnavailableError(StrFormat(
+      "AHB load of %u bytes failed after %u attempts", len,
+      config_.transfer_retry_limit));
+  total.bus_error = true;
+  return total;
+}
+
+mem::TransferResult Vim::StorePageRetried(u32 src, mem::UserAddr dst,
+                                          u32 len) {
+  mem::TransferResult total;
+  for (u32 attempt = 0;; ++attempt) {
+    const mem::TransferResult r =
+        transfers_.StorePage(dp_ram_, src, user_memory_, dst, len);
+    total.time += r.time;
+    total.retried_beats += r.retried_beats;
+    if (!r.bus_error) {
+      total.bytes = r.bytes;
+      return total;
+    }
+    ++service_stats_.transfer_retries;
+    if (attempt + 1 >= config_.transfer_retry_limit) break;
+    total.time += costs_.Cycles(
+        static_cast<u64>(costs_.transfer_retry_backoff_cycles) << attempt);
+    if (!ChargeFaultRecovery("AHB store retry")) {
+      total.bus_error = true;
+      return total;
+    }
+  }
+  ++service_stats_.transfer_retry_failures;
+  fault_abort_ = true;
+  last_transfer_failure_ = UnavailableError(StrFormat(
+      "AHB store of %u bytes failed after %u attempts", len,
+      config_.transfer_retry_limit));
+  total.bus_error = true;
+  return total;
+}
+
+bool Vim::ChargeFaultRecovery(const char* what) {
+  if (++acct().fault_recoveries <= config_.fault_budget) return true;
+  ++service_stats_.fault_budget_aborts;
+  fault_abort_ = true;
+  last_transfer_failure_ = ResourceExhaustedError(StrFormat(
+      "per-request fault budget (%u recoveries) exhausted at %s",
+      config_.fault_budget, what));
+  if (!space_->aborted) Abort(last_transfer_failure_);
+  return false;
+}
+
+void Vim::ArmWatchdog() {
+  if (fault_plan_ == nullptr || fault_plan_->empty()) return;
+  if (imu_ == nullptr) return;
+  wd_stuck_ticks_ = 0;
+  wd_last_progress_ = ~u64{0};  // first tick always snapshots fresh
+  const u64 epoch = ++watchdog_epoch_;
+  sim_.ScheduleAfter(config_.watchdog_timeout,
+                     [this, epoch] { WatchdogTick(epoch); });
+}
+
+void Vim::WatchdogTick(u64 epoch) {
+  if (epoch != watchdog_epoch_) return;  // run ended / preempted / re-armed
+  if (space_ == nullptr || space_->aborted || imu_ == nullptr) return;
+  ++service_stats_.watchdog_wakeups;
+
+  // A fault is latched in SR but its service was never scheduled: the
+  // page-fault interrupt was lost. Re-entering the handler from the
+  // poll recovers it (the handler itself is edge-agnostic).
+  if (imu_->fault_pending() && !fault_service_pending_) {
+    ++service_stats_.watchdog_recoveries;
+    if (!ChargeFaultRecovery("watchdog fault re-poll")) return;
+    OnPageFault();
+    if (space_->aborted) return;
+    sim_.ScheduleAfter(config_.watchdog_timeout,
+                       [this, epoch] { WatchdogTick(epoch); });
+    return;
+  }
+
+  // SR.end set with nothing scheduled: the end-of-operation interrupt
+  // was lost; run the sweep now (it acknowledges and completes).
+  if ((imu_->ReadRegister(hw::ImuRegister::kSR) & hw::kSrEndPending) != 0) {
+    ++service_stats_.watchdog_recoveries;
+    if (!ChargeFaultRecovery("watchdog end-of-operation re-poll")) return;
+    OnEndOfOperation();
+    return;
+  }
+
+  // Hang detection: the interface shows no pending work, yet neither
+  // the access counters nor the core's cycle counter moved since the
+  // last tick. Two consecutive silent periods = wedged for good.
+  const u64 progress = imu_->stats().accesses + imu_->stats().faults +
+                       (progress_probe_ ? progress_probe_() : 0);
+  if ((imu_->busy() || imu_->hung()) && progress == wd_last_progress_) {
+    if (++wd_stuck_ticks_ >= 2) {
+      ++service_stats_.watchdog_hang_aborts;
+      fault_abort_ = true;
+      Abort(UnavailableError(StrFormat(
+          "watchdog: coprocessor made no progress for %u periods "
+          "(hung interface)",
+          wd_stuck_ticks_)));
+      return;
+    }
+  } else {
+    wd_stuck_ticks_ = 0;
+    wd_last_progress_ = progress;
+  }
+  sim_.ScheduleAfter(config_.watchdog_timeout,
+                     [this, epoch] { WatchdogTick(epoch); });
 }
 
 }  // namespace vcop::os

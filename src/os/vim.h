@@ -33,6 +33,7 @@
 #include <string>
 #include <utility>
 
+#include "base/fault.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "base/units.h"
@@ -65,6 +66,22 @@ struct VimConfig {
   mem::CopyMode copy_mode = mem::CopyMode::kDoubleCopy;
   /// Seed for the random replacement policy.
   u64 seed = 1;
+
+  // ----- fault recovery (active only under an installed FaultPlan) -----
+
+  /// Attempts per page transfer before the service gives up and the run
+  /// fails cleanly. Each failed attempt adds an exponential backoff.
+  u32 transfer_retry_limit = 4;
+  /// Recovery actions (transfer retries, watchdog recoveries) one
+  /// execution may consume before the VIM aborts it with
+  /// ResourceExhausted instead of fighting a dying device forever.
+  u32 fault_budget = 64;
+  /// Interrupt watchdog period on the simulated timeline: when no
+  /// progress signal arrives for this long, the VIM re-polls SR to
+  /// recover lost interrupts (and, after repeated silent periods,
+  /// declares the coprocessor hung). Armed only for non-empty plans, so
+  /// fault-free runs schedule no extra events.
+  Picoseconds watchdog_timeout = 1'000'000'000;  // 1 ms
 };
 
 /// How PrepareExecution treats state that outlives one execution.
@@ -100,6 +117,28 @@ struct VimServiceStats {
   u64 pages_written_back_on_save = 0;
   /// Parameter pages re-materialised at resume.
   u64 param_page_restores = 0;
+
+  // ----- fault recovery (see DESIGN.md §9) -----
+
+  /// AHB transfers re-run after a bus error.
+  u64 transfer_retries = 0;
+  /// Transfers abandoned after transfer_retry_limit attempts.
+  u64 transfer_retry_failures = 0;
+  /// Watchdog timer expiries (benign ticks included).
+  u64 watchdog_wakeups = 0;
+  /// Lost interrupts recovered by the watchdog's SR re-poll.
+  u64 watchdog_recoveries = 0;
+  /// Runs aborted because the watchdog saw no progress at all.
+  u64 watchdog_hang_aborts = 0;
+  /// Interrupt edges ignored because their service was already pending
+  /// or done (duplicate-delivery safety).
+  u64 duplicate_irqs_ignored = 0;
+  /// Page-fault edges ignored because SR showed no pending fault.
+  u64 spurious_faults_ignored = 0;
+  /// Executions aborted after exhausting their per-request fault budget.
+  u64 fault_budget_aborts = 0;
+  /// TLB entries the hardware discarded on a failed parity check.
+  u64 tlb_parity_drops = 0;
 };
 
 class Vim {
@@ -207,6 +246,33 @@ class Vim {
   /// Optional event timeline (owned by the kernel); nullptr disables.
   void set_timeline(TimelineRecorder* timeline) { timeline_ = timeline; }
 
+  // ----- fault injection and recovery (DESIGN.md §9) -----
+
+  /// Installs (or clears) the fault plan. Threads it into the transfer
+  /// engine and enables the interrupt watchdog for non-empty plans.
+  /// With no plan (or an empty one) every recovery path is dormant and
+  /// the VIM is bit-identical to the fault-free engine.
+  void InstallFaultPlan(FaultPlan* plan);
+  FaultPlan* fault_plan() { return fault_plan_; }
+
+  /// True when the last failure was a device fault (budget exhaustion,
+  /// hang abort, transfer-retry exhaustion) rather than an application
+  /// error — vcopd quarantines the tenant on these. Cleared by
+  /// PrepareExecution.
+  bool fault_abort() const { return fault_abort_; }
+
+  /// Progress signal for the watchdog's hang detector (typically the
+  /// coprocessor's cycle counter). Without one the watchdog falls back
+  /// to IMU access/fault counts alone.
+  void set_progress_probe(std::function<u64()> probe) {
+    progress_probe_ = std::move(probe);
+  }
+
+  /// Wired to Tlb::set_parity_drop_hook by the kernel: propagates the
+  /// dropped entry's dirty bit into the page state (so the follow-up
+  /// fault's write-back path stays correct) and counts the drop.
+  void OnTlbParityDrop(const hw::TlbEntry& dropped);
+
   const VimAccounting& accounting() const { return space_->accounting; }
   const VimConfig& config() const { return config_; }
   const CostModel& costs() const { return costs_; }
@@ -252,6 +318,23 @@ class Vim {
   void HarvestRecency();
 
   void Abort(Status status);
+
+  // ----- fault recovery internals -----
+
+  /// LoadPage/StorePage with bounded retry-with-backoff. On exhaustion
+  /// (or budget overrun mid-retry) the result has bus_error set and
+  /// last_transfer_failure_ holds the status the caller should fail
+  /// with; budget overruns have already Aborted.
+  mem::TransferResult LoadPageRetried(mem::UserAddr src, u32 dst, u32 len);
+  mem::TransferResult StorePageRetried(u32 src, mem::UserAddr dst, u32 len);
+
+  /// Counts one recovery action against the per-request budget; on
+  /// overrun aborts the run (ResourceExhausted) and returns false.
+  bool ChargeFaultRecovery(const char* what);
+
+  /// (Re)starts the interrupt watchdog — only under a non-empty plan.
+  void ArmWatchdog();
+  void WatchdogTick(u64 epoch);
 
   CostModel costs_;
   mem::PageGeometry geometry_;
@@ -307,6 +390,22 @@ class Vim {
 
   /// Shorthand for the attached space's accounting.
   VimAccounting& acct() { return space_->accounting; }
+
+  // ----- fault recovery state -----
+  FaultPlan* fault_plan_ = nullptr;
+  /// Set when the current run failed on a device fault; read by vcopd.
+  bool fault_abort_ = false;
+  /// A ResolveFault event is scheduled but has not fired yet — a second
+  /// page-fault edge in this window is a duplicate delivery.
+  bool fault_service_pending_ = false;
+  /// Status of the most recent failed retried transfer.
+  Status last_transfer_failure_ = Status::Ok();
+  /// Invalidates stale watchdog ticks (bumped on completion, abort,
+  /// preemption, and every re-arm).
+  u64 watchdog_epoch_ = 0;
+  u64 wd_last_progress_ = 0;
+  u32 wd_stuck_ticks_ = 0;
+  std::function<u64()> progress_probe_;
 
   VimServiceStats service_stats_{};
   TimelineRecorder* timeline_ = nullptr;

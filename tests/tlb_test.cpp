@@ -4,6 +4,7 @@
 
 #include "hw/imu_regs.h"
 #include "hw/tlb.h"
+#include "os/address_space.h"
 
 namespace vcop::hw {
 namespace {
@@ -141,6 +142,53 @@ TEST(TlbTest, DefaultAsidZeroKeepsLegacyCallsitesWorking) {
   EXPECT_FALSE(tlb.Lookup(3, 7, /*asid=*/1).has_value());
   EXPECT_EQ(tlb.InvalidateAsid(0), 1u);
   EXPECT_FALSE(tlb.Probe(3, 7).has_value());
+}
+
+// ----- ASID allocator generation rollover (regression) -----
+
+// After 2^N allocations the allocator's cursor wraps and hands a tag
+// out again; TLB entries installed under its previous owner could still
+// be live. The allocator must detect the wrap, bump its generation and
+// fire the rollover hook (vcopd wires it to a full shared-TLB flush).
+TEST(AsidRolloverTest, WrapAroundFiresHookBeforeReusingTags) {
+  os::AsidAllocator allocator(4);  // tags {0,1,2,3}, 0 reserved
+  u32 rollovers = 0;
+  allocator.set_rollover_hook([&rollovers] { ++rollovers; });
+  EXPECT_EQ(allocator.Allocate().value(), 1u);
+  EXPECT_EQ(allocator.Allocate().value(), 2u);
+  EXPECT_EQ(allocator.Allocate().value(), 3u);
+  EXPECT_EQ(allocator.generation(), 0u);
+  EXPECT_EQ(rollovers, 0u);
+
+  // Regression: the cursor sits past the top after the last tag was
+  // handed out. Reallocating a freed tag is a new pass over the tag
+  // space and must fire the hook — before the fix the eager cursor
+  // modulo hid the crossing and the recycled tag aliased stale entries.
+  allocator.Release(1);
+  EXPECT_EQ(allocator.Allocate().value(), 1u);
+  EXPECT_EQ(allocator.generation(), 1u);
+  EXPECT_EQ(rollovers, 1u);
+
+  // Reuse within the same pass (no crossing) stays silent.
+  allocator.Release(3);
+  EXPECT_EQ(allocator.Allocate().value(), 3u);
+  EXPECT_EQ(allocator.generation(), 1u);
+  EXPECT_EQ(rollovers, 1u);
+
+  // Every further full trip fires exactly once more.
+  allocator.Release(2);
+  EXPECT_EQ(allocator.Allocate().value(), 2u);
+  EXPECT_EQ(allocator.generation(), 2u);
+  EXPECT_EQ(rollovers, 2u);
+}
+
+TEST(AsidRolloverTest, HookIsOptional) {
+  os::AsidAllocator allocator(3);
+  EXPECT_EQ(allocator.Allocate().value(), 1u);
+  EXPECT_EQ(allocator.Allocate().value(), 2u);
+  allocator.Release(1);
+  EXPECT_EQ(allocator.Allocate().value(), 1u);  // wraps, no hook: no crash
+  EXPECT_EQ(allocator.generation(), 1u);
 }
 
 TEST(TlbDeathTest, MarkDirtyOnInvalidEntryAborts) {

@@ -1,0 +1,309 @@
+// Randomized fault-injection torture harness — the headline test of the
+// fault substrate (DESIGN.md §9).
+//
+// Thousands of seeded FaultPlans run the four reference workloads
+// (adpcmdecode, IDEA, vecadd, conv3x3) against the software model. The
+// invariant under torture is absolute: every run either completes with
+// output byte-identical to the software reference, or fails with a
+// clean non-OK Status — no hangs, no unbounded simulated time, no
+// silently corrupted results. Each failure is replayable from its seed
+// alone (base/fault.h).
+//
+// TORTURE_SEEDS in the environment overrides the seed count (CI's
+// sanitizer job runs a reduced smoke; the default is the acceptance
+// floor of 1000).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/adpcm.h"
+#include "apps/conv2d.h"
+#include "apps/idea.h"
+#include "apps/workloads.h"
+#include "base/fault.h"
+#include "os/vim.h"
+#include "runtime/config.h"
+#include "runtime/drivers.h"
+#include "runtime/fpga_api.h"
+
+namespace vcop {
+namespace {
+
+using runtime::Epxa1Config;
+using runtime::FpgaSystem;
+
+u32 TortureSeeds() {
+  if (const char* env = std::getenv("TORTURE_SEEDS")) {
+    const long n = std::atol(env);
+    if (n > 0) return static_cast<u32>(n);
+  }
+  return 1000;
+}
+
+/// Any run that pushes the simulated clock past this is considered hung
+/// (the workloads finish in well under a simulated second; the watchdog
+/// bounds every recovery path in single-digit milliseconds).
+constexpr Picoseconds kSimTimeBound = 10ull * 1000 * 1000 * 1000 * 1000;
+
+template <typename T>
+std::vector<u8> AsBytes(const std::vector<T>& v) {
+  std::vector<u8> bytes(v.size() * sizeof(T));
+  std::memcpy(bytes.data(), v.data(), bytes.size());
+  return bytes;
+}
+
+struct TortureOutcome {
+  Status status = Status::Ok();
+  bool exact = false;             // output == software reference
+  std::vector<u8> output;         // raw bytes, for bit-identity checks
+  os::ExecutionReport report;     // valid when status.ok()
+  os::VimServiceStats service;
+  Picoseconds sim_now = 0;
+};
+
+/// Runs workload `seed % 4` on a fresh EPXA1 platform under `plan`
+/// (nullptr = no plan installed at all). Input data derives from the
+/// same seed, so reference and coprocessor always agree on the dataset.
+TortureOutcome TortureRun(u64 seed, FaultPlan* plan) {
+  FpgaSystem sys(Epxa1Config());
+  if (plan != nullptr) sys.kernel().InstallFaultPlan(plan);
+
+  TortureOutcome out;
+  switch (seed % 4) {
+    case 0: {  // ADPCM decode, sequential byte stream
+      const std::vector<u8> input = apps::MakeAdpcmStream(2048, seed);
+      std::vector<i16> expect(input.size() * 2);
+      apps::AdpcmState state;
+      apps::AdpcmDecode(input, expect, state);
+      auto run = runtime::RunAdpcmVim(sys, input);
+      out.status = run.status();
+      if (run.ok()) {
+        out.exact = run.value().output == expect;
+        out.output = AsBytes(run.value().output);
+        out.report = run.value().report;
+      }
+      break;
+    }
+    case 1: {  // IDEA ECB, random payload
+      const std::vector<u8> plain = apps::MakeRandomBytes(1024, seed);
+      const apps::IdeaSubkeys subkeys =
+          apps::IdeaExpandKey(apps::MakeIdeaKey(seed));
+      std::vector<u8> expect(plain.size());
+      apps::IdeaCryptEcb(subkeys, plain, expect);
+      auto run = runtime::RunIdeaVim(sys, subkeys, plain);
+      out.status = run.status();
+      if (run.ok()) {
+        out.exact = run.value().output == expect;
+        out.output = AsBytes(run.value().output);
+        out.report = run.value().report;
+      }
+      break;
+    }
+    case 2: {  // vecadd, streaming three objects
+      std::vector<u32> a(512), b(512), expect(512);
+      for (u32 i = 0; i < 512; ++i) {
+        a[i] = static_cast<u32>(seed) * 1000003u + i;
+        b[i] = static_cast<u32>(seed) * 7919u + 3u * i;
+        expect[i] = a[i] + b[i];
+      }
+      auto run = runtime::RunVecAddVim(sys, a, b);
+      out.status = run.status();
+      if (run.ok()) {
+        out.exact = run.value().output == expect;
+        out.output = AsBytes(run.value().output);
+        out.report = run.value().report;
+      }
+      break;
+    }
+    default: {  // 3x3 convolution, strided three-row window
+      const u32 width = 48, height = 24;
+      const std::vector<u8> image = apps::MakeTestImage(width, height, seed);
+      const apps::Conv3x3Kernel kernel = apps::BoxBlurKernel();
+      const u32 shift = 3;
+      std::vector<u8> expect(image.size());
+      apps::Convolve3x3(image, width, height, kernel, shift, expect);
+      auto run = runtime::RunConv3x3Vim(sys, image, width, height, kernel,
+                                        shift);
+      out.status = run.status();
+      if (run.ok()) {
+        out.exact = run.value().output == expect;
+        out.output = AsBytes(run.value().output);
+        out.report = run.value().report;
+      }
+      break;
+    }
+  }
+  out.service = sys.kernel().vim().service_stats();
+  out.sim_now = sys.kernel().simulator().now();
+  return out;
+}
+
+// ----- the randomized harness -----
+
+TEST(TortureTest, SeededFaultPlansCompleteExactlyOrFailCleanly) {
+  const u32 seeds = TortureSeeds();
+  u32 completed = 0;
+  u32 failed = 0;
+  u64 injected_total = 0;
+  for (u64 seed = 1; seed <= seeds; ++seed) {
+    FaultPlan plan = FaultPlan::Random(seed);
+    const TortureOutcome out = TortureRun(seed, &plan);
+    injected_total += plan.total_injected();
+    ASSERT_LT(out.sim_now, kSimTimeBound) << "seed " << seed << " hung";
+    if (out.status.ok()) {
+      ++completed;
+      ASSERT_TRUE(out.exact)
+          << "seed " << seed << ": run reported success with output "
+          << "differing from the software reference ("
+          << plan.total_injected() << " faults injected)";
+    } else {
+      ++failed;  // a clean, replayable failure is an accepted outcome
+    }
+  }
+  EXPECT_EQ(completed + failed, seeds);
+  // The mix must actually exercise both paths: most plans are
+  // recoverable, some (hangs, config errors, saturated buses) are not.
+  EXPECT_GT(completed, seeds / 4);
+  if (seeds >= 200) {
+    EXPECT_GT(failed, 0u);
+    EXPECT_GT(injected_total, 0u);
+  }
+  RecordProperty("completed", static_cast<int>(completed));
+  RecordProperty("failed", static_cast<int>(failed));
+}
+
+TEST(TortureTest, FailuresAreReplayableFromSeedAlone) {
+  for (const u64 seed : {5ull, 13ull, 21ull, 34ull, 55ull}) {
+    FaultPlan first_plan = FaultPlan::Random(seed);
+    FaultPlan second_plan = FaultPlan::Random(seed);
+    const TortureOutcome first = TortureRun(seed, &first_plan);
+    const TortureOutcome second = TortureRun(seed, &second_plan);
+    EXPECT_EQ(first.status.code(), second.status.code()) << "seed " << seed;
+    EXPECT_EQ(first.output, second.output) << "seed " << seed;
+    EXPECT_EQ(first.sim_now, second.sim_now) << "seed " << seed;
+    EXPECT_EQ(first_plan.total_injected(), second_plan.total_injected())
+        << "seed " << seed;
+  }
+}
+
+// ----- the acceptance invariant: an empty plan is exactly free -----
+
+TEST(TortureTest, EmptyPlanIsBitIdenticalToTheFaultFreeEngine) {
+  for (u64 workload = 0; workload < 4; ++workload) {
+    const u64 seed = 100 + workload;  // seed % 4 selects the workload
+    const TortureOutcome bare = TortureRun(seed, nullptr);
+    FaultPlan empty;
+    ASSERT_TRUE(empty.empty());
+    const TortureOutcome with_plan = TortureRun(seed, &empty);
+
+    ASSERT_TRUE(bare.status.ok()) << bare.status.ToString();
+    ASSERT_TRUE(with_plan.status.ok()) << with_plan.status.ToString();
+    EXPECT_TRUE(bare.exact);
+    EXPECT_TRUE(with_plan.exact);
+    EXPECT_EQ(bare.output, with_plan.output) << "workload " << workload;
+    // The whole report — wall time included — must be bit-identical:
+    // with nothing armed, not a single extra event may be scheduled.
+    EXPECT_EQ(bare.report.total, with_plan.report.total);
+    EXPECT_EQ(bare.report.t_hw, with_plan.report.t_hw);
+    EXPECT_EQ(bare.report.t_dp, with_plan.report.t_dp);
+    EXPECT_EQ(bare.report.t_imu, with_plan.report.t_imu);
+    EXPECT_EQ(bare.report.t_invoke, with_plan.report.t_invoke);
+    EXPECT_EQ(bare.report.cp_cycles, with_plan.report.cp_cycles);
+    EXPECT_EQ(bare.report.vim.faults, with_plan.report.vim.faults);
+    EXPECT_EQ(bare.report.vim.tlb_refills, with_plan.report.vim.tlb_refills);
+    EXPECT_EQ(bare.report.vim.evictions, with_plan.report.vim.evictions);
+    EXPECT_EQ(bare.report.imu.accesses, with_plan.report.imu.accesses);
+    EXPECT_EQ(bare.sim_now, with_plan.sim_now);
+    // And no recovery machinery may have woken up.
+    EXPECT_EQ(with_plan.service.watchdog_wakeups, 0u);
+    EXPECT_EQ(with_plan.service.transfer_retries, 0u);
+  }
+}
+
+// ----- targeted deterministic recovery paths -----
+
+TEST(TortureTest, TransferBusErrorIsRetriedToExactCompletion) {
+  FaultPlan plan;
+  plan.At(FaultSite::kAhbError, 1);  // first page transfer bus-errors
+  const TortureOutcome out = TortureRun(2, &plan);  // vecadd
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_TRUE(out.exact);
+  EXPECT_GE(out.service.transfer_retries, 1u);
+  EXPECT_EQ(out.service.transfer_retry_failures, 0u);
+}
+
+TEST(TortureTest, SaturatedBusFailsCleanlyAfterRetryExhaustion) {
+  FaultPlan plan;
+  plan.WithProbability(FaultSite::kAhbError, 1.0);  // every transfer dies
+  const TortureOutcome out = TortureRun(2, &plan);
+  ASSERT_FALSE(out.status.ok());
+  EXPECT_GE(out.service.transfer_retry_failures, 1u);
+  ASSERT_LT(out.sim_now, kSimTimeBound);
+}
+
+TEST(TortureTest, AllInterruptsDroppedIsRecoveredByTheWatchdog) {
+  FaultPlan plan;
+  plan.WithProbability(FaultSite::kIrqDrop, 1.0);  // CPU never sees an IRQ
+  const TortureOutcome out = TortureRun(2, &plan);
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_TRUE(out.exact);
+  EXPECT_GT(out.service.watchdog_recoveries, 0u);
+  EXPECT_GT(out.service.watchdog_wakeups, 0u);
+}
+
+TEST(TortureTest, DuplicateInterruptsAreServicedIdempotently) {
+  FaultPlan plan;
+  plan.WithProbability(FaultSite::kIrqDuplicate, 1.0);  // every IRQ twice
+  const TortureOutcome out = TortureRun(2, &plan);
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_TRUE(out.exact);
+  EXPECT_GT(out.service.duplicate_irqs_ignored, 0u);
+}
+
+TEST(TortureTest, SpuriousFaultInterruptsAreIgnored) {
+  FaultPlan plan;
+  plan.WithProbability(FaultSite::kSpuriousFault, 1.0);
+  const TortureOutcome out = TortureRun(2, &plan);
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_TRUE(out.exact);
+  EXPECT_GT(out.service.spurious_faults_ignored +
+                out.service.duplicate_irqs_ignored,
+            0u);
+}
+
+TEST(TortureTest, TlbParityCorruptionIsDetectedAndRefilled) {
+  FaultPlan plan;
+  plan.At(FaultSite::kTlbParity, 1);  // first installed entry corrupted
+  const TortureOutcome out = TortureRun(2, &plan);
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_TRUE(out.exact);
+  EXPECT_GE(out.service.tlb_parity_drops, 1u);
+}
+
+TEST(TortureTest, CoprocessorHangIsAbortedByTheWatchdog) {
+  FaultPlan plan;
+  plan.At(FaultSite::kCpHang, 1);  // first translation never answers
+  const TortureOutcome out = TortureRun(2, &plan);
+  ASSERT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.code(), ErrorCode::kUnavailable)
+      << out.status.ToString();
+  EXPECT_GE(out.service.watchdog_hang_aborts, 1u);
+  // The hang is detected within a small number of watchdog periods,
+  // not at the event-budget backstop.
+  ASSERT_LT(out.sim_now, kSimTimeBound);
+}
+
+TEST(TortureTest, ConfigurationFaultFailsTheLoadCleanly) {
+  FaultPlan plan;
+  plan.At(FaultSite::kConfigError, 1);
+  const TortureOutcome out = TortureRun(2, &plan);
+  ASSERT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.code(), ErrorCode::kUnavailable)
+      << out.status.ToString();
+}
+
+}  // namespace
+}  // namespace vcop

@@ -1,0 +1,215 @@
+// Property tests for the microcode toolchain: (1) assembler →
+// disassembler round-trip on randomized valid programs — the textual
+// form is a faithful, re-assemblable encoding of any program the
+// validator accepts; (2) the assembler and validator reject mutated,
+// truncated or malformed sources with a clean Status instead of
+// crashing or accepting garbage.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "hw/tlb.h"
+#include "ucode/assembler.h"
+#include "ucode/isa.h"
+
+namespace vcop::ucode {
+namespace {
+
+/// Ops the generator can emit at any position (kHalt is appended
+/// explicitly so every program validates).
+constexpr Op kGeneratableOps[] = {
+    Op::kLoadImm, Op::kMov,  Op::kAdd,  Op::kSub,   Op::kAnd,
+    Op::kOr,      Op::kXor,  Op::kShl,  Op::kShr,   Op::kMul,
+    Op::kAddImm,  Op::kParam, Op::kRead, Op::kWrite, Op::kJump,
+    Op::kBeq,     Op::kBne,  Op::kBlt,  Op::kBge,   Op::kDelay,
+    Op::kHalt,
+};
+
+u8 RandomReg(Rng& rng) { return static_cast<u8>(rng.NextBelow(kNumRegisters)); }
+
+/// A random instruction that passes Program::Create's validation, with
+/// every unused field left zero (the disassembly cannot represent
+/// nonzero unused fields, so the round-trip comparison requires it).
+Instruction RandomInstruction(Rng& rng, u32 program_size, u32 num_params) {
+  Instruction instr;
+  instr.op = kGeneratableOps[rng.NextBelow(std::size(kGeneratableOps))];
+  switch (instr.op) {
+    case Op::kLoadImm:
+      instr.rd = RandomReg(rng);
+      instr.imm = static_cast<u32>(rng.Next());
+      break;
+    case Op::kMov:
+      instr.rd = RandomReg(rng);
+      instr.rs = RandomReg(rng);
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kMul:
+      instr.rd = RandomReg(rng);
+      instr.rs = RandomReg(rng);
+      instr.rt = RandomReg(rng);
+      break;
+    case Op::kAddImm:
+      instr.rd = RandomReg(rng);
+      instr.rs = RandomReg(rng);
+      instr.imm = static_cast<u32>(rng.Next());
+      break;
+    case Op::kParam:
+      instr.rd = RandomReg(rng);
+      instr.imm = static_cast<u32>(rng.NextBelow(num_params));
+      break;
+    case Op::kRead:
+      instr.rd = RandomReg(rng);
+      instr.rs = RandomReg(rng);
+      instr.imm = static_cast<u32>(rng.NextBelow(hw::kMaxObjects));
+      break;
+    case Op::kWrite:
+      instr.rs = RandomReg(rng);
+      instr.rt = RandomReg(rng);
+      instr.imm = static_cast<u32>(rng.NextBelow(hw::kMaxObjects));
+      break;
+    case Op::kJump:
+      instr.imm = static_cast<u32>(rng.NextBelow(program_size));
+      break;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+      instr.rs = RandomReg(rng);
+      instr.rt = RandomReg(rng);
+      instr.imm = static_cast<u32>(rng.NextBelow(program_size));
+      break;
+    case Op::kDelay:
+      instr.imm = static_cast<u32>(rng.NextInRange(1, 4096));
+      break;
+    case Op::kHalt:
+      break;
+  }
+  return instr;
+}
+
+Program RandomProgram(u64 seed) {
+  Rng rng(seed);
+  const u32 num_params = static_cast<u32>(rng.NextInRange(1, 4));
+  const u32 body = static_cast<u32>(rng.NextInRange(1, 40));
+  std::vector<Instruction> code;
+  code.reserve(body + 1);
+  for (u32 i = 0; i < body; ++i) {
+    code.push_back(RandomInstruction(rng, body + 1, num_params));
+  }
+  code.push_back(Instruction{});  // kHalt, all fields zero
+  Result<Program> program = Program::Create(std::move(code), num_params);
+  VCOP_CHECK_MSG(program.ok(), program.status().ToString());
+  return std::move(program).value();
+}
+
+bool SameInstruction(const Instruction& a, const Instruction& b) {
+  return a.op == b.op && a.rd == b.rd && a.rs == b.rs && a.rt == b.rt &&
+         a.imm == b.imm;
+}
+
+TEST(UcodeFuzzTest, DisassembleAssembleRoundTripOnRandomPrograms) {
+  for (u64 seed = 1; seed <= 300; ++seed) {
+    const Program original = RandomProgram(seed);
+    const std::string text = original.Disassemble();
+    const Result<Program> reassembled =
+        Assemble(text, original.num_params());
+    ASSERT_TRUE(reassembled.ok())
+        << "seed " << seed << ": " << reassembled.status().ToString()
+        << "\n" << text;
+    ASSERT_EQ(reassembled.value().size(), original.size()) << "seed "
+                                                           << seed;
+    for (usize pc = 0; pc < original.size(); ++pc) {
+      ASSERT_TRUE(SameInstruction(reassembled.value().code()[pc],
+                                  original.code()[pc]))
+          << "seed " << seed << " pc " << pc << "\n" << text;
+    }
+  }
+}
+
+/// Random byte-level mutations of valid sources must never crash the
+/// assembler: it either still accepts the text (a benign mutation, e.g.
+/// inside a comment) or returns a clean InvalidArgument.
+TEST(UcodeFuzzTest, MutatedSourcesFailCleanlyOrStayValid) {
+  u32 rejected = 0;
+  for (u64 seed = 1; seed <= 300; ++seed) {
+    Rng rng(seed * 7919 + 1);
+    const Program original = RandomProgram(seed);
+    std::string text = original.Disassemble();
+    const u32 mutations = static_cast<u32>(rng.NextInRange(1, 8));
+    for (u32 m = 0; m < mutations && !text.empty(); ++m) {
+      const usize pos = rng.NextBelow(text.size());
+      switch (rng.NextBelow(3)) {
+        case 0:  // flip a character to random printable garbage
+          text[pos] = static_cast<char>(rng.NextInRange(32, 126));
+          break;
+        case 1:  // truncate
+          text.resize(pos);
+          break;
+        case 2:  // duplicate a slice in place
+          text.insert(pos, text.substr(pos / 2, (text.size() - pos) / 2));
+          break;
+      }
+    }
+    const Result<Program> result = Assemble(text, original.num_params());
+    if (!result.ok()) {
+      ++rejected;
+      EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument)
+          << result.status().ToString();
+    }
+  }
+  // Most mutations break the syntax or validation; if nearly all were
+  // silently accepted the mutator (or the validator) is broken.
+  EXPECT_GT(rejected, 100u);
+}
+
+TEST(UcodeFuzzTest, TruncatedSourceEveryPrefixFailsCleanly) {
+  const Program program = RandomProgram(42);
+  const std::string text = program.Disassemble();
+  for (usize len = 0; len <= text.size(); ++len) {
+    const Result<Program> result =
+        Assemble(text.substr(0, len), program.num_params());
+    // Any prefix that drops the final halt (or cuts a line mid-token)
+    // must be rejected; full text must assemble. No prefix may crash.
+    if (len == text.size()) {
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+    }
+  }
+}
+
+TEST(UcodeFuzzTest, KnownBadSourcesAreRejectedWithCleanStatus) {
+  const struct {
+    const char* label;
+    const char* source;
+  } cases[] = {
+      {"no halt", "loadi r0, 1\n"},
+      {"bad register", "loadi r16, 1\nhalt\n"},
+      {"bad object", "read r1, obj99[r0]\nhalt\n"},
+      {"branch out of range", "beq r0, r1, 7\nhalt\n"},
+      {"jump out of range", "jmp 100\nhalt\n"},
+      {"zero delay", "delay 0\nhalt\n"},
+      {"param out of range", "param r0, 9\nhalt\n"},
+      {"unknown mnemonic", "frobnicate r0\nhalt\n"},
+      {"missing operand", "add r0, r1\nhalt\n"},
+      {"undefined label", "jmp nowhere\nhalt\n"},
+      {"duplicate label", "a: halt\na: halt\n"},
+  };
+  for (const auto& c : cases) {
+    const Result<Program> result = Assemble(c.source, /*num_params=*/1);
+    EXPECT_FALSE(result.ok()) << c.label;
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument)
+          << c.label << ": " << result.status().ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vcop::ucode

@@ -10,6 +10,7 @@
 
 #include "apps/adpcm.h"
 #include "apps/idea.h"
+#include "base/fault.h"
 #include "cp/adpcm_cp.h"
 #include "cp/idea_cp.h"
 #include "cp/registry.h"
@@ -389,6 +390,71 @@ TEST(VcopdTest, AsidReuseAfterTeardownIsClean) {
   ASSERT_TRUE(c3.Wait(c3.Submit(cp::VecAddBitstream(), {256u}).value())
                   .ok());
   EXPECT_EQ(reuse.c.ToVector(), reuse.expect);
+}
+
+// ----- error paths and fault recovery -----
+
+TEST(VcopdTest, UnknownTicketPollsNullAndWaitFailsCleanly) {
+  FpgaSystem sys(TestConfig());
+  Vcopd daemon(sys.kernel());
+  EXPECT_EQ(daemon.Poll(1), nullptr);
+  const Result<JobResult> wait = daemon.Wait(999);
+  ASSERT_FALSE(wait.ok());
+  EXPECT_EQ(wait.status().code(), ErrorCode::kNotFound);
+
+  // A retired ticket stays pollable; its neighbour never exists.
+  VecAddJob job = StageVecAdd(sys, daemon, "known", 64, 10);
+  VcopdClient client(daemon, job.tenant);
+  const Ticket ticket = client.Submit(cp::VecAddBitstream(), {64u}).value();
+  ASSERT_TRUE(daemon.RunUntilIdle().ok());
+  EXPECT_NE(daemon.Poll(ticket), nullptr);
+  EXPECT_EQ(daemon.Poll(ticket + 1), nullptr);
+}
+
+/// A wedged datapath (injected kCpHang on the victim's first access) is
+/// aborted by the VIM watchdog; vcopd quarantines the offending tenant,
+/// keeps serving the others, and refuses further submissions from the
+/// quarantined one instead of letting it wedge the fabric again.
+TEST(VcopdTest, HangAbortQuarantinesTenantAndSparesOthers) {
+  FpgaSystem sys(TestConfig());
+  Vcopd daemon(sys.kernel());
+  VecAddJob victim = StageVecAdd(sys, daemon, "victim", 256, 11);
+  VecAddJob bystander = StageVecAdd(sys, daemon, "bystander", 256, 12);
+  VcopdClient cv(daemon, victim.tenant);
+  VcopdClient cb(daemon, bystander.tenant);
+
+  FaultPlan plan;
+  plan.At(FaultSite::kCpHang, 1);  // wedge the first datapath access
+  sys.kernel().InstallFaultPlan(&plan);
+
+  const Ticket tv = cv.Submit(cp::VecAddBitstream(), {256u}).value();
+  const Ticket tb = cb.Submit(cp::VecAddBitstream(), {256u}).value();
+  ASSERT_TRUE(daemon.RunUntilIdle().ok());
+
+  const JobResult* rv = daemon.Poll(tv);
+  ASSERT_NE(rv, nullptr);
+  ASSERT_FALSE(rv->status.ok());
+  EXPECT_EQ(rv->status.code(), ErrorCode::kUnavailable)
+      << rv->status.ToString();
+  EXPECT_EQ(daemon.stats().quarantined, 1u);
+  EXPECT_GE(sys.kernel().vim().service_stats().watchdog_hang_aborts, 1u);
+
+  // The bystander completed exactly despite sharing the fabric.
+  const JobResult* rb = daemon.Poll(tb);
+  ASSERT_NE(rb, nullptr);
+  EXPECT_TRUE(rb->status.ok()) << rb->status.ToString();
+  EXPECT_EQ(bystander.c.ToVector(), bystander.expect);
+
+  // Submissions from the quarantined tenant are refused from now on.
+  const Result<Ticket> refused = cv.Submit(cp::VecAddBitstream(), {256u});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(daemon.BuildScheduleReport().quarantines, 1u);
+
+  // The healthy tenant keeps full service after the abort.
+  const Ticket tb2 = cb.Submit(cp::VecAddBitstream(), {256u}).value();
+  ASSERT_TRUE(cb.Wait(tb2).ok());
+  EXPECT_EQ(bystander.c.ToVector(), bystander.expect);
 }
 
 // ----- coexistence with the blocking kernel path -----
