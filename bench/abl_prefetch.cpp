@@ -26,18 +26,21 @@ int Main() {
   auto add = [&](const char* app, usize bytes, auto&& runner) {
     struct Mode {
       const char* name;
+      os::PrefetchKind kind;
       u32 depth;
       bool overlap;
     };
-    for (const Mode mode : {Mode{"off", 0, false},
-                            Mode{"sync depth 1", 1, false},
-                            Mode{"sync depth 2", 2, false},
-                            Mode{"overlap depth 0", 0, true},
-                            Mode{"overlap depth 1", 1, true},
-                            Mode{"overlap depth 2", 2, true}}) {
+    using enum os::PrefetchKind;
+    for (const Mode mode : {Mode{"off", kNone, 0, false},
+                            Mode{"sync depth 1", kSequential, 1, false},
+                            Mode{"sync depth 2", kSequential, 2, false},
+                            Mode{"overlap depth 0", kNone, 0, true},
+                            Mode{"overlap depth 1", kSequential, 1, true},
+                            Mode{"overlap depth 2", kSequential, 2, true},
+                            Mode{"stride depth 2", kStride, 2, true},
+                            Mode{"adaptive depth 2", kAdaptive, 2, true}}) {
       os::KernelConfig config = runtime::Epxa1Config();
-      config.vim.prefetch = mode.depth == 0 ? os::PrefetchKind::kNone
-                                            : os::PrefetchKind::kSequential;
+      config.vim.prefetch = mode.kind;
       config.vim.prefetch_depth = mode.depth == 0 ? 1 : mode.depth;
       config.vim.overlap_prefetch = mode.overlap;
       const bench::Point p = runner(config, bytes);
@@ -64,7 +67,12 @@ int Main() {
       "overlapping of processor and\ncoprocessor execution'): speculative "
       "loads AND eager write-backs of cold\ndirty pages run while the "
       "coprocessor computes, collapsing the serial\nDP-management "
-      "column.\n");
+      "column.\n\nBoth apps walk their objects strictly sequentially, so "
+      "the stride and\nadaptive detectors (DESIGN.md §10) converge on the "
+      "same +1 stride after a\nshort learning window — they trade a few "
+      "prefetches at the start for\nimmunity to the irregular access "
+      "patterns where blind sequential\nprefetching thrashes (see "
+      "bench_prefetch's conv2d sweep).\n");
   return 0;
 }
 

@@ -1,0 +1,445 @@
+// Gates the §10 speculation/batching machinery (DESIGN.md §10,
+// EXPERIMENTS.md E17) and writes BENCH_prefetch.json for CI. Four
+// deterministic scenarios:
+//
+//   conv2d     the interleaved-stream workload (three live image rows
+//              plus the output row, each advancing +1 page) swept over
+//              every prefetch kind. The adaptive reference-prediction
+//              table must strictly beat the sequential prefetcher on
+//              both fault count and fault-service time.
+//   streaming  adpcm + IDEA walk their objects purely sequentially, so
+//              the stride/adaptive detectors must degrade gracefully:
+//              within 1% of the sequential prefetcher end to end.
+//   victim     two vcopd tenants on an untagged (flush-on-switch) TLB:
+//              switch-out evicts every frame, and faults at resume must
+//              be answered from the software victim TLB without a load.
+//   coalesce   end-of-operation dirty flush as one scatter-gather
+//              burst: byte- and cycle-identical to the per-page sweep
+//              in the CPU copy modes (2 KB pages tile INCR16 exactly),
+//              strictly faster under kDma (one channel setup).
+//
+// Every run must stay byte-identical to its software reference under
+// every configuration; any gate failure exits 1.
+#include <cstdio>
+#include <vector>
+
+#include "apps/adpcm.h"
+#include "apps/conv2d.h"
+#include "bench/common.h"
+#include "cp/adpcm_cp.h"
+#include "cp/registry.h"
+#include "os/vcopd.h"
+#include "os/vim.h"
+
+namespace vcop {
+namespace {
+
+using bench::kWorkloadSeed;
+using runtime::FpgaSystem;
+using runtime::HostBuffer;
+using runtime::VcopdClient;
+
+constexpr os::PrefetchKind kKinds[] = {
+    os::PrefetchKind::kNone, os::PrefetchKind::kSequential,
+    os::PrefetchKind::kStride, os::PrefetchKind::kAdaptive};
+
+/// Per-kind aggregate over the conv2d shape sweep.
+struct KindTotals {
+  u64 faults = 0;
+  u64 issued = 0;
+  u64 useful = 0;
+  u64 wasted = 0;
+  Picoseconds service = 0;  // t_dp + t_imu: the VIM's software time
+  Picoseconds total = 0;
+  bool exact = true;
+};
+
+struct ConvOutcome {
+  os::ExecutionReport report;
+  bool exact = false;
+};
+
+ConvOutcome RunConvPoint(const os::KernelConfig& config, u32 width,
+                         u32 height) {
+  FpgaSystem sys(config);
+  const std::vector<u8> image = apps::MakeTestImage(width, height, 11);
+  std::vector<u8> expect(image.size());
+  apps::Convolve3x3(image, width, height, apps::SharpenKernel(), 0, expect);
+  const auto run = runtime::RunConv3x3Vim(sys, image, width, height,
+                                          apps::SharpenKernel(), 0);
+  VCOP_CHECK_MSG(run.ok(), run.status().ToString());
+  ConvOutcome out;
+  out.report = run.value().report;
+  out.exact = run.value().output == expect;
+  return out;
+}
+
+os::KernelConfig KindConfig(os::PrefetchKind kind) {
+  os::KernelConfig config = runtime::Epxa1Config();
+  config.vim.prefetch = kind;
+  config.vim.prefetch_depth = 2;
+  // Overlap for every kind (including none, where it only background-
+  // cleans), so the sweep isolates the suggestion strategy itself.
+  config.vim.overlap_prefetch = true;
+  return config;
+}
+
+// ----- scenario 3: victim TLB under vcopd flush-on-switch -----
+
+/// One adpcm streaming tenant: staged input, mapped buffers, reference.
+struct StreamTenant {
+  os::TenantId id = 0;
+  HostBuffer<u8> in;
+  HostBuffer<i16> out;
+  std::vector<i16> expect;
+  u32 completed = 0;
+  bool exact = true;
+};
+
+struct FleetOutcome {
+  Picoseconds makespan = 0;
+  os::VimServiceStats service;
+  bool exact = true;
+};
+
+FleetOutcome RunVictimFleet(u32 victim_entries) {
+  os::KernelConfig kcfg = runtime::Epxa1Config();
+  kcfg.vim.victim_tlb_entries = victim_entries;
+  FpgaSystem sys(kcfg);
+
+  os::VcopdConfig vcfg;
+  vcfg.policy = os::ServicePolicy::kFairShare;
+  vcfg.time_slice = 50ull * 1000 * 1000;  // many switches
+  // Flush-on-switch: switch-out evicts every frame, so a resumed
+  // tenant's first faults are exactly the victim TLB's target.
+  vcfg.asid_tagging = false;
+  os::Vcopd daemon(sys.kernel(), vcfg);
+  sys.kernel().vim().ResetServiceStats();
+
+  constexpr u32 kBytes = 12 * 1024;
+  constexpr u32 kJobs = 2;
+  std::vector<std::unique_ptr<StreamTenant>> tenants;
+  for (u32 t = 0; t < 2; ++t) {
+    auto tenant = std::make_unique<StreamTenant>();
+    tenant->id =
+        daemon.RegisterTenant(StrFormat("stream-%u", t), 1).value();
+    const std::vector<u8> input =
+        apps::MakeAdpcmStream(kBytes, kWorkloadSeed + t);
+    tenant->in = sys.Allocate<u8>(kBytes).value();
+    tenant->in.Fill(input);
+    tenant->out = sys.Allocate<i16>(kBytes * 2).value();
+    tenant->expect.resize(kBytes * 2);
+    apps::AdpcmState state;
+    apps::AdpcmDecode(input, tenant->expect, state);
+    VcopdClient client(daemon, tenant->id);
+    VCOP_CHECK(client.Map(cp::AdpcmDecodeCoprocessor::kObjIn, tenant->in,
+                          os::Direction::kIn).ok());
+    VCOP_CHECK(client.Map(cp::AdpcmDecodeCoprocessor::kObjOut, tenant->out,
+                          os::Direction::kOut).ok());
+    tenants.push_back(std::move(tenant));
+  }
+  for (u32 round = 0; round < kJobs; ++round) {
+    for (auto& tenant : tenants) {
+      StreamTenant* t = tenant.get();
+      VcopdClient client(daemon, t->id);
+      const auto ticket = client.Submit(
+          cp::AdpcmDecodeBitstream(), {kBytes, 0u, 0u},
+          [t](const os::JobResult& r) {
+            ++t->completed;
+            if (!r.status.ok()) {
+              t->exact = false;
+              return;
+            }
+            t->exact &= t->out.ToVector() == t->expect;
+          });
+      VCOP_CHECK_MSG(ticket.ok(), ticket.status().ToString());
+    }
+  }
+  const Status status = daemon.RunUntilIdle();
+  VCOP_CHECK_MSG(status.ok(), status.ToString());
+
+  FleetOutcome out;
+  out.makespan = daemon.BuildScheduleReport().makespan;
+  out.service = sys.kernel().vim().service_stats();
+  for (const auto& tenant : tenants) {
+    out.exact &= tenant->exact && tenant->completed == kJobs;
+  }
+  return out;
+}
+
+// ----- scenario 4: coalesced write-back -----
+
+bench::Point RunCoalescePoint(mem::CopyMode mode, bool coalesce) {
+  os::KernelConfig config = runtime::Epxa1Config();
+  config.vim.copy_mode = mode;
+  config.vim.coalesce_writeback = coalesce;
+  return bench::RunAdpcmPoint(config, 8192);
+}
+
+int Main() {
+  std::printf(
+      "== speculation and batching: adaptive prefetch, victim TLB, "
+      "coalesced write-back ==\n\n");
+  int rc = 0;
+
+  // ----- scenario 1: conv2d prefetch-kind sweep -----
+  struct Shape {
+    u32 width, height;
+  };
+  const Shape shapes[] = {{1024, 48}, {2048, 24}, {4096, 12}, {8192, 6}};
+
+  Table conv_table({"image", "mode", "faults", "issued", "useful", "wasted",
+                    "service ms", "total ms"});
+  conv_table.set_title(
+      "conv2d 3x3 (sharpen), overlap prefetch depth 2, by strategy");
+  KindTotals totals[4];
+  for (const Shape& shape : shapes) {
+    for (usize k = 0; k < 4; ++k) {
+      const ConvOutcome out = RunConvPoint(KindConfig(kKinds[k]),
+                                           shape.width, shape.height);
+      const os::VimAccounting& vim = out.report.vim;
+      totals[k].faults += vim.faults;
+      totals[k].issued += vim.prefetched_pages;
+      totals[k].useful += vim.prefetch_useful;
+      totals[k].wasted += vim.prefetch_wasted;
+      totals[k].service += out.report.t_dp + out.report.t_imu;
+      totals[k].total += out.report.total;
+      totals[k].exact &= out.exact;
+      conv_table.AddRow(
+          {StrFormat("%ux%u", shape.width, shape.height),
+           std::string(ToString(kKinds[k])),
+           StrFormat("%llu", static_cast<unsigned long long>(vim.faults)),
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(vim.prefetched_pages)),
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(vim.prefetch_useful)),
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(vim.prefetch_wasted)),
+           runtime::Ms(out.report.t_dp + out.report.t_imu),
+           runtime::Ms(out.report.total)});
+    }
+  }
+  conv_table.Print();
+  const KindTotals& seq = totals[1];
+  const KindTotals& adp = totals[3];
+  std::printf(
+      "\n  aggregate faults: none %llu, sequential %llu, stride %llu, "
+      "adaptive %llu\n  aggregate service: %.3f ms sequential vs %.3f ms "
+      "adaptive\n\n",
+      static_cast<unsigned long long>(totals[0].faults),
+      static_cast<unsigned long long>(seq.faults),
+      static_cast<unsigned long long>(totals[2].faults),
+      static_cast<unsigned long long>(adp.faults),
+      static_cast<double>(seq.service) / 1e9,
+      static_cast<double>(adp.service) / 1e9);
+  for (usize k = 0; k < 4; ++k) {
+    if (!totals[k].exact) {
+      std::printf("FAIL: conv2d outputs diverged under %s prefetch\n",
+                  std::string(ToString(kKinds[k])).c_str());
+      rc = 1;
+    }
+  }
+  if (adp.faults >= seq.faults) {
+    std::printf(
+        "FAIL: adaptive prefetch did not reduce conv2d faults "
+        "(%llu vs %llu sequential)\n",
+        static_cast<unsigned long long>(adp.faults),
+        static_cast<unsigned long long>(seq.faults));
+    rc = 1;
+  }
+  if (adp.service >= seq.service) {
+    std::printf(
+        "FAIL: adaptive prefetch did not reduce conv2d fault-service "
+        "time\n");
+    rc = 1;
+  }
+
+  // ----- scenario 2: streaming apps must stay within noise -----
+  Table stream_table({"app", "mode", "faults", "issued", "total ms",
+                      "vs sequential"});
+  stream_table.set_title(
+      "sequential workloads: stride/adaptive must match the sequential "
+      "prefetcher");
+  struct StreamPoint {
+    Picoseconds total = 0;
+  };
+  StreamPoint stream[2][4];
+  const char* stream_names[2] = {"adpcmdecode", "IDEA"};
+  for (usize k = 0; k < 4; ++k) {
+    const bench::Point a = bench::RunAdpcmPoint(KindConfig(kKinds[k]), 8192);
+    const bench::Point i = bench::RunIdeaPoint(KindConfig(kKinds[k]), 32768);
+    stream[0][k].total = a.vim.total;
+    stream[1][k].total = i.vim.total;
+    const bench::Point* points[2] = {&a, &i};
+    for (usize w = 0; w < 2; ++w) {
+      const double ratio =
+          stream[w][1].total > 0
+              ? static_cast<double>(stream[w][k].total) /
+                    static_cast<double>(stream[w][1].total)
+              : 0.0;
+      stream_table.AddRow(
+          {stream_names[w], std::string(ToString(kKinds[k])),
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 points[w]->vim.vim.faults)),
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 points[w]->vim.vim.prefetched_pages)),
+           runtime::Ms(points[w]->vim.total),
+           k >= 1 ? StrFormat("%.4fx", ratio) : std::string("-")});
+    }
+  }
+  stream_table.Print();
+  std::printf("\n");
+  for (usize w = 0; w < 2; ++w) {
+    for (usize k = 2; k < 4; ++k) {
+      const double ratio = static_cast<double>(stream[w][k].total) /
+                           static_cast<double>(stream[w][1].total);
+      if (ratio > 1.01) {
+        std::printf(
+            "FAIL: %s under %s prefetch is %.4fx the sequential time "
+            "(> 1.01 tolerance)\n",
+            stream_names[w], std::string(ToString(kKinds[k])).c_str(),
+            ratio);
+        rc = 1;
+      }
+    }
+  }
+
+  // ----- scenario 3: victim TLB -----
+  const FleetOutcome with_victims = RunVictimFleet(16);
+  const FleetOutcome no_victims = RunVictimFleet(0);
+  std::printf(
+      "victim TLB (vcopd, untagged flush-on-switch, 2 adpcm tenants):\n"
+      "  16 entries: %llu hits / %llu misses, makespan %.1f us\n"
+      "   0 entries: %llu hits / %llu misses, makespan %.1f us\n\n",
+      static_cast<unsigned long long>(with_victims.service.victim_tlb_hits),
+      static_cast<unsigned long long>(
+          with_victims.service.victim_tlb_misses),
+      ToMicroseconds(with_victims.makespan),
+      static_cast<unsigned long long>(no_victims.service.victim_tlb_hits),
+      static_cast<unsigned long long>(no_victims.service.victim_tlb_misses),
+      ToMicroseconds(no_victims.makespan));
+  if (!with_victims.exact || !no_victims.exact) {
+    std::printf("FAIL: victim-TLB fleet outputs diverged\n");
+    rc = 1;
+  }
+  if (with_victims.service.victim_tlb_hits == 0) {
+    std::printf("FAIL: the victim TLB never hit across the switches\n");
+    rc = 1;
+  }
+  if (no_victims.service.victim_tlb_hits != 0 ||
+      no_victims.service.victim_tlb_misses != 0) {
+    std::printf("FAIL: disabled victim TLB still counted lookups\n");
+    rc = 1;
+  }
+  if (with_victims.makespan > no_victims.makespan) {
+    std::printf("FAIL: victim TLB made the fleet slower end to end\n");
+    rc = 1;
+  }
+
+  // ----- scenario 4: coalesced write-back -----
+  const bench::Point cpu_off =
+      RunCoalescePoint(mem::CopyMode::kDoubleCopy, false);
+  const bench::Point cpu_on =
+      RunCoalescePoint(mem::CopyMode::kDoubleCopy, true);
+  const bench::Point dma_off = RunCoalescePoint(mem::CopyMode::kDma, false);
+  const bench::Point dma_on = RunCoalescePoint(mem::CopyMode::kDma, true);
+  std::printf(
+      "coalesced write-back (adpcm 8 KB, end-of-operation flush):\n"
+      "  double-copy: %.3f ms per-page vs %.3f ms coalesced "
+      "(%llu pages in %llu bursts)\n"
+      "  dma:         %.3f ms per-page vs %.3f ms coalesced "
+      "(%llu pages in %llu bursts)\n\n",
+      static_cast<double>(cpu_off.vim.total) / 1e9,
+      static_cast<double>(cpu_on.vim.total) / 1e9,
+      static_cast<unsigned long long>(cpu_on.vim.vim.coalesced_pages),
+      static_cast<unsigned long long>(cpu_on.vim.vim.coalesced_bursts),
+      static_cast<double>(dma_off.vim.total) / 1e9,
+      static_cast<double>(dma_on.vim.total) / 1e9,
+      static_cast<unsigned long long>(dma_on.vim.vim.coalesced_pages),
+      static_cast<unsigned long long>(dma_on.vim.vim.coalesced_bursts));
+  if (cpu_on.vim.vim.coalesced_pages < 2) {
+    std::printf("FAIL: the end-of-operation flush never coalesced\n");
+    rc = 1;
+  }
+  // 2 KB pages tile INCR16 exactly, so the burst is cycle-for-cycle the
+  // sum of the per-page stores; only the floor in each cycles->ps
+  // conversion (once per pass vs once per page) may leak through.
+  const Picoseconds cpu_delta =
+      cpu_on.vim.total > cpu_off.vim.total
+          ? cpu_on.vim.total - cpu_off.vim.total
+          : cpu_off.vim.total - cpu_on.vim.total;
+  std::printf("  double-copy coalescing delta: %llu ps (clock-edge "
+              "rounding only)\n\n",
+              static_cast<unsigned long long>(cpu_delta));
+  if (cpu_delta > 1000) {
+    std::printf(
+        "FAIL: coalescing changed the CPU-copy cost beyond clock "
+        "rounding (%llu ps)\n",
+        static_cast<unsigned long long>(cpu_delta));
+    rc = 1;
+  }
+  if (dma_on.vim.vim.coalesced_bursts == 0 ||
+      dma_on.vim.total >= dma_off.vim.total) {
+    std::printf(
+        "FAIL: coalescing did not amortise the DMA channel setup\n");
+    rc = 1;
+  }
+
+  // ----- JSON -----
+  std::FILE* f = std::fopen("BENCH_prefetch.json", "w");
+  VCOP_CHECK_MSG(f != nullptr,
+                 "cannot open BENCH_prefetch.json for writing");
+  std::fprintf(f, "{\n  \"bench\": \"prefetch\",\n  \"conv2d\": [");
+  for (usize k = 0; k < 4; ++k) {
+    std::fprintf(
+        f,
+        "%s\n    {\"mode\": \"%s\", \"faults\": %llu, \"issued\": %llu, "
+        "\"useful\": %llu, \"wasted\": %llu, \"service_us\": %.3f, "
+        "\"total_us\": %.3f, \"outputs_exact\": %s}",
+        k == 0 ? "" : ",", std::string(ToString(kKinds[k])).c_str(),
+        static_cast<unsigned long long>(totals[k].faults),
+        static_cast<unsigned long long>(totals[k].issued),
+        static_cast<unsigned long long>(totals[k].useful),
+        static_cast<unsigned long long>(totals[k].wasted),
+        ToMicroseconds(totals[k].service), ToMicroseconds(totals[k].total),
+        totals[k].exact ? "true" : "false");
+  }
+  std::fprintf(f, "\n  ],\n  \"streaming\": {");
+  for (usize w = 0; w < 2; ++w) {
+    std::fprintf(f, "%s\n    \"%s\": {", w == 0 ? "" : ",",
+                 stream_names[w]);
+    for (usize k = 0; k < 4; ++k) {
+      std::fprintf(f, "%s\"%s_us\": %.3f", k == 0 ? "" : ", ",
+                   std::string(ToString(kKinds[k])).c_str(),
+                   ToMicroseconds(stream[w][k].total));
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(
+      f,
+      "\n  },\n  \"victim_tlb\": {\"hits\": %llu, \"misses\": %llu, "
+      "\"makespan_us\": %.3f, \"baseline_makespan_us\": %.3f},\n",
+      static_cast<unsigned long long>(with_victims.service.victim_tlb_hits),
+      static_cast<unsigned long long>(
+          with_victims.service.victim_tlb_misses),
+      ToMicroseconds(with_victims.makespan),
+      ToMicroseconds(no_victims.makespan));
+  std::fprintf(
+      f,
+      "  \"coalesce\": {\"double_copy_us\": %.3f, "
+      "\"double_copy_coalesced_us\": %.3f, \"dma_us\": %.3f, "
+      "\"dma_coalesced_us\": %.3f, \"pages\": %llu, \"bursts\": %llu}\n",
+      ToMicroseconds(cpu_off.vim.total), ToMicroseconds(cpu_on.vim.total),
+      ToMicroseconds(dma_off.vim.total), ToMicroseconds(dma_on.vim.total),
+      static_cast<unsigned long long>(dma_on.vim.vim.coalesced_pages),
+      static_cast<unsigned long long>(dma_on.vim.vim.coalesced_bursts));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_prefetch.json\n");
+  return rc;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

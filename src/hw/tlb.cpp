@@ -65,6 +65,7 @@ void Tlb::Install(u32 index, ObjectId object, mem::VirtPage vpage,
     entry.parity_ok = false;
   }
   entries_[index] = entry;
+  ++stats_.installs;
   ++generation_;
 }
 

@@ -110,4 +110,42 @@ TransferResult TransferEngine::StorePage(DualPortRam& dp, u32 src,
   return r;
 }
 
+BurstResult TransferEngine::StoreBurst(
+    DualPortRam& dp, UserMemory& user,
+    std::span<const StoreSegment> segments) {
+  BurstResult r;
+  // Each segment is one fault-injection opportunity, mirroring the
+  // per-page store path, so a FaultPlan hits burst and non-burst runs
+  // at comparable rates.
+  u32 done_len = 0;
+  std::vector<u8> buf;
+  for (const StoreSegment& seg : segments) {
+    if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbError)) {
+      // The transaction errors inside this segment: earlier segments
+      // landed, this segment's bus pass is wasted time, later segments
+      // never start. The caller retries from completed_segments.
+      r.bus_error = true;
+      r.time = PriceBurst(done_len + seg.len);
+      bytes_stored_ += r.bytes;
+      total_time_ += r.time;
+      return r;
+    }
+    buf.resize(seg.len);
+    dp.Read(DualPortRam::Port::kProcessor, seg.src, buf);
+    user.WriteBytes(seg.dst, buf);
+    done_len += seg.len;
+    r.bytes += seg.len;
+    ++r.completed_segments;
+  }
+  r.time = PriceBurst(done_len);
+  if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbRetry)) {
+    r.retried_beats = 1;
+    r.time += ahb_.clock().Duration(ahb_.timing().setup_cycles +
+                                    ahb_.timing().cycles_per_beat);
+  }
+  bytes_stored_ += r.bytes;
+  total_time_ += r.time;
+  return r;
+}
+
 }  // namespace vcop::mem

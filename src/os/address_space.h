@@ -77,6 +77,24 @@ struct VimAccounting {
   /// Recovery actions (transfer retries, watchdog re-polls) consumed
   /// against this execution's fault budget (VimConfig::fault_budget).
   u64 fault_recoveries = 0;
+  /// Speculation outcome: prefetched pages that the coprocessor went on
+  /// to touch vs pages released still-unreferenced. useful + wasted
+  /// <= prefetched_pages (pages still resident at the end of an
+  /// execution are settled by the end-of-operation sweep).
+  u64 prefetch_useful = 0;
+  u64 prefetch_wasted = 0;
+  /// Suggestions a prefetch strategy made that violated its contract
+  /// (wrong object, out of range, the faulting page itself) and were
+  /// dropped by the Vim's central clamp. Nonzero means a strategy bug.
+  u64 prefetch_suggestions_dropped = 0;
+  /// Faults answered from the software victim TLB: the evicted frame's
+  /// contents were still intact, so the load was skipped.
+  u64 victim_tlb_hits = 0;
+  u64 victim_tlb_misses = 0;
+  /// Scatter-gather write-back batching: bursts issued and pages they
+  /// carried (pages/bursts = mean batch size).
+  u64 coalesced_bursts = 0;
+  u64 coalesced_pages = 0;
   /// Distribution of individual fault-service times in microseconds
   /// (interrupt entry to coprocessor restart).
   sim::Summary fault_service_us;

@@ -3,7 +3,9 @@
 namespace vcop::os {
 
 PageManager::PageManager(mem::PageGeometry geometry)
-    : geometry_(geometry), frames_(geometry.num_frames()) {}
+    : geometry_(geometry),
+      frames_(geometry.num_frames()),
+      generations_(geometry.num_frames(), 0) {}
 
 void PageManager::Reset() {
   frames_.assign(frames_.size(), FrameState{});
@@ -42,6 +44,7 @@ void PageManager::Install(mem::FrameId frame, hw::ObjectId object,
   next.asid = asid;
   next.vpage = vpage;
   s = next;
+  ++generations_[frame];
   ++in_use_;
 }
 
@@ -64,6 +67,23 @@ void PageManager::ClearDirty(mem::FrameId frame) {
   FrameState& s = MutableFrame(frame);
   VCOP_CHECK_MSG(s.in_use, "ClearDirty on a free frame");
   s.dirty = false;
+}
+
+void PageManager::MarkSpeculative(mem::FrameId frame) {
+  FrameState& s = MutableFrame(frame);
+  VCOP_CHECK_MSG(s.in_use, "MarkSpeculative on a free frame");
+  s.speculative = true;
+}
+
+void PageManager::ClearSpeculative(mem::FrameId frame) {
+  FrameState& s = MutableFrame(frame);
+  VCOP_CHECK_MSG(s.in_use, "ClearSpeculative on a free frame");
+  s.speculative = false;
+}
+
+u64 PageManager::generation(mem::FrameId frame) const {
+  VCOP_CHECK_MSG(frame < generations_.size(), "frame id out of range");
+  return generations_[frame];
 }
 
 void PageManager::Unpin(mem::FrameId frame) {

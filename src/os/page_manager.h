@@ -28,6 +28,10 @@ struct FrameState {
   /// Dirty as accumulated from invalidated TLB entries; the live TLB
   /// entry's dirty bit is merged in by the Vim at eviction time.
   bool dirty = false;
+  /// Loaded speculatively (prefetch) and not yet referenced by the
+  /// coprocessor. Cleared by the Vim on first demonstrated use; frames
+  /// still speculative when released count as wasted prefetches.
+  bool speculative = false;
   hw::ObjectId object = 0;
   /// Owning address space (vcopd multi-tenancy); 0 = kernel default.
   hw::Asid asid = 0;
@@ -72,6 +76,16 @@ class PageManager {
 
   void Unpin(mem::FrameId frame);
 
+  /// Flags a freshly installed frame as speculative (prefetched, not
+  /// yet used); ClearSpeculative records the first real use.
+  void MarkSpeculative(mem::FrameId frame);
+  void ClearSpeculative(mem::FrameId frame);
+
+  /// Monotonic per-frame install counter. Bumped every time new content
+  /// is installed into the frame, so the victim TLB can tell whether a
+  /// freed frame's contents survived untouched since an eviction.
+  u64 generation(mem::FrameId frame) const;
+
   const FrameState& frame(mem::FrameId frame) const;
 
   /// Eviction candidates: in use and not pinned.
@@ -89,6 +103,9 @@ class PageManager {
 
   mem::PageGeometry geometry_;
   std::vector<FrameState> frames_;
+  /// Install counters survive Reset(): a generation must never repeat
+  /// within a run or stale victim-TLB entries could false-hit.
+  std::vector<u64> generations_;
   u32 in_use_ = 0;
 };
 

@@ -3,7 +3,24 @@
 // "Also, speculative actions as prefetching could be used in order to
 // avoid translation misses." (§3.3) The paper leaves this as future
 // work; we implement it as a pluggable strategy consulted during fault
-// service, and evaluate it in bench/abl_prefetch.
+// service, and evaluate it in bench/abl_prefetch and bench_prefetch.
+//
+// Four strategies form a taxonomy:
+//
+//   kNone        — demand paging only.
+//   kSequential  — after a fault on page p, suggest p+1..p+depth
+//                  (streaming apps: adpcm, IDEA).
+//   kStride      — per-object stride detector with a confidence
+//                  counter: learns a single dominant inter-fault
+//                  stride per object and suggests along it once
+//                  confident (regular strided sweeps).
+//   kAdaptive    — per-object reference-prediction table in the
+//                  Chen/Baer style: a handful of stream slots per
+//                  object, each with its own stride and a two-bit
+//                  state machine, so interleaved streams (conv2d's
+//                  three live image rows) are tracked independently.
+//                  Classifies sequential / strided / irregular and
+//                  degrades to a no-op on low confidence.
 #pragma once
 
 #include <memory>
@@ -16,7 +33,7 @@
 
 namespace vcop::os {
 
-enum class PrefetchKind : u8 { kNone, kSequential };
+enum class PrefetchKind : u8 { kNone, kSequential, kStride, kAdaptive };
 
 std::string_view ToString(PrefetchKind kind);
 
@@ -32,14 +49,22 @@ class Prefetcher {
   virtual std::string_view name() const = 0;
 
   /// Consulted while servicing a fault on (object, vpage). `num_pages`
-  /// is the page count of the faulting object; suggestions beyond it
-  /// are the prefetcher's responsibility to avoid.
+  /// is the page count of the faulting object. Suggestions are
+  /// *advisory*: the VIM enforces the contract centrally (same object,
+  /// in-range, not the faulting page) and drops violations, so a buggy
+  /// strategy cannot crash a run.
   virtual std::vector<PrefetchSuggestion> Suggest(hw::ObjectId object,
                                                   mem::VirtPage vpage,
                                                   u32 num_pages) = 0;
+
+  /// Clears learned history (stride tables, stream slots). Called by
+  /// the VIM at the start of each full-reset execution so one run's
+  /// access pattern cannot pollute the next run's predictions.
+  virtual void Reset() {}
 };
 
-/// Factory. `depth` is the look-ahead of the sequential prefetcher.
+/// Factory. `depth` is the look-ahead (pages suggested per fault and
+/// stream) of the sequential, stride and adaptive prefetchers.
 std::unique_ptr<Prefetcher> MakePrefetcher(PrefetchKind kind, u32 depth = 1);
 
 }  // namespace vcop::os

@@ -155,9 +155,15 @@ ScheduleReport FpgaScheduler::RunAll(std::vector<FpgaJob> jobs,
   }
 
   schedule.makespan = kernel_.simulator().now() - batch_start;
-  schedule.transfer_retries = kernel_.vim().service_stats().transfer_retries;
-  schedule.watchdog_recoveries =
-      kernel_.vim().service_stats().watchdog_recoveries;
+  const VimServiceStats& svc = kernel_.vim().service_stats();
+  schedule.transfer_retries = svc.transfer_retries;
+  schedule.watchdog_recoveries = svc.watchdog_recoveries;
+  schedule.prefetch_issued = svc.prefetch_issued;
+  schedule.prefetch_useful = svc.prefetch_useful;
+  schedule.prefetch_wasted = svc.prefetch_wasted;
+  schedule.victim_tlb_hits = svc.victim_tlb_hits;
+  schedule.coalesced_bursts = svc.coalesced_bursts;
+  schedule.coalesced_pages = svc.coalesced_pages;
   return schedule;
 }
 

@@ -95,6 +95,13 @@ struct ScheduleReport {
   u64 watchdog_recoveries = 0;
   /// Tenants quarantined after exhausting a fault budget (vcopd only).
   u64 quarantines = 0;
+  // Speculation/batching rollup across the batch (DESIGN.md §10).
+  u64 prefetch_issued = 0;
+  u64 prefetch_useful = 0;
+  u64 prefetch_wasted = 0;
+  u64 victim_tlb_hits = 0;
+  u64 coalesced_bursts = 0;
+  u64 coalesced_pages = 0;
 
   Picoseconds mean_turnaround() const;
   usize failures() const;

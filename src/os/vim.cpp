@@ -27,12 +27,19 @@ void Vim::Configure(const VimConfig& config) {
   policy_->Reset(geometry_.num_frames());
   prefetcher_ = MakePrefetcher(config.prefetch, config.prefetch_depth);
   transfers_.set_mode(config.copy_mode);
+  victim_tlb_.assign(config.victim_tlb_entries, VictimEntry{});
+  victim_cursor_ = 0;
 }
 
 void Vim::SetPolicy(std::unique_ptr<ReplacementPolicy> policy) {
   VCOP_CHECK_MSG(policy != nullptr, "null policy");
   policy_ = std::move(policy);
   policy_->Reset(geometry_.num_frames());
+}
+
+void Vim::SetPrefetcher(std::unique_ptr<Prefetcher> prefetcher) {
+  VCOP_CHECK_MSG(prefetcher != nullptr, "null prefetcher");
+  prefetcher_ = std::move(prefetcher);
 }
 
 void Vim::BindImu(hw::Imu* imu) {
@@ -98,11 +105,16 @@ Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params,
   if (scope == ResetScope::kFullReset) {
     pages_.Reset();
     policy_->Reset(geometry_.num_frames());
+    prefetcher_->Reset();
     imu_->tlb().InvalidateAll();
     imu_->tlb().ResetStats();
     imu_->ResetStats();
     tlb_recycle_cursor_ = 0;
     hot_frames_.assign(geometry_.num_frames(), false);
+    // A new execution may run over fresh user-space data; every victim
+    // record describes frames of the previous run.
+    victim_tlb_.assign(victim_tlb_.size(), VictimEntry{});
+    victim_cursor_ = 0;
   } else {
     // Shared fabric: clear only this space's residue (defensive — a
     // clean prior end-of-operation leaves none), discarding stale data.
@@ -135,7 +147,7 @@ Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params,
   Picoseconds setup = costs_.Cycles(setup_cycles);
 
   if (!params.empty()) {
-    std::optional<mem::FrameId> frame = pages_.FindFree();
+    std::optional<mem::FrameId> frame = AllocFrame();
     if (!frame.has_value() && scope == ResetScope::kAsidScoped) {
       // Other tenants hold every frame: evict a victim for the
       // parameter page (charged to this tenant's setup).
@@ -280,6 +292,7 @@ void Vim::OnPageFault() {
     // installed by the completion event).
     for (const InFlight& unit : in_flight_) {
       if (unit.object == oid && unit.vpage == vpage) {
+        NoteSpeculativeTouch(unit.frame);
         const Picoseconds decode_done = sim_.now() + imu_cost;
         const Picoseconds done = std::max(decode_done, unit.ready_at);
         acct().t_imu += imu_cost;
@@ -321,7 +334,7 @@ void Vim::OnPageFault() {
   if (config_.overlap_prefetch) {
     Picoseconds tail = std::max(resolution, cpu_busy_until_);
     for (const PrefetchSuggestion& s :
-         prefetcher_->Suggest(oid, vpage, num_pages)) {
+         ClampedSuggestions(oid, vpage, num_pages)) {
       if (pages_.FindResident(s.object, s.vpage).has_value()) continue;
       bool flying = false;
       for (const InFlight& unit : in_flight_) {
@@ -337,7 +350,7 @@ void Vim::OnPageFault() {
     cpu_busy_until_ = tail;
   } else {
     for (const PrefetchSuggestion& s :
-         prefetcher_->Suggest(oid, vpage, num_pages)) {
+         ClampedSuggestions(oid, vpage, num_pages)) {
       if (pages_.FindResident(s.object, s.vpage).has_value()) continue;
       const MapOutcome outcome = EnsureMapped(*object, s.vpage,
                                               /*prefetch=*/true, dp_cost,
@@ -345,6 +358,7 @@ void Vim::OnPageFault() {
       if (outcome == MapOutcome::kAborted) return;
       if (outcome == MapOutcome::kSkipped) break;
       ++acct().prefetched_pages;
+      ++service_stats_.prefetch_issued;
     }
   }
 
@@ -372,7 +386,7 @@ void Vim::ScheduleOverlappedPrefetch(const MappedObject& object,
   // Acquire a frame now (while the coprocessor is stalled, so evicting
   // a clean victim's translation is race-free); fill it later.
   Picoseconds unit_cost = 0;
-  std::optional<mem::FrameId> frame = pages_.FindFree();
+  std::optional<mem::FrameId> frame = AllocFrame();
   if (!frame.has_value()) {
     std::vector<bool> evictable = pages_.EvictableMask();
     for (mem::FrameId f = 0; f < evictable.size(); ++f) {
@@ -391,6 +405,7 @@ void Vim::ScheduleOverlappedPrefetch(const MappedObject& object,
     frame = victim;
   }
   pages_.Install(*frame, object.id, vpage, /*pinned=*/true);
+  pages_.MarkSpeculative(*frame);
   policy_->OnInstalled(*frame);
   policy_->OnInstalledAt(*frame, object.id, vpage);
 
@@ -406,6 +421,7 @@ void Vim::ScheduleOverlappedPrefetch(const MappedObject& object,
   in_flight_.push_back(InFlight{object.id, vpage, *frame, tail});
   acct().t_dp_overlapped += unit_cost;
   ++acct().prefetched_pages;
+  ++service_stats_.prefetch_issued;
   if (timeline_ != nullptr) {
     timeline_->Record(
         StrFormat("prefetch obj%u page%u", object.id, vpage), "overlap",
@@ -444,13 +460,35 @@ Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
           pages_.FindResident(object.id, vpage, space_->asid())) {
     // Soft fault: the page is in the dual-port RAM but its translation
     // fell out of the TLB (possible when tlb_entries < num_frames).
+    NoteSpeculativeTouch(*resident);
     InstallTlbEntry(object.id, vpage, *resident);
     imu_cost += costs_.Cycles(costs_.tlb_update_cycles);
     ++acct().tlb_refills;
     return MapOutcome::kMapped;
   }
 
-  std::optional<mem::FrameId> frame = pages_.FindFree();
+  if (!prefetch && !victim_tlb_.empty()) {
+    if (const std::optional<mem::FrameId> vf =
+            VictimLookup(object.id, vpage, space_->asid())) {
+      // The evicted copy survived untouched in a still-free frame:
+      // re-adopt it and skip the whole load path.
+      ++acct().faults;
+      ++acct().victim_tlb_hits;
+      ++service_stats_.victim_tlb_hits;
+      pages_.Install(*vf, object.id, vpage, /*pinned=*/false,
+                     space_->asid());
+      policy_->OnInstalled(*vf);
+      policy_->OnInstalledAt(*vf, object.id, vpage);
+      InstallTlbEntry(object.id, vpage, *vf);
+      imu_cost +=
+          costs_.Cycles(costs_.tlb_update_cycles + costs_.page_table_cycles);
+      return MapOutcome::kMapped;
+    }
+    ++acct().victim_tlb_misses;
+    ++service_stats_.victim_tlb_misses;
+  }
+
+  std::optional<mem::FrameId> frame = AllocFrame();
   if (!frame.has_value()) {
     std::vector<bool> evictable = pages_.EvictableMask();
     if (prefetch) {
@@ -501,6 +539,7 @@ Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
   }
   pages_.Install(*frame, object.id, vpage, /*pinned=*/false,
                  space_->asid());
+  if (prefetch) pages_.MarkSpeculative(*frame);
   policy_->OnInstalled(*frame);
   policy_->OnInstalledAt(*frame, object.id, vpage);
   InstallTlbEntry(object.id, vpage, *frame);
@@ -511,10 +550,14 @@ Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
 
 void Vim::EvictFrame(mem::FrameId frame, Picoseconds& dp_cost,
                      Picoseconds& imu_cost) {
-  // Fold the live TLB entry's dirty bit into the page state first.
+  // Fold the live TLB entry's dirty bit into the page state first. The
+  // accessed/dirty bits also settle the speculation verdict for a
+  // prefetched frame: referenced since the last harvest counts as a
+  // useful guess.
   if (const std::optional<u32> e = imu_->tlb().FindByFrame(frame)) {
     const hw::TlbEntry old = imu_->tlb().Invalidate(*e);
     if (old.dirty) pages_.MarkDirty(frame);
+    if (old.accessed || old.dirty) NoteSpeculativeTouch(frame);
   }
   const FrameState state = pages_.frame(frame);
   AddressSpace* owner = ResolveSpace(state.asid);
@@ -548,8 +591,16 @@ void Vim::EvictFrame(mem::FrameId frame, Picoseconds& dp_cost,
       ++owner->accounting.writebacks;
       owner->accounting.bytes_written_back += len;
       owner->written_back.insert({state.object, state.vpage});
+      // The write-back just synchronised the frame with user memory, so
+      // the evicted copy is a valid victim.
+      RecordVictim(pages_.frame(frame), frame);
     }
+  } else {
+    // Clean page: the frame already matches what a reload would produce
+    // (or, for a never-written OUT page, is as undefined as a reload).
+    RecordVictim(state, frame);
   }
+  SettleSpeculativeRelease(pages_.frame(frame));
   pages_.Release(frame);
   policy_->OnFreed(frame);
   ++acct().evictions;
@@ -642,6 +693,7 @@ void Vim::HarvestRecency() {
   hot_frames_.assign(geometry_.num_frames(), false);
   for (const mem::FrameId f : imu_->tlb().HarvestAccessed()) {
     policy_->OnTouched(f);
+    NoteSpeculativeTouch(f);
     if (f < hot_frames_.size()) hot_frames_[f] = true;
   }
 }
@@ -686,16 +738,31 @@ void Vim::OnEndOfOperation() {
   if (current_scope_ == ResetScope::kFullReset) {
     for (u32 i = 0; i < tlb.num_entries(); ++i) {
       const hw::TlbEntry e = tlb.entry(i);
-      if (e.valid && e.dirty && pages_.frame(e.frame).in_use) {
+      if (!e.valid) continue;
+      if (e.dirty && pages_.frame(e.frame).in_use) {
         pages_.MarkDirty(e.frame);
       }
+      if (e.accessed || e.dirty) NoteSpeculativeTouch(e.frame);
     }
     tlb.InvalidateAll();
+
+    if (config_.coalesce_writeback) {
+      // One scatter-gather burst cleans every dirty page first; the
+      // sweep below then finds nothing left to write back and keeps
+      // its exact bookkeeping.
+      CoalescedWriteback(pages_.InUseFrames(), dp_cost);
+      if (space_->aborted) {
+        acct().t_imu += imu_cost;
+        acct().t_dp += dp_cost;
+        return;
+      }
+    }
 
     // "The interface manager copies back to user space all the dirty data
     // currently residing in the dual-port memory." (§3.3)
     for (const mem::FrameId f : pages_.InUseFrames()) {
       const FrameState state = pages_.frame(f);
+      SettleSpeculativeRelease(state);
       if (state.object == hw::kParamObject) {
         if (state.pinned) pages_.Unpin(f);
         pages_.Release(f);
@@ -731,10 +798,11 @@ void Vim::OnEndOfOperation() {
     const hw::Asid asid = space_->asid();
     for (u32 i = 0; i < tlb.num_entries(); ++i) {
       const hw::TlbEntry e = tlb.entry(i);
-      if (e.valid && e.asid == asid && e.dirty &&
-          pages_.frame(e.frame).in_use) {
+      if (!e.valid || e.asid != asid) continue;
+      if (e.dirty && pages_.frame(e.frame).in_use) {
         pages_.MarkDirty(e.frame);
       }
+      if (e.accessed || e.dirty) NoteSpeculativeTouch(e.frame);
     }
     if (tlb_tagging_) {
       tlb.InvalidateAsid(asid);
@@ -744,8 +812,18 @@ void Vim::OnEndOfOperation() {
       ++service_stats_.full_tlb_flushes;
     }
 
+    if (config_.coalesce_writeback) {
+      CoalescedWriteback(pages_.InUseFramesOf(asid), dp_cost);
+      if (space_->aborted) {
+        acct().t_imu += imu_cost;
+        acct().t_dp += dp_cost;
+        return;
+      }
+    }
+
     for (const mem::FrameId f : pages_.InUseFramesOf(asid)) {
       const FrameState state = pages_.frame(f);
+      SettleSpeculativeRelease(state);
       if (state.object == hw::kParamObject) {
         if (state.pinned) pages_.Unpin(f);
         pages_.Release(f);
@@ -843,6 +921,16 @@ Picoseconds Vim::SaveContext() {
       space_->tlb_snapshot.push_back(
           TlbSnapshotEntry{e.object, e.vpage, e.frame});
     }
+    if (config_.coalesce_writeback) {
+      const u32 cleaned =
+          CoalescedWriteback(pages_.InUseFramesOf(asid), dp_cost);
+      service_stats_.pages_written_back_on_save += cleaned;
+      if (space_->aborted) {
+        acct().t_dp += dp_cost;
+        acct().t_imu += imu_cost;
+        return dp_cost + imu_cost;
+      }
+    }
     for (const mem::FrameId f : pages_.InUseFramesOf(asid)) {
       const FrameState state = pages_.frame(f);
       if (!state.dirty) continue;
@@ -875,6 +963,16 @@ Picoseconds Vim::SaveContext() {
   } else {
     // Untagged baseline: the TLB cannot distinguish tenants, so the
     // whole working set leaves the fabric and the TLB is flushed.
+    if (config_.coalesce_writeback) {
+      // Multi-page eviction: one burst writes every dirty page back, so
+      // the per-frame evictions below are all clean (and free).
+      CoalescedWriteback(pages_.InUseFramesOf(asid), dp_cost);
+      if (space_->aborted) {
+        acct().t_dp += dp_cost;
+        acct().t_imu += imu_cost;
+        return dp_cost + imu_cost;
+      }
+    }
     for (const mem::FrameId f : pages_.InUseFramesOf(asid)) {
       EvictFrame(f, dp_cost, imu_cost);
     }
@@ -915,7 +1013,7 @@ Picoseconds Vim::RestoreContext() {
 
   // Re-materialise the parameter page released at save time.
   if (space_->params_live && !space_->param_frame.has_value()) {
-    std::optional<mem::FrameId> frame = pages_.FindFree();
+    std::optional<mem::FrameId> frame = AllocFrame();
     if (!frame.has_value()) {
       const std::vector<bool> evictable = pages_.EvictableMask();
       bool any = false;
@@ -963,8 +1061,16 @@ Picoseconds Vim::FlushAsid(hw::Asid asid, bool write_back) {
     }
   }
   tlb.InvalidateAsid(asid);
+  // The flush means "this ASID's interface state is gone": any cached
+  // eviction record for it must die with the frames.
+  InvalidateVictims(asid);
 
   AddressSpace* owner = ResolveSpace(asid);
+  if (write_back && config_.coalesce_writeback) {
+    CoalescedWriteback(pages_.InUseFramesOf(asid), cost);
+    // A burst failure leaves the failed pages dirty; the best-effort
+    // per-page sweep below retries them individually.
+  }
   for (const mem::FrameId f : pages_.InUseFramesOf(asid)) {
     const FrameState state = pages_.frame(f);
     if (write_back && state.dirty && state.object != hw::kParamObject &&
@@ -987,6 +1093,7 @@ Picoseconds Vim::FlushAsid(hw::Asid asid, bool write_back) {
         owner->written_back.insert({state.object, state.vpage});
       }
     }
+    SettleSpeculativeRelease(pages_.frame(f));
     if (state.pinned) pages_.Unpin(f);
     pages_.Release(f);
     policy_->OnFreed(f);
@@ -1006,6 +1113,201 @@ void Vim::Abort(Status status) {
   VCOP_LOG(kWarning, "VIM aborting run: " + status.ToString());
   imu_->HardStop();
   if (on_abort_) on_abort_(std::move(status));
+}
+
+// ----- speculation and batching (DESIGN.md §10) -----
+
+std::vector<PrefetchSuggestion> Vim::ClampedSuggestions(hw::ObjectId oid,
+                                                        mem::VirtPage vpage,
+                                                        u32 num_pages) {
+  std::vector<PrefetchSuggestion> out =
+      prefetcher_->Suggest(oid, vpage, num_pages);
+  usize kept = 0;
+  for (const PrefetchSuggestion& s : out) {
+    if (s.object != oid || s.vpage >= num_pages || s.vpage == vpage) {
+      ++acct().prefetch_suggestions_dropped;
+      ++service_stats_.prefetch_suggestions_dropped;
+      continue;
+    }
+    out[kept++] = s;
+  }
+  out.resize(kept);
+  return out;
+}
+
+void Vim::NoteSpeculativeTouch(mem::FrameId frame) {
+  const FrameState& state = pages_.frame(frame);
+  if (!state.in_use || !state.speculative) return;
+  if (AddressSpace* owner = ResolveSpace(state.asid)) {
+    ++owner->accounting.prefetch_useful;
+  }
+  ++service_stats_.prefetch_useful;
+  pages_.ClearSpeculative(frame);
+}
+
+void Vim::SettleSpeculativeRelease(const FrameState& state) {
+  if (!state.speculative) return;
+  if (AddressSpace* owner = ResolveSpace(state.asid)) {
+    ++owner->accounting.prefetch_wasted;
+  }
+  ++service_stats_.prefetch_wasted;
+}
+
+void Vim::RecordVictim(const FrameState& state, mem::FrameId frame) {
+  if (victim_tlb_.empty()) return;
+  if (state.object == hw::kParamObject) return;
+  VictimEntry& e = victim_tlb_[victim_cursor_++ % victim_tlb_.size()];
+  e.valid = true;
+  e.asid = state.asid;
+  e.object = state.object;
+  e.vpage = state.vpage;
+  e.frame = frame;
+  e.generation = pages_.generation(frame);
+}
+
+std::optional<mem::FrameId> Vim::VictimLookup(hw::ObjectId object,
+                                              mem::VirtPage vpage,
+                                              hw::Asid asid) {
+  for (VictimEntry& e : victim_tlb_) {
+    if (!e.valid || e.asid != asid || e.object != object ||
+        e.vpage != vpage) {
+      continue;
+    }
+    // Stale if the frame was reused since the eviction (any reinstall
+    // bumps the frame's generation) or is occupied right now. A later
+    // record for the same page may still be good, so keep scanning.
+    if (pages_.frame(e.frame).in_use ||
+        pages_.generation(e.frame) != e.generation) {
+      e.valid = false;
+      continue;
+    }
+    e.valid = false;  // consumed
+    return e.frame;
+  }
+  return std::nullopt;
+}
+
+void Vim::InvalidateVictims(hw::Asid asid) {
+  for (VictimEntry& e : victim_tlb_) {
+    if (e.asid == asid) e.valid = false;
+  }
+}
+
+u32 Vim::victim_tlb_live_entries() const {
+  u32 live = 0;
+  for (const VictimEntry& e : victim_tlb_) live += e.valid ? 1 : 0;
+  return live;
+}
+
+std::optional<mem::FrameId> Vim::AllocFrame() const {
+  const std::optional<mem::FrameId> first = pages_.FindFree();
+  if (!first.has_value() || victim_tlb_.empty()) return first;
+  // A free frame is "protected" while a live victim record could still
+  // be redeemed from it; handing it out would make every record stale
+  // the moment the next tenant allocates (FindFree always picks the
+  // lowest frame, so all traffic would funnel through exactly the
+  // frames just vacated). Prefer unprotected free frames; when every
+  // free frame is protected, fall back to the lowest (allocation must
+  // never fail on account of speculation).
+  std::vector<bool> protected_frames(geometry_.num_frames(), false);
+  for (const VictimEntry& e : victim_tlb_) {
+    if (!e.valid || e.frame >= protected_frames.size()) continue;
+    if (pages_.frame(e.frame).in_use ||
+        pages_.generation(e.frame) != e.generation) {
+      continue;  // already stale: no reason to protect
+    }
+    protected_frames[e.frame] = true;
+  }
+  for (mem::FrameId f = *first; f < geometry_.num_frames(); ++f) {
+    if (!pages_.frame(f).in_use && !protected_frames[f]) return f;
+  }
+  return first;
+}
+
+u32 Vim::CoalescedWriteback(const std::vector<mem::FrameId>& frames,
+                            Picoseconds& dp_cost) {
+  // Gather the dirty, write-backable pages. InUseFrames enumerates in
+  // frame order, so adjacent dirty pages land in one ascending burst.
+  std::vector<mem::FrameId> batch;
+  std::vector<mem::StoreSegment> segments;
+  for (const mem::FrameId f : frames) {
+    const FrameState state = pages_.frame(f);
+    if (!state.in_use || state.object == hw::kParamObject) continue;
+    if (!FrameDirty(f)) continue;
+    AddressSpace* owner = ResolveSpace(state.asid);
+    if (owner == nullptr) continue;
+    const MappedObject* object = owner->objects().Find(state.object);
+    if (object == nullptr || object->direction == Direction::kIn) {
+      continue;  // dropped pages stay with the per-page sweep's counters
+    }
+    const u32 len = PageLength(*object, state.vpage);
+    batch.push_back(f);
+    segments.push_back(mem::StoreSegment{
+        geometry_.FrameBase(f),
+        object->user_addr + state.vpage * geometry_.page_bytes(), len});
+  }
+  if (segments.size() < 2) return 0;  // nothing to amortise
+
+  const mem::BurstResult r = StoreBurstRetried(segments);
+  dp_cost += r.time;
+  // Settle the pages that actually landed, even on a failed burst: they
+  // are clean now, and the per-page sweep must not write them twice.
+  for (u32 i = 0; i < r.completed_segments; ++i) {
+    const mem::FrameId f = batch[i];
+    const FrameState state = pages_.frame(f);
+    AddressSpace* owner = ResolveSpace(state.asid);
+    VCOP_CHECK_MSG(owner != nullptr, "burst page lost its owner");
+    ++owner->accounting.writebacks;
+    owner->accounting.bytes_written_back += segments[i].len;
+    owner->written_back.insert({state.object, state.vpage});
+    pages_.ClearDirty(f);
+    if (const std::optional<u32> entry = imu_->tlb().FindByFrame(f)) {
+      imu_->tlb().ClearDirty(*entry);
+    }
+  }
+  ++service_stats_.coalesced_bursts;
+  service_stats_.coalesced_pages += r.completed_segments;
+  acct().coalesced_bursts += 1;
+  acct().coalesced_pages += r.completed_segments;
+  return r.completed_segments;
+}
+
+mem::BurstResult Vim::StoreBurstRetried(
+    std::span<const mem::StoreSegment> segments) {
+  mem::BurstResult total;
+  u32 attempt = 0;
+  while (true) {
+    const mem::BurstResult r = transfers_.StoreBurst(
+        dp_ram_, user_memory_, segments.subspan(total.completed_segments));
+    total.time += r.time;
+    total.bytes += r.bytes;
+    total.retried_beats += r.retried_beats;
+    const bool progressed = r.completed_segments > 0;
+    total.completed_segments += r.completed_segments;
+    if (!r.bus_error) return total;
+    // Retry the transaction from the first segment that did not land,
+    // with the same bounded backoff as the per-page transfers. Progress
+    // resets the attempt counter: only a segment that keeps failing in
+    // place exhausts the limit.
+    if (progressed) attempt = 0;
+    ++service_stats_.transfer_retries;
+    if (++attempt >= config_.transfer_retry_limit) break;
+    total.time += costs_.Cycles(
+        static_cast<u64>(costs_.transfer_retry_backoff_cycles)
+        << (attempt - 1));
+    if (!ChargeFaultRecovery("AHB burst store retry")) {
+      total.bus_error = true;
+      return total;
+    }
+  }
+  ++service_stats_.transfer_retry_failures;
+  fault_abort_ = true;
+  last_transfer_failure_ = UnavailableError(StrFormat(
+      "AHB burst store stalled at segment %u of %zu after %u attempts",
+      total.completed_segments, segments.size(),
+      config_.transfer_retry_limit));
+  total.bus_error = true;
+  return total;
 }
 
 // ----- fault injection and recovery -----

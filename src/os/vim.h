@@ -32,6 +32,7 @@
 #include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "base/fault.h"
 #include "base/status.h"
@@ -63,6 +64,17 @@ struct VimConfig {
   /// translation pre-installed, so the coprocessor never faults on it;
   /// a fault racing an in-flight load waits only for the remainder.
   bool overlap_prefetch = false;
+  /// Entries in the software victim TLB: a VIM-side cache of recently
+  /// evicted (asid, object, vpage) -> frame records. A fault whose page
+  /// still sits intact in a free frame (the frame was never reused
+  /// since the eviction, checked via the frame's install generation)
+  /// skips the load and just re-installs the translation. 0 disables.
+  u32 victim_tlb_entries = 0;
+  /// Batch the write-back sweeps (end-of-operation, FlushAsid, context
+  /// save / untagged switch-out) into scatter-gather bursts: one bus
+  /// transaction covering every adjacent dirty page instead of one
+  /// transfer per page. Off keeps the per-page path bit-identical.
+  bool coalesce_writeback = false;
   mem::CopyMode copy_mode = mem::CopyMode::kDoubleCopy;
   /// Seed for the random replacement policy.
   u64 seed = 1;
@@ -139,6 +151,24 @@ struct VimServiceStats {
   u64 fault_budget_aborts = 0;
   /// TLB entries the hardware discarded on a failed parity check.
   u64 tlb_parity_drops = 0;
+
+  // ----- speculation and batching (DESIGN.md §10) -----
+
+  /// Pages loaded speculatively (sync or overlapped prefetch).
+  u64 prefetch_issued = 0;
+  /// Prefetched pages the coprocessor went on to touch.
+  u64 prefetch_useful = 0;
+  /// Prefetched pages released without ever being referenced.
+  u64 prefetch_wasted = 0;
+  /// Contract-violating suggestions dropped by the central clamp.
+  u64 prefetch_suggestions_dropped = 0;
+  /// Faults answered from the software victim TLB (load skipped) and
+  /// faults that probed it without a usable entry.
+  u64 victim_tlb_hits = 0;
+  u64 victim_tlb_misses = 0;
+  /// Scatter-gather write-back transactions and the pages they carried.
+  u64 coalesced_bursts = 0;
+  u64 coalesced_pages = 0;
 };
 
 class Vim {
@@ -154,6 +184,11 @@ class Vim {
   /// Replaces the replacement policy with a custom instance (e.g. the
   /// Belady oracle) — Configure() would reinstall a built-in one.
   void SetPolicy(std::unique_ptr<ReplacementPolicy> policy);
+
+  /// Replaces the prefetcher with a custom instance (tests use this to
+  /// feed the VIM contract-violating suggestions) — Configure() would
+  /// reinstall a built-in one.
+  void SetPrefetcher(std::unique_ptr<Prefetcher> prefetcher);
 
   /// Rebinds to a freshly configured IMU (at FPGA_LOAD, and by vcopd at
   /// every dispatch boundary).
@@ -230,6 +265,11 @@ class Vim {
 
   const VimServiceStats& service_stats() const { return service_stats_; }
   void ResetServiceStats() { service_stats_ = VimServiceStats{}; }
+
+  /// Victim-TLB entries currently holding a (possibly stale) record;
+  /// test observability — hits additionally require the frame to be
+  /// free with an unchanged generation.
+  u32 victim_tlb_live_entries() const;
 
   /// Called when the end-of-operation service (including write-backs)
   /// completes; the kernel uses it to wake the sleeping process.
@@ -314,6 +354,63 @@ class Vim {
   /// Byte length of `vpage` within `object` (short for the last page).
   u32 PageLength(const MappedObject& object, mem::VirtPage vpage) const;
 
+  /// Central enforcement of the Suggest contract: strategies are
+  /// advisory, so anything pointing at another object, past the
+  /// object's end, or at the faulting page itself is dropped (and
+  /// counted) here instead of trusting each strategy.
+  std::vector<PrefetchSuggestion> ClampedSuggestions(hw::ObjectId oid,
+                                                     mem::VirtPage vpage,
+                                                     u32 num_pages);
+
+  /// A speculative frame proved useful (the coprocessor referenced it):
+  /// count it and clear the flag. Safe to call on any frame.
+  void NoteSpeculativeTouch(mem::FrameId frame);
+
+  /// Called when `state`'s frame leaves the fabric: a frame still
+  /// flagged speculative was a wasted guess.
+  void SettleSpeculativeRelease(const FrameState& state);
+
+  // ----- software victim TLB -----
+
+  /// Remembers that `frame` (about to be released) holds an intact copy
+  /// of (state.asid, state.object, state.vpage).
+  void RecordVictim(const FrameState& state, mem::FrameId frame);
+
+  /// A usable victim entry for (object, vpage, asid): its frame is
+  /// still free and was not reinstalled since the eviction. Consumes
+  /// the entry on a hit.
+  std::optional<mem::FrameId> VictimLookup(hw::ObjectId object,
+                                           mem::VirtPage vpage,
+                                           hw::Asid asid);
+
+  /// Drops every victim entry tagged `asid` (FlushAsid, new execution).
+  void InvalidateVictims(hw::Asid asid);
+
+  /// Frame allocation, victim-aware: with the victim TLB enabled,
+  /// prefers a free frame no live victim record points at, so a
+  /// switched-out tenant's still-warm evictions survive the next
+  /// tenant's allocations (a victim cache steers refills away from the
+  /// frames it protects). With the TLB disabled this is exactly
+  /// PageManager::FindFree, keeping frame choice byte-identical.
+  std::optional<mem::FrameId> AllocFrame() const;
+
+  // ----- coalesced write-back -----
+
+  /// Writes every dirty, write-backable page among `frames` back to
+  /// user memory as one scatter-gather burst, leaving the pages
+  /// resident and *clean* — the caller's per-page sweep then finds no
+  /// dirty pages and keeps its exact bookkeeping. Returns the pages
+  /// cleaned; on an unrecoverable burst failure the remaining dirty
+  /// pages are left for the caller's per-page (retried) path.
+  u32 CoalescedWriteback(const std::vector<mem::FrameId>& frames,
+                         Picoseconds& dp_cost);
+
+  /// StoreBurst with the same bounded retry-with-backoff as the
+  /// per-page transfers; retries resume from the first segment that
+  /// did not complete.
+  mem::BurstResult StoreBurstRetried(
+      std::span<const mem::StoreSegment> segments);
+
   /// Pulls the TLB accessed bits into the replacement policy.
   void HarvestRecency();
 
@@ -354,6 +451,19 @@ class Vim {
   AddressSpace* space_ = nullptr;
   PageManager pages_;
   u32 tlb_recycle_cursor_ = 0;
+  /// Victim-TLB ring (size = config_.victim_tlb_entries; empty when
+  /// disabled). `generation` is the frame's install generation at
+  /// eviction time; any reinstall bumps it and kills the entry.
+  struct VictimEntry {
+    bool valid = false;
+    hw::Asid asid = 0;
+    hw::ObjectId object = 0;
+    mem::VirtPage vpage = 0;
+    mem::FrameId frame = 0;
+    u64 generation = 0;
+  };
+  std::vector<VictimEntry> victim_tlb_;
+  u32 victim_cursor_ = 0;
   ResetScope current_scope_ = ResetScope::kFullReset;
   bool tlb_tagging_ = true;
 

@@ -171,9 +171,13 @@ Result<os::KernelConfig> ParsePlatformFile(std::string_view text) {
         config.vim.prefetch = os::PrefetchKind::kNone;
       } else if (v == "sequential") {
         config.vim.prefetch = os::PrefetchKind::kSequential;
+      } else if (v == "stride") {
+        config.vim.prefetch = os::PrefetchKind::kStride;
+      } else if (v == "adaptive") {
+        config.vim.prefetch = os::PrefetchKind::kAdaptive;
       } else {
         return LineError(line_number,
-                         "prefetch must be none|sequential");
+                         "prefetch must be none|sequential|stride|adaptive");
       }
     } else if (key == "prefetch_depth") {
       Result<u64> v = number(1, 16);
@@ -183,6 +187,14 @@ Result<os::KernelConfig> ParsePlatformFile(std::string_view text) {
       Result<bool> v = boolean();
       if (!v.ok()) return v.status();
       config.vim.overlap_prefetch = v.value();
+    } else if (key == "victim_tlb_entries") {
+      Result<u64> v = number(0, 1024);
+      if (!v.ok()) return v.status();
+      config.vim.victim_tlb_entries = static_cast<u32>(v.value());
+    } else if (key == "coalesce_writeback") {
+      Result<bool> v = boolean();
+      if (!v.ok()) return v.status();
+      config.vim.coalesce_writeback = v.value();
     } else {
       return LineError(line_number, "unknown key '" + key + "'");
     }
@@ -220,13 +232,15 @@ std::string WritePlatformFile(const os::KernelConfig& config) {
                          ? "single"
                          : "dma";
   out += StrFormat("copy_mode = %s\n", copy);
-  out += StrFormat(
-      "prefetch = %s\n",
-      config.vim.prefetch == os::PrefetchKind::kNone ? "none"
-                                                     : "sequential");
+  out += StrFormat("prefetch = %s\n",
+                   std::string(ToString(config.vim.prefetch)).c_str());
   out += StrFormat("prefetch_depth = %u\n", config.vim.prefetch_depth);
   out += StrFormat("overlap = %s\n",
                    config.vim.overlap_prefetch ? "true" : "false");
+  out += StrFormat("victim_tlb_entries = %u\n",
+                   config.vim.victim_tlb_entries);
+  out += StrFormat("coalesce_writeback = %s\n",
+                   config.vim.coalesce_writeback ? "true" : "false");
   return out;
 }
 

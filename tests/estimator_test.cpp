@@ -127,6 +127,8 @@ copy_mode = dma
 prefetch = sequential
 prefetch_depth = 2
 overlap = true
+victim_tlb_entries = 16
+coalesce_writeback = yes
 )";
   auto config = runtime::ParsePlatformFile(text);
   ASSERT_TRUE(config.ok()) << config.status().ToString();
@@ -146,6 +148,33 @@ overlap = true
   EXPECT_EQ(c.vim.prefetch, os::PrefetchKind::kSequential);
   EXPECT_EQ(c.vim.prefetch_depth, 2u);
   EXPECT_TRUE(c.vim.overlap_prefetch);
+  EXPECT_EQ(c.vim.victim_tlb_entries, 16u);
+  EXPECT_TRUE(c.vim.coalesce_writeback);
+}
+
+TEST(PlatformFileTest, ParsesEveryPrefetchKind) {
+  struct Case {
+    const char* value;
+    os::PrefetchKind kind;
+  };
+  for (const Case c : {Case{"none", os::PrefetchKind::kNone},
+                       Case{"sequential", os::PrefetchKind::kSequential},
+                       Case{"stride", os::PrefetchKind::kStride},
+                       Case{"adaptive", os::PrefetchKind::kAdaptive}}) {
+    auto config = runtime::ParsePlatformFile(
+        std::string("prefetch = ") + c.value + "\n");
+    ASSERT_TRUE(config.ok()) << c.value;
+    EXPECT_EQ(config.value().vim.prefetch, c.kind) << c.value;
+  }
+}
+
+TEST(PlatformFileTest, UnknownPrefetchKindRejectedClearly) {
+  auto config = runtime::ParsePlatformFile("prefetch = psychic\n");
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.status().message().find(
+                "prefetch must be none|sequential|stride|adaptive"),
+            std::string::npos)
+      << config.status().message();
 }
 
 TEST(PlatformFileTest, UnknownKeyRejectedWithLine) {
@@ -172,6 +201,10 @@ TEST(PlatformFileTest, RoundTripsThroughWriter) {
   original.vim.policy = os::PolicyKind::kRandom;
   original.vim.copy_mode = mem::CopyMode::kSingleCopy;
   original.imu_pipelined = true;
+  original.vim.prefetch = os::PrefetchKind::kAdaptive;
+  original.vim.prefetch_depth = 3;
+  original.vim.victim_tlb_entries = 8;
+  original.vim.coalesce_writeback = true;
   const std::string text = runtime::WritePlatformFile(original);
   auto parsed = runtime::ParsePlatformFile(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
@@ -181,6 +214,12 @@ TEST(PlatformFileTest, RoundTripsThroughWriter) {
   EXPECT_EQ(parsed.value().vim.policy, original.vim.policy);
   EXPECT_EQ(parsed.value().vim.copy_mode, original.vim.copy_mode);
   EXPECT_EQ(parsed.value().imu_pipelined, original.imu_pipelined);
+  EXPECT_EQ(parsed.value().vim.prefetch, original.vim.prefetch);
+  EXPECT_EQ(parsed.value().vim.prefetch_depth, original.vim.prefetch_depth);
+  EXPECT_EQ(parsed.value().vim.victim_tlb_entries,
+            original.vim.victim_tlb_entries);
+  EXPECT_EQ(parsed.value().vim.coalesce_writeback,
+            original.vim.coalesce_writeback);
 }
 
 TEST(PlatformFileTest, ParsedPlatformRunsApplications) {
