@@ -1,0 +1,486 @@
+// Headline bench for the fast-forward execution tier (DESIGN.md §11)
+// and the parallel fleet runner. Writes BENCH_fastforward.json.
+//
+// Two sweeps, each run three ways — cycle engine on one thread,
+// fast-forward on one thread, fast-forward over the fleet:
+//
+//   torture  N randomized FaultPlans (FF_PLANS, default 1000) over the
+//            four reference workloads, exactly the torture harness's
+//            grid. Fault injection exercises the tier's fallback edges
+//            on roughly every other seed.
+//   conv2d   the prefetch bench's shape × strategy grid (sharpen
+//            kernel, overlapped transfers): long TLB-hit streaks, the
+//            tier's best case.
+//
+// Exit-code gates cover only *deterministic* properties:
+//   - bit-identity: an order-independent digest of every run's status,
+//     output bytes, final simulated time and full ExecutionReport must
+//     match across all three modes;
+//   - event reduction: the fast-forward engine must dispatch at most
+//     1/2 (torture) resp. 1/4 (conv2d) of the cycle engine's events;
+//   - artifact identity: the Figure-7 VCD and the conv2d Chrome-trace
+//     timeline must be byte-identical with fastforward on and off.
+// Wall-clock speedups are printed and recorded in the JSON with the
+// thread count and hardware concurrency, but — like bench_kernel —
+// they depend on the host and are reported, not gated.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/adpcm.h"
+#include "apps/conv2d.h"
+#include "apps/idea.h"
+#include "apps/workloads.h"
+#include "base/fault.h"
+#include "base/log.h"
+#include "bench/common.h"
+#include "cp/registry.h"
+#include "cp/vecadd_cp.h"
+#include "os/vim.h"
+#include "sim/fleet.h"
+#include "sim/trace.h"
+
+namespace vcop {
+namespace {
+
+using bench::MeasureWall;
+using bench::WallMeasurement;
+using runtime::Epxa1Config;
+using runtime::FpgaSystem;
+
+u32 EnvCount(const char* name, u32 fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long n = std::atol(env);
+    if (n > 0) return static_cast<u32>(n);
+  }
+  return fallback;
+}
+
+// ----- run digests -----
+
+/// FNV-1a over everything a simulation run *computes* (as opposed to
+/// what the host *spends*): status, output bytes, simulated end time,
+/// the full ExecutionReport, and the fault plan's per-site counters.
+/// Host-side event counts are deliberately excluded — reducing them is
+/// the tier's whole point.
+class Digest {
+ public:
+  void Mix(u64 v) {
+    for (int i = 0; i < 8; ++i) MixByte(static_cast<u8>(v >> (8 * i)));
+  }
+  void MixDouble(double v) {
+    u64 bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+  void MixBytes(std::span<const u8> bytes) {
+    for (u8 b : bytes) MixByte(b);
+  }
+  u64 value() const { return h_; }
+
+ private:
+  void MixByte(u8 b) {
+    h_ ^= b;
+    h_ *= 1099511628211ull;
+  }
+  u64 h_ = 1469598103934665603ull;
+};
+
+void MixReport(Digest& d, const os::ExecutionReport& r) {
+  d.Mix(static_cast<u64>(r.total));
+  d.Mix(static_cast<u64>(r.t_hw));
+  d.Mix(static_cast<u64>(r.t_dp));
+  d.Mix(static_cast<u64>(r.t_imu));
+  d.Mix(static_cast<u64>(r.t_invoke));
+  d.Mix(r.cp_cycles);
+  const os::VimAccounting& v = r.vim;
+  d.Mix(static_cast<u64>(v.t_dp));
+  d.Mix(static_cast<u64>(v.t_imu));
+  d.Mix(static_cast<u64>(v.t_wakeup));
+  d.Mix(v.faults);
+  d.Mix(v.tlb_refills);
+  d.Mix(v.evictions);
+  d.Mix(v.writebacks);
+  d.Mix(v.loads);
+  d.Mix(v.prefetched_pages);
+  d.Mix(v.cleaned_pages);
+  d.Mix(v.bytes_loaded);
+  d.Mix(v.bytes_written_back);
+  d.Mix(static_cast<u64>(v.t_dp_overlapped));
+  d.Mix(static_cast<u64>(v.t_dp_wait));
+  d.Mix(v.dirty_in_pages_dropped);
+  d.Mix(v.preemptions);
+  d.Mix(v.fault_recoveries);
+  d.Mix(v.prefetch_useful);
+  d.Mix(v.prefetch_wasted);
+  d.Mix(v.prefetch_suggestions_dropped);
+  d.Mix(v.victim_tlb_hits);
+  d.Mix(v.victim_tlb_misses);
+  d.Mix(v.coalesced_bursts);
+  d.Mix(v.coalesced_pages);
+  d.Mix(v.fault_service_us.count());
+  d.MixDouble(v.fault_service_us.sum());
+  d.MixDouble(v.fault_service_us.min());
+  d.MixDouble(v.fault_service_us.max());
+  d.Mix(r.imu.accesses);
+  d.Mix(r.imu.reads);
+  d.Mix(r.imu.writes);
+  d.Mix(r.imu.faults);
+  d.Mix(static_cast<u64>(r.imu.fault_stall_time));
+  d.Mix(static_cast<u64>(r.imu.access_latency_time));
+  d.Mix(r.tlb.lookups);
+  d.Mix(r.tlb.hits);
+  d.Mix(r.tlb.misses);
+  d.Mix(r.tlb.parity_errors);
+  d.Mix(r.tlb.installs);
+}
+
+template <typename T>
+std::span<const u8> AsBytes(const std::vector<T>& v) {
+  return std::span<const u8>(reinterpret_cast<const u8*>(v.data()),
+                             v.size() * sizeof(T));
+}
+
+struct RunResult {
+  u64 digest = 0;
+  u64 events = 0;
+};
+
+// ----- sweep A: the torture grid -----
+
+RunResult TortureRunPoint(u64 seed, bool fastforward) {
+  os::KernelConfig config = Epxa1Config();
+  config.sim_tuning.fastforward = fastforward;
+  FpgaSystem sys(config);
+  FaultPlan plan = FaultPlan::Random(seed);
+  sys.kernel().InstallFaultPlan(&plan);
+
+  Digest d;
+  auto digest_run = [&](const auto& run) {
+    d.Mix(run.ok() ? 1 : 0);
+    if (run.ok()) {
+      d.MixBytes(AsBytes(run.value().output));
+      MixReport(d, run.value().report);
+    } else {
+      d.MixBytes(std::span<const u8>(
+          reinterpret_cast<const u8*>(run.status().ToString().data()),
+          run.status().ToString().size()));
+    }
+  };
+  switch (seed % 4) {
+    case 0:
+      digest_run(runtime::RunAdpcmVim(sys, apps::MakeAdpcmStream(2048, seed)));
+      break;
+    case 1: {
+      const apps::IdeaSubkeys subkeys =
+          apps::IdeaExpandKey(apps::MakeIdeaKey(seed));
+      digest_run(
+          runtime::RunIdeaVim(sys, subkeys, apps::MakeRandomBytes(1024, seed)));
+      break;
+    }
+    case 2: {
+      std::vector<u32> a(512), b(512);
+      for (u32 i = 0; i < 512; ++i) {
+        a[i] = static_cast<u32>(seed) * 1000003u + i;
+        b[i] = static_cast<u32>(seed) * 7919u + 3u * i;
+      }
+      digest_run(runtime::RunVecAddVim(sys, a, b));
+      break;
+    }
+    default: {
+      const std::vector<u8> image = apps::MakeTestImage(48, 24, seed);
+      digest_run(runtime::RunConv3x3Vim(sys, image, 48, 24,
+                                        apps::BoxBlurKernel(), 3));
+      break;
+    }
+  }
+  d.Mix(static_cast<u64>(sys.kernel().simulator().now()));
+  d.Mix(plan.total_injected());
+  for (usize s = 0; s < kNumFaultSites; ++s) {
+    const FaultSiteStats& st = plan.stats(static_cast<FaultSite>(s));
+    d.Mix(st.opportunities);
+    d.Mix(st.injected);
+  }
+  sys.kernel().simulator().DrainAssertQuiescent();
+  return RunResult{d.value(), sys.kernel().simulator().events_dispatched()};
+}
+
+// ----- sweep B: the conv2d prefetch grid -----
+
+constexpr os::PrefetchKind kKinds[] = {
+    os::PrefetchKind::kNone, os::PrefetchKind::kSequential,
+    os::PrefetchKind::kStride, os::PrefetchKind::kAdaptive};
+constexpr struct {
+  u32 width;
+  u32 height;
+} kShapes[] = {{256, 24}, {512, 24}, {1024, 24}, {2048, 24}};
+constexpr usize kConvPoints = std::size(kShapes) * std::size(kKinds);
+
+RunResult ConvRunPoint(usize index, bool fastforward) {
+  const auto shape = kShapes[index / std::size(kKinds)];
+  os::KernelConfig config = Epxa1Config();
+  config.vim.prefetch = kKinds[index % std::size(kKinds)];
+  config.vim.prefetch_depth = 2;
+  config.vim.overlap_prefetch = true;
+  config.sim_tuning.fastforward = fastforward;
+  FpgaSystem sys(config);
+
+  const std::vector<u8> image =
+      apps::MakeTestImage(shape.width, shape.height, 11);
+  std::vector<u8> expect(image.size());
+  apps::Convolve3x3(image, shape.width, shape.height, apps::SharpenKernel(),
+                    0, expect);
+  const auto run = runtime::RunConv3x3Vim(sys, image, shape.width,
+                                          shape.height, apps::SharpenKernel(),
+                                          0);
+  VCOP_CHECK_MSG(run.ok(), run.status().ToString());
+  VCOP_CHECK_MSG(run.value().output == expect, "conv2d output mismatch");
+
+  Digest d;
+  d.MixBytes(AsBytes(run.value().output));
+  MixReport(d, run.value().report);
+  d.Mix(static_cast<u64>(sys.kernel().simulator().now()));
+  sys.kernel().simulator().DrainAssertQuiescent();
+  return RunResult{d.value(), sys.kernel().simulator().events_dispatched()};
+}
+
+// ----- mode runner -----
+
+struct ModeRow {
+  std::string name;
+  u32 threads = 1;
+  WallMeasurement wall;
+  u64 events = 0;
+  u64 digest = 0;
+};
+
+template <typename PointFn>
+ModeRow RunMode(const char* name, usize count, bool fastforward, u32 threads,
+                int repeats, PointFn&& point) {
+  ModeRow row;
+  row.name = name;
+  row.threads = sim::FleetThreadCount(threads);
+  auto pass = [&] {
+    const std::vector<RunResult> results = sim::FleetMap<RunResult>(
+        count, [&](usize i) { return point(i, fastforward); }, threads);
+    // Order-independent only across *identical orderings*: results land
+    // by index, so this fold is deterministic for any thread count.
+    Digest d;
+    u64 events = 0;
+    for (const RunResult& r : results) {
+      d.Mix(r.digest);
+      events += r.events;
+    }
+    row.digest = d.value();
+    row.events = events;
+  };
+  row.wall = MeasureWall(repeats, pass);
+  std::printf("  %-22s threads=%-2u wall %8.1f ms  (warm-up %8.1f ms)  "
+              "events %12llu\n",
+              name, row.threads, row.wall.best_ms, row.wall.warmup_ms,
+              static_cast<unsigned long long>(row.events));
+  return row;
+}
+
+struct Sweep {
+  std::string name;
+  usize runs = 0;
+  std::vector<ModeRow> modes;  // [0]=cycle 1t, [1]=ff 1t, [2]=ff fleet
+  bool bit_identical() const {
+    return modes[0].digest == modes[1].digest &&
+           modes[0].digest == modes[2].digest;
+  }
+  double event_reduction() const {
+    return modes[1].events == 0
+               ? 0.0
+               : static_cast<double>(modes[0].events) /
+                     static_cast<double>(modes[1].events);
+  }
+};
+
+// ----- artifact identity -----
+
+/// The Figure-7 waveform: a one-element vecadd with the tracer
+/// attached. An attached tracer vetoes the fast-forward tier by
+/// construction (DESIGN.md §11) — this check pins that contract: the
+/// VCD text must come out byte-identical either way.
+std::string VecAddVcd(bool fastforward) {
+  os::KernelConfig config = Epxa1Config();
+  config.sim_tuning.fastforward = fastforward;
+  FpgaSystem sys(config);
+  sim::Tracer tracer;
+  VCOP_CHECK(sys.Load(cp::VecAddBitstream()).ok());
+  sys.kernel().imu()->AttachTracer(&tracer);
+  auto a = sys.Allocate<u32>(1);
+  auto b = sys.Allocate<u32>(1);
+  auto c = sys.Allocate<u32>(1);
+  VCOP_CHECK(a.ok() && b.ok() && c.ok());
+  a.value().view()[0] = 0x0000CAFE;
+  b.value().view()[0] = 0x00000001;
+  VCOP_CHECK(sys.Map(0, a.value(), os::Direction::kIn).ok());
+  VCOP_CHECK(sys.Map(1, b.value(), os::Direction::kIn).ok());
+  VCOP_CHECK(sys.Map(2, c.value(), os::Direction::kOut).ok());
+  auto report = sys.Execute({1u});
+  VCOP_CHECK_MSG(report.ok(), report.status().ToString());
+  VCOP_CHECK(c.value().view()[0] == 0x0000CAFF);
+  return tracer.ToVcd();
+}
+
+/// The edge-detect-style Chrome trace: conv2d with the timeline
+/// recorder. Unlike the VCD, the timeline does NOT veto the tier, so
+/// every recorded fault-service and transfer span must carry the exact
+/// same simulated timestamps under analytic jumps.
+std::string ConvChromeTrace(bool fastforward) {
+  os::KernelConfig config = Epxa1Config();
+  config.vim.prefetch = os::PrefetchKind::kSequential;
+  config.vim.overlap_prefetch = true;
+  config.sim_tuning.fastforward = fastforward;
+  FpgaSystem sys(config);
+  const std::vector<u8> image = apps::MakeTestImage(96, 24, 7);
+  const auto run = runtime::RunConv3x3Vim(sys, image, 96, 24,
+                                          apps::SharpenKernel(), 0);
+  VCOP_CHECK_MSG(run.ok(), run.status().ToString());
+  return sys.kernel().timeline().ToChromeTrace();
+}
+
+// ----- JSON -----
+
+void WriteJson(const std::vector<Sweep>& sweeps, bool vcd_identical,
+               bool trace_identical, bool all_gates) {
+  std::FILE* f = std::fopen("BENCH_fastforward.json", "w");
+  VCOP_CHECK_MSG(f != nullptr,
+                 "cannot open BENCH_fastforward.json for writing");
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fastforward\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"sweeps\": [\n");
+  for (usize s = 0; s < sweeps.size(); ++s) {
+    const Sweep& sw = sweeps[s];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", sw.name.c_str());
+    std::fprintf(f, "      \"runs\": %zu,\n", sw.runs);
+    std::fprintf(f, "      \"modes\": [\n");
+    for (usize m = 0; m < sw.modes.size(); ++m) {
+      const ModeRow& row = sw.modes[m];
+      std::fprintf(f,
+                   "        {\"mode\": \"%s\", \"threads\": %u, "
+                   "\"wall_ms\": %.3f, \"warmup_ms\": %.3f, "
+                   "\"repeats\": %d, \"events\": %llu}%s\n",
+                   row.name.c_str(), row.threads, row.wall.best_ms,
+                   row.wall.warmup_ms, row.wall.repeats,
+                   static_cast<unsigned long long>(row.events),
+                   m + 1 < sw.modes.size() ? "," : "");
+    }
+    std::fprintf(f, "      ],\n");
+    std::fprintf(f, "      \"bit_identical\": %s,\n",
+                 sw.bit_identical() ? "true" : "false");
+    std::fprintf(f, "      \"event_reduction\": %.2f,\n",
+                 sw.event_reduction());
+    std::fprintf(f, "      \"wall_speedup_1thread\": %.2f,\n",
+                 sw.modes[1].wall.best_ms > 0.0
+                     ? sw.modes[0].wall.best_ms / sw.modes[1].wall.best_ms
+                     : 0.0);
+    std::fprintf(f, "      \"wall_speedup_fleet\": %.2f\n",
+                 sw.modes[2].wall.best_ms > 0.0
+                     ? sw.modes[0].wall.best_ms / sw.modes[2].wall.best_ms
+                     : 0.0);
+    std::fprintf(f, "    }%s\n", s + 1 < sweeps.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"artifacts\": {\"fig7_vcd_identical\": %s, "
+                  "\"timeline_trace_identical\": %s},\n",
+               vcd_identical ? "true" : "false",
+               trace_identical ? "true" : "false");
+  std::fprintf(f, "  \"gates_pass\": %s\n", all_gates ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Main() {
+  // Hung-coprocessor plans are an expected slice of the torture grid;
+  // their per-run VIM abort warnings would drown the tables. Configured
+  // up front, before any fleet runs (the Logger contract in base/log.h).
+  Logger::Get().set_min_level(LogLevel::kError);
+  const u32 plans = EnvCount("FF_PLANS", 1000);
+  const int repeats = static_cast<int>(EnvCount("FF_REPEATS", 1));
+  const u32 fleet_threads = sim::FleetThreadCount();
+  std::printf("== fast-forward tier + fleet runner ==\n");
+  std::printf("torture plans: %u   conv2d points: %zu   repeats: %d   "
+              "fleet threads: %u (hardware: %u)\n\n",
+              plans, kConvPoints, repeats, fleet_threads,
+              std::thread::hardware_concurrency());
+
+  std::vector<Sweep> sweeps;
+
+  {
+    std::printf("torture sweep (%u randomized fault plans):\n", plans);
+    Sweep sw;
+    sw.name = "torture";
+    sw.runs = plans;
+    auto point = [](usize i, bool ff) {
+      return TortureRunPoint(static_cast<u64>(i) + 1, ff);
+    };
+    sw.modes.push_back(
+        RunMode("cycle 1-thread", plans, false, 1, repeats, point));
+    sw.modes.push_back(
+        RunMode("fastforward 1-thread", plans, true, 1, repeats, point));
+    sw.modes.push_back(
+        RunMode("fastforward fleet", plans, true, 0, repeats, point));
+    sweeps.push_back(std::move(sw));
+  }
+  {
+    std::printf("conv2d sweep (%zu shape x strategy points):\n", kConvPoints);
+    Sweep sw;
+    sw.name = "conv2d";
+    sw.runs = kConvPoints;
+    auto point = [](usize i, bool ff) { return ConvRunPoint(i, ff); };
+    sw.modes.push_back(
+        RunMode("cycle 1-thread", kConvPoints, false, 1, repeats, point));
+    sw.modes.push_back(
+        RunMode("fastforward 1-thread", kConvPoints, true, 1, repeats, point));
+    sw.modes.push_back(
+        RunMode("fastforward fleet", kConvPoints, true, 0, repeats, point));
+    sweeps.push_back(std::move(sw));
+  }
+
+  const bool vcd_identical = VecAddVcd(true) == VecAddVcd(false);
+  const bool trace_identical = ConvChromeTrace(true) == ConvChromeTrace(false);
+
+  std::printf("\nsummary:\n");
+  bool pass = true;
+  auto gate = [&](const char* name, bool ok) {
+    std::printf("  %-44s %s\n", name, ok ? "pass" : "FAIL");
+    if (!ok) pass = false;
+  };
+  for (const Sweep& sw : sweeps) {
+    std::printf("  %s: event reduction %.1fx, wall speedup %.2fx "
+                "(1 thread) / %.2fx (fleet, %u threads)\n",
+                sw.name.c_str(), sw.event_reduction(),
+                sw.modes[0].wall.best_ms / sw.modes[1].wall.best_ms,
+                sw.modes[0].wall.best_ms / sw.modes[2].wall.best_ms,
+                sw.modes[2].threads);
+  }
+  gate("torture: bit-identical across engines+fleet",
+       sweeps[0].bit_identical());
+  gate("torture: event reduction >= 2x", sweeps[0].event_reduction() >= 2.0);
+  gate("conv2d: bit-identical across engines+fleet",
+       sweeps[1].bit_identical());
+  gate("conv2d: event reduction >= 4x", sweeps[1].event_reduction() >= 4.0);
+  gate("fig7 VCD byte-identical (tracer vetoes tier)", vcd_identical);
+  gate("conv2d Chrome trace byte-identical", trace_identical);
+  std::printf("  (wall-clock speedup depends on the host and is reported, "
+              "not gated)\n");
+
+  WriteJson(sweeps, vcd_identical, trace_identical, pass);
+  std::printf("wrote BENCH_fastforward.json\n");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

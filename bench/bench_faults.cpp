@@ -16,6 +16,7 @@
 #include "base/fault.h"
 #include "bench/common.h"
 #include "os/vim.h"
+#include "sim/fleet.h"
 
 namespace vcop {
 namespace {
@@ -134,9 +135,31 @@ int Main() {
   u64 per_workload_completed[kNumWorkloads] = {};
   u64 per_workload_failed[kNumWorkloads] = {};
 
+  // Each seed is an isolated (plan, system, workload) simulation: fan
+  // the sweep out over the fleet, collect per-seed results by index,
+  // and aggregate sequentially so every printed number (and the JSON)
+  // is identical to the old single-threaded loop.
+  struct SeedResult {
+    Outcome out;
+    u64 injected = 0;
+    std::array<FaultSiteStats, kNumFaultSites> sites{};
+  };
+  const std::vector<SeedResult> results = sim::FleetMap<SeedResult>(
+      plans, [](usize i) {
+        const u64 seed = static_cast<u64>(i) + 1;
+        FaultPlan plan = FaultPlan::Random(seed);
+        SeedResult r;
+        r.out = RunOne(seed, &plan);
+        r.injected = plan.total_injected();
+        for (usize s = 0; s < kNumFaultSites; ++s) {
+          r.sites[s] = plan.stats(static_cast<FaultSite>(s));
+        }
+        return r;
+      });
+
   for (u64 seed = 1; seed <= plans; ++seed) {
-    FaultPlan plan = FaultPlan::Random(seed);
-    const Outcome out = RunOne(seed, &plan);
+    const SeedResult& result = results[seed - 1];
+    const Outcome& out = result.out;
     if (out.ok && out.exact) {
       ++completed;
       ++per_workload_completed[seed % kNumWorkloads];
@@ -148,11 +171,10 @@ int Main() {
       ++failed;
       ++per_workload_failed[seed % kNumWorkloads];
     }
-    injected_total += plan.total_injected();
+    injected_total += result.injected;
     for (usize s = 0; s < kNumFaultSites; ++s) {
-      const auto& stats = plan.stats(static_cast<FaultSite>(s));
-      sites[s].opportunities += stats.opportunities;
-      sites[s].injected += stats.injected;
+      sites[s].opportunities += result.sites[s].opportunities;
+      sites[s].injected += result.sites[s].injected;
     }
     Accumulate(recovery, out.service);
   }

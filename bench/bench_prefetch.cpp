@@ -30,6 +30,7 @@
 #include "cp/registry.h"
 #include "os/vcopd.h"
 #include "os/vim.h"
+#include "sim/fleet.h"
 
 namespace vcop {
 namespace {
@@ -193,10 +194,18 @@ int Main() {
   conv_table.set_title(
       "conv2d 3x3 (sharpen), overlap prefetch depth 2, by strategy");
   KindTotals totals[4];
-  for (const Shape& shape : shapes) {
+  // All 16 (shape, strategy) points are independent simulations: fan
+  // them out over the fleet, then aggregate in the original loop order.
+  const std::vector<ConvOutcome> conv_runs = sim::FleetMap<ConvOutcome>(
+      std::size(shapes) * 4, [&shapes](usize i) {
+        const Shape& shape = shapes[i / 4];
+        return RunConvPoint(KindConfig(kKinds[i % 4]), shape.width,
+                            shape.height);
+      });
+  for (usize s = 0; s < std::size(shapes); ++s) {
+    const Shape& shape = shapes[s];
     for (usize k = 0; k < 4; ++k) {
-      const ConvOutcome out = RunConvPoint(KindConfig(kKinds[k]),
-                                           shape.width, shape.height);
+      const ConvOutcome& out = conv_runs[s * 4 + k];
       const os::VimAccounting& vim = out.report.vim;
       totals[k].faults += vim.faults;
       totals[k].issued += vim.prefetched_pages;
@@ -265,12 +274,20 @@ int Main() {
   };
   StreamPoint stream[2][4];
   const char* stream_names[2] = {"adpcmdecode", "IDEA"};
+  struct StreamRun {
+    bench::Point adpcm;
+    bench::Point idea;
+  };
+  const std::vector<StreamRun> stream_runs =
+      sim::FleetMap<StreamRun>(4, [](usize k) {
+        return StreamRun{bench::RunAdpcmPoint(KindConfig(kKinds[k]), 8192),
+                         bench::RunIdeaPoint(KindConfig(kKinds[k]), 32768)};
+      });
   for (usize k = 0; k < 4; ++k) {
-    const bench::Point a = bench::RunAdpcmPoint(KindConfig(kKinds[k]), 8192);
-    const bench::Point i = bench::RunIdeaPoint(KindConfig(kKinds[k]), 32768);
-    stream[0][k].total = a.vim.total;
-    stream[1][k].total = i.vim.total;
-    const bench::Point* points[2] = {&a, &i};
+    stream[0][k].total = stream_runs[k].adpcm.vim.total;
+    stream[1][k].total = stream_runs[k].idea.vim.total;
+    const bench::Point* points[2] = {&stream_runs[k].adpcm,
+                                     &stream_runs[k].idea};
     for (usize w = 0; w < 2; ++w) {
       const double ratio =
           stream[w][1].total > 0
@@ -305,8 +322,10 @@ int Main() {
   }
 
   // ----- scenario 3: victim TLB -----
-  const FleetOutcome with_victims = RunVictimFleet(16);
-  const FleetOutcome no_victims = RunVictimFleet(0);
+  const std::vector<FleetOutcome> victim_runs = sim::FleetMap<FleetOutcome>(
+      2, [](usize i) { return RunVictimFleet(i == 0 ? 16 : 0); });
+  const FleetOutcome& with_victims = victim_runs[0];
+  const FleetOutcome& no_victims = victim_runs[1];
   std::printf(
       "victim TLB (vcopd, untagged flush-on-switch, 2 adpcm tenants):\n"
       "  16 entries: %llu hits / %llu misses, makespan %.1f us\n"
@@ -337,12 +356,16 @@ int Main() {
   }
 
   // ----- scenario 4: coalesced write-back -----
-  const bench::Point cpu_off =
-      RunCoalescePoint(mem::CopyMode::kDoubleCopy, false);
-  const bench::Point cpu_on =
-      RunCoalescePoint(mem::CopyMode::kDoubleCopy, true);
-  const bench::Point dma_off = RunCoalescePoint(mem::CopyMode::kDma, false);
-  const bench::Point dma_on = RunCoalescePoint(mem::CopyMode::kDma, true);
+  const std::vector<bench::Point> coalesce_runs =
+      sim::FleetMap<bench::Point>(4, [](usize i) {
+        const mem::CopyMode mode =
+            i < 2 ? mem::CopyMode::kDoubleCopy : mem::CopyMode::kDma;
+        return RunCoalescePoint(mode, i % 2 == 1);
+      });
+  const bench::Point& cpu_off = coalesce_runs[0];
+  const bench::Point& cpu_on = coalesce_runs[1];
+  const bench::Point& dma_off = coalesce_runs[2];
+  const bench::Point& dma_on = coalesce_runs[3];
   std::printf(
       "coalesced write-back (adpcm 8 KB, end-of-operation flush):\n"
       "  double-copy: %.3f ms per-page vs %.3f ms coalesced "

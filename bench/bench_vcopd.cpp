@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "sim/fleet.h"
 #include "cp/adpcm_cp.h"
 #include "cp/idea_cp.h"
 #include "cp/registry.h"
@@ -330,8 +331,12 @@ int Main() {
   };
   os::VcopdConfig fifo;
   fifo.policy = os::ServicePolicy::kFifoBatch;
-  const FleetResult under_fair = RunFleet(contended, fair);
-  const FleetResult under_fifo = RunFleet(contended, fifo);
+  // The two policies are independent simulations of the same tenant
+  // spec — run them side by side on the fleet runner.
+  const std::vector<FleetResult> policy_runs = sim::FleetMap<FleetResult>(
+      2, [&](usize i) { return RunFleet(contended, i == 0 ? fair : fifo); });
+  const FleetResult& under_fair = policy_runs[0];
+  const FleetResult& under_fifo = policy_runs[1];
   PrintFleetTable("fairness: fair share", under_fair);
   PrintFleetTable("fairness: FIFO + bit-stream batching", under_fifo);
   const Picoseconds small_fair =
@@ -364,8 +369,11 @@ int Main() {
   tagged.time_slice = 50ull * 1000 * 1000;  // many switches
   os::VcopdConfig untagged = tagged;
   untagged.asid_tagging = false;
-  const FleetResult with_tags = RunFleet(streaming, tagged);
-  const FleetResult no_tags = RunFleet(streaming, untagged);
+  const std::vector<FleetResult> tag_runs = sim::FleetMap<FleetResult>(
+      2,
+      [&](usize i) { return RunFleet(streaming, i == 0 ? tagged : untagged); });
+  const FleetResult& with_tags = tag_runs[0];
+  const FleetResult& no_tags = tag_runs[1];
   PrintFleetTable("asid: tagged TLB", with_tags);
   PrintFleetTable("asid: flush-on-switch baseline", no_tags);
   std::printf(

@@ -4,6 +4,7 @@
 // prints consistent numbers.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,50 @@
 namespace vcop::bench {
 
 inline constexpr u64 kWorkloadSeed = 20040216;  // DATE'04 week, Paris
+
+/// Monotonic wall-clock timer for host-side measurements. Always
+/// steady_clock: system_clock can be slewed by NTP mid-run, which
+/// silently corrupts speedup ratios.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct WallMeasurement {
+  double warmup_ms = 0.0;  // first run: cold allocator, cold caches
+  double best_ms = 0.0;    // fastest of the post-warm-up repeats
+  int repeats = 0;
+};
+
+/// Times fn() once as warm-up and then `repeats` more times, keeping
+/// the fastest. The warm-up run is reported separately, never mixed
+/// into best_ms (with repeats == 0, best_ms falls back to the warm-up
+/// time so callers always get a usable number).
+template <typename Fn>
+WallMeasurement MeasureWall(int repeats, Fn&& fn) {
+  WallMeasurement m;
+  m.repeats = repeats;
+  WallTimer timer;
+  fn();
+  m.warmup_ms = timer.ElapsedMs();
+  m.best_ms = m.warmup_ms;
+  for (int i = 0; i < repeats; ++i) {
+    timer.Reset();
+    fn();
+    const double ms = timer.ElapsedMs();
+    if (i == 0 || ms < m.best_ms) m.best_ms = ms;
+  }
+  return m;
+}
 
 struct Point {
   usize input_bytes = 0;
@@ -51,6 +96,9 @@ inline Point RunAdpcmPoint(const os::KernelConfig& config,
   VCOP_CHECK_MSG(run.value().output == expect,
                  "adpcm coprocessor output mismatch");
   point.vim = run.value().report;
+  // End-of-run audit: anything still queued must drain without ticking
+  // another clock edge (Debug builds abort otherwise).
+  sys.kernel().simulator().DrainAssertQuiescent();
   return point;
 }
 
@@ -87,6 +135,7 @@ inline Point RunIdeaPoint(const os::KernelConfig& config,
     point.manual_fits = true;
     point.manual = manual.value().result;
   }
+  sys.kernel().simulator().DrainAssertQuiescent();
   return point;
 }
 

@@ -16,8 +16,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Returns "DEBUG", "INFO", "WARN" or "ERROR".
 std::string_view ToString(LogLevel level);
 
-/// Process-wide logging configuration. Not thread-safe by design: the
-/// simulator is single-threaded (one event loop), matching its domain.
+/// Process-wide logging configuration. Each simulator is
+/// single-threaded (one event loop), but fleet runs (sim/fleet.h) emit
+/// from several simulators at once, so the contract is: configure
+/// (set_sink / set_min_level) only while no fleet is running; emitting
+/// is concurrency-safe as long as the sink is — the default sink is a
+/// single fprintf per message, which stdio serialises.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, std::string_view)>;

@@ -157,6 +157,8 @@ void Imu::Issue(const CpAccess& access) {
   state_ = State::kTranslating;
   if (ObservationsNeeded() == 0) {
     Translate();
+  } else if (TryFastForward()) {
+    // Resolved analytically; the IMU clock never wakes for this access.
   } else if (own_domain_ != nullptr) {
     own_domain_->Kick();
   }
@@ -260,7 +262,59 @@ Picoseconds Imu::NextOwnEdgeTime() const {
   return next_edge_memo_;
 }
 
-void Imu::Translate() {
+Picoseconds Imu::OwnEdgeStrictlyAfter(Picoseconds t) const {
+  const Frequency f = own_domain_->frequency();
+  return f.EdgeTime(f.CyclesAt(t) + 1);
+}
+
+bool Imu::TryFastForward() {
+  if (!sim_.tuning().fastforward) return false;
+  if (own_domain_ == nullptr || cp_domain_ == nullptr) return false;
+  // Uncertain edges the analytic path cannot model: a posted write's
+  // independent ack/retire lifecycle, waveform tracing of the
+  // in-between edges, or an OS veto (background VIM activity that may
+  // touch translations). Armed CP-port fault sites need no veto:
+  // TranslateAt replays their RNG draws at the same simulated time and
+  // in the same order as the cycle engine (the AnalyticJumpAllowed
+  // check below admits the jump only when nothing else can interleave
+  // a draw), and its hang/stall outcomes depend only on `when`.
+  if (posted_ || tracer_ != nullptr) return false;
+  if (ff_gate_ && !ff_gate_()) return false;
+  // Pure hit probe, mirroring TranslateAt's lookup exactly: the access
+  // must translate without a fault of any kind. Nothing can change the
+  // TLB between this probe and the analytic TranslateAt below — the
+  // AnalyticJumpAllowed check admits the jump only when no event is
+  // pending at or before the translation-complete edge.
+  const u32 width = elem_width_[current_.object];
+  if (width == 0) return false;
+  if (config_.bounds_check && elem_limit_[current_.object] != 0 &&
+      current_.index >= elem_limit_[current_.object]) {
+    return false;
+  }
+  const u64 offset = static_cast<u64>(current_.index) * width;
+  const mem::VirtPage vpage = geometry_.PageOf(offset);
+  const TcEntry& tc = tc_[current_.object];
+  if (!(config_.translation_cache && tc.valid &&
+        tc.generation == tlb_->generation() && tc.vpage == vpage)) {
+    const std::optional<u32> idx = tlb_->Probe(current_.object, vpage, asid_);
+    // Probe does not screen parity like Lookup does: a corrupt match
+    // would be a miss on the real path, so it declines the jump here.
+    if (!idx.has_value() || !tlb_->entry(*idx).parity_ok) return false;
+  }
+  // The whole burst on the clock grid: with N observation edges needed
+  // strictly after the issue edge, translation completes at the Nth
+  // IMU edge after the one at or before issue time, and data is valid
+  // on the edge after that (exactly where the cycle-stepped engine
+  // lands — see NextInterestingEdge/OnRisingEdge).
+  const Frequency f = own_domain_->frequency();
+  const u64 base = f.CyclesAt(sim_.now());
+  const Picoseconds translate_time = f.EdgeTime(base + ObservationsNeeded());
+  if (!sim_.AnalyticJumpAllowed(translate_time)) return false;
+  TranslateAt(translate_time);
+  return true;
+}
+
+void Imu::TranslateAt(Picoseconds when) {
   if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kCpHang)) {
     // The datapath wedges: no DP-RAM access, no fault, no kick. The
     // clock domain goes idle and only the VIM's watchdog (which sees no
@@ -307,9 +361,9 @@ void Imu::Translate() {
     ar_ = PackAr(current_.object, current_.index);
     sr_ |= kSrFaultPending;
     state_ = State::kFaultStalled;
-    fault_raised_at_ = sim_.now();
+    fault_raised_at_ = when;
     ++stats_.faults;
-    if (tracer_ != nullptr) tracer_->Record(sig_fault_, sim_.now(), 1);
+    if (tracer_ != nullptr) tracer_->Record(sig_fault_, when, 1);
     VCOP_LOG(kDebug, StrFormat("IMU fault: obj=%u index=%u",
                                current_.object, current_.index));
     irq_.Raise(InterruptCause::kPageFault);
@@ -330,7 +384,7 @@ void Imu::Translate() {
   }
   ar_ = PackAr(current_.object, current_.index);
 
-  ready_at_ = NextOwnEdgeTime();
+  ready_at_ = when == sim_.now() ? NextOwnEdgeTime() : OwnEdgeStrictlyAfter(when);
   if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kCpStall)) {
     // The port holds CP_TLBHIT low for extra cycles (e.g. DP-RAM
     // arbitration loss); the access completes late but correctly.

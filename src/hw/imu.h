@@ -177,6 +177,15 @@ class Imu final : public sim::ClockedModule, public CoprocessorPort {
   /// port (kCpStall, kCpHang, kSpuriousFault). Not owned.
   void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
 
+  /// OS-side veto over the fast-forward tier: when installed, an access
+  /// is only resolved analytically while the gate returns true. The VIM
+  /// uses it to decline fast-forwarding while background activity of
+  /// its own (overlapped prefetch in flight, a fault service being
+  /// costed) could touch translations. nullptr = no veto.
+  void set_fastforward_gate(std::function<bool()> gate) {
+    ff_gate_ = std::move(gate);
+  }
+
   // ----- CoprocessorPort (coprocessor-side interface) -----
   bool CanIssue() const override;
   void Issue(const CpAccess& access) override;
@@ -205,11 +214,28 @@ class Imu final : public sim::ClockedModule, public CoprocessorPort {
   };
 
   /// Performs the TLB lookup and, on a hit, the DP-RAM access;
-  /// otherwise raises the fault. Runs "at the end of" translation.
-  void Translate();
+  /// otherwise raises the fault. Runs "at the end of" translation —
+  /// `when` is the translation-complete timestamp, which is the current
+  /// simulation time on the cycle-stepped path and a future edge
+  /// computed from the clock grid on the fast-forward path.
+  void TranslateAt(Picoseconds when);
+  void Translate() { TranslateAt(sim_.now()); }
+
+  /// Fast-forward tier: when this access is provably a fault-free TLB
+  /// hit and nothing can interleave before it completes, run the
+  /// translation analytically at issue time (with the timestamps the
+  /// cycle-stepped engine would produce) and never wake the IMU clock.
+  /// Returns false — leaving all state untouched — at any uncertain
+  /// edge: TLB miss, armed CP-port fault site, posted write, attached
+  /// tracer, OS veto, or a pending event before the completion time.
+  bool TryFastForward();
 
   /// First IMU-grid edge strictly after the current simulation time.
   Picoseconds NextOwnEdgeTime() const;
+
+  /// First IMU-grid edge strictly after `t` (grid math only; no domain
+  /// state consulted — usable for future timestamps).
+  Picoseconds OwnEdgeStrictlyAfter(Picoseconds t) const;
 
   u32 ObservationsNeeded() const {
     return config_.pipelined ? 0 : config_.access_latency_cycles - 2;
@@ -272,6 +298,7 @@ class Imu final : public sim::ClockedModule, public CoprocessorPort {
   std::array<TcEntry, kMaxObjects> tc_{};
 
   std::function<void()> param_release_hook_;
+  std::function<bool()> ff_gate_;
   std::function<void(ObjectId, mem::VirtPage)> page_ref_probe_;
   ImuStats stats_;
   FaultPlan* fault_plan_ = nullptr;

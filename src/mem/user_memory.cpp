@@ -1,23 +1,61 @@
 #include "mem/user_memory.h"
 
+#include <cstdlib>
 #include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#endif
 
 #include "base/bitops.h"
 #include "base/table.h"
 
 namespace vcop::mem {
+namespace {
 
-UserMemory::UserMemory(u32 capacity_bytes) : backing_(capacity_bytes, 0) {
+// Anonymous mmap hands out zero pages that the kernel materialises only
+// on first touch, and munmap returns them without a pass over the
+// buffer. calloc is not enough here: glibc keeps a freed chunk this
+// size in its arena and memsets it on the next calloc, which puts the
+// full SDRAM wipe back on every system construction.
+u8* MapZeroed(u32 bytes) {
+#if defined(__unix__) || defined(__APPLE__)
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  return p == MAP_FAILED ? nullptr : static_cast<u8*>(p);
+#else
+  return static_cast<u8*>(std::calloc(bytes, 1));
+#endif
+}
+
+void UnmapZeroed(u8* p, u32 bytes) {
+#if defined(__unix__) || defined(__APPLE__)
+  ::munmap(p, bytes);
+#else
+  (void)bytes;
+  std::free(p);
+#endif
+}
+
+}  // namespace
+
+UserMemory::UserMemory(u32 capacity_bytes)
+    : backing_(MapZeroed(capacity_bytes)), capacity_(capacity_bytes) {
   VCOP_CHECK_MSG(capacity_bytes >= 64, "user memory unrealistically small");
+  VCOP_CHECK_MSG(backing_ != nullptr, "user memory allocation failed");
+}
+
+UserMemory::~UserMemory() {
+  if (backing_ != nullptr) UnmapZeroed(backing_, capacity_);
 }
 
 Result<UserAddr> UserMemory::Allocate(u32 size) {
   if (size == 0) return InvalidArgumentError("cannot allocate 0 bytes");
   const u32 base = static_cast<u32>(AlignUp(next_, 16));
-  if (static_cast<u64>(base) + size > backing_.size()) {
+  if (static_cast<u64>(base) + size > capacity_) {
     return ResourceExhaustedError(
         StrFormat("user memory exhausted: %u bytes requested, %zu free", size,
-                  backing_.size() - base));
+                  static_cast<usize>(capacity_ - base)));
   }
   next_ = base + size;
   regions_.push_back(Region{base, size});
@@ -38,14 +76,14 @@ std::span<u8> UserMemory::View(UserAddr addr, u32 len) {
   VCOP_CHECK_MSG(Contains(addr, len),
                  StrFormat("user memory access [%u,+%u) not allocated", addr,
                            len));
-  return std::span<u8>(backing_.data() + addr, len);
+  return std::span<u8>(backing_ + addr, len);
 }
 
 std::span<const u8> UserMemory::View(UserAddr addr, u32 len) const {
   VCOP_CHECK_MSG(Contains(addr, len),
                  StrFormat("user memory access [%u,+%u) not allocated", addr,
                            len));
-  return std::span<const u8>(backing_.data() + addr, len);
+  return std::span<const u8>(backing_ + addr, len);
 }
 
 void UserMemory::WriteBytes(UserAddr addr, std::span<const u8> data) {

@@ -23,6 +23,9 @@ class UserMemory {
   /// `capacity_bytes` bounds the total allocatable space (EPXA1 board:
   /// 64 MB SDRAM).
   explicit UserMemory(u32 capacity_bytes);
+  ~UserMemory();
+  UserMemory(const UserMemory&) = delete;
+  UserMemory& operator=(const UserMemory&) = delete;
 
   /// Allocates `size` bytes (16-byte aligned), zero-initialised.
   /// Fails with RESOURCE_EXHAUSTED when the space is exhausted.
@@ -40,11 +43,15 @@ class UserMemory {
   void WriteBytes(UserAddr addr, std::span<const u8> data);
   void ReadBytes(UserAddr addr, std::span<u8> data) const;
 
-  u32 capacity() const { return static_cast<u32>(backing_.size()); }
+  u32 capacity() const { return capacity_; }
   u32 allocated() const { return next_; }
 
  private:
-  std::vector<u8> backing_;
+  // mmap-backed so the OS hands out zero pages lazily: a fleet sweep
+  // constructs thousands of systems, and eagerly memset-ing the full
+  // SDRAM (16-64 MB) per construction would dominate short runs.
+  u8* backing_ = nullptr;
+  u32 capacity_ = 0;
   u32 next_ = 16;  // address 0 stays unmapped, as a null-pointer guard
   struct Region {
     UserAddr base;

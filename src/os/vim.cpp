@@ -45,6 +45,7 @@ void Vim::SetPrefetcher(std::unique_ptr<Prefetcher> prefetcher) {
 void Vim::BindImu(hw::Imu* imu) {
   imu_ = imu;
   if (imu_ == nullptr) return;
+  imu_->set_fastforward_gate([this] { return FastForwardSafe(); });
   imu_->set_param_release_hook([this] {
     if (space_->param_frame.has_value()) {
       pages_.Unpin(*space_->param_frame);

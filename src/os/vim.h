@@ -313,6 +313,18 @@ class Vim {
   /// fault's write-back path stays correct) and counts the drop.
   void OnTlbParityDrop(const hw::TlbEntry& dropped);
 
+  /// OS-side eligibility for the IMU's fast-forward tier (installed as
+  /// the IMU's gate by BindImu): declines while VIM background
+  /// activity is pending — an overlapped prefetch still in flight, or
+  /// a fault service whose restart is still being costed — i.e. while
+  /// completion events that will touch translations or frame state are
+  /// outstanding. The simulator's pending-event check already
+  /// guarantees bit-identity on its own; this veto keeps the fast path
+  /// from probing at all inside windows it could never win.
+  bool FastForwardSafe() const {
+    return !fault_service_pending_ && in_flight_.empty();
+  }
+
   const VimAccounting& accounting() const { return space_->accounting; }
   const VimConfig& config() const { return config_; }
   const CostModel& costs() const { return costs_; }

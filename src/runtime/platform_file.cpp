@@ -96,7 +96,11 @@ Result<os::KernelConfig> ParsePlatformFile(std::string_view text) {
     auto boolean = [&]() -> Result<bool> {
       const std::optional<bool> v = ParseBool(value);
       if (!v.has_value()) {
-        return LineError(line_number, "expected true/false");
+        return LineError(
+            line_number,
+            StrFormat("'%s' must be a boolean (true/false, yes/no, on/off, "
+                      "1/0), got '%s'",
+                      key.c_str(), value.c_str()));
       }
       return *v;
     };
@@ -195,6 +199,10 @@ Result<os::KernelConfig> ParsePlatformFile(std::string_view text) {
       Result<bool> v = boolean();
       if (!v.ok()) return v.status();
       config.vim.coalesce_writeback = v.value();
+    } else if (key == "fastforward") {
+      Result<bool> v = boolean();
+      if (!v.ok()) return v.status();
+      config.sim_tuning.fastforward = v.value();
     } else {
       return LineError(line_number, "unknown key '" + key + "'");
     }
@@ -241,6 +249,8 @@ std::string WritePlatformFile(const os::KernelConfig& config) {
                    config.vim.victim_tlb_entries);
   out += StrFormat("coalesce_writeback = %s\n",
                    config.vim.coalesce_writeback ? "true" : "false");
+  out += StrFormat("fastforward = %s\n",
+                   config.sim_tuning.fastforward ? "true" : "false");
   return out;
 }
 

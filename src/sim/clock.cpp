@@ -180,9 +180,24 @@ void ClockDomain::TickEvent(u64 token) {
         // demanded edge instead of sleeping, with dormant (resume)
         // semantics — the edges slept through until then never happen.
         const u64 d = *std::min_element(demands_.begin(), demands_.end());
+        const Picoseconds d_time = freq_.EdgeTime(d);
+        if (sim_.tuning().fastforward && inline_left > 0 &&
+            sim_.InlineTickAllowed(d_time, priority_)) {
+          // Fast-forward: resume from dormancy inside this same
+          // dispatched event. Identical to scheduling the wake and
+          // dispatching it next — which InlineTickAllowed guarantees
+          // it would be — minus the event-queue round trip. The edges
+          // slept through still never happen (no tick, no credit).
+          --inline_left;
+          next_edge_ = d;
+          pending_edge_ = d;
+          pending_time_ = d_time;
+          sim_.queue().AdvanceNow(d_time);
+          continue;
+        }
         in_tick_ = false;
         pending_is_resume_ = true;
-        ScheduleTick(d);
+        ScheduleTick(d, d_time);
         return;
       }
       in_tick_ = false;

@@ -1,0 +1,61 @@
+#include "sim/fleet.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace vcop::sim {
+
+u32 FleetThreadCount(u32 requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("VCOP_FLEET_THREADS")) {
+    const long n = std::atol(env);
+    if (n > 0) return static_cast<u32>(n);
+  }
+  const u32 hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void RunFleet(usize count, const std::function<void(usize)>& task,
+              u32 threads) {
+  if (count == 0) return;
+  u32 workers = FleetThreadCount(threads);
+  if (workers > count) workers = static_cast<u32>(count);
+  if (workers <= 1) {
+    // Degenerate pool: run inline. Keeps single-thread runs (and the
+    // reference timing numbers in BENCH_fastforward.json) free of any
+    // thread setup cost, and exceptions propagate naturally.
+    for (usize i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  std::atomic<usize> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const usize i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (u32 t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace vcop::sim

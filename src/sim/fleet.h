@@ -1,0 +1,54 @@
+// Parallel fleet runner: many fully-isolated simulator instances, one
+// per worker thread, over an index grid.
+//
+// Every simulation in this codebase is a value: a task builds its own
+// FpgaSystem (simulator, memories, IMU, VIM) from a shared *read-only*
+// config, runs it, and returns a result — no globals are written on the
+// hot path. That makes the (seed × tenant-mix × design) sweeps of the
+// torture harness and the benches embarrassingly parallel: the fleet
+// runner fans the index space out over a worker pool with dynamic
+// (atomic-claim) load balancing, while results land in a vector slot
+// keyed by index — so aggregation order, and therefore every printed
+// table and JSON artifact, is deterministic regardless of thread count
+// or scheduling.
+//
+// Determinism argument: task i sees only (i, the immutable inputs) and
+// writes only results[i]; the happens-before edges are fork (inputs
+// published before workers start) and join (all writes complete before
+// the caller reads). Worker count changes who computes an index, never
+// what it computes or where it lands. The tsan CI job runs the
+// differential and torture suites under ThreadSanitizer to keep this
+// honest.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "base/types.h"
+
+namespace vcop::sim {
+
+/// Worker threads to use: `requested` if nonzero, else the
+/// VCOP_FLEET_THREADS environment variable, else the hardware
+/// concurrency (at least 1).
+u32 FleetThreadCount(u32 requested = 0);
+
+/// Runs task(0) .. task(count-1) on a pool of `threads` workers
+/// (FleetThreadCount rules). Indices are claimed dynamically, one at a
+/// time, so long tasks do not serialize behind a static partition. The
+/// first exception thrown by any task is rethrown in the caller after
+/// all workers stop; remaining unclaimed indices are skipped.
+void RunFleet(usize count, const std::function<void(usize)>& task,
+              u32 threads = 0);
+
+/// Typed convenience: results by index, deterministic regardless of
+/// thread count. R must be default-constructible and movable.
+template <typename R, typename Fn>
+std::vector<R> FleetMap(usize count, Fn&& fn, u32 threads = 0) {
+  std::vector<R> results(count);
+  RunFleet(
+      count, [&](usize i) { results[i] = fn(i); }, threads);
+  return results;
+}
+
+}  // namespace vcop::sim

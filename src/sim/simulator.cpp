@@ -40,6 +40,23 @@ bool Simulator::RunToIdle(u64 max_events) {
   return queue_.empty();
 }
 
+u64 Simulator::DrainAssertQuiescent() {
+  u64 edges_before = 0;
+  for (const auto& d : domains_) edges_before += d->edges_ticked();
+  const u64 dispatched_before = queue_.dispatched();
+  const bool drained = RunToIdle();
+  u64 edges_after = 0;
+  for (const auto& d : domains_) edges_after += d->edges_ticked();
+  (void)drained;
+  (void)edges_after;
+#ifndef NDEBUG
+  VCOP_CHECK_MSG(drained, "event queue failed to drain at end of run");
+  VCOP_CHECK_MSG(edges_after == edges_before,
+                 "trailing events still ticked clock edges at end of run");
+#endif
+  return queue_.dispatched() - dispatched_before;
+}
+
 void Simulator::RunUntilTime(Picoseconds t) {
   // The horizon keeps coalescing domains from running edges past `t`
   // inside the final dispatched event.

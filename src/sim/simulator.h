@@ -33,6 +33,17 @@ struct SimTuning {
   /// event runs and keeps a perpetually-active domain preemptible by
   /// the dispatch budget.
   u32 max_inline_ticks = 64;
+  /// Fast-forward tier (opt-in, platform key `fastforward`): models may
+  /// complete a provably uneventful stretch analytically — the IMU
+  /// resolves a guaranteed TLB-hit access at issue time with the
+  /// completion timestamps computed from the clock grid, and a dormant
+  /// clock domain resumes at a demanded future edge inside the current
+  /// dispatched event instead of scheduling a wake. Both jumps are
+  /// admitted per-instance by AnalyticJumpAllowed / InlineTickAllowed,
+  /// which decline at every uncertain edge (pending event, horizon,
+  /// fired stop predicate); reports stay bit-identical
+  /// (tests/fastforward_diff_test).
+  bool fastforward = false;
 };
 
 class Simulator {
@@ -95,6 +106,30 @@ class Simulator {
     if (run_predicate_ != nullptr && (*run_predicate_)()) return false;
     return true;
   }
+
+  /// Whether a model may complete work scheduled to finish at time `t`
+  /// analytically, right now, without dispatching the events in
+  /// between. Allowed only under SimTuning::fastforward and only while
+  /// nothing could interleave before `t`: no pending event at or before
+  /// `t` (which could change the state the analytic result depends on —
+  /// TLB content, fault-plan opportunity order), `t` within any
+  /// RunUntilTime horizon, and the active RunUntil predicate not fired.
+  bool AnalyticJumpAllowed(Picoseconds t) const {
+    if (!tuning_.fastforward) return false;
+    if (t > horizon_) return false;
+    if (!queue_.empty() && queue_.NextTime() <= t) return false;
+    if (run_predicate_ != nullptr && (*run_predicate_)()) return false;
+    return true;
+  }
+
+  /// End-of-run debug check: drains whatever is still pending (stale
+  /// clock-domain tokens, superseded wake events) and asserts — in
+  /// Debug builds — that the residue was quiescent: the queue drains
+  /// and no clock domain ticks another edge while doing so. A domain
+  /// that still ticks means a trailing event carrying real work was
+  /// silently dropped by the caller's stop condition. Returns the
+  /// number of residual events dispatched.
+  u64 DrainAssertQuiescent();
 
   /// Default per-Run dispatch budget: generous for our workloads (a full
   /// 32 KB IDEA run is under ~2M edges) but finite, so a wedged model

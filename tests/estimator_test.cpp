@@ -129,6 +129,7 @@ prefetch_depth = 2
 overlap = true
 victim_tlb_entries = 16
 coalesce_writeback = yes
+fastforward = on
 )";
   auto config = runtime::ParsePlatformFile(text);
   ASSERT_TRUE(config.ok()) << config.status().ToString();
@@ -150,6 +151,40 @@ coalesce_writeback = yes
   EXPECT_TRUE(c.vim.overlap_prefetch);
   EXPECT_EQ(c.vim.victim_tlb_entries, 16u);
   EXPECT_TRUE(c.vim.coalesce_writeback);
+  EXPECT_TRUE(c.sim_tuning.fastforward);
+}
+
+TEST(PlatformFileTest, ParsesFastforwardSpellings) {
+  // Off by default: the tier is strictly opt-in.
+  auto defaults = runtime::ParsePlatformFile("");
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_FALSE(defaults.value().sim_tuning.fastforward);
+
+  struct Case {
+    const char* value;
+    bool expect;
+  };
+  for (const Case c : {Case{"on", true}, Case{"true", true},
+                       Case{"yes", true}, Case{"1", true},
+                       Case{"off", false}, Case{"false", false},
+                       Case{"no", false}, Case{"0", false}}) {
+    auto config = runtime::ParsePlatformFile(
+        std::string("fastforward = ") + c.value + "\n");
+    ASSERT_TRUE(config.ok()) << c.value << ": "
+                             << config.status().ToString();
+    EXPECT_EQ(config.value().sim_tuning.fastforward, c.expect) << c.value;
+  }
+}
+
+TEST(PlatformFileTest, BadFastforwardValueRejectedWithLine) {
+  auto config =
+      runtime::ParsePlatformFile("name = X\nfastforward = turbo\n");
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.status().message().find("line 2"), std::string::npos)
+      << config.status().message();
+  EXPECT_NE(config.status().message().find("fastforward"),
+            std::string::npos)
+      << config.status().message();
 }
 
 TEST(PlatformFileTest, ParsesEveryPrefetchKind) {
@@ -205,6 +240,7 @@ TEST(PlatformFileTest, RoundTripsThroughWriter) {
   original.vim.prefetch_depth = 3;
   original.vim.victim_tlb_entries = 8;
   original.vim.coalesce_writeback = true;
+  original.sim_tuning.fastforward = true;
   const std::string text = runtime::WritePlatformFile(original);
   auto parsed = runtime::ParsePlatformFile(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
@@ -220,6 +256,8 @@ TEST(PlatformFileTest, RoundTripsThroughWriter) {
             original.vim.victim_tlb_entries);
   EXPECT_EQ(parsed.value().vim.coalesce_writeback,
             original.vim.coalesce_writeback);
+  EXPECT_EQ(parsed.value().sim_tuning.fastforward,
+            original.sim_tuning.fastforward);
 }
 
 TEST(PlatformFileTest, ParsedPlatformRunsApplications) {

@@ -1,0 +1,355 @@
+// Differential test for the fast-forward execution tier: with
+// `fastforward=on` the simulation must be bit-identical — outputs,
+// the full ExecutionReport (ScheduleReport decomposition, VimAccounting,
+// ImuStats, TlbStats) and the final simulated timestamp — to the
+// cycle-stepped engine, across every workload and platform ablation.
+//
+// The sweep runs 200 seeded (workload × config) points through both
+// engines via the parallel fleet runner; the configs deliberately
+// include victim-TLB + adaptive-prefetch and overlapped-prefetch
+// variants whose fault-time machinery forces the tier onto its
+// fallback edges, and posted-write variants whose writes are never
+// eligible at all.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/adpcm.h"
+#include "apps/conv2d.h"
+#include "apps/idea.h"
+#include "apps/workloads.h"
+#include "base/rng.h"
+#include "os/kernel.h"
+#include "runtime/config.h"
+#include "runtime/drivers.h"
+#include "runtime/fpga_api.h"
+#include "sim/fleet.h"
+
+namespace vcop {
+namespace {
+
+using runtime::Epxa1Config;
+using runtime::FpgaSystem;
+
+os::KernelConfig VariantConfig(u64 seed, bool fastforward) {
+  os::KernelConfig config = Epxa1Config();
+  switch (seed % 4) {
+    case 0:  // plain EPXA1: long hit streaks, maximal fast-forwarding
+      break;
+    case 1:  // victim TLB + adaptive prefetch: fault-heavy fallback edges
+      config.vim.victim_tlb_entries = 4;
+      config.vim.prefetch = os::PrefetchKind::kAdaptive;
+      config.vim.prefetch_depth = 2;
+      break;
+    case 2:  // overlapped prefetch + coalesced write-back: the VIM's
+             // in-flight transfers veto the tier through its OS gate
+      config.vim.prefetch = os::PrefetchKind::kSequential;
+      config.vim.overlap_prefetch = true;
+      config.vim.coalesce_writeback = true;
+      break;
+    default:  // posted writes + bounds check: writes never eligible
+      config.imu_posted_writes = true;
+      config.imu_bounds_check = true;
+      break;
+  }
+  config.sim_tuning.fastforward = fastforward;
+  return config;
+}
+
+struct DiffOutcome {
+  std::vector<u8> output;
+  os::ExecutionReport report;
+  Picoseconds sim_now = 0;
+  u64 events = 0;
+  u64 residual_events = 0;
+};
+
+template <typename T>
+std::vector<u8> AsBytes(const std::vector<T>& v) {
+  std::vector<u8> bytes(v.size() * sizeof(T));
+  std::memcpy(bytes.data(), v.data(), bytes.size());
+  return bytes;
+}
+
+/// Runs workload `seed % 4` (adpcm / IDEA / conv2d / gather) on a fresh
+/// system configured by VariantConfig(seed / 4, fastforward).
+DiffOutcome RunPoint(u64 seed, bool fastforward) {
+  FpgaSystem sys(VariantConfig(seed / 4, fastforward));
+  DiffOutcome out;
+  switch (seed % 4) {
+    case 0: {
+      const std::vector<u8> input =
+          apps::MakeAdpcmStream(512 + (seed % 3) * 512, seed);
+      auto run = runtime::RunAdpcmVim(sys, input);
+      if (!run.ok()) throw std::runtime_error(run.status().ToString());
+      out.output = AsBytes(run.value().output);
+      out.report = run.value().report;
+      break;
+    }
+    case 1: {
+      const std::vector<u8> plain = apps::MakeRandomBytes(1024, seed);
+      const apps::IdeaSubkeys subkeys =
+          apps::IdeaExpandKey(apps::MakeIdeaKey(seed));
+      auto run = runtime::RunIdeaVim(sys, subkeys, plain);
+      if (!run.ok()) throw std::runtime_error(run.status().ToString());
+      out.output = AsBytes(run.value().output);
+      out.report = run.value().report;
+      break;
+    }
+    case 2: {
+      const u32 width = 32, height = 16;
+      const std::vector<u8> image = apps::MakeTestImage(width, height, seed);
+      auto run = runtime::RunConv3x3Vim(sys, image, width, height,
+                                        apps::BoxBlurKernel(), /*shift=*/3);
+      if (!run.ok()) throw std::runtime_error(run.status().ToString());
+      out.output = AsBytes(run.value().output);
+      out.report = run.value().report;
+      break;
+    }
+    default: {
+      // Random permutation gather: data-dependent page hopping, the
+      // worst case for hit streaks (and the translation cache).
+      std::vector<u32> in(512), perm(512);
+      Rng rng(seed);
+      for (u32 i = 0; i < 512; ++i) {
+        in[i] = static_cast<u32>(seed) * 2654435761u + i;
+        perm[i] = static_cast<u32>(rng.NextInRange(0, 511));
+      }
+      auto run = runtime::RunGatherVim(sys, in, perm);
+      if (!run.ok()) throw std::runtime_error(run.status().ToString());
+      out.output = AsBytes(run.value().output);
+      out.report = run.value().report;
+      break;
+    }
+  }
+  out.sim_now = sys.kernel().simulator().now();
+  out.events = sys.kernel().simulator().events_dispatched();
+  // End-of-run quiescence audit (satellite): whatever is still queued
+  // must drain as no-ops — no clock domain may tick another edge.
+  out.residual_events = sys.kernel().simulator().DrainAssertQuiescent();
+  return out;
+}
+
+void ExpectBitIdentical(const DiffOutcome& ff, const DiffOutcome& cyc,
+                        u64 seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  EXPECT_EQ(ff.output, cyc.output);
+  EXPECT_EQ(ff.sim_now, cyc.sim_now);
+  const os::ExecutionReport& a = ff.report;
+  const os::ExecutionReport& b = cyc.report;
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.t_hw, b.t_hw);
+  EXPECT_EQ(a.t_dp, b.t_dp);
+  EXPECT_EQ(a.t_imu, b.t_imu);
+  EXPECT_EQ(a.t_invoke, b.t_invoke);
+  EXPECT_EQ(a.cp_cycles, b.cp_cycles);
+  EXPECT_EQ(a.tlb.lookups, b.tlb.lookups);
+  EXPECT_EQ(a.tlb.hits, b.tlb.hits);
+  EXPECT_EQ(a.tlb.misses, b.tlb.misses);
+  EXPECT_EQ(a.tlb.parity_errors, b.tlb.parity_errors);
+  EXPECT_EQ(a.tlb.installs, b.tlb.installs);
+  EXPECT_EQ(a.imu.accesses, b.imu.accesses);
+  EXPECT_EQ(a.imu.reads, b.imu.reads);
+  EXPECT_EQ(a.imu.writes, b.imu.writes);
+  EXPECT_EQ(a.imu.faults, b.imu.faults);
+  EXPECT_EQ(a.imu.fault_stall_time, b.imu.fault_stall_time);
+  EXPECT_EQ(a.imu.access_latency_time, b.imu.access_latency_time);
+  EXPECT_EQ(a.vim.t_dp, b.vim.t_dp);
+  EXPECT_EQ(a.vim.t_imu, b.vim.t_imu);
+  EXPECT_EQ(a.vim.t_wakeup, b.vim.t_wakeup);
+  EXPECT_EQ(a.vim.faults, b.vim.faults);
+  EXPECT_EQ(a.vim.tlb_refills, b.vim.tlb_refills);
+  EXPECT_EQ(a.vim.evictions, b.vim.evictions);
+  EXPECT_EQ(a.vim.writebacks, b.vim.writebacks);
+  EXPECT_EQ(a.vim.loads, b.vim.loads);
+  EXPECT_EQ(a.vim.prefetched_pages, b.vim.prefetched_pages);
+  EXPECT_EQ(a.vim.cleaned_pages, b.vim.cleaned_pages);
+  EXPECT_EQ(a.vim.bytes_loaded, b.vim.bytes_loaded);
+  EXPECT_EQ(a.vim.bytes_written_back, b.vim.bytes_written_back);
+  EXPECT_EQ(a.vim.t_dp_overlapped, b.vim.t_dp_overlapped);
+  EXPECT_EQ(a.vim.t_dp_wait, b.vim.t_dp_wait);
+  EXPECT_EQ(a.vim.dirty_in_pages_dropped, b.vim.dirty_in_pages_dropped);
+  EXPECT_EQ(a.vim.preemptions, b.vim.preemptions);
+  EXPECT_EQ(a.vim.fault_recoveries, b.vim.fault_recoveries);
+  EXPECT_EQ(a.vim.prefetch_useful, b.vim.prefetch_useful);
+  EXPECT_EQ(a.vim.prefetch_wasted, b.vim.prefetch_wasted);
+  EXPECT_EQ(a.vim.prefetch_suggestions_dropped,
+            b.vim.prefetch_suggestions_dropped);
+  EXPECT_EQ(a.vim.victim_tlb_hits, b.vim.victim_tlb_hits);
+  EXPECT_EQ(a.vim.victim_tlb_misses, b.vim.victim_tlb_misses);
+  EXPECT_EQ(a.vim.coalesced_bursts, b.vim.coalesced_bursts);
+  EXPECT_EQ(a.vim.coalesced_pages, b.vim.coalesced_pages);
+  EXPECT_EQ(a.vim.fault_service_us.count(), b.vim.fault_service_us.count());
+  EXPECT_EQ(a.vim.fault_service_us.sum(), b.vim.fault_service_us.sum());
+  EXPECT_EQ(a.vim.fault_service_us.min(), b.vim.fault_service_us.min());
+  EXPECT_EQ(a.vim.fault_service_us.max(), b.vim.fault_service_us.max());
+}
+
+constexpr u64 kDiffSeeds = 200;
+
+TEST(FastForwardDiffTest, TwoHundredSeedsAreBitIdenticalAcrossEngines) {
+  struct Pair {
+    DiffOutcome ff;
+    DiffOutcome cyc;
+  };
+  // Both engines for each seed run in one fleet task, fanned out over
+  // all cores; results land by index, so the comparison order (and any
+  // failure message) is deterministic regardless of thread count.
+  const std::vector<Pair> pairs = sim::FleetMap<Pair>(
+      kDiffSeeds, [](usize i) -> Pair {
+        const u64 seed = static_cast<u64>(i) + 1;
+        return Pair{RunPoint(seed, /*fastforward=*/true),
+                    RunPoint(seed, /*fastforward=*/false)};
+      });
+  u64 ff_events = 0, cyc_events = 0;
+  for (usize i = 0; i < pairs.size(); ++i) {
+    ExpectBitIdentical(pairs[i].ff, pairs[i].cyc, static_cast<u64>(i) + 1);
+    ff_events += pairs[i].ff.events;
+    cyc_events += pairs[i].cyc.events;
+  }
+  // The tier must actually engage: across the sweep the analytic path
+  // eliminates a large share of the dispatched events.
+  EXPECT_LT(2 * ff_events, cyc_events)
+      << "ff=" << ff_events << " cycle=" << cyc_events;
+  RecordProperty("ff_events", static_cast<int>(ff_events));
+  RecordProperty("cycle_events", static_cast<int>(cyc_events));
+}
+
+TEST(FastForwardDiffTest, FaultPlansStayReplayableUnderFastForward) {
+  // An armed plan on non-CP sites must inject at the exact same
+  // opportunities under both engines (the opportunity streams are
+  // ordered identically), and the CP-port sites veto the tier outright.
+  for (const u64 seed : {3ull, 7ull, 11ull}) {
+    for (u64 workload = 0; workload < 4; ++workload) {
+      FaultPlan plan_ff;
+      plan_ff.At(FaultSite::kTlbParity, 1);
+      plan_ff.At(FaultSite::kAhbRetry, 2);
+      // CP-port sites do not veto the tier: TranslateAt replays their
+      // draws at the analytic time, so a stall must land identically.
+      plan_ff.WithProbability(FaultSite::kCpStall, 0.02);
+      FaultPlan plan_cyc = plan_ff;
+
+      os::KernelConfig ff_config = Epxa1Config();
+      ff_config.sim_tuning.fastforward = true;
+      os::KernelConfig cyc_config = Epxa1Config();
+
+      auto run = [&](const os::KernelConfig& config,
+                     FaultPlan* plan) -> DiffOutcome {
+        FpgaSystem sys(config);
+        sys.kernel().InstallFaultPlan(plan);
+        DiffOutcome out;
+        const std::vector<u8> input =
+            apps::MakeAdpcmStream(512, seed + workload);
+        auto r = runtime::RunAdpcmVim(sys, input);
+        if (!r.ok()) throw std::runtime_error(r.status().ToString());
+        out.output = AsBytes(r.value().output);
+        out.report = r.value().report;
+        out.sim_now = sys.kernel().simulator().now();
+        return out;
+      };
+      const DiffOutcome ff = run(ff_config, &plan_ff);
+      const DiffOutcome cyc = run(cyc_config, &plan_cyc);
+      ExpectBitIdentical(ff, cyc, seed * 10 + workload);
+      for (usize s = 0; s < kNumFaultSites; ++s) {
+        const FaultSite site = static_cast<FaultSite>(s);
+        EXPECT_EQ(plan_ff.stats(site).opportunities,
+                  plan_cyc.stats(site).opportunities)
+            << FaultSiteName(site);
+        EXPECT_EQ(plan_ff.stats(site).injected, plan_cyc.stats(site).injected)
+            << FaultSiteName(site);
+      }
+    }
+  }
+}
+
+TEST(FastForwardDiffTest, RandomFaultPlansAreBitIdenticalAcrossEngines) {
+  // The torture generator arms arbitrary site mixes — including the
+  // CP-port hang/stall sites and plans that abort the run. Whatever the
+  // outcome, both engines must tell exactly the same story: status,
+  // bytes, final simulated time, and every per-site opportunity and
+  // injection count.
+  struct FaultRun {
+    ErrorCode code = ErrorCode::kOk;
+    std::vector<u8> output;
+    Picoseconds sim_now = 0;
+    u64 injected = 0;
+    std::array<u64, 2 * kNumFaultSites> site_counts{};
+  };
+  auto run_one = [](u64 seed, bool fastforward) -> FaultRun {
+    os::KernelConfig config = Epxa1Config();
+    config.sim_tuning.fastforward = fastforward;
+    FpgaSystem sys(config);
+    FaultPlan plan = FaultPlan::Random(seed);
+    sys.kernel().InstallFaultPlan(&plan);
+    FaultRun out;
+    const std::vector<u8> input = apps::MakeAdpcmStream(1024, seed);
+    auto r = runtime::RunAdpcmVim(sys, input);
+    out.code = r.status().code();
+    if (r.ok()) out.output = AsBytes(r.value().output);
+    out.sim_now = sys.kernel().simulator().now();
+    out.injected = plan.total_injected();
+    for (usize s = 0; s < kNumFaultSites; ++s) {
+      out.site_counts[2 * s] = plan.stats(static_cast<FaultSite>(s)).opportunities;
+      out.site_counts[2 * s + 1] = plan.stats(static_cast<FaultSite>(s)).injected;
+    }
+    return out;
+  };
+  struct FaultPair {
+    FaultRun ff;
+    FaultRun cyc;
+  };
+  const std::vector<FaultPair> pairs = sim::FleetMap<FaultPair>(
+      64, [&](usize i) -> FaultPair {
+        const u64 seed = static_cast<u64>(i) + 1;
+        return FaultPair{run_one(seed, true), run_one(seed, false)};
+      });
+  for (usize i = 0; i < pairs.size(); ++i) {
+    SCOPED_TRACE("seed " + std::to_string(i + 1));
+    EXPECT_EQ(pairs[i].ff.code, pairs[i].cyc.code);
+    EXPECT_EQ(pairs[i].ff.output, pairs[i].cyc.output);
+    EXPECT_EQ(pairs[i].ff.sim_now, pairs[i].cyc.sim_now);
+    EXPECT_EQ(pairs[i].ff.injected, pairs[i].cyc.injected);
+    EXPECT_EQ(pairs[i].ff.site_counts, pairs[i].cyc.site_counts);
+  }
+}
+
+// ----- the fleet runner itself -----
+
+TEST(FleetRunnerTest, ResultsLandByIndexRegardlessOfThreadCount) {
+  auto square = [](usize i) { return static_cast<u64>(i) * i; };
+  const std::vector<u64> ref = sim::FleetMap<u64>(257, square, /*threads=*/1);
+  for (const u32 threads : {2u, 3u, 8u, 16u}) {
+    const std::vector<u64> got = sim::FleetMap<u64>(257, square, threads);
+    EXPECT_EQ(got, ref) << threads << " threads";
+  }
+}
+
+TEST(FleetRunnerTest, FirstExceptionIsRethrownInTheCaller) {
+  std::atomic<u32> ran{0};
+  EXPECT_THROW(
+      sim::RunFleet(
+          64,
+          [&](usize i) {
+            ran.fetch_add(1);
+            if (i == 5) throw std::runtime_error("task 5 failed");
+          },
+          /*threads=*/4),
+      std::runtime_error);
+  // Workers stop claiming after the failure; not every index ran.
+  EXPECT_GE(ran.load(), 1u);
+}
+
+TEST(FleetRunnerTest, ZeroAndOneCountsRunInline) {
+  u32 hits = 0;
+  sim::RunFleet(0, [&](usize) { ++hits; }, 8);
+  EXPECT_EQ(hits, 0u);
+  sim::RunFleet(1, [&](usize) { ++hits; }, 8);
+  EXPECT_EQ(hits, 1u);
+}
+
+}  // namespace
+}  // namespace vcop

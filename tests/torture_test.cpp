@@ -25,6 +25,7 @@
 #include "apps/workloads.h"
 #include "base/fault.h"
 #include "os/vim.h"
+#include "sim/fleet.h"
 #include "runtime/config.h"
 #include "runtime/drivers.h"
 #include "runtime/fpga_api.h"
@@ -145,20 +146,37 @@ TortureOutcome TortureRun(u64 seed, FaultPlan* plan) {
 
 TEST(TortureTest, SeededFaultPlansCompleteExactlyOrFailCleanly) {
   const u32 seeds = TortureSeeds();
+  // Every seed is an isolated simulation, so the sweep fans out over
+  // the fleet runner; results land by seed index and the verdicts below
+  // are evaluated in seed order, identical to the old sequential loop.
+  struct SeedVerdict {
+    bool ok = false;
+    bool exact = false;
+    u64 injected = 0;
+    Picoseconds sim_now = 0;
+  };
+  const std::vector<SeedVerdict> verdicts = sim::FleetMap<SeedVerdict>(
+      seeds, [](usize i) -> SeedVerdict {
+        const u64 seed = static_cast<u64>(i) + 1;
+        FaultPlan plan = FaultPlan::Random(seed);
+        const TortureOutcome out = TortureRun(seed, &plan);
+        return SeedVerdict{out.status.ok(), out.exact, plan.total_injected(),
+                           out.sim_now};
+      });
   u32 completed = 0;
   u32 failed = 0;
   u64 injected_total = 0;
-  for (u64 seed = 1; seed <= seeds; ++seed) {
-    FaultPlan plan = FaultPlan::Random(seed);
-    const TortureOutcome out = TortureRun(seed, &plan);
-    injected_total += plan.total_injected();
-    ASSERT_LT(out.sim_now, kSimTimeBound) << "seed " << seed << " hung";
-    if (out.status.ok()) {
+  for (usize i = 0; i < verdicts.size(); ++i) {
+    const u64 seed = static_cast<u64>(i) + 1;
+    const SeedVerdict& v = verdicts[i];
+    injected_total += v.injected;
+    ASSERT_LT(v.sim_now, kSimTimeBound) << "seed " << seed << " hung";
+    if (v.ok) {
       ++completed;
-      ASSERT_TRUE(out.exact)
+      ASSERT_TRUE(v.exact)
           << "seed " << seed << ": run reported success with output "
-          << "differing from the software reference ("
-          << plan.total_injected() << " faults injected)";
+          << "differing from the software reference (" << v.injected
+          << " faults injected)";
     } else {
       ++failed;  // a clean, replayable failure is an accepted outcome
     }
