@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "base/latency_histogram.h"
 #include "bench/common.h"
 #include "sim/fleet.h"
 #include "cp/adpcm_cp.h"
@@ -250,8 +251,8 @@ void PrintFleetTable(const char* title, const FleetResult& fleet) {
         {t.spec.name, AppName(t.spec.app), StrFormat("%u", t.spec.weight),
          bench::SizeLabel(t.spec.input_bytes), StrFormat("%u", t.completed),
          StrFormat("%u", t.preemptions),
-         StrFormat("%.1f", ToMicroseconds(os::Percentile(t.turnarounds, 0.5))),
-         StrFormat("%.1f", ToMicroseconds(os::Percentile(t.turnarounds, 0.99))),
+         StrFormat("%.1f", ToMicroseconds(PercentileNearestRank(t.turnarounds, 0.5))),
+         StrFormat("%.1f", ToMicroseconds(PercentileNearestRank(t.turnarounds, 0.99))),
          t.outputs_exact ? "yes" : "NO"});
   }
   table.Print();
@@ -277,8 +278,8 @@ void JsonTenants(std::FILE* f, const FleetResult& fleet) {
         "\"outputs_exact\": %s}",
         i == 0 ? "" : ",", t.spec.name.c_str(), AppName(t.spec.app),
         t.spec.weight, t.spec.input_bytes, t.completed, t.preemptions,
-        ToMicroseconds(os::Percentile(t.turnarounds, 0.5)),
-        ToMicroseconds(os::Percentile(t.turnarounds, 0.99)),
+        ToMicroseconds(PercentileNearestRank(t.turnarounds, 0.5)),
+        ToMicroseconds(PercentileNearestRank(t.turnarounds, 0.99)),
         t.outputs_exact ? "true" : "false");
   }
   std::fprintf(f, "\n    ]");
@@ -340,9 +341,9 @@ int Main() {
   PrintFleetTable("fairness: fair share", under_fair);
   PrintFleetTable("fairness: FIFO + bit-stream batching", under_fifo);
   const Picoseconds small_fair =
-      os::Percentile(under_fair.tenants[1].turnarounds, 0.99);
+      PercentileNearestRank(under_fair.tenants[1].turnarounds, 0.99);
   const Picoseconds small_fifo =
-      os::Percentile(under_fifo.tenants[1].turnarounds, 0.99);
+      PercentileNearestRank(under_fifo.tenants[1].turnarounds, 0.99);
   std::printf(
       "  small-tenant p99: %.1f us (fair share) vs %.1f us (FIFO) — "
       "%.2fx better\n\n",

@@ -13,6 +13,8 @@ const char* FaultSiteName(FaultSite site) {
     case FaultSite::kCpStall: return "cp_stall";
     case FaultSite::kCpHang: return "cp_hang";
     case FaultSite::kConfigError: return "config_error";
+    case FaultSite::kDoorbellLost: return "doorbell_lost";
+    case FaultSite::kDescriptorCorrupt: return "descriptor_corrupt";
     case FaultSite::kNumSites: break;
   }
   return "unknown";

@@ -37,6 +37,9 @@ enum class FaultSite : u8 {
   kCpStall,         // the coprocessor port stalls for extra cycles
   kCpHang,          // the coprocessor wedges: no response ever arrives
   kConfigError,     // configuration-port programming fails
+  kDoorbellLost,    // a tenant's doorbell write never reaches the service
+  kDescriptorCorrupt,  // a submission-ring descriptor is damaged in
+                       // shared memory between publish and drain
   kNumSites,        // sentinel — keep last
 };
 

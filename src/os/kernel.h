@@ -37,6 +37,23 @@
 
 namespace vcop::os {
 
+/// Platform defaults for the vcopd ring-transport service layer
+/// (os/service.h): per-tenant ring sizing and token-bucket admission.
+/// Parsed from the platform file (service_ring / service_rate /
+/// service_burst) like every other knob; the service reads these as its
+/// defaults and tenants may override rate/burst at attach time.
+struct ServiceTuning {
+  /// Entries per submission/completion ring (power of two in
+  /// [2, 32768]).
+  u32 ring_entries = 64;
+  /// Token-bucket admission rate: jobs per simulated second drained
+  /// from a tenant's submission ring (0 = unlimited).
+  u64 admit_rate = 0;
+  /// Token-bucket capacity: jobs a tenant may burst back-to-back after
+  /// sitting idle.
+  u32 admit_burst = 16;
+};
+
 /// Static description of the modelled platform. Presets for the
 /// Excalibur family live in runtime/config.h.
 struct KernelConfig {
@@ -70,6 +87,8 @@ struct KernelConfig {
   /// Host-side optimisation: the IMU remembers its last translation and
   /// skips the CAM scan while the TLB is unchanged (same reports).
   bool imu_translation_cache = true;
+  /// Ring-transport service defaults (os/service.h).
+  ServiceTuning service{};
 };
 
 /// What FPGA_EXECUTE measures, in the paper's decomposition.

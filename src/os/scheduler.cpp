@@ -1,9 +1,9 @@
 #include "os/scheduler.h"
 
 #include <algorithm>
-#include <cmath>
 #include <unordered_map>
 
+#include "base/latency_histogram.h"
 #include "base/table.h"
 
 namespace vcop::os {
@@ -30,12 +30,7 @@ usize ScheduleReport::failures() const {
 }
 
 Picoseconds Percentile(std::vector<Picoseconds> samples, double q) {
-  if (samples.empty()) return 0;
-  std::sort(samples.begin(), samples.end());
-  const double rank = std::ceil(q * static_cast<double>(samples.size()));
-  const usize index = static_cast<usize>(
-      std::clamp(rank - 1.0, 0.0, static_cast<double>(samples.size() - 1)));
-  return samples[index];
+  return PercentileNearestRank(std::move(samples), q);
 }
 
 Picoseconds ScheduleReport::max_wait() const {

@@ -102,6 +102,12 @@ struct ScheduleReport {
   u64 victim_tlb_hits = 0;
   u64 coalesced_bursts = 0;
   u64 coalesced_pages = 0;
+  // Ring-transport rollup (VcopService::BuildScheduleReport only;
+  // all 0 for direct-call batches).
+  u64 doorbell_kicks = 0;
+  u64 doorbells_coalesced = 0;
+  u64 admission_deferrals = 0;
+  u64 completions_suppressed = 0;
 
   Picoseconds mean_turnaround() const;
   usize failures() const;

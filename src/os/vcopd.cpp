@@ -176,6 +176,25 @@ Result<JobResult> Vcopd::Wait(Ticket ticket) {
   return job->result;
 }
 
+bool Vcopd::HasWork() const {
+  for (const std::unique_ptr<Tenant>& t : tenants_) {
+    if (t->active && Runnable(*t)) return true;
+  }
+  return false;
+}
+
+Status Vcopd::RunOne() {
+  Tenant* next = PickNext();
+  if (next == nullptr) return Status::Ok();
+  return RunSlice(*next);
+}
+
+bool Vcopd::TenantQuarantined(TenantId tenant) const {
+  if (tenant == 0 || tenant > tenants_.size()) return false;
+  const Tenant& t = *tenants_[tenant - 1];
+  return t.active && t.quarantined;
+}
+
 Status Vcopd::RunUntilIdle() {
   while (Tenant* next = PickNext()) {
     const Status status = RunSlice(*next);

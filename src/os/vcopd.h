@@ -171,10 +171,27 @@ class Vcopd {
   /// Drives the service until every queue is empty.
   Status RunUntilIdle();
 
+  // ----- stepping interface (used by the ring-transport service
+  //       layer, os/service.h, which interleaves slice grants with
+  //       ring drains on the simulated timeline) -----
+
+  /// Whether any tenant has queued or in-flight work.
+  bool HasWork() const;
+
+  /// Grants exactly one slice to the next tenant under the configured
+  /// policy; no-op when idle. Unlike Wait/RunUntilIdle this does NOT
+  /// restore the kernel's default VIM binding — callers stepping the
+  /// daemon finish with RunUntilIdle().
+  Status RunOne();
+
+  /// Whether `tenant` has been quarantined (unknown tenants: false).
+  bool TenantQuarantined(TenantId tenant) const;
+
   // ----- introspection -----
 
   const VcopdStats& stats() const { return stats_; }
   const VcopdConfig& config() const { return config_; }
+  Kernel& kernel() { return kernel_; }
   AddressSpace* FindSpace(hw::Asid asid);
   /// Completed work bridged into the scheduler's fairness report
   /// (JobOutcome per finished job, per-pid digests via per_pid()).

@@ -12,8 +12,10 @@
 #pragma once
 
 #include <algorithm>
+#include <deque>
 #include <functional>
 #include <initializer_list>
+#include <optional>
 #include <span>
 #include <type_traits>
 #include <utility>
@@ -22,6 +24,7 @@
 #include "base/status.h"
 #include "hw/fabric.h"
 #include "os/kernel.h"
+#include "os/service.h"
 #include "os/vcopd.h"
 
 namespace vcop::runtime {
@@ -137,10 +140,21 @@ class FpgaSystem {
 /// the FpgaSystem (or kernel) that owns the daemon's platform.
 class VcopdClient {
  public:
+  /// Direct-call mode: Submit goes straight into the daemon, exactly
+  /// as before the ring transport existed (the compatibility shim —
+  /// behaviour and outputs are untouched by the service layer).
   VcopdClient(os::Vcopd& daemon, os::TenantId tenant)
       : daemon_(&daemon), tenant_(tenant) {}
 
+  /// Ring-backed mode: SubmitRinged publishes descriptors into the
+  /// tenant's submission ring and rings the doorbell; completions come
+  /// back through the completion ring (Await/Reap). The tenant must
+  /// already be attached to `service`.
+  VcopdClient(os::VcopService& service, os::TenantId tenant)
+      : daemon_(&service.daemon()), service_(&service), tenant_(tenant) {}
+
   os::TenantId tenant() const { return tenant_; }
+  bool ring_backed() const { return service_ != nullptr; }
 
   /// FPGA_MAP_OBJECT into this tenant's private object table.
   template <typename T>
@@ -187,9 +201,63 @@ class VcopdClient {
     return daemon_->Wait(ticket);
   }
 
+  // ----- ring-backed operations (require the service constructor) ----
+
+  /// Ring-backed FPGA_EXECUTE: publishes one descriptor and kicks the
+  /// doorbell. Returns the completion cookie. A full submission ring
+  /// reports ResourceExhausted immediately — the edge backpressure
+  /// signal; nothing blocks.
+  Result<u64> SubmitRinged(const hw::Bitstream& bitstream,
+                           std::span<const u32> params) {
+    VCOP_CHECK_MSG(service_ != nullptr, "client is not ring-backed");
+    if (params.size() > os::kRingMaxParams) {
+      return InvalidArgumentError(
+          "too many scalar parameters for a ring descriptor");
+    }
+    os::RingDescriptor descriptor;
+    descriptor.cookie = next_cookie_++;
+    descriptor.design = service_->RegisterDesign(bitstream);
+    descriptor.nparams = static_cast<u32>(params.size());
+    std::copy(params.begin(), params.end(), descriptor.params.begin());
+    VCOP_RETURN_IF_ERROR(service_->Publish(tenant_, descriptor));
+    VCOP_RETURN_IF_ERROR(service_->Kick(tenant_));
+    return descriptor.cookie;
+  }
+  Result<u64> SubmitRinged(const hw::Bitstream& bitstream,
+                           std::initializer_list<u32> params) {
+    return SubmitRinged(bitstream,
+                        std::span<const u32>(params.begin(), params.size()));
+  }
+
+  /// Drives the service until `cookie`'s completion arrives, reaping
+  /// (and stashing) other completions along the way.
+  Result<os::CompletionDescriptor> Await(u64 cookie) {
+    VCOP_CHECK_MSG(service_ != nullptr, "client is not ring-backed");
+    for (int pass = 0; pass < 2; ++pass) {
+      while (service_->HasCompletions(tenant_)) {
+        Result<os::CompletionDescriptor> reaped = service_->Reap(tenant_);
+        if (!reaped.ok()) return reaped.status();
+        reaped_.push_back(reaped.value());
+      }
+      for (auto it = reaped_.begin(); it != reaped_.end(); ++it) {
+        if (it->cookie == cookie) {
+          const os::CompletionDescriptor found = *it;
+          reaped_.erase(it);
+          return found;
+        }
+      }
+      if (pass == 0) VCOP_RETURN_IF_ERROR(service_->RunUntilQuiescent());
+    }
+    return NotFoundError("no completion for this cookie");
+  }
+
  private:
   os::Vcopd* daemon_;
+  os::VcopService* service_ = nullptr;
   os::TenantId tenant_;
+  u64 next_cookie_ = 1;
+  /// Completions reaped while awaiting a different cookie.
+  std::deque<os::CompletionDescriptor> reaped_;
 };
 
 }  // namespace vcop::runtime

@@ -203,6 +203,22 @@ Result<os::KernelConfig> ParsePlatformFile(std::string_view text) {
       Result<bool> v = boolean();
       if (!v.ok()) return v.status();
       config.sim_tuning.fastforward = v.value();
+    } else if (key == "service_ring") {
+      Result<u64> v = number(2, 32768);
+      if (!v.ok()) return v.status();
+      if (!IsPowerOfTwo(v.value())) {
+        return LineError(line_number,
+                         "service_ring must be a power of two");
+      }
+      config.service.ring_entries = static_cast<u32>(v.value());
+    } else if (key == "service_rate") {
+      Result<u64> v = number(0, 1'000'000'000);
+      if (!v.ok()) return v.status();
+      config.service.admit_rate = v.value();
+    } else if (key == "service_burst") {
+      Result<u64> v = number(1, 1 << 20);
+      if (!v.ok()) return v.status();
+      config.service.admit_burst = static_cast<u32>(v.value());
     } else {
       return LineError(line_number, "unknown key '" + key + "'");
     }
@@ -251,6 +267,10 @@ std::string WritePlatformFile(const os::KernelConfig& config) {
                    config.vim.coalesce_writeback ? "true" : "false");
   out += StrFormat("fastforward = %s\n",
                    config.sim_tuning.fastforward ? "true" : "false");
+  out += StrFormat("service_ring = %u\n", config.service.ring_entries);
+  out += StrFormat("service_rate = %llu\n",
+                   static_cast<unsigned long long>(config.service.admit_rate));
+  out += StrFormat("service_burst = %u\n", config.service.admit_burst);
   return out;
 }
 

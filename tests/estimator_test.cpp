@@ -130,6 +130,9 @@ overlap = true
 victim_tlb_entries = 16
 coalesce_writeback = yes
 fastforward = on
+service_ring = 128
+service_rate = 5000
+service_burst = 32
 )";
   auto config = runtime::ParsePlatformFile(text);
   ASSERT_TRUE(config.ok()) << config.status().ToString();
@@ -152,6 +155,19 @@ fastforward = on
   EXPECT_EQ(c.vim.victim_tlb_entries, 16u);
   EXPECT_TRUE(c.vim.coalesce_writeback);
   EXPECT_TRUE(c.sim_tuning.fastforward);
+  EXPECT_EQ(c.service.ring_entries, 128u);
+  EXPECT_EQ(c.service.admit_rate, 5000u);
+  EXPECT_EQ(c.service.admit_burst, 32u);
+}
+
+TEST(PlatformFileTest, BadServiceValuesRejected) {
+  // Ring sizes are virtio-style: power of two, within the u16 index
+  // space's half.
+  EXPECT_FALSE(runtime::ParsePlatformFile("service_ring = 24\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("service_ring = 1\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("service_ring = 65536\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("service_burst = 0\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("service_rate = lots\n").ok());
 }
 
 TEST(PlatformFileTest, ParsesFastforwardSpellings) {
@@ -241,6 +257,9 @@ TEST(PlatformFileTest, RoundTripsThroughWriter) {
   original.vim.victim_tlb_entries = 8;
   original.vim.coalesce_writeback = true;
   original.sim_tuning.fastforward = true;
+  original.service.ring_entries = 256;
+  original.service.admit_rate = 1234;
+  original.service.admit_burst = 7;
   const std::string text = runtime::WritePlatformFile(original);
   auto parsed = runtime::ParsePlatformFile(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
@@ -258,6 +277,11 @@ TEST(PlatformFileTest, RoundTripsThroughWriter) {
             original.vim.coalesce_writeback);
   EXPECT_EQ(parsed.value().sim_tuning.fastforward,
             original.sim_tuning.fastforward);
+  EXPECT_EQ(parsed.value().service.ring_entries,
+            original.service.ring_entries);
+  EXPECT_EQ(parsed.value().service.admit_rate, original.service.admit_rate);
+  EXPECT_EQ(parsed.value().service.admit_burst,
+            original.service.admit_burst);
 }
 
 TEST(PlatformFileTest, ParsedPlatformRunsApplications) {

@@ -24,6 +24,10 @@
 #include "apps/idea.h"
 #include "apps/workloads.h"
 #include "base/fault.h"
+#include "cp/registry.h"
+#include "cp/vecadd_cp.h"
+#include "os/service.h"
+#include "os/vcopd.h"
 #include "os/vim.h"
 #include "sim/fleet.h"
 #include "runtime/config.h"
@@ -321,6 +325,104 @@ TEST(TortureTest, ConfigurationFaultFailsTheLoadCleanly) {
   ASSERT_FALSE(out.status.ok());
   EXPECT_EQ(out.status.code(), ErrorCode::kUnavailable)
       << out.status.ToString();
+}
+
+// ----- ring-transport fault sites (os/service.h) -----
+
+/// Shared staging for the transport sites: one vecadd tenant attached
+/// to a VcopService over vcopd.
+struct ServiceRig {
+  FpgaSystem sys;
+  os::Vcopd daemon;
+  os::VcopService service;
+  os::TenantId tenant;
+  runtime::HostBuffer<u32> a, b, c;
+  std::vector<u32> expect;
+
+  ServiceRig()
+      : sys(Epxa1Config()), daemon(sys.kernel()), service(daemon) {
+    constexpr u32 n = 128;
+    tenant = daemon.RegisterTenant("transport", 1).value();
+    a = sys.Allocate<u32>(n).value();
+    b = sys.Allocate<u32>(n).value();
+    c = sys.Allocate<u32>(n).value();
+    std::vector<u32> va(n), vb(n);
+    for (u32 i = 0; i < n; ++i) {
+      va[i] = 1000003u + i;
+      vb[i] = 7919u + 3u * i;
+    }
+    a.Fill(va);
+    b.Fill(vb);
+    expect.resize(n);
+    for (u32 i = 0; i < n; ++i) expect[i] = va[i] + vb[i];
+    runtime::VcopdClient direct(daemon, tenant);
+    VCOP_CHECK(direct.Map(cp::VecAddCoprocessor::kObjA, a,
+                          os::Direction::kIn).ok());
+    VCOP_CHECK(direct.Map(cp::VecAddCoprocessor::kObjB, b,
+                          os::Direction::kIn).ok());
+    VCOP_CHECK(direct.Map(cp::VecAddCoprocessor::kObjC, c,
+                          os::Direction::kOut).ok());
+    VCOP_CHECK(service.AttachTenant(tenant).ok());
+  }
+};
+
+/// The doorbell write vanishes between tenant and service. The
+/// descriptor survives in shared memory and the service's re-poll
+/// watchdog (armed because a fault plan is installed) rescues it within
+/// one period — the job still completes exactly once, exactly right.
+TEST(TortureTest, LostDoorbellIsRecoveredByServiceRepoll) {
+  ServiceRig rig;
+  FaultPlan plan;
+  plan.At(FaultSite::kDoorbellLost, 1);
+  rig.sys.kernel().InstallFaultPlan(&plan);
+
+  runtime::VcopdClient client(rig.service, rig.tenant);
+  const u64 cookie =
+      client.SubmitRinged(cp::VecAddBitstream(), {128u}).value();
+  EXPECT_EQ(rig.service.stats().doorbells_lost, 1u);
+  EXPECT_EQ(rig.daemon.stats().submitted, 0u);  // the kick never landed
+
+  const Result<os::CompletionDescriptor> done = client.Await(cookie);
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+  EXPECT_EQ(done.value().code, static_cast<u32>(ErrorCode::kOk));
+  EXPECT_GE(rig.service.stats().doorbells_recovered, 1u);
+  EXPECT_GE(rig.service.stats().repoll_ticks, 1u);
+  EXPECT_EQ(rig.daemon.stats().completed, 1u);
+  EXPECT_EQ(rig.c.ToVector(), rig.expect);
+  ASSERT_LT(rig.sys.kernel().simulator().now(), kSimTimeBound);
+  rig.sys.kernel().InstallFaultPlan(nullptr);
+}
+
+/// A descriptor damaged in shared memory between publish and drain is
+/// caught by the drain-time checksum and completed with a clean
+/// InvalidArgument — it never reaches the fabric; later descriptors in
+/// the same ring are unaffected.
+TEST(TortureTest, CorruptedDescriptorFailsCleanlyAndSparesTheRest) {
+  ServiceRig rig;
+  FaultPlan plan;
+  plan.At(FaultSite::kDescriptorCorrupt, 1);
+  rig.sys.kernel().InstallFaultPlan(&plan);
+
+  runtime::VcopdClient client(rig.service, rig.tenant);
+  const u64 doomed =
+      client.SubmitRinged(cp::VecAddBitstream(), {128u}).value();
+  const u64 healthy =
+      client.SubmitRinged(cp::VecAddBitstream(), {128u}).value();
+
+  const Result<os::CompletionDescriptor> bad = client.Await(doomed);
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  EXPECT_EQ(bad.value().code,
+            static_cast<u32>(ErrorCode::kInvalidArgument));
+  EXPECT_EQ(rig.service.stats().descriptors_rejected, 1u);
+
+  const Result<os::CompletionDescriptor> good = client.Await(healthy);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good.value().code, static_cast<u32>(ErrorCode::kOk));
+  EXPECT_EQ(rig.daemon.stats().submitted, 1u);  // only the intact one ran
+  EXPECT_EQ(rig.daemon.stats().completed, 1u);
+  EXPECT_EQ(rig.c.ToVector(), rig.expect);
+  ASSERT_LT(rig.sys.kernel().simulator().now(), kSimTimeBound);
+  rig.sys.kernel().InstallFaultPlan(nullptr);
 }
 
 }  // namespace
