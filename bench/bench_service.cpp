@@ -118,40 +118,23 @@ TenantState Stage(FpgaSystem& sys, os::Vcopd& daemon,
   VcopdClient client(daemon, t.id);
   switch (app) {
     case App::kAdpcm: {
-      const std::vector<u8> input = apps::MakeAdpcmStream(kAdpcmBytes, seed);
-      t.in_u8 = sys.Allocate<u8>(kAdpcmBytes).value();
-      t.in_u8.Fill(input);
-      t.out_i16 = sys.Allocate<i16>(kAdpcmBytes * 2).value();
-      t.expect_i16.resize(kAdpcmBytes * 2);
-      apps::AdpcmState state;
-      apps::AdpcmDecode(input, t.expect_i16, state);
-      VCOP_CHECK(client.Map(cp::AdpcmDecodeCoprocessor::kObjIn, t.in_u8,
-                            os::Direction::kIn).ok());
-      VCOP_CHECK(client.Map(cp::AdpcmDecodeCoprocessor::kObjOut, t.out_i16,
-                            os::Direction::kOut).ok());
+      bench::StagedAdpcm s =
+          bench::StageAdpcmTenant(sys, client, kAdpcmBytes, seed);
+      t.in_u8 = s.in;
+      t.out_i16 = s.out;
+      t.expect_i16 = std::move(s.expect);
       t.design = service.RegisterDesign(cp::AdpcmDecodeBitstream());
       t.nparams = 3;
       t.params = {kAdpcmBytes, 0, 0};
       break;
     }
     case App::kIdea: {
-      const apps::IdeaSubkeys keys =
-          apps::IdeaExpandKey(apps::MakeIdeaKey(seed));
-      const std::vector<u8> input =
-          apps::MakeRandomBytes(kIdeaBytes, seed + 1);
-      t.expect_u8.resize(kIdeaBytes);
-      apps::IdeaCryptEcb(keys, input, t.expect_u8);
-      t.in_u8 = sys.Allocate<u8>(kIdeaBytes).value();
-      t.in_u8.Fill(input);
-      t.out_u8 = sys.Allocate<u8>(kIdeaBytes).value();
-      t.key_u16 = sys.Allocate<u16>(static_cast<u32>(keys.size())).value();
-      t.key_u16.Fill(std::span<const u16>(keys.data(), keys.size()));
-      VCOP_CHECK(client.Map(cp::IdeaCoprocessor::kObjIn, t.in_u8,
-                            /*elem_width=*/4, os::Direction::kIn).ok());
-      VCOP_CHECK(client.Map(cp::IdeaCoprocessor::kObjOut, t.out_u8,
-                            /*elem_width=*/4, os::Direction::kOut).ok());
-      VCOP_CHECK(client.Map(cp::IdeaCoprocessor::kObjKey, t.key_u16,
-                            os::Direction::kIn).ok());
+      bench::StagedIdea s =
+          bench::StageIdeaTenant(sys, client, kIdeaBytes, seed);
+      t.in_u8 = s.in;
+      t.out_u8 = s.out;
+      t.key_u16 = s.key;
+      t.expect_u8 = std::move(s.expect);
       t.design = service.RegisterDesign(cp::IdeaBitstream());
       t.nparams = 4;
       t.params = {kIdeaBytes / 8, cp::IdeaCoprocessor::kModeEcb, 0, 0};

@@ -129,36 +129,18 @@ TenantRun Stage(FpgaSystem& sys, os::Vcopd& daemon, const TenantSpec& spec,
   const u32 bytes = static_cast<u32>(spec.input_bytes);
   switch (spec.app) {
     case App::kAdpcm: {
-      const std::vector<u8> input = apps::MakeAdpcmStream(bytes, seed);
-      run.in_u8 = sys.Allocate<u8>(bytes).value();
-      run.in_u8.Fill(input);
-      run.out_i16 = sys.Allocate<i16>(bytes * 2).value();
-      run.expect_i16.resize(bytes * 2);
-      apps::AdpcmState state;
-      apps::AdpcmDecode(input, run.expect_i16, state);
-      VCOP_CHECK(client.Map(cp::AdpcmDecodeCoprocessor::kObjIn, run.in_u8,
-                            os::Direction::kIn).ok());
-      VCOP_CHECK(client.Map(cp::AdpcmDecodeCoprocessor::kObjOut,
-                            run.out_i16, os::Direction::kOut).ok());
+      bench::StagedAdpcm s = bench::StageAdpcmTenant(sys, client, bytes, seed);
+      run.in_u8 = s.in;
+      run.out_i16 = s.out;
+      run.expect_i16 = std::move(s.expect);
       break;
     }
     case App::kIdea: {
-      const apps::IdeaSubkeys keys =
-          apps::IdeaExpandKey(apps::MakeIdeaKey(seed));
-      const std::vector<u8> input = apps::MakeRandomBytes(bytes, seed + 1);
-      run.expect_u8.resize(bytes);
-      apps::IdeaCryptEcb(keys, input, run.expect_u8);
-      run.in_u8 = sys.Allocate<u8>(bytes).value();
-      run.in_u8.Fill(input);
-      run.out_u8 = sys.Allocate<u8>(bytes).value();
-      run.key_u16 = sys.Allocate<u16>(static_cast<u32>(keys.size())).value();
-      run.key_u16.Fill(std::span<const u16>(keys.data(), keys.size()));
-      VCOP_CHECK(client.Map(cp::IdeaCoprocessor::kObjIn, run.in_u8,
-                            /*elem_width=*/4, os::Direction::kIn).ok());
-      VCOP_CHECK(client.Map(cp::IdeaCoprocessor::kObjOut, run.out_u8,
-                            /*elem_width=*/4, os::Direction::kOut).ok());
-      VCOP_CHECK(client.Map(cp::IdeaCoprocessor::kObjKey, run.key_u16,
-                            os::Direction::kIn).ok());
+      bench::StagedIdea s = bench::StageIdeaTenant(sys, client, bytes, seed);
+      run.in_u8 = s.in;
+      run.out_u8 = s.out;
+      run.key_u16 = s.key;
+      run.expect_u8 = std::move(s.expect);
       break;
     }
     case App::kVecAdd: {

@@ -12,6 +12,8 @@
 #include "apps/workloads.h"
 #include "base/status.h"
 #include "base/table.h"
+#include "cp/adpcm_cp.h"
+#include "cp/idea_cp.h"
 #include "os/kernel.h"
 #include "runtime/config.h"
 #include "runtime/drivers.h"
@@ -137,6 +139,72 @@ inline Point RunIdeaPoint(const os::KernelConfig& config,
   }
   sys.kernel().simulator().DrainAssertQuiescent();
   return point;
+}
+
+// ----- shared multi-tenant staging (bench_vcopd, bench_service) -----
+//
+// Both fleet benches register tenants that run adpcm or IDEA against a
+// software reference; the buffer allocation, input synthesis, expected
+// output, and object mapping are identical and live here once.
+
+/// An adpcm tenant's buffers and reference expectation.
+struct StagedAdpcm {
+  runtime::HostBuffer<u8> in;
+  runtime::HostBuffer<i16> out;
+  std::vector<i16> expect;
+};
+
+/// Allocates and fills an adpcm input stream of `bytes`, allocates the
+/// output, computes the software reference, and maps both objects
+/// through `client`.
+inline StagedAdpcm StageAdpcmTenant(runtime::FpgaSystem& sys,
+                                    runtime::VcopdClient& client, u32 bytes,
+                                    u64 seed) {
+  StagedAdpcm s;
+  const std::vector<u8> input = apps::MakeAdpcmStream(bytes, seed);
+  s.in = sys.Allocate<u8>(bytes).value();
+  s.in.Fill(input);
+  s.out = sys.Allocate<i16>(bytes * 2).value();
+  s.expect.resize(bytes * 2);
+  apps::AdpcmState state;
+  apps::AdpcmDecode(input, s.expect, state);
+  VCOP_CHECK(client.Map(cp::AdpcmDecodeCoprocessor::kObjIn, s.in,
+                        os::Direction::kIn).ok());
+  VCOP_CHECK(client.Map(cp::AdpcmDecodeCoprocessor::kObjOut, s.out,
+                        os::Direction::kOut).ok());
+  return s;
+}
+
+/// An IDEA tenant's buffers and reference expectation.
+struct StagedIdea {
+  runtime::HostBuffer<u8> in;
+  runtime::HostBuffer<u8> out;
+  runtime::HostBuffer<u16> key;
+  std::vector<u8> expect;
+};
+
+/// As StageAdpcmTenant, for IDEA ECB: input, output, expanded key, and
+/// the three object mappings.
+inline StagedIdea StageIdeaTenant(runtime::FpgaSystem& sys,
+                                  runtime::VcopdClient& client, u32 bytes,
+                                  u64 seed) {
+  StagedIdea s;
+  const apps::IdeaSubkeys keys = apps::IdeaExpandKey(apps::MakeIdeaKey(seed));
+  const std::vector<u8> input = apps::MakeRandomBytes(bytes, seed + 1);
+  s.expect.resize(bytes);
+  apps::IdeaCryptEcb(keys, input, s.expect);
+  s.in = sys.Allocate<u8>(bytes).value();
+  s.in.Fill(input);
+  s.out = sys.Allocate<u8>(bytes).value();
+  s.key = sys.Allocate<u16>(static_cast<u32>(keys.size())).value();
+  s.key.Fill(std::span<const u16>(keys.data(), keys.size()));
+  VCOP_CHECK(client.Map(cp::IdeaCoprocessor::kObjIn, s.in,
+                        /*elem_width=*/4, os::Direction::kIn).ok());
+  VCOP_CHECK(client.Map(cp::IdeaCoprocessor::kObjOut, s.out,
+                        /*elem_width=*/4, os::Direction::kOut).ok());
+  VCOP_CHECK(client.Map(cp::IdeaCoprocessor::kObjKey, s.key,
+                        os::Direction::kIn).ok());
+  return s;
 }
 
 /// "8 KB" / "512 B" labels for size columns.

@@ -15,6 +15,8 @@ const char* FaultSiteName(FaultSite site) {
     case FaultSite::kConfigError: return "config_error";
     case FaultSite::kDoorbellLost: return "doorbell_lost";
     case FaultSite::kDescriptorCorrupt: return "descriptor_corrupt";
+    case FaultSite::kIommuTranslationFault: return "iommu_translation_fault";
+    case FaultSite::kIotlbCorrupt: return "iotlb_corrupt";
     case FaultSite::kNumSites: break;
   }
   return "unknown";
@@ -41,6 +43,14 @@ FaultPlan FaultPlan::Random(u64 seed, double intensity) {
       {FaultSite::kSpuriousFault, 0.05},
       {FaultSite::kCpStall, 0.01},
   };
+  // Deliberately absent from the mix: the ring-transport sites
+  // (kDoorbellLost, kDescriptorCorrupt) and the IOMMU sites
+  // (kIommuTranslationFault, kIotlbCorrupt). They only present
+  // opportunities when the respective subsystem is attached/enabled,
+  // which the randomized torture grid does not do — arming them here
+  // would silently change plan shapes (every probability draw shifts
+  // the Rng stream) without ever firing. Their deterministic coverage
+  // lives in tests/torture_test.cpp and tests/iommu_test.cpp.
   for (const auto& m : kMix) {
     // Each site is only armed on a subset of seeds so plans differ in
     // *shape*, not just in where the coin flips land.

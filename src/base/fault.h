@@ -40,6 +40,11 @@ enum class FaultSite : u8 {
   kDoorbellLost,    // a tenant's doorbell write never reaches the service
   kDescriptorCorrupt,  // a submission-ring descriptor is damaged in
                        // shared memory between publish and drain
+  kIommuTranslationFault,  // the IOMMU's page walk fails transiently for
+                           // one DMA access (serviced via the VIM retry
+                           // path like a bus error)
+  kIotlbCorrupt,    // an IO-TLB entry is damaged at rest; detected at use
+                    // (parity), dropped and re-walked transparently
   kNumSites,        // sentinel — keep last
 };
 

@@ -1,0 +1,234 @@
+#include "mem/iommu.h"
+
+#include "base/bitops.h"
+
+namespace vcop::mem {
+namespace {
+
+u32 PagesTouched(UserAddr addr, u32 len) {
+  if (len == 0) return 0;
+  const u32 first = addr >> kUserPageShift;
+  const u32 last = static_cast<u32>((static_cast<u64>(addr) + len - 1) >>
+                                    kUserPageShift);
+  return last - first + 1;
+}
+
+}  // namespace
+
+void Iommu::Configure(bool enabled, u32 iotlb_entries, u32 walk_cycles) {
+  VCOP_CHECK_MSG(!enabled || IsPowerOfTwo(iotlb_entries),
+                 "iotlb_entries must be a power of two");
+  enabled_ = enabled;
+  walk_cycles_ = walk_cycles;
+  iotlb_.assign(enabled ? iotlb_entries : 0, Entry{});
+  evict_cursor_ = 0;
+}
+
+bool Iommu::TranslateOnePage(IommuAsid asid, u32 vpage, Translation& t) {
+  // Probe the IO-TLB (fully associative, like the coprocessor TLB).
+  for (Entry& e : iotlb_) {
+    if (!e.valid || e.asid != asid || e.vpage != vpage) continue;
+    if (fault_plan_ &&
+        fault_plan_->ShouldInject(FaultSite::kIotlbCorrupt)) {
+      // Parity caught a damaged entry at use: drop it and re-walk —
+      // transparent recovery, the access itself still succeeds.
+      e.valid = false;
+      ++stats_.iotlb_parity_drops;
+      break;
+    }
+    ++stats_.iotlb_hits;
+    return true;
+  }
+  ++stats_.iotlb_misses;
+
+  // Walk the owning address space's tables.
+  ++stats_.walks;
+  t.time += clock_.Duration(walk_cycles_);
+  if (fault_plan_ &&
+      fault_plan_->ShouldInject(FaultSite::kIommuTranslationFault)) {
+    ++stats_.translation_faults;
+    return false;
+  }
+  if (walker_ && !walker_(asid, vpage << kUserPageShift)) {
+    ++stats_.translation_faults;
+    return false;
+  }
+
+  // Refill: take an invalid slot if one exists, else round-robin evict.
+  Entry* victim = nullptr;
+  for (Entry& e : iotlb_) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    victim = &iotlb_[evict_cursor_];
+    evict_cursor_ = (evict_cursor_ + 1) & (static_cast<u32>(iotlb_.size()) - 1);
+    ++stats_.iotlb_evictions;
+  }
+  victim->valid = true;
+  victim->asid = asid;
+  victim->vpage = vpage;
+  victim->frame = vpage;  // flat simulated SDRAM: identity frame map
+  return true;
+}
+
+bool Iommu::TranslateRange(IommuAsid asid, UserAddr addr, u32 len,
+                           Translation& t) {
+  VCOP_CHECK_MSG(enabled_, "IOMMU translate while disabled");
+  if (len == 0) return true;
+  const u32 first = addr >> kUserPageShift;
+  const u32 last = static_cast<u32>((static_cast<u64>(addr) + len - 1) >>
+                                    kUserPageShift);
+  for (u32 vpage = first; vpage <= last; ++vpage) {
+    if (!TranslateOnePage(asid, vpage, t)) return false;
+  }
+  return true;
+}
+
+Iommu::Translation Iommu::Translate(IommuAsid asid, UserAddr addr, u32 len) {
+  Translation t;
+  t.ok = TranslateRange(asid, addr, len, t);
+  return t;
+}
+
+TransferResult Iommu::LoadToDp(IommuAsid asid, UserMemory& user,
+                               UserAddr src, DualPortRam& dp, u32 dst,
+                               u32 len) {
+  Translation t = Translate(asid, src, len);
+  if (!t.ok) {
+    TransferResult r;
+    r.time = t.time;
+    r.iommu_fault = true;
+    return r;
+  }
+  PinRange(user, src, len);
+  TransferResult r = engine_.LoadDirect(user, src, dp, dst, len);
+  UnpinRange(user, src, len);
+  r.time += t.time;
+  if (!r.bus_error) {
+    ++stats_.zero_copy_loads;
+    stats_.zero_copy_bytes += r.bytes;
+  }
+  return r;
+}
+
+TransferResult Iommu::StoreFromDp(IommuAsid asid, DualPortRam& dp, u32 src,
+                                  UserMemory& user, UserAddr dst, u32 len) {
+  Translation t = Translate(asid, dst, len);
+  if (!t.ok) {
+    TransferResult r;
+    r.time = t.time;
+    r.iommu_fault = true;
+    return r;
+  }
+  PinRange(user, dst, len);
+  TransferResult r = engine_.StoreDirect(dp, src, user, dst, len);
+  UnpinRange(user, dst, len);
+  r.time += t.time;
+  if (!r.bus_error) {
+    ++stats_.zero_copy_stores;
+    stats_.zero_copy_bytes += r.bytes;
+  }
+  return r;
+}
+
+BurstResult Iommu::StoreBurstFromDp(DualPortRam& dp, UserMemory& user,
+                                    std::span<const BurstSegment> segments) {
+  // Translate a prefix of the scatter-gather list, stopping at the
+  // first faulting segment, then hand that prefix to the engine as one
+  // burst. Segments the engine completes have landed; the caller
+  // retries from completed_segments either way.
+  Translation t;
+  std::vector<StoreSegment> translated;
+  translated.reserve(segments.size());
+  bool faulted = false;
+  for (const BurstSegment& bs : segments) {
+    if (!TranslateRange(bs.asid, bs.seg.dst, bs.seg.len, t)) {
+      faulted = true;
+      break;
+    }
+    translated.push_back(bs.seg);
+  }
+  for (const StoreSegment& seg : translated) PinRange(user, seg.dst, seg.len);
+  BurstResult r = translated.empty()
+                      ? BurstResult{}
+                      : engine_.StoreBurstDirect(dp, user, translated);
+  for (const StoreSegment& seg : translated) {
+    UnpinRange(user, seg.dst, seg.len);
+  }
+  r.time += t.time;
+  if (faulted && !r.bus_error && r.completed_segments == translated.size()) {
+    r.iommu_fault = true;
+  }
+  if (r.bytes > 0) {
+    ++stats_.zero_copy_stores;
+    stats_.zero_copy_bytes += r.bytes;
+  }
+  return r;
+}
+
+void Iommu::PinRange(UserMemory& user, UserAddr addr, u32 len) {
+  user.Pin(addr, len);
+  stats_.pages_pinned += PagesTouched(addr, len);
+}
+
+void Iommu::UnpinRange(UserMemory& user, UserAddr addr, u32 len) {
+  user.Unpin(addr, len);
+  stats_.pages_unpinned += PagesTouched(addr, len);
+}
+
+u64 Iommu::InvalidateAsid(IommuAsid asid) {
+  ++stats_.shootdowns;
+  u64 removed = 0;
+  for (Entry& e : iotlb_) {
+    if (e.valid && e.asid == asid) {
+      e.valid = false;
+      ++removed;
+    }
+  }
+  stats_.entries_shot_down += removed;
+  return removed;
+}
+
+u64 Iommu::InvalidateAll() {
+  ++stats_.shootdowns;
+  u64 removed = 0;
+  for (Entry& e : iotlb_) {
+    if (e.valid) {
+      e.valid = false;
+      ++removed;
+    }
+  }
+  stats_.entries_shot_down += removed;
+  return removed;
+}
+
+u64 Iommu::InvalidatePage(IommuAsid asid, UserAddr addr) {
+  ++stats_.shootdowns;
+  const u32 vpage = addr >> kUserPageShift;
+  u64 removed = 0;
+  for (Entry& e : iotlb_) {
+    if (e.valid && e.asid == asid && e.vpage == vpage) {
+      e.valid = false;
+      ++removed;
+    }
+  }
+  stats_.entries_shot_down += removed;
+  return removed;
+}
+
+u32 Iommu::live_entries() const {
+  u32 n = 0;
+  for (const Entry& e : iotlb_) n += e.valid ? 1 : 0;
+  return n;
+}
+
+u32 Iommu::live_entries_of(IommuAsid asid) const {
+  u32 n = 0;
+  for (const Entry& e : iotlb_) n += (e.valid && e.asid == asid) ? 1 : 0;
+  return n;
+}
+
+}  // namespace vcop::mem

@@ -1,0 +1,139 @@
+// IOMMU: virtual-address DMA for the transfer engine.
+//
+// The paper's VIM copies every page through the CPU (§4.1 even does it
+// twice). The IOMMU removes the CPU from the data path entirely: the
+// DMA master issues *user virtual addresses*, and an IO-TLB in front of
+// the bus translates (asid, vpage) -> user frame, walking the owning
+// tenant's address-space tables on a miss. Pages referenced by an
+// in-flight DMA are pinned so the OS cannot reclaim them under the
+// device; shootdowns keep the IO-TLB coherent with FlushAsid/context
+// switch. Modelled on the ARMv8 IOMMU/RDMA thesis (PAPERS.md).
+//
+// Layering: mem::Iommu knows nothing about the OS. The VIM installs a
+// `walker` callback that validates a (asid, page) pair against the
+// owning AddressSpace; everything else — IO-TLB, pinning, pricing via
+// TransferEngine::*Direct — lives here.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "base/fault.h"
+#include "base/units.h"
+#include "mem/transfer.h"
+
+namespace vcop::mem {
+
+/// Address-space id as seen by the IOMMU. Mirrors hw::Asid (u16)
+/// without pulling hw/ headers into mem/.
+using IommuAsid = u16;
+
+/// Counters for the IO-TLB and the zero-copy data path.
+struct IommuStats {
+  u64 iotlb_hits = 0;
+  u64 iotlb_misses = 0;
+  u64 iotlb_evictions = 0;   // valid entries displaced by refills
+  u64 walks = 0;             // page-table walks performed (= installs)
+  u64 shootdowns = 0;        // invalidate operations issued
+  u64 entries_shot_down = 0; // live entries those operations removed
+  u64 translation_faults = 0;
+  u64 iotlb_parity_drops = 0;  // corrupt entries detected at use
+  u64 pages_pinned = 0;
+  u64 pages_unpinned = 0;
+  u64 zero_copy_loads = 0;
+  u64 zero_copy_stores = 0;
+  u64 zero_copy_bytes = 0;
+};
+
+class Iommu {
+ public:
+  /// Validates that `asid` may DMA the 4 KB user page at `page_base`.
+  /// Installed by the VIM; called once per IO-TLB miss.
+  using Walker = std::function<bool(IommuAsid asid, UserAddr page_base)>;
+
+  /// One scatter-gather element of a burst store, tagged with its
+  /// owning address space (a coalesced write-back sweep may mix pages
+  /// of different tenants).
+  struct BurstSegment {
+    IommuAsid asid = 0;
+    StoreSegment seg;
+  };
+
+  Iommu(TransferEngine& engine, Frequency clock)
+      : engine_(engine), clock_(clock) {}
+
+  /// `iotlb_entries` must be a power of two (platform key contract);
+  /// `walk_cycles` is the per-miss table-walk cost on `clock`.
+  void Configure(bool enabled, u32 iotlb_entries, u32 walk_cycles);
+  bool enabled() const { return enabled_; }
+
+  void set_walker(Walker walker) { walker_ = std::move(walker); }
+  /// Fault plan consulted per translated page (kIotlbCorrupt on hits,
+  /// kIommuTranslationFault on walks). Not owned.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
+  /// Zero-copy DMA: translate every user page the access touches, pin
+  /// it for the duration, and stream over the bus via the engine's
+  /// direct path. On a translation fault the result carries
+  /// iommu_fault = true, no data moves, and the walk time already
+  /// spent is in `time` — the VIM services it like a bus error.
+  TransferResult LoadToDp(IommuAsid asid, UserMemory& user, UserAddr src,
+                          DualPortRam& dp, u32 dst, u32 len);
+  TransferResult StoreFromDp(IommuAsid asid, DualPortRam& dp, u32 src,
+                             UserMemory& user, UserAddr dst, u32 len);
+  /// Scatter-gather burst store. On a translation fault at segment i,
+  /// segments [0, completed_segments) landed, iommu_fault is set and
+  /// the caller retries from completed_segments — same contract as the
+  /// engine's AHB burst errors.
+  BurstResult StoreBurstFromDp(DualPortRam& dp, UserMemory& user,
+                               std::span<const BurstSegment> segments);
+
+  /// Pin bookkeeping for *asynchronous* DMAs (the VIM's overlapped
+  /// prefetch pins at schedule time and unpins at completion).
+  void PinRange(UserMemory& user, UserAddr addr, u32 len);
+  void UnpinRange(UserMemory& user, UserAddr addr, u32 len);
+
+  /// IO-TLB shootdowns. Return the number of live entries removed.
+  u64 InvalidateAsid(IommuAsid asid);
+  u64 InvalidateAll();
+  /// Single-page shootdown, used by the fault-recovery path to drop a
+  /// possibly-stale entry before retrying.
+  u64 InvalidatePage(IommuAsid asid, UserAddr addr);
+
+  u32 live_entries() const;
+  u32 live_entries_of(IommuAsid asid) const;
+  const IommuStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    IommuAsid asid = 0;
+    u32 vpage = 0;  // user VA >> kUserPageShift
+    u32 frame = 0;  // user frame number (flat space: identity map)
+  };
+
+  struct Translation {
+    bool ok = true;
+    Picoseconds time = 0;  // walk cycles spent, success or not
+  };
+
+  /// Translates every 4 KB page of [addr, addr+len), refilling the
+  /// IO-TLB as needed. Stops at the first faulting page.
+  Translation Translate(IommuAsid asid, UserAddr addr, u32 len);
+  /// As Translate, accumulating walk time into `t`; false on fault.
+  bool TranslateRange(IommuAsid asid, UserAddr addr, u32 len, Translation& t);
+  bool TranslateOnePage(IommuAsid asid, u32 vpage, Translation& t);
+
+  TransferEngine& engine_;
+  Frequency clock_;
+  bool enabled_ = false;
+  u32 walk_cycles_ = 0;
+  std::vector<Entry> iotlb_;
+  u32 evict_cursor_ = 0;
+  Walker walker_;
+  FaultPlan* fault_plan_ = nullptr;
+  IommuStats stats_;
+};
+
+}  // namespace vcop::mem

@@ -56,8 +56,104 @@ Picoseconds TransferEngine::PriceTransfer(u32 len) const {
   return 0;
 }
 
+Picoseconds TransferEngine::PriceDirect(u32 len) const {
+  // Pure bus streaming: the DMA master reads/writes user SDRAM pages by
+  // scatter-gather (the IOMMU resolved them already) and the DP-RAM
+  // directly. Per word: one AHB beat plus two SDRAM access cycles; per
+  // INCR burst: the setup cycles. No CPU pass ever touches the data.
+  const u64 words = DivCeil(len, 4);
+  const u64 bursts = DivCeil(words, ahb_.timing().max_burst_beats);
+  const u64 bus_cycles = bursts * ahb_.timing().setup_cycles +
+                         words * (ahb_.timing().cycles_per_beat + 2);
+  return ahb_.clock().Duration(bus_cycles);
+}
+
+TransferResult TransferEngine::LoadDirect(const UserMemory& user,
+                                          UserAddr src, DualPortRam& dp,
+                                          u32 dst, u32 len) {
+  if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbError)) {
+    TransferResult r;
+    r.time = PriceDirect(len);
+    r.bus_error = true;
+    total_time_ += r.time;
+    return r;
+  }
+  auto view = user.View(src, len);
+  dp.Write(DualPortRam::Port::kProcessor, dst, view);
+  TransferResult r;
+  r.bytes = len;
+  r.time = PriceDirect(len);
+  if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbRetry)) {
+    r.retried_beats = 1;
+    r.time += ahb_.clock().Duration(ahb_.timing().setup_cycles +
+                                    ahb_.timing().cycles_per_beat);
+  }
+  bytes_loaded_ += len;
+  total_time_ += r.time;
+  return r;
+}
+
+TransferResult TransferEngine::StoreDirect(DualPortRam& dp, u32 src,
+                                           UserMemory& user, UserAddr dst,
+                                           u32 len) {
+  if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbError)) {
+    TransferResult r;
+    r.time = PriceDirect(len);
+    r.bus_error = true;
+    total_time_ += r.time;
+    return r;
+  }
+  std::vector<u8> buf(len);
+  dp.Read(DualPortRam::Port::kProcessor, src, buf);
+  user.WriteBytes(dst, buf);
+  TransferResult r;
+  r.bytes = len;
+  r.time = PriceDirect(len);
+  if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbRetry)) {
+    r.retried_beats = 1;
+    r.time += ahb_.clock().Duration(ahb_.timing().setup_cycles +
+                                    ahb_.timing().cycles_per_beat);
+  }
+  bytes_stored_ += len;
+  total_time_ += r.time;
+  return r;
+}
+
+BurstResult TransferEngine::StoreBurstDirect(
+    DualPortRam& dp, UserMemory& user,
+    std::span<const StoreSegment> segments) {
+  BurstResult r;
+  u32 done_len = 0;
+  std::vector<u8> buf;
+  for (const StoreSegment& seg : segments) {
+    if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbError)) {
+      r.bus_error = true;
+      r.time = PriceDirect(done_len + seg.len);
+      bytes_stored_ += r.bytes;
+      total_time_ += r.time;
+      return r;
+    }
+    buf.resize(seg.len);
+    dp.Read(DualPortRam::Port::kProcessor, seg.src, buf);
+    user.WriteBytes(seg.dst, buf);
+    done_len += seg.len;
+    r.bytes += seg.len;
+    ++r.completed_segments;
+  }
+  r.time = PriceDirect(done_len);
+  if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbRetry)) {
+    r.retried_beats = 1;
+    r.time += ahb_.clock().Duration(ahb_.timing().setup_cycles +
+                                    ahb_.timing().cycles_per_beat);
+  }
+  bytes_stored_ += r.bytes;
+  total_time_ += r.time;
+  return r;
+}
+
 TransferResult TransferEngine::LoadPage(const UserMemory& user, UserAddr src,
                                         DualPortRam& dp, u32 dst, u32 len) {
+  if (mode_ == CopyMode::kDoubleCopy) ++bounce_copies_;
   if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbError)) {
     // The transfer errors mid-pass: no data reaches the DP-RAM, but the
     // bus time was wasted. The VIM decides whether to retry.
@@ -87,6 +183,7 @@ TransferResult TransferEngine::LoadPage(const UserMemory& user, UserAddr src,
 TransferResult TransferEngine::StorePage(DualPortRam& dp, u32 src,
                                          UserMemory& user, UserAddr dst,
                                          u32 len) {
+  if (mode_ == CopyMode::kDoubleCopy) ++bounce_copies_;
   if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbError)) {
     TransferResult r;
     r.time = PriceTransfer(len);
@@ -120,6 +217,7 @@ BurstResult TransferEngine::StoreBurst(
   u32 done_len = 0;
   std::vector<u8> buf;
   for (const StoreSegment& seg : segments) {
+    if (mode_ == CopyMode::kDoubleCopy) ++bounce_copies_;
     if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kAhbError)) {
       // The transaction errors inside this segment: earlier segments
       // landed, this segment's bus pass is wasted time, later segments

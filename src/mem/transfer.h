@@ -42,6 +42,10 @@ struct TransferResult {
   bool bus_error = false;
   /// Beats that were RETRYed by the slave and re-run (time only).
   u32 retried_beats = 0;
+  /// The IOMMU raised a translation fault for this access (set by
+  /// mem::Iommu, never by the engine itself): no data moved, the wasted
+  /// bus/walk time is in `time`. Serviced through the VIM retry path.
+  bool iommu_fault = false;
 };
 
 /// One piece of a scatter-gather burst store: `len` bytes from DP-RAM
@@ -64,6 +68,9 @@ struct BurstResult {
   /// and later segments were never started. The caller retries from
   /// `completed_segments`.
   u32 completed_segments = 0;
+  /// As TransferResult::iommu_fault, for the segment at
+  /// `completed_segments` (set by mem::Iommu only).
+  bool iommu_fault = false;
 };
 
 class TransferEngine {
@@ -97,9 +104,30 @@ class TransferEngine {
   BurstResult StoreBurst(DualPortRam& dp, UserMemory& user,
                          std::span<const StoreSegment> segments);
 
+  /// Zero-copy paths used by the IOMMU (mem/iommu.h): the DMA master
+  /// scatter-gathers straight between user pages and the DP-RAM, so the
+  /// data crosses the bus exactly once and the CPU never touches it.
+  /// Functionally identical to LoadPage/StorePage/StoreBurst (same
+  /// fault-injection opportunities) but priced at PriceDirect — the raw
+  /// AHB streaming bound with no CPU-copy passes.
+  TransferResult LoadDirect(const UserMemory& user, UserAddr src,
+                            DualPortRam& dp, u32 dst, u32 len);
+  TransferResult StoreDirect(DualPortRam& dp, u32 src, UserMemory& user,
+                             UserAddr dst, u32 len);
+  BurstResult StoreBurstDirect(DualPortRam& dp, UserMemory& user,
+                               std::span<const StoreSegment> segments);
+
   /// Time that moving `len` bytes would take in the current mode,
   /// without performing it (used by planners/prefetchers).
   Picoseconds PriceTransfer(u32 len) const;
+
+  /// Raw AHB/DMA streaming bound for `len` bytes: burst setup plus
+  /// beat+SDRAM cycles per word on the bus clock — no per-word CPU work,
+  /// no bounce passes, no channel-programming cost (under the IOMMU the
+  /// scatter-gather list is the channel program, built once per fault
+  /// service and priced as the IO-TLB walk). This is the analytic bound
+  /// bench_iommu gates against.
+  Picoseconds PriceDirect(u32 len) const;
 
   /// Time StoreBurst would charge for segments totalling `total_len`
   /// bytes (identical to PriceTransfer — the burst model is "one
@@ -117,6 +145,10 @@ class TransferEngine {
   u64 total_bytes_loaded() const { return bytes_loaded_; }
   u64 total_bytes_stored() const { return bytes_stored_; }
   Picoseconds total_time() const { return total_time_; }
+  /// Passes through the kernel bounce buffer (kDoubleCopy transfers
+  /// only). The bench_iommu gate: stays zero when every page transfer
+  /// takes the direct path.
+  u64 bounce_copies() const { return bounce_copies_; }
 
  private:
   AhbModel ahb_;
@@ -125,6 +157,7 @@ class TransferEngine {
   u32 sdram_cycles_per_word_;
   u64 bytes_loaded_ = 0;
   u64 bytes_stored_ = 0;
+  u64 bounce_copies_ = 0;
   Picoseconds total_time_ = 0;
   FaultPlan* fault_plan_ = nullptr;
 };

@@ -96,4 +96,55 @@ void UserMemory::ReadBytes(UserAddr addr, std::span<u8> data) const {
   std::memcpy(data.data(), src.data(), data.size());
 }
 
+void UserMemory::Pin(UserAddr addr, u32 len) {
+  if (len == 0) return;
+  const u32 first = addr >> kUserPageShift;
+  const u32 last = static_cast<u32>((static_cast<u64>(addr) + len - 1) >>
+                                    kUserPageShift);
+  for (u32 page = first; page <= last; ++page) ++pins_[page];
+}
+
+void UserMemory::Unpin(UserAddr addr, u32 len) {
+  if (len == 0) return;
+  const u32 first = addr >> kUserPageShift;
+  const u32 last = static_cast<u32>((static_cast<u64>(addr) + len - 1) >>
+                                    kUserPageShift);
+  for (u32 page = first; page <= last; ++page) {
+    auto it = pins_.find(page);
+    VCOP_CHECK_MSG(it != pins_.end() && it->second > 0,
+                   StrFormat("unpin of unpinned user page %u", page));
+    if (--it->second == 0) pins_.erase(it);
+  }
+}
+
+u32 UserMemory::PinCount(UserAddr addr) const {
+  auto it = pins_.find(addr >> kUserPageShift);
+  return it == pins_.end() ? 0 : it->second;
+}
+
+bool UserMemory::AnyPinned(UserAddr addr, u32 len) const {
+  if (len == 0) return false;
+  const u32 first = addr >> kUserPageShift;
+  const u32 last = static_cast<u32>((static_cast<u64>(addr) + len - 1) >>
+                                    kUserPageShift);
+  for (u32 page = first; page <= last; ++page) {
+    if (pins_.count(page) != 0) return true;
+  }
+  return false;
+}
+
+Status UserMemory::Reclaim(UserAddr base) {
+  for (auto it = regions_.begin(); it != regions_.end(); ++it) {
+    if (it->base != base) continue;
+    if (AnyPinned(it->base, it->size)) {
+      return FailedPreconditionError(StrFormat(
+          "region [%u,+%u) has DMA-pinned pages; unpin before reclaim",
+          it->base, it->size));
+    }
+    regions_.erase(it);
+    return Status::Ok();
+  }
+  return NotFoundError(StrFormat("no region allocated at %u", base));
+}
+
 }  // namespace vcop::mem

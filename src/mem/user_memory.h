@@ -8,6 +8,7 @@
 #pragma once
 
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
@@ -17,6 +18,11 @@ namespace vcop::mem {
 
 /// A user-space virtual address in the simulated process.
 using UserAddr = u32;
+
+/// User pages are the MMU's 4 KB granule — the unit the IOMMU pins and
+/// translates, independent of the VIM's 2 KB dual-port pages.
+inline constexpr u32 kUserPageShift = 12;
+inline constexpr u32 kUserPageBytes = 1u << kUserPageShift;
 
 class UserMemory {
  public:
@@ -46,6 +52,24 @@ class UserMemory {
   u32 capacity() const { return capacity_; }
   u32 allocated() const { return next_; }
 
+  /// DMA page pinning. A DMA master holding a physical reference to a
+  /// user page pins it; the OS must not reclaim (unmap) a pinned page —
+  /// the device would scribble over whatever replaced it. Pins are
+  /// per-4KB-page refcounts, so overlapping in-flight DMAs stack.
+  void Pin(UserAddr addr, u32 len);
+  void Unpin(UserAddr addr, u32 len);
+  /// Refcount of the page containing `addr` (0 = unpinned).
+  u32 PinCount(UserAddr addr) const;
+  /// Whether any page of [addr, addr+len) is pinned.
+  bool AnyPinned(UserAddr addr, u32 len) const;
+  /// Total pages currently holding a nonzero pin count.
+  usize pinned_pages() const { return pins_.size(); }
+
+  /// Unmaps the region allocated at exactly `base`. Refuses with
+  /// FAILED_PRECONDITION while any of its pages is pinned by a DMA —
+  /// the reclaim-vs-pin contract tests/iommu_test.cpp exercises.
+  Status Reclaim(UserAddr base);
+
  private:
   // mmap-backed so the OS hands out zero pages lazily: a fleet sweep
   // constructs thousands of systems, and eagerly memset-ing the full
@@ -58,6 +82,9 @@ class UserMemory {
     u32 size;
   };
   std::vector<Region> regions_;
+  // page number -> pin refcount; entries erased at zero so
+  // pinned_pages() is exact.
+  std::unordered_map<u32, u32> pins_;
 };
 
 }  // namespace vcop::mem

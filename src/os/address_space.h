@@ -77,6 +77,10 @@ struct VimAccounting {
   /// Recovery actions (transfer retries, watchdog re-polls) consumed
   /// against this execution's fault budget (VimConfig::fault_budget).
   u64 fault_recoveries = 0;
+  /// Zero-copy DMA accesses the IOMMU refused to translate (walk
+  /// failed or an injected translation fault); each is serviced
+  /// through the same bounded retry path as a bus error.
+  u64 iommu_faults = 0;
   /// Speculation outcome: prefetched pages that the coprocessor went on
   /// to touch vs pages released still-unreferenced. useful + wasted
   /// <= prefetched_pages (pages still resident at the end of an

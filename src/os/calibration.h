@@ -58,6 +58,12 @@ struct CostModel {
   /// (validating and re-loading surviving translations): ~2.4 us.
   u32 context_restore_cycles = 320;
 
+  /// IOMMU IO-TLB miss: the hardware walker resolves one 4 KB user page
+  /// against the owning address space's tables (~two dependent SDRAM
+  /// reads plus the IO-TLB refill write, ~0.9 us). Paid per compulsory
+  /// miss on the zero-copy path; IO-TLB hits are free.
+  u32 iommu_walk_cycles = 120;
+
   /// Base backoff after a failed (bus-errored) page transfer before the
   /// VIM re-runs it; doubles per attempt (~2 us, 4 us, 8 us). Only paid
   /// under fault injection — fault-free transfers never back off.

@@ -54,6 +54,14 @@ Status ObjectTable::Unmap(hw::ObjectId id) {
   return Status::Ok();
 }
 
+Status ObjectTable::Repoint(hw::ObjectId id, mem::UserAddr addr) {
+  if (id >= hw::kMaxObjects || !slots_[id].has_value()) {
+    return NotFoundError(StrFormat("object %u is not mapped", id));
+  }
+  slots_[id]->user_addr = addr;
+  return Status::Ok();
+}
+
 void ObjectTable::Clear() {
   for (auto& slot : slots_) slot.reset();
   count_ = 0;

@@ -52,6 +52,12 @@ class ObjectTable {
   /// application re-points an object).
   Status Unmap(hw::ObjectId id);
 
+  /// Re-points an existing mapping at a new user virtual address,
+  /// keeping size/width/direction. The zero-copy ring path uses this:
+  /// a descriptor's object_refs carry (id, user VA) pairs, so a tenant
+  /// can retarget an object per submission without a map/unmap churn.
+  Status Repoint(hw::ObjectId id, mem::UserAddr addr);
+
   /// Clears all mappings.
   void Clear();
 

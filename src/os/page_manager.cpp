@@ -40,6 +40,7 @@ void PageManager::Install(mem::FrameId frame, hw::ObjectId object,
   FrameState next;
   next.in_use = true;
   next.pinned = pinned;
+  next.pins = pinned ? 1 : 0;
   next.object = object;
   next.asid = asid;
   next.vpage = vpage;
@@ -86,10 +87,18 @@ u64 PageManager::generation(mem::FrameId frame) const {
   return generations_[frame];
 }
 
+void PageManager::Pin(mem::FrameId frame) {
+  FrameState& s = MutableFrame(frame);
+  VCOP_CHECK_MSG(s.in_use, "Pin on a free frame");
+  ++s.pins;
+  s.pinned = true;
+}
+
 void PageManager::Unpin(mem::FrameId frame) {
   FrameState& s = MutableFrame(frame);
-  VCOP_CHECK_MSG(s.in_use && s.pinned, "Unpin on a frame that is not pinned");
-  s.pinned = false;
+  VCOP_CHECK_MSG(s.in_use && s.pins > 0,
+                 "Unpin on a frame that is not pinned");
+  if (--s.pins == 0) s.pinned = false;
 }
 
 const FrameState& PageManager::frame(mem::FrameId frame) const {

@@ -23,8 +23,12 @@ namespace vcop::os {
 struct FrameState {
   bool in_use = false;
   /// Pinned frames are never chosen as eviction victims (the parameter
-  /// page between EXECUTE and its release by the coprocessor).
+  /// page between EXECUTE and its release by the coprocessor, or a
+  /// frame an in-flight DMA references). `pinned` mirrors `pins > 0`;
+  /// the refcount lets overlapping pinners (parameter hold + IOMMU DMA)
+  /// stack without releasing each other's pin early.
   bool pinned = false;
+  u32 pins = 0;
   /// Dirty as accumulated from invalidated TLB entries; the live TLB
   /// entry's dirty bit is merged in by the Vim at eviction time.
   bool dirty = false;
@@ -74,6 +78,9 @@ class PageManager {
   /// (background cleaning).
   void ClearDirty(mem::FrameId frame);
 
+  /// Adds one pin to an in-use frame (refcounted; see FrameState).
+  void Pin(mem::FrameId frame);
+  /// Drops one pin; the frame becomes evictable at refcount zero.
   void Unpin(mem::FrameId frame);
 
   /// Flags a freshly installed frame as speculative (prefetched, not

@@ -185,6 +185,32 @@ void VcopService::DrainPort(Port& port) {
       PushCompletion(port, completion);
       continue;
     }
+    // Object refs carry (object id << 32 | user VA): the tenant
+    // re-points its mapped objects at per-submission buffers without a
+    // map/unmap round trip and without changing the ring ABI — the
+    // refs were 64-bit from day one for exactly this (ROADMAP item 1).
+    if (head.nrefs > 0) {
+      Status repoint = Status::Ok();
+      for (u32 i = 0; i < head.nrefs && repoint.ok(); ++i) {
+        const hw::ObjectId oid =
+            static_cast<hw::ObjectId>(head.object_refs[i] >> 32);
+        const mem::UserAddr va =
+            static_cast<mem::UserAddr>(head.object_refs[i] & 0xffffffffu);
+        repoint = daemon_.RepointObject(port.tenant, oid, va);
+      }
+      if (!repoint.ok()) {
+        const RingDescriptor bad = port.sq.Consume();
+        ++stats_.descriptors_rejected;
+        CompletionDescriptor completion;
+        completion.cookie = bad.cookie;
+        completion.code = static_cast<u32>(repoint.code());
+        completion.submitted_at = now;
+        completion.started_at = now;
+        completion.finished_at = now;
+        PushCompletion(port, completion);
+        continue;
+      }
+    }
     Port* pp = &port;
     const u64 cookie = head.cookie;
     const Result<Ticket> ticket = daemon_.Submit(

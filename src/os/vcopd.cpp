@@ -102,6 +102,31 @@ Status Vcopd::UnmapObject(TenantId tenant, hw::ObjectId id) {
   return t->space->objects().Unmap(id);
 }
 
+Status Vcopd::RepointObject(TenantId tenant, hw::ObjectId id,
+                            mem::UserAddr addr) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return NotFoundError(StrFormat("unknown tenant %u", tenant));
+  }
+  const MappedObject* object = t->space->objects().Find(id);
+  if (object == nullptr) {
+    return NotFoundError(
+        StrFormat("tenant %u has no object %u to re-point", tenant, id));
+  }
+  if (!kernel_.user_memory().Contains(addr, object->size_bytes)) {
+    return InvalidArgumentError(StrFormat(
+        "object %u: [%u, +%u) is not in the process address space", id,
+        addr, object->size_bytes));
+  }
+  const Status s = t->space->objects().Repoint(id, addr);
+  if (s.ok() && kernel_.vim().config().iommu) {
+    // The virtual range the object names just moved: cached DMA
+    // translations for this tenant may now point at the wrong pages.
+    kernel_.vim().iommu().InvalidateAsid(t->space->asid());
+  }
+  return s;
+}
+
 Result<Ticket> Vcopd::Submit(
     TenantId tenant, const hw::Bitstream& bitstream,
     std::span<const u32> params,

@@ -150,6 +150,14 @@ class Vcopd {
                    u32 size_bytes, u32 elem_width, Direction direction);
   Status UnmapObject(TenantId tenant, hw::ObjectId id);
 
+  /// Re-points an already-mapped object at a new user virtual address
+  /// (size/width/direction unchanged). The ring path's object_refs use
+  /// this so one mapping can target per-submission buffers; any cached
+  /// IO-TLB translations of the tenant are shot down, since the pages
+  /// behind its virtual range just changed.
+  Status RepointObject(TenantId tenant, hw::ObjectId id,
+                       mem::UserAddr addr);
+
   // ----- asynchronous execution -----
 
   /// Validates and enqueues a job; returns its ticket without running

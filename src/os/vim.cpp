@@ -17,7 +17,11 @@ Vim::Vim(const CostModel& costs, mem::PageGeometry geometry,
       sim_(sim),
       transfers_(mem::AhbModel(costs.ahb, costs.cpu_clock), costs.cpu_clock,
                  mem::CopyMode::kDoubleCopy, costs.sdram_cycles_per_word),
+      iommu_(transfers_, costs.cpu_clock),
       pages_(geometry) {
+  iommu_.set_walker([this](mem::IommuAsid asid, mem::UserAddr page_base) {
+    return IommuWalk(asid, page_base);
+  });
   Configure(VimConfig{});
 }
 
@@ -27,8 +31,28 @@ void Vim::Configure(const VimConfig& config) {
   policy_->Reset(geometry_.num_frames());
   prefetcher_ = MakePrefetcher(config.prefetch, config.prefetch_depth);
   transfers_.set_mode(config.copy_mode);
+  iommu_.Configure(config.iommu, config.iotlb_entries,
+                   costs_.iommu_walk_cycles);
   victim_tlb_.assign(config.victim_tlb_entries, VictimEntry{});
   victim_cursor_ = 0;
+}
+
+bool Vim::IommuWalk(mem::IommuAsid asid, mem::UserAddr page_base) {
+  AddressSpace* owner = ResolveSpace(asid);
+  if (owner == nullptr) return false;
+  const u64 page_end =
+      static_cast<u64>(page_base) + mem::kUserPageBytes;
+  for (const MappedObject& object : owner->objects().All()) {
+    const u64 obj_end =
+        static_cast<u64>(object.user_addr) + object.size_bytes;
+    if (object.user_addr < page_end && page_base < obj_end) return true;
+  }
+  return false;
+}
+
+Picoseconds Vim::PricePage(u32 len) const {
+  return config_.iommu ? transfers_.PriceDirect(len)
+                       : transfers_.PriceTransfer(len);
 }
 
 void Vim::SetPolicy(std::unique_ptr<ReplacementPolicy> policy) {
@@ -116,6 +140,7 @@ Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params,
     // record describes frames of the previous run.
     victim_tlb_.assign(victim_tlb_.size(), VictimEntry{});
     victim_cursor_ = 0;
+    if (config_.iommu) iommu_.InvalidateAll();
   } else {
     // Shared fabric: clear only this space's residue (defensive — a
     // clean prior end-of-operation leaves none), discarding stale data.
@@ -127,7 +152,7 @@ Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params,
   space_->saved_params.assign(params.begin(), params.end());
   space_->params_live = false;
   ++epoch_;
-  in_flight_.clear();
+  AbandonInFlight();
   cpu_busy_until_ = 0;
 
   // Program the object descriptor table: the hardware contract of §3.1
@@ -416,10 +441,19 @@ void Vim::ScheduleOverlappedPrefetch(const MappedObject& object,
       space_->written_back.count({object.id, vpage}) != 0;
   unit_cost +=
       costs_.Cycles(costs_.tlb_update_cycles + costs_.page_table_cycles);
-  if (needs_load) unit_cost += transfers_.PriceTransfer(len);
+  if (needs_load) unit_cost += PricePage(len);
+
+  const mem::UserAddr user_src =
+      object.user_addr + vpage * geometry_.page_bytes();
+  // Under the IOMMU the transfer references the user pages directly
+  // until it lands: pin them so reclamation cannot pull the source out
+  // from under an in-flight DMA.
+  const bool pin = config_.iommu && needs_load;
+  if (pin) iommu_.PinRange(user_memory_, user_src, len);
 
   tail = std::max(tail, sim_.now()) + unit_cost;
-  in_flight_.push_back(InFlight{object.id, vpage, *frame, tail});
+  in_flight_.push_back(
+      InFlight{object.id, vpage, *frame, tail, user_src, len, pin});
   acct().t_dp_overlapped += unit_cost;
   ++acct().prefetched_pages;
   ++service_stats_.prefetch_issued;
@@ -432,9 +466,9 @@ void Vim::ScheduleOverlappedPrefetch(const MappedObject& object,
   const u64 epoch = epoch_;
   const mem::FrameId f = *frame;
   const hw::ObjectId oid = object.id;
-  const mem::UserAddr src =
-      object.user_addr + vpage * geometry_.page_bytes();
-  sim_.ScheduleAt(tail, [this, epoch, f, oid, vpage, src, len, needs_load] {
+  const mem::UserAddr src = user_src;
+  sim_.ScheduleAt(tail, [this, epoch, f, oid, vpage, src, len, needs_load,
+                         pin] {
     if (epoch != epoch_) return;  // run ended or aborted meanwhile
     if (needs_load) {
       dp_ram_.Write(mem::DualPortRam::Port::kProcessor,
@@ -442,6 +476,7 @@ void Vim::ScheduleOverlappedPrefetch(const MappedObject& object,
       ++acct().loads;
       acct().bytes_loaded += len;
     }
+    if (pin) iommu_.UnpinRange(user_memory_, src, len);
     pages_.Unpin(f);
     InstallTlbEntry(oid, vpage, f);
     for (usize i = 0; i < in_flight_.size(); ++i) {
@@ -528,7 +563,7 @@ Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
       space_->written_back.count({object.id, vpage}) != 0;
   if (needs_load) {
     const mem::TransferResult r = LoadPageRetried(
-        object.user_addr + vpage * geometry_.page_bytes(),
+        space_->asid(), object.user_addr + vpage * geometry_.page_bytes(),
         geometry_.FrameBase(*frame), len);
     dp_cost += r.time;
     if (r.bus_error) {
@@ -576,7 +611,7 @@ void Vim::EvictFrame(mem::FrameId frame, Picoseconds& dp_cost,
       // the fabric); the transfer time extends the *current* service.
       const u32 len = PageLength(*object, state.vpage);
       const mem::TransferResult r = StorePageRetried(
-          geometry_.FrameBase(frame),
+          state.asid, geometry_.FrameBase(frame),
           object->user_addr + state.vpage * geometry_.page_bytes(), len);
       dp_cost += r.time;
       if (r.bus_error) {
@@ -646,8 +681,7 @@ void Vim::ScheduleBackgroundCleaning(Picoseconds& tail) {
 
     const u32 len = PageLength(*object, state.vpage);
     const Picoseconds unit_cost =
-        transfers_.PriceTransfer(len) +
-        costs_.Cycles(costs_.page_table_cycles);
+        PricePage(len) + costs_.Cycles(costs_.page_table_cycles);
     tail = std::max(tail, sim_.now()) + unit_cost;
     acct().t_dp_overlapped += unit_cost;
     --budget;
@@ -719,7 +753,7 @@ void Vim::OnEndOfOperation() {
 
   // Abandon any still-flying speculative transfers.
   ++epoch_;
-  in_flight_.clear();
+  AbandonInFlight();
 
   Picoseconds imu_cost = costs_.Cycles(costs_.interrupt_entry_cycles);
   Picoseconds dp_cost = 0;
@@ -778,7 +812,7 @@ void Vim::OnEndOfOperation() {
         } else {
           const u32 len = PageLength(*object, state.vpage);
           const mem::TransferResult r = StorePageRetried(
-              geometry_.FrameBase(f),
+              state.asid, geometry_.FrameBase(f),
               object->user_addr + state.vpage * geometry_.page_bytes(), len);
           dp_cost += r.time;
           if (r.bus_error) {
@@ -840,7 +874,7 @@ void Vim::OnEndOfOperation() {
         } else {
           const u32 len = PageLength(*object, state.vpage);
           const mem::TransferResult r = StorePageRetried(
-              geometry_.FrameBase(f),
+              state.asid, geometry_.FrameBase(f),
               object->user_addr + state.vpage * geometry_.page_bytes(), len);
           dp_cost += r.time;
           if (r.bus_error) {
@@ -858,6 +892,17 @@ void Vim::OnEndOfOperation() {
       imu_cost += costs_.Cycles(costs_.page_table_cycles);
     }
     space_->params_live = false;
+  }
+
+  // The run's DMA window is over: shoot down its IO-TLB entries so
+  // nothing can translate through them afterwards (the write-back
+  // sweep above was the last legitimate user).
+  if (config_.iommu) {
+    if (current_scope_ == ResetScope::kFullReset) {
+      iommu_.InvalidateAll();
+    } else {
+      iommu_.InvalidateAsid(space_->asid());
+    }
   }
 
   imu_->AckEnd();
@@ -942,7 +987,7 @@ Picoseconds Vim::SaveContext() {
       if (object->direction == Direction::kIn) continue;
       const u32 len = PageLength(*object, state.vpage);
       const mem::TransferResult r = StorePageRetried(
-          geometry_.FrameBase(f),
+          state.asid, geometry_.FrameBase(f),
           object->user_addr + state.vpage * geometry_.page_bytes(), len);
       dp_cost += r.time;
       if (r.bus_error) {
@@ -980,6 +1025,10 @@ Picoseconds Vim::SaveContext() {
     tlb.InvalidateAll();
     ++service_stats_.full_tlb_flushes;
   }
+
+  // The tenant's DMA window closes with its slice: shoot its IO-TLB
+  // entries down so a later tenant cannot translate through them.
+  if (config_.iommu) iommu_.InvalidateAsid(asid);
 
   ++service_stats_.context_saves;
   acct().t_dp += dp_cost;
@@ -1080,7 +1129,7 @@ Picoseconds Vim::FlushAsid(hw::Asid asid, bool write_back) {
       if (object != nullptr && object->direction != Direction::kIn) {
         const u32 len = PageLength(*object, state.vpage);
         const mem::TransferResult r = StorePageRetried(
-            geometry_.FrameBase(f),
+            state.asid, geometry_.FrameBase(f),
             object->user_addr + state.vpage * geometry_.page_bytes(), len);
         cost += r.time;
         if (r.bus_error) {
@@ -1100,7 +1149,20 @@ Picoseconds Vim::FlushAsid(hw::Asid asid, bool write_back) {
     policy_->OnFreed(f);
   }
   if (owner != nullptr) owner->param_frame.reset();
+  // IO-TLB shootdown rides the same flush: the ASID's interface state
+  // is gone, and with it every cached DMA translation. After the
+  // write-back sweep — its own stores were the last legitimate users.
+  if (config_.iommu) iommu_.InvalidateAsid(asid);
   return cost;
+}
+
+void Vim::AbandonInFlight() {
+  for (const InFlight& unit : in_flight_) {
+    if (unit.pinned) {
+      iommu_.UnpinRange(user_memory_, unit.user_addr, unit.user_len);
+    }
+  }
+  in_flight_.clear();
 }
 
 void Vim::Abort(Status status) {
@@ -1109,7 +1171,7 @@ void Vim::Abort(Status status) {
   ++epoch_;
   ++watchdog_epoch_;
   fault_service_pending_ = false;
-  in_flight_.clear();
+  AbandonInFlight();
   cpu_busy_until_ = 0;
   VCOP_LOG(kWarning, "VIM aborting run: " + status.ToString());
   imu_->HardStop();
@@ -1230,7 +1292,7 @@ u32 Vim::CoalescedWriteback(const std::vector<mem::FrameId>& frames,
   // Gather the dirty, write-backable pages. InUseFrames enumerates in
   // frame order, so adjacent dirty pages land in one ascending burst.
   std::vector<mem::FrameId> batch;
-  std::vector<mem::StoreSegment> segments;
+  std::vector<mem::Iommu::BurstSegment> segments;
   for (const mem::FrameId f : frames) {
     const FrameState state = pages_.frame(f);
     if (!state.in_use || state.object == hw::kParamObject) continue;
@@ -1243,9 +1305,11 @@ u32 Vim::CoalescedWriteback(const std::vector<mem::FrameId>& frames,
     }
     const u32 len = PageLength(*object, state.vpage);
     batch.push_back(f);
-    segments.push_back(mem::StoreSegment{
-        geometry_.FrameBase(f),
-        object->user_addr + state.vpage * geometry_.page_bytes(), len});
+    segments.push_back(mem::Iommu::BurstSegment{
+        state.asid,
+        mem::StoreSegment{
+            geometry_.FrameBase(f),
+            object->user_addr + state.vpage * geometry_.page_bytes(), len}});
   }
   if (segments.size() < 2) return 0;  // nothing to amortise
 
@@ -1259,7 +1323,7 @@ u32 Vim::CoalescedWriteback(const std::vector<mem::FrameId>& frames,
     AddressSpace* owner = ResolveSpace(state.asid);
     VCOP_CHECK_MSG(owner != nullptr, "burst page lost its owner");
     ++owner->accounting.writebacks;
-    owner->accounting.bytes_written_back += segments[i].len;
+    owner->accounting.bytes_written_back += segments[i].seg.len;
     owner->written_back.insert({state.object, state.vpage});
     pages_.ClearDirty(f);
     if (const std::optional<u32> entry = imu_->tlb().FindByFrame(f)) {
@@ -1274,18 +1338,40 @@ u32 Vim::CoalescedWriteback(const std::vector<mem::FrameId>& frames,
 }
 
 mem::BurstResult Vim::StoreBurstRetried(
-    std::span<const mem::StoreSegment> segments) {
+    std::span<const mem::Iommu::BurstSegment> segments) {
+  // Off the zero-copy path the engine takes plain segments; strip the
+  // ASID tags once up front.
+  std::vector<mem::StoreSegment> plain;
+  if (!config_.iommu) {
+    plain.reserve(segments.size());
+    for (const mem::Iommu::BurstSegment& bs : segments) {
+      plain.push_back(bs.seg);
+    }
+  }
   mem::BurstResult total;
   u32 attempt = 0;
   while (true) {
-    const mem::BurstResult r = transfers_.StoreBurst(
-        dp_ram_, user_memory_, segments.subspan(total.completed_segments));
+    const mem::BurstResult r =
+        config_.iommu
+            ? iommu_.StoreBurstFromDp(
+                  dp_ram_, user_memory_,
+                  segments.subspan(total.completed_segments))
+            : transfers_.StoreBurst(
+                  dp_ram_, user_memory_,
+                  std::span<const mem::StoreSegment>(plain).subspan(
+                      total.completed_segments));
     total.time += r.time;
     total.bytes += r.bytes;
     total.retried_beats += r.retried_beats;
     const bool progressed = r.completed_segments > 0;
     total.completed_segments += r.completed_segments;
-    if (!r.bus_error) return total;
+    if (!r.bus_error && !r.iommu_fault) return total;
+    if (r.iommu_fault) {
+      // The walk for the first unfinished segment failed: service it
+      // like a bus error (decode, then re-enter the bounded retry).
+      ++acct().iommu_faults;
+      total.time += costs_.Cycles(costs_.fault_decode_cycles);
+    }
     // Retry the transaction from the first segment that did not land,
     // with the same bounded backoff as the per-page transfers. Progress
     // resets the attempt counter: only a segment that keeps failing in
@@ -1316,6 +1402,7 @@ mem::BurstResult Vim::StoreBurstRetried(
 void Vim::InstallFaultPlan(FaultPlan* plan) {
   fault_plan_ = plan;
   transfers_.set_fault_plan(plan);
+  iommu_.set_fault_plan(plan);
 }
 
 void Vim::OnTlbParityDrop(const hw::TlbEntry& dropped) {
@@ -1328,17 +1415,27 @@ void Vim::OnTlbParityDrop(const hw::TlbEntry& dropped) {
   }
 }
 
-mem::TransferResult Vim::LoadPageRetried(mem::UserAddr src, u32 dst,
-                                         u32 len) {
+mem::TransferResult Vim::LoadPageRetried(hw::Asid asid, mem::UserAddr src,
+                                         u32 dst, u32 len) {
   mem::TransferResult total;
   for (u32 attempt = 0;; ++attempt) {
     const mem::TransferResult r =
-        transfers_.LoadPage(user_memory_, src, dp_ram_, dst, len);
+        config_.iommu
+            ? iommu_.LoadToDp(asid, user_memory_, src, dp_ram_, dst, len)
+            : transfers_.LoadPage(user_memory_, src, dp_ram_, dst, len);
     total.time += r.time;
     total.retried_beats += r.retried_beats;
-    if (!r.bus_error) {
+    if (!r.bus_error && !r.iommu_fault) {
       total.bytes = r.bytes;
       return total;
+    }
+    if (r.iommu_fault) {
+      // Translation fault on the DMA: decode it and re-enter the same
+      // bounded retry loop a bus error would take. A transient walk
+      // failure (injected fault) succeeds on a later attempt; a
+      // genuinely unmapped page exhausts the limit and fails the run.
+      ++acct().iommu_faults;
+      total.time += costs_.Cycles(costs_.fault_decode_cycles);
     }
     ++service_stats_.transfer_retries;
     if (attempt + 1 >= config_.transfer_retry_limit) break;
@@ -1358,17 +1455,23 @@ mem::TransferResult Vim::LoadPageRetried(mem::UserAddr src, u32 dst,
   return total;
 }
 
-mem::TransferResult Vim::StorePageRetried(u32 src, mem::UserAddr dst,
-                                          u32 len) {
+mem::TransferResult Vim::StorePageRetried(hw::Asid asid, u32 src,
+                                          mem::UserAddr dst, u32 len) {
   mem::TransferResult total;
   for (u32 attempt = 0;; ++attempt) {
     const mem::TransferResult r =
-        transfers_.StorePage(dp_ram_, src, user_memory_, dst, len);
+        config_.iommu
+            ? iommu_.StoreFromDp(asid, dp_ram_, src, user_memory_, dst, len)
+            : transfers_.StorePage(dp_ram_, src, user_memory_, dst, len);
     total.time += r.time;
     total.retried_beats += r.retried_beats;
-    if (!r.bus_error) {
+    if (!r.bus_error && !r.iommu_fault) {
       total.bytes = r.bytes;
       return total;
+    }
+    if (r.iommu_fault) {
+      ++acct().iommu_faults;
+      total.time += costs_.Cycles(costs_.fault_decode_cycles);
     }
     ++service_stats_.transfer_retries;
     if (attempt + 1 >= config_.transfer_retry_limit) break;

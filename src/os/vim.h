@@ -39,6 +39,7 @@
 #include "base/types.h"
 #include "base/units.h"
 #include "hw/imu.h"
+#include "mem/iommu.h"
 #include "mem/transfer.h"
 #include "mem/user_memory.h"
 #include "os/address_space.h"
@@ -75,6 +76,14 @@ struct VimConfig {
   /// transaction covering every adjacent dirty page instead of one
   /// transfer per page. Off keeps the per-page path bit-identical.
   bool coalesce_writeback = false;
+  /// Zero-copy virtual-address DMA (DESIGN.md §13): page transfers
+  /// stream directly between the user pages and the dual-port RAM
+  /// through an IOMMU that translates the tenant's virtual addresses,
+  /// bypassing the kernel bounce buffer entirely. Off keeps every
+  /// transfer on the configured copy_mode path, bit-identical.
+  bool iommu = false;
+  /// IO-TLB capacity (power of two) when the IOMMU is on.
+  u32 iotlb_entries = 16;
   mem::CopyMode copy_mode = mem::CopyMode::kDoubleCopy;
   /// Seed for the random replacement policy.
   u64 seed = 1;
@@ -330,6 +339,8 @@ class Vim {
   const CostModel& costs() const { return costs_; }
   PageManager& page_manager() { return pages_; }
   mem::TransferEngine& transfer_engine() { return transfers_; }
+  mem::Iommu& iommu() { return iommu_; }
+  const mem::Iommu& iommu() const { return iommu_; }
 
  private:
   enum class MapOutcome {
@@ -419,9 +430,10 @@ class Vim {
 
   /// StoreBurst with the same bounded retry-with-backoff as the
   /// per-page transfers; retries resume from the first segment that
-  /// did not complete.
+  /// did not complete. Segments carry their owning ASID so the IOMMU
+  /// path can translate a mixed-tenant scatter-gather list.
   mem::BurstResult StoreBurstRetried(
-      std::span<const mem::StoreSegment> segments);
+      std::span<const mem::Iommu::BurstSegment> segments);
 
   /// Pulls the TLB accessed bits into the replacement policy.
   void HarvestRecency();
@@ -433,9 +445,32 @@ class Vim {
   /// LoadPage/StorePage with bounded retry-with-backoff. On exhaustion
   /// (or budget overrun mid-retry) the result has bus_error set and
   /// last_transfer_failure_ holds the status the caller should fail
-  /// with; budget overruns have already Aborted.
-  mem::TransferResult LoadPageRetried(mem::UserAddr src, u32 dst, u32 len);
-  mem::TransferResult StorePageRetried(u32 src, mem::UserAddr dst, u32 len);
+  /// with; budget overruns have already Aborted. `asid` selects the
+  /// address space the IOMMU translates against (unused off the
+  /// zero-copy path). An IOMMU translation fault re-enters the same
+  /// bounded retry loop after a fault-decode charge.
+  mem::TransferResult LoadPageRetried(hw::Asid asid, mem::UserAddr src,
+                                      u32 dst, u32 len);
+  mem::TransferResult StorePageRetried(hw::Asid asid, u32 src,
+                                       mem::UserAddr dst, u32 len);
+
+  /// Cost of moving one `len`-byte page between user and dual-port
+  /// memory on the configured path: the IOMMU's streaming price when
+  /// zero-copy is on, the copy-mode price otherwise. Used where the
+  /// VIM prices background copies it performs inline (overlapped
+  /// prefetch, background cleaning).
+  Picoseconds PricePage(u32 len) const;
+
+  /// The IOMMU's page-table walker: true iff `page_base`'s user page
+  /// overlaps an object mapped in `asid`'s address space (or the
+  /// space's parameter backing). DMA to anything else faults.
+  bool IommuWalk(mem::IommuAsid asid, mem::UserAddr page_base);
+
+  /// Drops all in-flight overlapped transfers (run boundary / abort),
+  /// releasing any user-page DMA pins they hold. Replaces bare
+  /// in_flight_.clear(): pins live in UserMemory and would otherwise
+  /// outlive the run.
+  void AbandonInFlight();
 
   /// Counts one recovery action against the per-request budget; on
   /// overrun aborts the run (ResourceExhausted) and returns false.
@@ -451,6 +486,9 @@ class Vim {
   mem::UserMemory& user_memory_;
   sim::Simulator& sim_;
   mem::TransferEngine transfers_;
+  /// Zero-copy DMA front-end over transfers_ (DESIGN.md §13). Holds the
+  /// IO-TLB; disabled (zero entries) unless config_.iommu is on.
+  mem::Iommu iommu_;
 
   VimConfig config_{};
   std::unique_ptr<ReplacementPolicy> policy_;
@@ -486,6 +524,12 @@ class Vim {
     mem::VirtPage vpage;
     mem::FrameId frame;
     Picoseconds ready_at;
+    /// User-side range the transfer references; DMA-pinned for the
+    /// transfer's lifetime when `pinned` (IOMMU mode), so the user
+    /// pages cannot be reclaimed under an in-flight DMA.
+    mem::UserAddr user_addr = 0;
+    u32 user_len = 0;
+    bool pinned = false;
   };
   std::vector<InFlight> in_flight_;
   Picoseconds cpu_busy_until_ = 0;

@@ -199,6 +199,18 @@ Result<os::KernelConfig> ParsePlatformFile(std::string_view text) {
       Result<bool> v = boolean();
       if (!v.ok()) return v.status();
       config.vim.coalesce_writeback = v.value();
+    } else if (key == "iommu") {
+      Result<bool> v = boolean();
+      if (!v.ok()) return v.status();
+      config.vim.iommu = v.value();
+    } else if (key == "iotlb_entries") {
+      Result<u64> v = number(1, 1024);
+      if (!v.ok()) return v.status();
+      if (!IsPowerOfTwo(v.value())) {
+        return LineError(line_number,
+                         "iotlb_entries must be a power of two");
+      }
+      config.vim.iotlb_entries = static_cast<u32>(v.value());
     } else if (key == "fastforward") {
       Result<bool> v = boolean();
       if (!v.ok()) return v.status();
@@ -265,6 +277,8 @@ std::string WritePlatformFile(const os::KernelConfig& config) {
                    config.vim.victim_tlb_entries);
   out += StrFormat("coalesce_writeback = %s\n",
                    config.vim.coalesce_writeback ? "true" : "false");
+  out += StrFormat("iommu = %s\n", config.vim.iommu ? "true" : "false");
+  out += StrFormat("iotlb_entries = %u\n", config.vim.iotlb_entries);
   out += StrFormat("fastforward = %s\n",
                    config.sim_tuning.fastforward ? "true" : "false");
   out += StrFormat("service_ring = %u\n", config.service.ring_entries);

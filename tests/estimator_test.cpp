@@ -129,6 +129,8 @@ prefetch_depth = 2
 overlap = true
 victim_tlb_entries = 16
 coalesce_writeback = yes
+iommu = on
+iotlb_entries = 64
 fastforward = on
 service_ring = 128
 service_rate = 5000
@@ -154,6 +156,8 @@ service_burst = 32
   EXPECT_TRUE(c.vim.overlap_prefetch);
   EXPECT_EQ(c.vim.victim_tlb_entries, 16u);
   EXPECT_TRUE(c.vim.coalesce_writeback);
+  EXPECT_TRUE(c.vim.iommu);
+  EXPECT_EQ(c.vim.iotlb_entries, 64u);
   EXPECT_TRUE(c.sim_tuning.fastforward);
   EXPECT_EQ(c.service.ring_entries, 128u);
   EXPECT_EQ(c.service.admit_rate, 5000u);
@@ -168,6 +172,42 @@ TEST(PlatformFileTest, BadServiceValuesRejected) {
   EXPECT_FALSE(runtime::ParsePlatformFile("service_ring = 65536\n").ok());
   EXPECT_FALSE(runtime::ParsePlatformFile("service_burst = 0\n").ok());
   EXPECT_FALSE(runtime::ParsePlatformFile("service_rate = lots\n").ok());
+}
+
+TEST(PlatformFileTest, IommuIsOffByDefaultAndBadValuesNameTheKey) {
+  // Strictly opt-in: with no `iommu` line the seed artifacts must be
+  // untouched (DESIGN.md §13).
+  auto defaults = runtime::ParsePlatformFile("");
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_FALSE(defaults.value().vim.iommu);
+  EXPECT_EQ(defaults.value().vim.iotlb_entries, 16u);
+
+  // Rejections carry the line and the key, like every other knob.
+  auto bad_bool = runtime::ParsePlatformFile("name = X\niommu = maybe\n");
+  ASSERT_FALSE(bad_bool.ok());
+  EXPECT_NE(bad_bool.status().message().find("line 2"), std::string::npos)
+      << bad_bool.status().message();
+  EXPECT_NE(bad_bool.status().message().find("iommu"), std::string::npos)
+      << bad_bool.status().message();
+
+  // The IO-TLB is fully associative with a round-robin cursor masked by
+  // size-1: the size must be a power of two, bounded.
+  auto not_pow2 = runtime::ParsePlatformFile("iotlb_entries = 48\n");
+  ASSERT_FALSE(not_pow2.ok());
+  EXPECT_NE(not_pow2.status().message().find("iotlb_entries"),
+            std::string::npos)
+      << not_pow2.status().message();
+  EXPECT_FALSE(runtime::ParsePlatformFile("iotlb_entries = 0\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("iotlb_entries = 2048\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("iotlb_entries = many\n").ok());
+
+  // All accepted spellings of the boolean.
+  for (const char* value : {"on", "true", "yes", "1"}) {
+    auto config = runtime::ParsePlatformFile(std::string("iommu = ") +
+                                             value + "\n");
+    ASSERT_TRUE(config.ok()) << value;
+    EXPECT_TRUE(config.value().vim.iommu) << value;
+  }
 }
 
 TEST(PlatformFileTest, ParsesFastforwardSpellings) {
@@ -256,6 +296,8 @@ TEST(PlatformFileTest, RoundTripsThroughWriter) {
   original.vim.prefetch_depth = 3;
   original.vim.victim_tlb_entries = 8;
   original.vim.coalesce_writeback = true;
+  original.vim.iommu = true;
+  original.vim.iotlb_entries = 32;
   original.sim_tuning.fastforward = true;
   original.service.ring_entries = 256;
   original.service.admit_rate = 1234;
@@ -275,6 +317,8 @@ TEST(PlatformFileTest, RoundTripsThroughWriter) {
             original.vim.victim_tlb_entries);
   EXPECT_EQ(parsed.value().vim.coalesce_writeback,
             original.vim.coalesce_writeback);
+  EXPECT_EQ(parsed.value().vim.iommu, original.vim.iommu);
+  EXPECT_EQ(parsed.value().vim.iotlb_entries, original.vim.iotlb_entries);
   EXPECT_EQ(parsed.value().sim_tuning.fastforward,
             original.sim_tuning.fastforward);
   EXPECT_EQ(parsed.value().service.ring_entries,
