@@ -1,0 +1,355 @@
+// E21 — flexible memory: per-object page sizes + the two-level TLB
+// hierarchy (DESIGN.md §14). Writes BENCH_tlb.json.
+//
+// Runs conv2d, IDEA, and adpcm under four interface-memory
+// configurations at an equal total TLB-entry budget (8 entries):
+//
+//   cam8      single 8-entry CAM, 2 KB pages       (the seed platform)
+//   cam8+sp   single 8-entry CAM, 4 KB superpages on the streaming
+//             objects
+//   l1l2      2-entry per-coprocessor micro-TLB backed by a 6-entry
+//             shared L2, 2 KB pages
+//   l1l2+sp   the hierarchy plus the superpages  (the gated config)
+//
+// Exit-code gates:
+//
+//   1. byte-exact outputs: every configuration must reproduce the
+//      software reference bit-for-bit — page geometry and TLB layering
+//      change *when* translations are serviced, never *which* bytes
+//      the applications produce;
+//   2. conv2d faults under l1l2+sp strictly below the cam8 baseline;
+//   3. IDEA faults under l1l2+sp strictly below the cam8 baseline;
+//   4. defaults are inert: the Figure-7 VCD and the conv2d Chrome
+//      trace must come out byte-identical whether the flexible-memory
+//      knobs are at their defaults or explicitly spelled in their
+//      inert forms (granule-sized overrides, l1 sizing with no L2).
+//      (Byte-identity against the *seed* artifacts is pinned
+//      separately in CI via tests/golden/trace_artifacts.sha256.)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/conv2d.h"
+#include "apps/sw_model.h"
+#include "apps/workloads.h"
+#include "base/log.h"
+#include "bench/common.h"
+#include "cp/registry.h"
+#include "cp/vecadd_cp.h"
+#include "hw/imu.h"
+#include "hw/tlb.h"
+#include "os/vim.h"
+#include "runtime/drivers.h"
+#include "sim/trace.h"
+
+namespace vcop {
+namespace {
+
+using runtime::Epxa1Config;
+using runtime::FpgaSystem;
+
+struct Mode {
+  const char* label;
+  bool hierarchy;   // 2-entry L1 + 6-entry shared L2 (else one 8-CAM)
+  bool superpages;  // 4 KB pages on the streaming objects (ids 0, 1)
+};
+
+constexpr Mode kModes[] = {
+    {"cam8", false, false},
+    {"cam8+sp", false, true},
+    {"l1l2", true, false},
+    {"l1l2+sp", true, true},
+};
+
+constexpr u32 kSuperPageBytes = 4096;
+
+struct Row {
+  std::string app;
+  usize bytes = 0;
+  std::string mode;
+  bool gated = false;  // the l1l2+sp row the fault gates compare
+  bool output_exact = false;
+  os::ExecutionReport report;
+  hw::TlbHierarchyStats hier;
+  u64 l2_hits = 0;  // shared-CAM hits (the L2 in hierarchy modes)
+};
+
+/// `sp_ids` selects which objects take the 4 KB superpage in 'sp'
+/// modes — per-object sizing is the whole point: the purely-streaming
+/// in/out buffers of IDEA and adpcm both take it, while conv2d's
+/// strided three-row source window leaves only the source upgraded
+/// (superpaging the destination too pushes the boundary-row working
+/// set past the eight frames and thrashes).
+os::KernelConfig ModeConfig(const Mode& m,
+                            std::initializer_list<u32> sp_ids) {
+  os::KernelConfig config = Epxa1Config();
+  if (m.hierarchy) {
+    config.l1_tlb_entries = 2;
+    config.l2_tlb_entries = 6;
+  }
+  if (m.superpages) {
+    for (const u32 id : sp_ids) config.object_page_bytes[id] = kSuperPageBytes;
+  }
+  return config;
+}
+
+void FinishRow(Row& row, const Mode& m, FpgaSystem& sys) {
+  row.mode = m.label;
+  row.gated = m.hierarchy && m.superpages;
+  row.hier = sys.kernel().imu()->xlat().stats();
+  row.l2_hits = sys.kernel().shared_tlb().stats().hits;
+  sys.kernel().simulator().DrainAssertQuiescent();
+}
+
+Row RunConv(const Mode& m, u32 width, u32 height) {
+  Row row;
+  row.app = "conv2d";
+  row.bytes = static_cast<usize>(width) * height;
+
+  const std::vector<u8> image =
+      apps::MakeTestImage(width, height, bench::kWorkloadSeed);
+  std::vector<u8> expect(image.size());
+  apps::Convolve3x3(image, width, height, apps::BoxBlurKernel(), 3, expect);
+
+  FpgaSystem sys(ModeConfig(m, {0}));
+  auto run = runtime::RunConv3x3Vim(sys, image, width, height,
+                                    apps::BoxBlurKernel(), 3);
+  VCOP_CHECK_MSG(run.ok(), run.status().ToString());
+  row.output_exact = run.value().output == expect;
+  row.report = run.value().report;
+  FinishRow(row, m, sys);
+  return row;
+}
+
+Row RunIdea(const Mode& m, usize bytes) {
+  Row row;
+  row.app = "IDEA";
+  row.bytes = bytes;
+
+  const apps::IdeaSubkeys keys =
+      apps::IdeaExpandKey(apps::MakeIdeaKey(bench::kWorkloadSeed));
+  const std::vector<u8> input =
+      apps::MakeRandomBytes(bytes, bench::kWorkloadSeed + 1);
+  std::vector<u8> expect(input.size());
+  apps::IdeaCryptEcb(keys, input, expect);
+
+  FpgaSystem sys(ModeConfig(m, {0, 1}));
+  auto run = runtime::RunIdeaVim(sys, keys, input);
+  VCOP_CHECK_MSG(run.ok(), run.status().ToString());
+  row.output_exact = run.value().output == expect;
+  row.report = run.value().report;
+  FinishRow(row, m, sys);
+  return row;
+}
+
+Row RunAdpcm(const Mode& m, usize bytes) {
+  Row row;
+  row.app = "adpcmdecode";
+  row.bytes = bytes;
+
+  const std::vector<u8> input =
+      apps::MakeAdpcmStream(bytes, bench::kWorkloadSeed);
+  std::vector<i16> expect(input.size() * 2);
+  apps::AdpcmState state;
+  apps::AdpcmDecode(input, expect, state);
+
+  FpgaSystem sys(ModeConfig(m, {0, 1}));
+  auto run = runtime::RunAdpcmVim(sys, input);
+  VCOP_CHECK_MSG(run.ok(), run.status().ToString());
+  row.output_exact = run.value().output == expect;
+  row.report = run.value().report;
+  FinishRow(row, m, sys);
+  return row;
+}
+
+// ----- defaults inertness -----
+
+os::KernelConfig OffConfig(bool touch_knobs) {
+  os::KernelConfig config = Epxa1Config();
+  if (touch_knobs) {
+    // Every flexible-memory knob, spelled in its inert form: granule-
+    // sized per-object overrides (identical geometry to the default)
+    // and an L1 size with no L2 (l2_tlb_entries == 0 keeps the single-
+    // level CAM, so l1_tlb_entries must not be read at all).
+    for (u32 id = 0; id < hw::kMaxObjects - 1; ++id)
+      config.object_page_bytes[id] = config.page_bytes;
+    config.l1_tlb_entries = 4;
+    config.l2_tlb_entries = 0;
+  }
+  return config;
+}
+
+/// The Figure-7 waveform (one-element vecadd with the tracer attached),
+/// as fig7_timing writes it.
+std::string VecAddVcd(bool touch_knobs) {
+  FpgaSystem sys(OffConfig(touch_knobs));
+  sim::Tracer tracer;
+  VCOP_CHECK(sys.Load(cp::VecAddBitstream()).ok());
+  sys.kernel().imu()->AttachTracer(&tracer);
+  auto a = sys.Allocate<u32>(1);
+  auto b = sys.Allocate<u32>(1);
+  auto c = sys.Allocate<u32>(1);
+  VCOP_CHECK(a.ok() && b.ok() && c.ok());
+  a.value().view()[0] = 0x0000CAFE;
+  b.value().view()[0] = 0x00000001;
+  VCOP_CHECK(sys.Map(0, a.value(), os::Direction::kIn).ok());
+  VCOP_CHECK(sys.Map(1, b.value(), os::Direction::kIn).ok());
+  VCOP_CHECK(sys.Map(2, c.value(), os::Direction::kOut).ok());
+  auto report = sys.Execute({1u});
+  VCOP_CHECK_MSG(report.ok(), report.status().ToString());
+  VCOP_CHECK(c.value().view()[0] == 0x0000CAFF);
+  return tracer.ToVcd();
+}
+
+/// The edge-detect-style Chrome trace: conv2d with the timeline
+/// recorder, prefetch overlapped — the busiest DMA schedule the
+/// examples produce.
+std::string ConvChromeTrace(bool touch_knobs) {
+  os::KernelConfig config = OffConfig(touch_knobs);
+  config.vim.prefetch = os::PrefetchKind::kSequential;
+  config.vim.overlap_prefetch = true;
+  FpgaSystem sys(config);
+  const std::vector<u8> image = apps::MakeTestImage(96, 24, 7);
+  const auto run = runtime::RunConv3x3Vim(sys, image, 96, 24,
+                                          apps::SharpenKernel(), 0);
+  VCOP_CHECK_MSG(run.ok(), run.status().ToString());
+  return sys.kernel().timeline().ToChromeTrace();
+}
+
+// ----- JSON -----
+
+void WriteJson(const std::vector<Row>& rows, bool exact, u64 conv_base,
+               u64 conv_flex, u64 idea_base, u64 idea_flex, bool off_inert,
+               bool all_gates) {
+  std::FILE* f = std::fopen("BENCH_tlb.json", "w");
+  VCOP_CHECK_MSG(f != nullptr, "cannot open BENCH_tlb.json for writing");
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"tlb\",\n");
+  std::fprintf(f, "  \"tlb_entry_budget\": 8,\n");
+  std::fprintf(f, "  \"points\": [\n");
+  for (usize i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"app\": \"%s\", \"bytes\": %zu, \"mode\": \"%s\", "
+        "\"output_exact\": %s, \"faults\": %llu, \"tlb_refills\": %llu, "
+        "\"evictions\": %llu, \"total_ps\": %llu, \"l1_fills\": %llu, "
+        "\"l1_fill_evictions\": %llu, \"dirty_merges\": %llu, "
+        "\"orphan_evictions\": %llu, \"l2_hits\": %llu}%s\n",
+        r.app.c_str(), r.bytes, r.mode.c_str(),
+        r.output_exact ? "true" : "false",
+        static_cast<unsigned long long>(r.report.vim.faults),
+        static_cast<unsigned long long>(r.report.vim.tlb_refills),
+        static_cast<unsigned long long>(r.report.vim.evictions),
+        static_cast<unsigned long long>(r.report.total),
+        static_cast<unsigned long long>(r.hier.l1_fills),
+        static_cast<unsigned long long>(r.hier.l1_fill_evictions),
+        static_cast<unsigned long long>(r.hier.dirty_merges),
+        static_cast<unsigned long long>(r.hier.orphan_evictions),
+        static_cast<unsigned long long>(r.l2_hits),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"gates\": {\"outputs_byte_exact\": %s, "
+               "\"conv2d_faults_baseline\": %llu, "
+               "\"conv2d_faults_flexible\": %llu, "
+               "\"conv2d_faults_below_baseline\": %s, "
+               "\"idea_faults_baseline\": %llu, "
+               "\"idea_faults_flexible\": %llu, "
+               "\"idea_faults_below_baseline\": %s, "
+               "\"defaults_inert\": %s},\n",
+               exact ? "true" : "false",
+               static_cast<unsigned long long>(conv_base),
+               static_cast<unsigned long long>(conv_flex),
+               conv_flex < conv_base ? "true" : "false",
+               static_cast<unsigned long long>(idea_base),
+               static_cast<unsigned long long>(idea_flex),
+               idea_flex < idea_base ? "true" : "false",
+               off_inert ? "true" : "false");
+  std::fprintf(f, "  \"gates_pass\": %s\n", all_gates ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Main() {
+  std::printf("== flexible memory: page sizes + TLB hierarchy "
+              "(DESIGN.md §14, E21) ==\n\n");
+
+  constexpr u32 kConvWidth = 96;
+  constexpr u32 kConvHeight = 85;
+  constexpr usize kIdeaBytes = 32768;
+  constexpr usize kAdpcmBytes = 32768;
+
+  Table table({"app", "input", "mode", "faults", "refills", "L1 fills",
+               "L2 hits", "total ms"});
+  table.set_title(
+      "equal 8-entry TLB budget; 'sp' = 4 KB superpages on the streaming "
+      "objects, 'l1l2' = 2-entry micro-TLB + 6-entry shared L2");
+
+  std::vector<Row> rows;
+  auto add = [&](const Row& row) {
+    table.AddRow({row.app, bench::SizeLabel(row.bytes), row.mode,
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        row.report.vim.faults)),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        row.report.vim.tlb_refills)),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        row.hier.l1_fills)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(row.l2_hits)),
+                  runtime::Ms(row.report.total)});
+    rows.push_back(row);
+  };
+  for (const Mode& m : kModes) add(RunConv(m, kConvWidth, kConvHeight));
+  for (const Mode& m : kModes) add(RunIdea(m, kIdeaBytes));
+  for (const Mode& m : kModes) add(RunAdpcm(m, kAdpcmBytes));
+  table.Print();
+
+  const bool vcd_inert = VecAddVcd(false) == VecAddVcd(true);
+  const bool trace_inert = ConvChromeTrace(false) == ConvChromeTrace(true);
+  const bool off_inert = vcd_inert && trace_inert;
+
+  bool exact = true;
+  u64 conv_base = 0, conv_flex = 0, idea_base = 0, idea_flex = 0;
+  for (const Row& r : rows) {
+    if (!r.output_exact) exact = false;
+    const bool baseline = r.mode == "cam8";
+    if (r.app == "conv2d" && baseline) conv_base = r.report.vim.faults;
+    if (r.app == "conv2d" && r.gated) conv_flex = r.report.vim.faults;
+    if (r.app == "IDEA" && baseline) idea_base = r.report.vim.faults;
+    if (r.app == "IDEA" && r.gated) idea_flex = r.report.vim.faults;
+  }
+
+  std::printf("\nsummary:\n");
+  bool pass = true;
+  auto gate = [&](const char* name, bool ok) {
+    std::printf("  %-52s %s\n", name, ok ? "pass" : "FAIL");
+    if (!ok) pass = false;
+  };
+  gate("outputs byte-exact across all configurations", exact);
+  std::printf("  conv2d faults, cam8 -> l1l2+sp:                  "
+              "%llu -> %llu\n",
+              static_cast<unsigned long long>(conv_base),
+              static_cast<unsigned long long>(conv_flex));
+  gate("conv2d faults strictly below the cam8 baseline",
+       conv_flex < conv_base);
+  std::printf("  IDEA faults, cam8 -> l1l2+sp:                    "
+              "%llu -> %llu\n",
+              static_cast<unsigned long long>(idea_base),
+              static_cast<unsigned long long>(idea_flex));
+  gate("IDEA faults strictly below the cam8 baseline",
+       idea_flex < idea_base);
+  gate("defaults inert (fig7 VCD byte-identical)", vcd_inert);
+  gate("defaults inert (conv2d Chrome trace identical)", trace_inert);
+
+  WriteJson(rows, exact, conv_base, conv_flex, idea_base, idea_flex,
+            off_inert, pass);
+  std::printf("wrote BENCH_tlb.json\n");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

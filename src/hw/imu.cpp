@@ -13,10 +13,13 @@ Imu::Imu(const ImuConfig& config, mem::PageGeometry geometry,
       dp_ram_(dp_ram),
       irq_(irq),
       sim_(sim),
-      owned_tlb_(shared_tlb == nullptr
+      owned_tlb_(shared_tlb == nullptr || config.shared_tlb_is_l2
                      ? std::make_unique<Tlb>(config.tlb_entries)
                      : nullptr),
-      tlb_(shared_tlb != nullptr ? shared_tlb : owned_tlb_.get()) {
+      tlb_(owned_tlb_ != nullptr ? owned_tlb_.get() : shared_tlb),
+      xlat_(tlb_, config.shared_tlb_is_l2 ? shared_tlb : nullptr) {
+  VCOP_CHECK_MSG(!config.shared_tlb_is_l2 || shared_tlb != nullptr,
+                 "two-level mode needs a shared TLB to use as L2");
   VCOP_CHECK_MSG(config.access_latency_cycles >= 2,
                  "IMU access latency must be at least 2 cycles");
   VCOP_CHECK_MSG(geometry.total_bytes() <= dp_ram.size(),
@@ -39,6 +42,18 @@ void Imu::SetObjectWidth(ObjectId object, u32 width) {
 void Imu::SetObjectLimit(ObjectId object, u32 elem_count) {
   VCOP_CHECK_MSG(object < kMaxObjects, "object id out of range");
   elem_limit_[object] = elem_count;
+}
+
+void Imu::SetObjectPageBytes(ObjectId object, u32 bytes) {
+  VCOP_CHECK_MSG(object < kMaxObjects, "object id out of range");
+  if (bytes == 0) {
+    page_shift_[object] = 0;
+    return;
+  }
+  VCOP_CHECK_MSG(IsPowerOfTwo(bytes), "object page size must be 2^k");
+  VCOP_CHECK_MSG(bytes >= geometry_.page_bytes(),
+                 "object page size below the frame granule");
+  page_shift_[object] = Log2(bytes);
 }
 
 u32 Imu::ReadRegister(ImuRegister reg) const {
@@ -130,7 +145,9 @@ void Imu::Issue(const CpAccess& access) {
   if (page_ref_probe_ && elem_width_[access.object] != 0) {
     const u64 offset =
         static_cast<u64>(access.index) * elem_width_[access.object];
-    page_ref_probe_(access.object, geometry_.PageOf(offset));
+    page_ref_probe_(access.object,
+                    static_cast<mem::VirtPage>(
+                        offset >> ObjectPageShift(access.object)));
   }
   if (tracer_ != nullptr) {
     const Picoseconds now = sim_.now();
@@ -195,6 +212,10 @@ u32 Imu::ConsumeResponse() {
 void Imu::ReleaseParamPage() {
   const std::optional<u32> idx = tlb_->Probe(kParamObject, 0, asid_);
   if (idx.has_value()) tlb_->Invalidate(*idx);
+  if (Tlb* l2 = xlat_.l2(); l2 != nullptr) {
+    const std::optional<u32> l2_idx = l2->Probe(kParamObject, 0, asid_);
+    if (l2_idx.has_value()) l2->Invalidate(*l2_idx);
+  }
   sr_ |= kSrParamReleased;
   if (param_release_hook_) param_release_hook_();
 }
@@ -292,10 +313,14 @@ bool Imu::TryFastForward() {
     return false;
   }
   const u64 offset = static_cast<u64>(current_.index) * width;
-  const mem::VirtPage vpage = geometry_.PageOf(offset);
+  const mem::VirtPage vpage = static_cast<mem::VirtPage>(
+      offset >> ObjectPageShift(current_.object));
   const TcEntry& tc = tc_[current_.object];
   if (!(config_.translation_cache && tc.valid &&
         tc.generation == tlb_->generation() && tc.vpage == vpage)) {
+    // Probes L1 only: an access that would be served by an L2 fill
+    // mutates the L1 and charges the fill penalty, so it declines the
+    // jump and goes through the cycle engine.
     const std::optional<u32> idx = tlb_->Probe(current_.object, vpage, asid_);
     // Probe does not screen parity like Lookup does: a corrupt match
     // would be a miss on the real path, so it declines the jump here.
@@ -328,9 +353,11 @@ void Imu::TranslateAt(Picoseconds when) {
       current_.index >= elem_limit_[current_.object];
   std::optional<u32> entry;
   u64 offset = 0;
+  bool filled_from_l2 = false;
   if (width != 0 && !limit_violation) {
     offset = static_cast<u64>(current_.index) * width;
-    const mem::VirtPage vpage = geometry_.PageOf(offset);
+    const mem::VirtPage vpage = static_cast<mem::VirtPage>(
+        offset >> ObjectPageShift(current_.object));
     TcEntry& tc = tc_[current_.object];
     if (config_.translation_cache && tc.valid &&
         tc.generation == tlb_->generation() && tc.vpage == vpage) {
@@ -340,7 +367,8 @@ void Imu::TranslateAt(Picoseconds when) {
       tlb_->NoteHit(tc.index);
       entry = tc.index;
     } else {
-      entry = tlb_->Lookup(current_.object, vpage, asid_);
+      entry = xlat_.Lookup(current_.object, vpage, asid_);
+      filled_from_l2 = xlat_.last_fill_from_l2();
       tc.valid = entry.has_value();
       if (tc.valid) {
         tc.generation = tlb_->generation();
@@ -371,8 +399,12 @@ void Imu::TranslateAt(Picoseconds when) {
   }
 
   const TlbEntry& e = tlb_->entry(*entry);
-  const u32 paddr =
-      geometry_.FrameBase(e.frame) + geometry_.OffsetIn(offset);
+  // Page offset under the object's own page size: a superpage maps a
+  // contiguous run of frames starting at e.frame, so the offset can
+  // safely extend past the first frame.
+  const u32 page_off = static_cast<u32>(
+      offset & ((u64{1} << ObjectPageShift(current_.object)) - 1));
+  const u32 paddr = geometry_.FrameBase(e.frame) + page_off;
   if (current_.write) {
     dp_ram_.WriteWord(mem::DualPortRam::Port::kCoprocessor, paddr, width,
                       current_.wdata);
@@ -385,6 +417,12 @@ void Imu::TranslateAt(Picoseconds when) {
   ar_ = PackAr(current_.object, current_.index);
 
   ready_at_ = when == sim_.now() ? NextOwnEdgeTime() : OwnEdgeStrictlyAfter(when);
+  if (filled_from_l2) {
+    // Micro-TLB refill handshake: the data arrives later by the L2 hit
+    // penalty. Only possible in two-level mode.
+    ready_at_ +=
+        own_domain_->frequency().Duration(config_.l2_hit_penalty_cycles);
+  }
   if (fault_plan_ && fault_plan_->ShouldInject(FaultSite::kCpStall)) {
     // The port holds CP_TLBHIT low for extra cycles (e.g. DP-RAM
     // arbitration loss); the access completes late but correctly.

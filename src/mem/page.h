@@ -17,6 +17,28 @@ using FrameId = u32;
 /// Index of a virtual page inside a mapped object's byte range.
 using VirtPage = u32;
 
+/// User pages are the host MMU's 4 KB granule — the unit the IOMMU pins
+/// and translates. This is deliberately distinct from the VIM's dual-port
+/// page granule (PageGeometry::page_bytes, 2 KB on the EPXA1) and from
+/// any per-object page-size override: user-VA arithmetic always shifts by
+/// kUserPageShift, DP-RAM frame arithmetic never does.
+inline constexpr u32 kUserPageShift = 12;
+inline constexpr u32 kUserPageBytes = 1u << kUserPageShift;
+
+/// Bounds of the per-object page-size override (ISSUE 9): superpages for
+/// streaming objects up to 8 KB, small pages down to 512 B.
+inline constexpr u32 kMinObjectPageBytes = 512;
+inline constexpr u32 kMaxObjectPageBytes = 8192;
+
+/// Whether `bytes` is an acceptable per-object page size: a power of two
+/// within [kMinObjectPageBytes, kMaxObjectPageBytes]. (Whether it is also
+/// >= the platform's frame granule depends on the PageGeometry in force
+/// and is checked where both are known.)
+inline constexpr bool IsValidObjectPageBytes(u32 bytes) {
+  return bytes >= kMinObjectPageBytes && bytes <= kMaxObjectPageBytes &&
+         (bytes & (bytes - 1)) == 0;
+}
+
 class PageGeometry {
  public:
   /// `page_bytes` must be a power of two; `num_frames` >= 1.
@@ -51,6 +73,18 @@ class PageGeometry {
   /// Number of pages spanned by an object of `size` bytes.
   u32 PagesFor(u64 size) const {
     return static_cast<u32>(DivCeil(size, page_bytes_));
+  }
+
+  /// Number of contiguous frames backing one page of `object_page_bytes`.
+  /// The frame granule stays page_bytes(); a per-object superpage is a
+  /// run of `SpanOf(...)` consecutive frames. Object page sizes below the
+  /// granule are rejected.
+  u32 SpanOf(u32 object_page_bytes) const {
+    VCOP_CHECK_MSG(IsPowerOfTwo(object_page_bytes),
+                   "object page size must be 2^k");
+    VCOP_CHECK_MSG(object_page_bytes >= page_bytes_,
+                   "object page size below the frame granule");
+    return object_page_bytes / page_bytes_;
   }
 
  private:

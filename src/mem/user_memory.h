@@ -13,16 +13,12 @@
 
 #include "base/status.h"
 #include "base/types.h"
+#include "mem/page.h"  // kUserPageShift / kUserPageBytes
 
 namespace vcop::mem {
 
 /// A user-space virtual address in the simulated process.
 using UserAddr = u32;
-
-/// User pages are the MMU's 4 KB granule — the unit the IOMMU pins and
-/// translates, independent of the VIM's 2 KB dual-port pages.
-inline constexpr u32 kUserPageShift = 12;
-inline constexpr u32 kUserPageBytes = 1u << kUserPageShift;
 
 class UserMemory {
  public:

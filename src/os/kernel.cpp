@@ -9,7 +9,8 @@ Kernel::Kernel(const KernelConfig& config)
       user_memory_(config.user_memory_bytes),
       dp_ram_(config.dp_ram_bytes),
       fabric_(config.pld_capacity_les, config.config_bytes_per_second),
-      shared_tlb_(config.tlb_entries),
+      shared_tlb_(config.l2_tlb_entries > 0 ? config.l2_tlb_entries
+                                            : config.tlb_entries),
       vim_(config.costs,
            mem::PageGeometry(config.page_bytes,
                              config.dp_ram_bytes / config.page_bytes),
@@ -47,7 +48,10 @@ void Kernel::InstallFaultPlan(FaultPlan* plan) {
   fabric_.set_fault_plan(plan);
   shared_tlb_.set_fault_plan(plan);
   vim_.InstallFaultPlan(plan);
-  if (imu_) imu_->set_fault_plan(plan);
+  if (imu_) {
+    imu_->set_fault_plan(plan);
+    imu_->tlb().set_fault_plan(plan);
+  }
 }
 
 Status Kernel::FpgaLoad(const hw::Bitstream& bitstream) {
@@ -62,7 +66,14 @@ Status Kernel::FpgaLoad(const hw::Bitstream& bitstream) {
   hw::ImuConfig imu_config;
   imu_config.access_latency_cycles = config_.imu_access_latency;
   imu_config.pipelined = config_.imu_pipelined;
-  imu_config.tlb_entries = config_.tlb_entries;
+  if (config_.l2_tlb_entries > 0) {
+    imu_config.tlb_entries = config_.l1_tlb_entries > 0
+                                 ? config_.l1_tlb_entries
+                                 : config_.tlb_entries;
+    imu_config.shared_tlb_is_l2 = true;
+  } else {
+    imu_config.tlb_entries = config_.tlb_entries;
+  }
   imu_config.bounds_check = config_.imu_bounds_check;
   imu_config.posted_writes = config_.imu_posted_writes;
   imu_config.translation_cache = config_.imu_translation_cache;
@@ -83,6 +94,12 @@ Status Kernel::FpgaLoad(const hw::Bitstream& bitstream) {
                 bitstream.cp_clock.ToString().c_str()),
       bitstream.cp_clock);
   imu_->set_fault_plan(fault_plan_);
+  // The IMU's first-level TLB takes the same fault plan and parity
+  // recovery as the shared one. In single-level mode tlb() IS
+  // shared_tlb_, so this re-installs identical wiring.
+  imu_->tlb().set_fault_plan(fault_plan_);
+  imu_->tlb().set_parity_drop_hook(
+      [this](const hw::TlbEntry& dropped) { vim_.OnTlbParityDrop(dropped); });
   imu_->BindClocks(*imu_domain_, *cp_domain_);
   imu_domain_->Attach(*imu_);
   cp_domain_->Attach(*fabric_.coprocessor());
@@ -111,6 +128,9 @@ Status Kernel::FpgaMapObject(hw::ObjectId id, mem::UserAddr addr,
   object.size_bytes = size_bytes;
   object.elem_width = elem_width;
   object.direction = direction;
+  if (id < hw::kMaxObjects) {
+    object.page_bytes = config_.object_page_bytes[id];
+  }
   return vim_.objects().Map(object);
 }
 

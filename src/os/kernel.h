@@ -17,6 +17,7 @@
 // totals).
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 
@@ -62,8 +63,20 @@ struct KernelConfig {
   /// organised in eight 2KB pages" (§4).
   u32 dp_ram_bytes = 16 * 1024;
   u32 page_bytes = 2 * 1024;
+  /// Per-object page-size overrides in bytes, indexed by object id
+  /// (0 = platform default `page_bytes`; must be a power of two in
+  /// [mem::kMinObjectPageBytes, mem::kMaxObjectPageBytes]). Applied by
+  /// FPGA_MAP_OBJECT; sizes above the frame granule are superpages.
+  std::array<u32, hw::kMaxObjects> object_page_bytes{};
   /// IMU parameters (§3.2/§4).
   u32 tlb_entries = 8;
+  /// Two-level TLB hierarchy (DESIGN.md §14). 0 = classic single
+  /// shared CAM of `tlb_entries`. When l2_tlb_entries > 0 the shared
+  /// TLB becomes a second-level cache of that many entries and every
+  /// IMU owns a small first-level micro-TLB of l1_tlb_entries (falling
+  /// back to tlb_entries when l1_tlb_entries is 0).
+  u32 l1_tlb_entries = 0;
+  u32 l2_tlb_entries = 0;
   u32 imu_access_latency = 4;
   bool imu_pipelined = false;
   /// Enable the IMU's per-object limit registers (extension; catches

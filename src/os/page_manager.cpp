@@ -16,8 +16,8 @@ std::optional<mem::FrameId> PageManager::FindResident(
     hw::ObjectId object, mem::VirtPage vpage, hw::Asid asid) const {
   for (mem::FrameId f = 0; f < frames_.size(); ++f) {
     const FrameState& s = frames_[f];
-    if (s.in_use && s.object == object && s.vpage == vpage &&
-        s.asid == asid) {
+    if (s.in_use && !s.continuation && s.object == object &&
+        s.vpage == vpage && s.asid == asid) {
       return f;
     }
   }
@@ -31,10 +31,27 @@ std::optional<mem::FrameId> PageManager::FindFree() const {
   return std::nullopt;
 }
 
+std::optional<mem::FrameId> PageManager::FindFreeRun(u32 span) const {
+  VCOP_CHECK_MSG(span >= 1, "FindFreeRun needs span >= 1");
+  if (span > frames_.size()) return std::nullopt;
+  u32 run = 0;
+  for (mem::FrameId f = 0; f < frames_.size(); ++f) {
+    run = frames_[f].in_use ? 0 : run + 1;
+    if (run == span) return f + 1 - span;
+  }
+  return std::nullopt;
+}
+
 void PageManager::Install(mem::FrameId frame, hw::ObjectId object,
-                          mem::VirtPage vpage, bool pinned, hw::Asid asid) {
-  FrameState& s = MutableFrame(frame);
-  VCOP_CHECK_MSG(!s.in_use, "Install into an occupied frame");
+                          mem::VirtPage vpage, bool pinned, hw::Asid asid,
+                          u32 span) {
+  VCOP_CHECK_MSG(span >= 1, "Install needs span >= 1");
+  VCOP_CHECK_MSG(static_cast<u64>(frame) + span <= frames_.size(),
+                 "superpage run exceeds the frame array");
+  for (u32 i = 0; i < span; ++i) {
+    VCOP_CHECK_MSG(!frames_[frame + i].in_use,
+                   "Install into an occupied frame");
+  }
   VCOP_CHECK_MSG(!FindResident(object, vpage, asid).has_value(),
                  "page is already resident in another frame");
   FrameState next;
@@ -44,41 +61,54 @@ void PageManager::Install(mem::FrameId frame, hw::ObjectId object,
   next.object = object;
   next.asid = asid;
   next.vpage = vpage;
-  s = next;
+  next.span = span;
+  frames_[frame] = next;
   ++generations_[frame];
-  ++in_use_;
+  for (u32 i = 1; i < span; ++i) {
+    FrameState tail = next;
+    tail.pins = 0;
+    tail.span = 1;
+    tail.continuation = true;
+    tail.head = frame;
+    frames_[frame + i] = tail;
+    ++generations_[frame + i];
+  }
+  in_use_ += span;
 }
 
 FrameState PageManager::Release(mem::FrameId frame) {
   FrameState& s = MutableFrame(frame);
   VCOP_CHECK_MSG(s.in_use, "Release of a free frame");
+  VCOP_CHECK_MSG(!s.continuation, "Release of a superpage tail");
   const FrameState old = s;
-  s = FrameState{};
-  --in_use_;
+  for (u32 i = 0; i < old.span; ++i) frames_[frame + i] = FrameState{};
+  in_use_ -= old.span;
   return old;
 }
 
 void PageManager::MarkDirty(mem::FrameId frame) {
   FrameState& s = MutableFrame(frame);
-  VCOP_CHECK_MSG(s.in_use, "MarkDirty on a free frame");
+  VCOP_CHECK_MSG(s.in_use && !s.continuation, "MarkDirty on a free frame");
   s.dirty = true;
 }
 
 void PageManager::ClearDirty(mem::FrameId frame) {
   FrameState& s = MutableFrame(frame);
-  VCOP_CHECK_MSG(s.in_use, "ClearDirty on a free frame");
+  VCOP_CHECK_MSG(s.in_use && !s.continuation, "ClearDirty on a free frame");
   s.dirty = false;
 }
 
 void PageManager::MarkSpeculative(mem::FrameId frame) {
   FrameState& s = MutableFrame(frame);
-  VCOP_CHECK_MSG(s.in_use, "MarkSpeculative on a free frame");
+  VCOP_CHECK_MSG(s.in_use && !s.continuation,
+                 "MarkSpeculative on a free frame");
   s.speculative = true;
 }
 
 void PageManager::ClearSpeculative(mem::FrameId frame) {
   FrameState& s = MutableFrame(frame);
-  VCOP_CHECK_MSG(s.in_use, "ClearSpeculative on a free frame");
+  VCOP_CHECK_MSG(s.in_use && !s.continuation,
+                 "ClearSpeculative on a free frame");
   s.speculative = false;
 }
 
@@ -89,7 +119,7 @@ u64 PageManager::generation(mem::FrameId frame) const {
 
 void PageManager::Pin(mem::FrameId frame) {
   FrameState& s = MutableFrame(frame);
-  VCOP_CHECK_MSG(s.in_use, "Pin on a free frame");
+  VCOP_CHECK_MSG(s.in_use && !s.continuation, "Pin on a free frame");
   ++s.pins;
   s.pinned = true;
 }
@@ -112,9 +142,12 @@ FrameState& PageManager::MutableFrame(mem::FrameId frame) {
 }
 
 std::vector<bool> PageManager::EvictableMask() const {
+  // Superpage tails are excluded: eviction always targets the head,
+  // which releases the whole run.
   std::vector<bool> mask(frames_.size());
   for (mem::FrameId f = 0; f < frames_.size(); ++f) {
-    mask[f] = frames_[f].in_use && !frames_[f].pinned;
+    mask[f] = frames_[f].in_use && !frames_[f].pinned &&
+              !frames_[f].continuation;
   }
   return mask;
 }
@@ -122,7 +155,7 @@ std::vector<bool> PageManager::EvictableMask() const {
 std::vector<mem::FrameId> PageManager::InUseFrames() const {
   std::vector<mem::FrameId> out;
   for (mem::FrameId f = 0; f < frames_.size(); ++f) {
-    if (frames_[f].in_use) out.push_back(f);
+    if (frames_[f].in_use && !frames_[f].continuation) out.push_back(f);
   }
   return out;
 }
@@ -130,7 +163,10 @@ std::vector<mem::FrameId> PageManager::InUseFrames() const {
 std::vector<mem::FrameId> PageManager::InUseFramesOf(hw::Asid asid) const {
   std::vector<mem::FrameId> out;
   for (mem::FrameId f = 0; f < frames_.size(); ++f) {
-    if (frames_[f].in_use && frames_[f].asid == asid) out.push_back(f);
+    if (frames_[f].in_use && !frames_[f].continuation &&
+        frames_[f].asid == asid) {
+      out.push_back(f);
+    }
   }
   return out;
 }

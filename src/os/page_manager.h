@@ -40,6 +40,14 @@ struct FrameState {
   /// Owning address space (vcopd multi-tenancy); 0 = kernel default.
   hw::Asid asid = 0;
   mem::VirtPage vpage = 0;
+  /// Superpage support: an object page larger than the frame granule
+  /// occupies `span` consecutive frames. The head frame carries the
+  /// mapping; tail frames are marked `continuation` (in_use, pointing
+  /// back at `head`) and are never enumerated, evicted or released on
+  /// their own.
+  u32 span = 1;
+  bool continuation = false;
+  mem::FrameId head = 0;
 };
 
 class PageManager {
@@ -62,13 +70,18 @@ class PageManager {
   /// Any free frame (lowest index first).
   std::optional<mem::FrameId> FindFree() const;
 
-  /// Claims `frame` for (asid, object, vpage). Precondition: frame is
-  /// free.
-  void Install(mem::FrameId frame, hw::ObjectId object, mem::VirtPage vpage,
-               bool pinned = false, hw::Asid asid = 0);
+  /// Lowest `span` consecutive free frames (superpage allocation), if
+  /// any such window exists.
+  std::optional<mem::FrameId> FindFreeRun(u32 span) const;
 
-  /// Releases `frame`. Precondition: frame is in use.
-  /// Returns its final state (the caller decides about write-back
+  /// Claims frames [frame, frame+span) for (asid, object, vpage).
+  /// Precondition: all of them are free. `frame` becomes the head; the
+  /// rest become continuation tails.
+  void Install(mem::FrameId frame, hw::ObjectId object, mem::VirtPage vpage,
+               bool pinned = false, hw::Asid asid = 0, u32 span = 1);
+
+  /// Releases the run headed at `frame` (must be a head, not a tail).
+  /// Returns the head's final state (the caller decides about write-back
   /// *before* releasing; this is for bookkeeping symmetry).
   FrameState Release(mem::FrameId frame);
 

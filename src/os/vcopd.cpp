@@ -385,7 +385,13 @@ void Vcopd::InstantiateHardware(Tenant& tenant, Job& job) {
   hw::ImuConfig imu_config;
   imu_config.access_latency_cycles = kc.imu_access_latency;
   imu_config.pipelined = kc.imu_pipelined;
-  imu_config.tlb_entries = kc.tlb_entries;
+  if (kc.l2_tlb_entries > 0) {
+    imu_config.tlb_entries =
+        kc.l1_tlb_entries > 0 ? kc.l1_tlb_entries : kc.tlb_entries;
+    imu_config.shared_tlb_is_l2 = true;
+  } else {
+    imu_config.tlb_entries = kc.tlb_entries;
+  }
   imu_config.bounds_check = kc.imu_bounds_check;
   imu_config.posted_writes = kc.imu_posted_writes;
   imu_config.translation_cache = kc.imu_translation_cache;
@@ -398,6 +404,12 @@ void Vcopd::InstantiateHardware(Tenant& tenant, Job& job) {
       &kernel_.shared_tlb());
   job.imu->SetAsid(tenant.space->asid());
   job.imu->set_fault_plan(kernel_.fault_plan());
+  // First-level TLB recovery wiring (identical re-install when tlb()
+  // IS the shared TLB in single-level mode).
+  job.imu->tlb().set_fault_plan(kernel_.fault_plan());
+  job.imu->tlb().set_parity_drop_hook([this](const hw::TlbEntry& dropped) {
+    kernel_.vim().OnTlbParityDrop(dropped);
+  });
 
   // IMU domain first: on coincident edges the translation pipeline must
   // advance before the core samples CP_TLBHIT (same as Kernel::FpgaLoad).

@@ -70,6 +70,16 @@ void Vim::BindImu(hw::Imu* imu) {
   imu_ = imu;
   if (imu_ == nullptr) return;
   imu_->set_fastforward_gate([this] { return FastForwardSafe(); });
+  imu_->xlat().set_evict_hook([this](const hw::TlbEntry& victim) {
+    // A hardware L2->L1 fill displaced a dirty L1 entry whose L2 twin
+    // is gone: fold the dirtiness into the page state so the eventual
+    // write-back still happens.
+    if (victim.frame < pages_.num_frames() &&
+        pages_.frame(victim.frame).in_use) {
+      pages_.MarkDirty(victim.frame);
+    }
+    ++service_stats_.hw_tlb_evict_merges;
+  });
   imu_->set_param_release_hook([this] {
     if (space_->param_frame.has_value()) {
       pages_.Unpin(*space_->param_frame);
@@ -95,11 +105,41 @@ AddressSpace* Vim::ResolveSpace(hw::Asid asid) {
 }
 
 u32 Vim::PageLength(const MappedObject& object, mem::VirtPage vpage) const {
-  const u64 start = static_cast<u64>(vpage) * geometry_.page_bytes();
+  const u32 page_bytes = ObjectPageBytes(object);
+  const u64 start = static_cast<u64>(vpage) * page_bytes;
   VCOP_CHECK_MSG(start < object.size_bytes, "page beyond object");
   const u64 remaining = object.size_bytes - start;
+  return static_cast<u32>(std::min<u64>(remaining, page_bytes));
+}
+
+u32 Vim::ObjectPageBytes(const MappedObject& object) const {
+  return object.page_bytes != 0 ? object.page_bytes
+                                : geometry_.page_bytes();
+}
+
+u32 Vim::ObjectPageSpan(const MappedObject& object) const {
+  return object.page_bytes != 0 ? geometry_.SpanOf(object.page_bytes) : 1;
+}
+
+mem::VirtPage Vim::ObjectPageOf(const MappedObject& object,
+                                u64 offset) const {
+  return static_cast<mem::VirtPage>(offset / ObjectPageBytes(object));
+}
+
+u32 Vim::ObjectNumPages(const MappedObject& object) const {
   return static_cast<u32>(
-      std::min<u64>(remaining, geometry_.page_bytes()));
+      DivCeil(object.size_bytes, ObjectPageBytes(object)));
+}
+
+mem::UserAddr Vim::PageUserAddr(const MappedObject& object,
+                                mem::VirtPage vpage) const {
+  return object.user_addr +
+         static_cast<mem::UserAddr>(static_cast<u64>(vpage) *
+                                    ObjectPageBytes(object));
+}
+
+hw::Tlb* Vim::L2() const {
+  return imu_ != nullptr ? imu_->xlat().l2() : nullptr;
 }
 
 Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params,
@@ -119,6 +159,21 @@ Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params,
       return InvalidArgumentError(StrFormat(
           "object %u points outside the process address space", object.id));
     }
+    if (object.page_bytes != 0) {
+      if (object.page_bytes < geometry_.page_bytes()) {
+        return InvalidArgumentError(StrFormat(
+            "object %u page size %u is below the %u-byte frame granule",
+            object.id, object.page_bytes, geometry_.page_bytes()));
+      }
+      const u32 span = geometry_.SpanOf(object.page_bytes);
+      if (span > geometry_.num_frames()) {
+        return InvalidArgumentError(StrFormat(
+            "object %u page size %u exceeds the dual-port RAM (%u frames "
+            "of %u bytes)",
+            object.id, object.page_bytes, geometry_.num_frames(),
+            geometry_.page_bytes()));
+      }
+    }
   }
 
   current_scope_ = scope;
@@ -133,8 +188,14 @@ Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params,
     prefetcher_->Reset();
     imu_->tlb().InvalidateAll();
     imu_->tlb().ResetStats();
+    if (hw::Tlb* l2 = L2(); l2 != nullptr) {
+      l2->InvalidateAll();
+      l2->ResetStats();
+      imu_->xlat().ResetStats();
+    }
     imu_->ResetStats();
     tlb_recycle_cursor_ = 0;
+    l2_recycle_cursor_ = 0;
     hot_frames_.assign(geometry_.num_frames(), false);
     // A new execution may run over fresh user-space data; every victim
     // record describes frames of the previous run.
@@ -162,10 +223,12 @@ Result<Picoseconds> Vim::PrepareExecution(std::span<const u32> params,
     imu_->SetObjectWidth(object.id, object.elem_width);
     imu_->SetObjectLimit(object.id,
                          object.size_bytes / object.elem_width);
+    imu_->SetObjectPageBytes(object.id, object.page_bytes);
   }
   imu_->SetObjectWidth(hw::kParamObject, 4);
   imu_->SetObjectLimit(hw::kParamObject,
                        static_cast<u32>(params.size()));
+  imu_->SetObjectPageBytes(hw::kParamObject, 0);
 
   u64 setup_cycles =
       costs_.syscall_cycles +
@@ -309,7 +372,7 @@ void Vim::OnPageFault() {
 
   HarvestRecency();
 
-  const mem::VirtPage vpage = geometry_.PageOf(offset);
+  const mem::VirtPage vpage = ObjectPageOf(*object, offset);
   hw::Imu* imu = imu_;
 
   if (config_.overlap_prefetch) {
@@ -356,7 +419,7 @@ void Vim::OnPageFault() {
   // never pays a write-back for a guess. In overlapped mode the units
   // run on the CPU *after* the coprocessor resumes.
   const Picoseconds resolution = sim_.now() + imu_cost + dp_cost;
-  const u32 num_pages = geometry_.PagesFor(object->size_bytes);
+  const u32 num_pages = ObjectNumPages(*object);
   if (config_.overlap_prefetch) {
     Picoseconds tail = std::max(resolution, cpu_busy_until_);
     for (const PrefetchSuggestion& s :
@@ -412,7 +475,16 @@ void Vim::ScheduleOverlappedPrefetch(const MappedObject& object,
   // Acquire a frame now (while the coprocessor is stalled, so evicting
   // a clean victim's translation is race-free); fill it later.
   Picoseconds unit_cost = 0;
-  std::optional<mem::FrameId> frame = AllocFrame();
+  const u32 span = ObjectPageSpan(object);
+  std::optional<mem::FrameId> frame;
+  if (span > 1) {
+    // Superpage speculation is strictly best-effort: take a free
+    // contiguous window or decline — never evict for a guess.
+    frame = pages_.FindFreeRun(span);
+    if (!frame.has_value()) return;
+  } else {
+    frame = AllocFrame();
+  }
   if (!frame.has_value()) {
     std::vector<bool> evictable = pages_.EvictableMask();
     for (mem::FrameId f = 0; f < evictable.size(); ++f) {
@@ -430,7 +502,8 @@ void Vim::ScheduleOverlappedPrefetch(const MappedObject& object,
     VCOP_CHECK_MSG(evict_dp == 0, "clean eviction must not write back");
     frame = victim;
   }
-  pages_.Install(*frame, object.id, vpage, /*pinned=*/true);
+  pages_.Install(*frame, object.id, vpage, /*pinned=*/true, /*asid=*/0,
+                 span);
   pages_.MarkSpeculative(*frame);
   policy_->OnInstalled(*frame);
   policy_->OnInstalledAt(*frame, object.id, vpage);
@@ -443,8 +516,7 @@ void Vim::ScheduleOverlappedPrefetch(const MappedObject& object,
       costs_.Cycles(costs_.tlb_update_cycles + costs_.page_table_cycles);
   if (needs_load) unit_cost += PricePage(len);
 
-  const mem::UserAddr user_src =
-      object.user_addr + vpage * geometry_.page_bytes();
+  const mem::UserAddr user_src = PageUserAddr(object, vpage);
   // Under the IOMMU the transfer references the user pages directly
   // until it lands: pin them so reclamation cannot pull the source out
   // from under an in-flight DMA.
@@ -503,7 +575,11 @@ Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
     return MapOutcome::kMapped;
   }
 
-  if (!prefetch && !victim_tlb_.empty()) {
+  const u32 span = ObjectPageSpan(object);
+  // The victim TLB records single frames; superpage runs skip it (a
+  // tail frame's reuse would not bump the head's generation, so a
+  // record could false-hit on a clobbered run).
+  if (!prefetch && !victim_tlb_.empty() && span == 1) {
     if (const std::optional<mem::FrameId> vf =
             VictimLookup(object.id, vpage, space_->asid())) {
       // The evicted copy survived untouched in a still-free frame:
@@ -524,7 +600,71 @@ Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
     ++service_stats_.victim_tlb_misses;
   }
 
-  std::optional<mem::FrameId> frame = AllocFrame();
+  std::optional<mem::FrameId> frame;
+  if (span > 1) {
+    frame = pages_.FindFreeRun(span);
+    if (!frame.has_value()) {
+      if (prefetch) return MapOutcome::kSkipped;
+      // Deterministic window scan: pick the span-wide window whose
+      // clearing evicts the fewest *hot* mappings (pages the
+      // coprocessor touched since the last recency harvest), then the
+      // fewest mappings overall (ties: lowest start), and evict those
+      // heads in ascending order. Windows overlapping a pinned frame
+      // are infeasible. Hot-avoidance is what keeps two streaming
+      // superpage objects from ping-ponging each other out of memory:
+      // without it the scan would deterministically clear the lowest
+      // window every fault, which is exactly where the other object's
+      // active page lives.
+      const u32 num_frames = geometry_.num_frames();
+      std::optional<mem::FrameId> best_start;
+      usize best_hot = 0;
+      usize best_cost = 0;
+      for (mem::FrameId start = 0; start + span <= num_frames; ++start) {
+        std::set<mem::FrameId> heads;
+        bool feasible = true;
+        for (mem::FrameId f = start; f < start + span; ++f) {
+          const FrameState& s = pages_.frame(f);
+          if (!s.in_use) continue;
+          const mem::FrameId head = s.continuation ? s.head : f;
+          if (pages_.frame(head).pinned) {
+            feasible = false;
+            break;
+          }
+          heads.insert(head);
+        }
+        if (!feasible) continue;
+        usize hot = 0;
+        for (const mem::FrameId h : heads) {
+          if (h < hot_frames_.size() && hot_frames_[h]) ++hot;
+        }
+        if (!best_start.has_value() || hot < best_hot ||
+            (hot == best_hot && heads.size() < best_cost)) {
+          best_start = start;
+          best_hot = hot;
+          best_cost = heads.size();
+        }
+      }
+      if (!best_start.has_value()) {
+        Abort(ResourceExhaustedError(StrFormat(
+            "no %u-frame window available for a %u-byte superpage "
+            "(pinned frames fragment the dual-port RAM)",
+            span, ObjectPageBytes(object))));
+        return MapOutcome::kAborted;
+      }
+      std::set<mem::FrameId> victims;
+      for (mem::FrameId f = *best_start; f < *best_start + span; ++f) {
+        const FrameState& s = pages_.frame(f);
+        if (s.in_use) victims.insert(s.continuation ? s.head : f);
+      }
+      for (const mem::FrameId v : victims) {
+        EvictFrame(v, dp_cost, imu_cost);
+        if (space_->aborted) return MapOutcome::kAborted;
+      }
+      frame = best_start;
+    }
+  } else {
+    frame = AllocFrame();
+  }
   if (!frame.has_value()) {
     std::vector<bool> evictable = pages_.EvictableMask();
     if (prefetch) {
@@ -563,7 +703,7 @@ Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
       space_->written_back.count({object.id, vpage}) != 0;
   if (needs_load) {
     const mem::TransferResult r = LoadPageRetried(
-        space_->asid(), object.user_addr + vpage * geometry_.page_bytes(),
+        space_->asid(), PageUserAddr(object, vpage),
         geometry_.FrameBase(*frame), len);
     dp_cost += r.time;
     if (r.bus_error) {
@@ -574,7 +714,7 @@ Vim::MapOutcome Vim::EnsureMapped(const MappedObject& object,
     acct().bytes_loaded += len;
   }
   pages_.Install(*frame, object.id, vpage, /*pinned=*/false,
-                 space_->asid());
+                 space_->asid(), span);
   if (prefetch) pages_.MarkSpeculative(*frame);
   policy_->OnInstalled(*frame);
   policy_->OnInstalledAt(*frame, object.id, vpage);
@@ -595,6 +735,13 @@ void Vim::EvictFrame(mem::FrameId frame, Picoseconds& dp_cost,
     if (old.dirty) pages_.MarkDirty(frame);
     if (old.accessed || old.dirty) NoteSpeculativeTouch(frame);
   }
+  if (hw::Tlb* l2 = L2(); l2 != nullptr) {
+    if (const std::optional<u32> e2 = l2->FindByFrame(frame)) {
+      const hw::TlbEntry old = l2->Invalidate(*e2);
+      if (old.dirty) pages_.MarkDirty(frame);
+      if (old.accessed || old.dirty) NoteSpeculativeTouch(frame);
+    }
+  }
   const FrameState state = pages_.frame(frame);
   AddressSpace* owner = ResolveSpace(state.asid);
   VCOP_CHECK_MSG(owner != nullptr, "evicting a frame of an unknown space");
@@ -612,7 +759,7 @@ void Vim::EvictFrame(mem::FrameId frame, Picoseconds& dp_cost,
       const u32 len = PageLength(*object, state.vpage);
       const mem::TransferResult r = StorePageRetried(
           state.asid, geometry_.FrameBase(frame),
-          object->user_addr + state.vpage * geometry_.page_bytes(), len);
+          PageUserAddr(*object, state.vpage), len);
       dp_cost += r.time;
       if (r.bus_error) {
         // The dirty page cannot leave the fabric: its data would be
@@ -659,6 +806,30 @@ void Vim::InstallTlbEntry(hw::ObjectId object, mem::VirtPage vpage,
     slot = victim;
   }
   tlb.Install(*slot, object, vpage, frame, space_->asid());
+
+  // Two-level mode: OS installs fill both levels, so a later L1
+  // recycling can be repaired by a hardware L2->L1 fill instead of a
+  // full fault service.
+  hw::Tlb* l2 = L2();
+  if (l2 == nullptr) return;
+  const hw::Asid asid = space_->asid();
+  if (const std::optional<u32> existing = l2->Probe(object, vpage, asid)) {
+    if (l2->entry(*existing).frame == frame) return;  // already current
+    const hw::TlbEntry old = l2->Invalidate(*existing);
+    if (old.dirty && pages_.frame(old.frame).in_use) {
+      pages_.MarkDirty(old.frame);
+    }
+  }
+  std::optional<u32> l2_slot = l2->FindFree();
+  if (!l2_slot.has_value()) {
+    const u32 victim = l2_recycle_cursor_++ % l2->num_entries();
+    const hw::TlbEntry old = l2->Invalidate(victim);
+    if (old.valid && old.dirty && pages_.frame(old.frame).in_use) {
+      pages_.MarkDirty(old.frame);
+    }
+    l2_slot = victim;
+  }
+  l2->Install(*l2_slot, object, vpage, frame, asid);
 }
 
 void Vim::ScheduleBackgroundCleaning(Picoseconds& tail) {
@@ -694,8 +865,7 @@ void Vim::ScheduleBackgroundCleaning(Picoseconds& tail) {
     const u64 epoch = epoch_;
     const hw::ObjectId oid = state.object;
     const mem::VirtPage vpage = state.vpage;
-    const mem::UserAddr dst =
-        object->user_addr + vpage * geometry_.page_bytes();
+    const mem::UserAddr dst = PageUserAddr(*object, vpage);
     sim_.ScheduleAt(tail, [this, epoch, f, oid, vpage, dst, len] {
       if (epoch != epoch_) return;
       const FrameState now_state = pages_.frame(f);
@@ -718,6 +888,11 @@ void Vim::ScheduleBackgroundCleaning(Picoseconds& tail) {
       if (const std::optional<u32> entry = imu_->tlb().FindByFrame(f)) {
         imu_->tlb().ClearDirty(*entry);
       }
+      if (hw::Tlb* l2 = L2(); l2 != nullptr) {
+        if (const std::optional<u32> entry = l2->FindByFrame(f)) {
+          l2->ClearDirty(*entry);
+        }
+      }
       ++acct().cleaned_pages;
       acct().bytes_written_back += len;
     });
@@ -731,12 +906,28 @@ void Vim::HarvestRecency() {
     NoteSpeculativeTouch(f);
     if (f < hot_frames_.size()) hot_frames_[f] = true;
   }
+  // Two-level mode: translations recycled out of the micro-TLB keep
+  // being accessed through hardware L2 fills, so the L2's accessed
+  // bits are part of the recency picture (in single-level mode L2() is
+  // null and this is a no-op).
+  if (hw::Tlb* l2 = L2(); l2 != nullptr) {
+    for (const mem::FrameId f : l2->HarvestAccessed()) {
+      policy_->OnTouched(f);
+      NoteSpeculativeTouch(f);
+      if (f < hot_frames_.size()) hot_frames_[f] = true;
+    }
+  }
 }
 
 bool Vim::FrameDirty(mem::FrameId frame) const {
   if (pages_.frame(frame).dirty) return true;
   const std::optional<u32> entry = imu_->tlb().FindByFrame(frame);
-  return entry.has_value() && imu_->tlb().entry(*entry).dirty;
+  if (entry.has_value() && imu_->tlb().entry(*entry).dirty) return true;
+  if (const hw::Tlb* l2 = L2(); l2 != nullptr) {
+    const std::optional<u32> e2 = l2->FindByFrame(frame);
+    if (e2.has_value() && l2->entry(*e2).dirty) return true;
+  }
+  return false;
 }
 
 void Vim::OnEndOfOperation() {
@@ -780,6 +971,17 @@ void Vim::OnEndOfOperation() {
       if (e.accessed || e.dirty) NoteSpeculativeTouch(e.frame);
     }
     tlb.InvalidateAll();
+    if (hw::Tlb* l2 = L2(); l2 != nullptr) {
+      for (u32 i = 0; i < l2->num_entries(); ++i) {
+        const hw::TlbEntry e = l2->entry(i);
+        if (!e.valid) continue;
+        if (e.dirty && pages_.frame(e.frame).in_use) {
+          pages_.MarkDirty(e.frame);
+        }
+        if (e.accessed || e.dirty) NoteSpeculativeTouch(e.frame);
+      }
+      l2->InvalidateAll();
+    }
 
     if (config_.coalesce_writeback) {
       // One scatter-gather burst cleans every dirty page first; the
@@ -813,7 +1015,7 @@ void Vim::OnEndOfOperation() {
           const u32 len = PageLength(*object, state.vpage);
           const mem::TransferResult r = StorePageRetried(
               state.asid, geometry_.FrameBase(f),
-              object->user_addr + state.vpage * geometry_.page_bytes(), len);
+              PageUserAddr(*object, state.vpage), len);
           dp_cost += r.time;
           if (r.bus_error) {
             acct().t_imu += imu_cost;
@@ -838,6 +1040,21 @@ void Vim::OnEndOfOperation() {
         pages_.MarkDirty(e.frame);
       }
       if (e.accessed || e.dirty) NoteSpeculativeTouch(e.frame);
+    }
+    if (hw::Tlb* l2 = L2(); l2 != nullptr) {
+      for (u32 i = 0; i < l2->num_entries(); ++i) {
+        const hw::TlbEntry e = l2->entry(i);
+        if (!e.valid || e.asid != asid) continue;
+        if (e.dirty && pages_.frame(e.frame).in_use) {
+          pages_.MarkDirty(e.frame);
+        }
+        if (e.accessed || e.dirty) NoteSpeculativeTouch(e.frame);
+      }
+      if (tlb_tagging_) {
+        l2->InvalidateAsid(asid);
+      } else {
+        l2->InvalidateAll();
+      }
     }
     if (tlb_tagging_) {
       tlb.InvalidateAsid(asid);
@@ -875,7 +1092,7 @@ void Vim::OnEndOfOperation() {
           const u32 len = PageLength(*object, state.vpage);
           const mem::TransferResult r = StorePageRetried(
               state.asid, geometry_.FrameBase(f),
-              object->user_addr + state.vpage * geometry_.page_bytes(), len);
+              PageUserAddr(*object, state.vpage), len);
           dp_cost += r.time;
           if (r.bus_error) {
             acct().t_imu += imu_cost;
@@ -942,6 +1159,12 @@ Picoseconds Vim::SaveContext() {
             tlb.Probe(hw::kParamObject, 0, asid)) {
       tlb.Invalidate(*entry);
     }
+    if (hw::Tlb* l2 = L2(); l2 != nullptr) {
+      if (const std::optional<u32> e2 =
+              l2->Probe(hw::kParamObject, 0, asid)) {
+        l2->Invalidate(*e2);
+      }
+    }
     pages_.Unpin(*space_->param_frame);
     pages_.Release(*space_->param_frame);
     policy_->OnFreed(*space_->param_frame);
@@ -967,6 +1190,30 @@ Picoseconds Vim::SaveContext() {
       space_->tlb_snapshot.push_back(
           TlbSnapshotEntry{e.object, e.vpage, e.frame});
     }
+    if (hw::Tlb* l2 = L2(); l2 != nullptr) {
+      // L2 holds translations an L1 recycle pushed out; snapshot the
+      // ones L1 no longer has so a resume restores the full set.
+      for (u32 i = 0; i < l2->num_entries(); ++i) {
+        const hw::TlbEntry e = l2->entry(i);
+        if (!e.valid || e.asid != asid || e.object == hw::kParamObject) {
+          continue;
+        }
+        if (e.dirty && pages_.frame(e.frame).in_use) {
+          pages_.MarkDirty(e.frame);
+        }
+        bool already = false;
+        for (const TlbSnapshotEntry& snap : space_->tlb_snapshot) {
+          if (snap.object == e.object && snap.vpage == e.vpage) {
+            already = true;
+            break;
+          }
+        }
+        if (!already) {
+          space_->tlb_snapshot.push_back(
+              TlbSnapshotEntry{e.object, e.vpage, e.frame});
+        }
+      }
+    }
     if (config_.coalesce_writeback) {
       const u32 cleaned =
           CoalescedWriteback(pages_.InUseFramesOf(asid), dp_cost);
@@ -988,7 +1235,7 @@ Picoseconds Vim::SaveContext() {
       const u32 len = PageLength(*object, state.vpage);
       const mem::TransferResult r = StorePageRetried(
           state.asid, geometry_.FrameBase(f),
-          object->user_addr + state.vpage * geometry_.page_bytes(), len);
+          PageUserAddr(*object, state.vpage), len);
       dp_cost += r.time;
       if (r.bus_error) {
         if (!space_->aborted) Abort(last_transfer_failure_);
@@ -1003,6 +1250,11 @@ Picoseconds Vim::SaveContext() {
       pages_.ClearDirty(f);
       if (const std::optional<u32> entry = tlb.FindByFrame(f)) {
         tlb.ClearDirty(*entry);
+      }
+      if (hw::Tlb* l2 = L2(); l2 != nullptr) {
+        if (const std::optional<u32> e2 = l2->FindByFrame(f)) {
+          l2->ClearDirty(*e2);
+        }
       }
     }
     ++service_stats_.tlb_flushes_avoided;
@@ -1023,6 +1275,7 @@ Picoseconds Vim::SaveContext() {
       EvictFrame(f, dp_cost, imu_cost);
     }
     tlb.InvalidateAll();
+    if (hw::Tlb* l2 = L2(); l2 != nullptr) l2->InvalidateAll();
     ++service_stats_.full_tlb_flushes;
   }
 
@@ -1111,6 +1364,16 @@ Picoseconds Vim::FlushAsid(hw::Asid asid, bool write_back) {
     }
   }
   tlb.InvalidateAsid(asid);
+  if (hw::Tlb* l2 = L2(); l2 != nullptr) {
+    for (u32 i = 0; i < l2->num_entries(); ++i) {
+      const hw::TlbEntry e = l2->entry(i);
+      if (e.valid && e.asid == asid && e.dirty &&
+          pages_.frame(e.frame).in_use) {
+        pages_.MarkDirty(e.frame);
+      }
+    }
+    l2->InvalidateAsid(asid);
+  }
   // The flush means "this ASID's interface state is gone": any cached
   // eviction record for it must die with the frames.
   InvalidateVictims(asid);
@@ -1130,7 +1393,7 @@ Picoseconds Vim::FlushAsid(hw::Asid asid, bool write_back) {
         const u32 len = PageLength(*object, state.vpage);
         const mem::TransferResult r = StorePageRetried(
             state.asid, geometry_.FrameBase(f),
-            object->user_addr + state.vpage * geometry_.page_bytes(), len);
+            PageUserAddr(*object, state.vpage), len);
         cost += r.time;
         if (r.bus_error) {
           // Teardown is best-effort: the page's data is lost, which
@@ -1219,6 +1482,9 @@ void Vim::SettleSpeculativeRelease(const FrameState& state) {
 void Vim::RecordVictim(const FrameState& state, mem::FrameId frame) {
   if (victim_tlb_.empty()) return;
   if (state.object == hw::kParamObject) return;
+  // Superpage runs are not recorded: a tail frame's reuse would not
+  // bump the head's generation, so a hit could redeem a clobbered run.
+  if (state.span > 1) return;
   VictimEntry& e = victim_tlb_[victim_cursor_++ % victim_tlb_.size()];
   e.valid = true;
   e.asid = state.asid;
@@ -1307,9 +1573,8 @@ u32 Vim::CoalescedWriteback(const std::vector<mem::FrameId>& frames,
     batch.push_back(f);
     segments.push_back(mem::Iommu::BurstSegment{
         state.asid,
-        mem::StoreSegment{
-            geometry_.FrameBase(f),
-            object->user_addr + state.vpage * geometry_.page_bytes(), len}});
+        mem::StoreSegment{geometry_.FrameBase(f),
+                          PageUserAddr(*object, state.vpage), len}});
   }
   if (segments.size() < 2) return 0;  // nothing to amortise
 
@@ -1328,6 +1593,11 @@ u32 Vim::CoalescedWriteback(const std::vector<mem::FrameId>& frames,
     pages_.ClearDirty(f);
     if (const std::optional<u32> entry = imu_->tlb().FindByFrame(f)) {
       imu_->tlb().ClearDirty(*entry);
+    }
+    if (hw::Tlb* l2 = L2(); l2 != nullptr) {
+      if (const std::optional<u32> e2 = l2->FindByFrame(f)) {
+        l2->ClearDirty(*e2);
+      }
     }
   }
   ++service_stats_.coalesced_bursts;

@@ -178,6 +178,13 @@ struct VimServiceStats {
   /// Scatter-gather write-back transactions and the pages they carried.
   u64 coalesced_bursts = 0;
   u64 coalesced_pages = 0;
+
+  // ----- two-level TLB hierarchy (DESIGN.md §14) -----
+
+  /// Dirty L1 victims of hardware L2->L1 fills whose L2 twin had
+  /// already been recycled: their dirtiness was folded into the page
+  /// state through the hierarchy's evict hook.
+  u64 hw_tlb_evict_merges = 0;
 };
 
 class Vim {
@@ -377,6 +384,25 @@ class Vim {
   /// Byte length of `vpage` within `object` (short for the last page).
   u32 PageLength(const MappedObject& object, mem::VirtPage vpage) const;
 
+  // ----- per-object page geometry (DESIGN.md §14) -----
+
+  /// Effective page size of `object`: its override or the platform
+  /// frame granule.
+  u32 ObjectPageBytes(const MappedObject& object) const;
+  /// Frames per page of `object` (1 unless it uses superpages).
+  u32 ObjectPageSpan(const MappedObject& object) const;
+  /// Virtual page of byte `offset` under the object's page size.
+  mem::VirtPage ObjectPageOf(const MappedObject& object, u64 offset) const;
+  /// Number of pages covering the object.
+  u32 ObjectNumPages(const MappedObject& object) const;
+  /// User-space address backing `vpage` of `object`.
+  mem::UserAddr PageUserAddr(const MappedObject& object,
+                             mem::VirtPage vpage) const;
+
+  /// Whether the bound IMU fronts a two-level hierarchy; the shared L2
+  /// (null otherwise).
+  hw::Tlb* L2() const;
+
   /// Central enforcement of the Suggest contract: strategies are
   /// advisory, so anything pointing at another object, past the
   /// object's end, or at the faulting page itself is dropped (and
@@ -501,6 +527,7 @@ class Vim {
   AddressSpace* space_ = nullptr;
   PageManager pages_;
   u32 tlb_recycle_cursor_ = 0;
+  u32 l2_recycle_cursor_ = 0;
   /// Victim-TLB ring (size = config_.victim_tlb_entries; empty when
   /// disabled). `generation` is the frame's install generation at
   /// eviction time; any reinstall bumps it and kills the entry.

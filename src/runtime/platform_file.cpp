@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "base/table.h"
+#include "mem/page.h"
 #include "runtime/config.h"
 
 namespace vcop::runtime {
@@ -118,10 +119,27 @@ Result<os::KernelConfig> ParsePlatformFile(std::string_view text) {
         return LineError(line_number, "page_kb must be a power of two");
       }
       config.page_bytes = static_cast<u32>(v.value() * 1024);
+    } else if (key == "page_size") {
+      // Byte-granular successor of page_kb (which stays accepted for
+      // old files): the frame granule may go below 1 KB.
+      Result<u64> v = number(512, 65536);
+      if (!v.ok()) return v.status();
+      if (!IsPowerOfTwo(v.value())) {
+        return LineError(line_number, "page_size must be a power of two");
+      }
+      config.page_bytes = static_cast<u32>(v.value());
     } else if (key == "tlb_entries") {
       Result<u64> v = number(1, 1024);
       if (!v.ok()) return v.status();
       config.tlb_entries = static_cast<u32>(v.value());
+    } else if (key == "l1_tlb_entries") {
+      Result<u64> v = number(0, 1024);
+      if (!v.ok()) return v.status();
+      config.l1_tlb_entries = static_cast<u32>(v.value());
+    } else if (key == "l2_tlb_entries") {
+      Result<u64> v = number(0, 1024);
+      if (!v.ok()) return v.status();
+      config.l2_tlb_entries = static_cast<u32>(v.value());
     } else if (key == "cpu_mhz") {
       Result<u64> v = number(1, 10'000);
       if (!v.ok()) return v.status();
@@ -231,6 +249,28 @@ Result<os::KernelConfig> ParsePlatformFile(std::string_view text) {
       Result<u64> v = number(1, 1 << 20);
       if (!v.ok()) return v.status();
       config.service.admit_burst = static_cast<u32>(v.value());
+    } else if (key.rfind("page_size_obj", 0) == 0) {
+      const std::optional<u64> id = ParseU64(key.substr(13));
+      if (!id.has_value() || *id >= hw::kMaxObjects) {
+        return LineError(line_number,
+                         StrFormat("'%s': object id must be in [0, %u]",
+                                   key.c_str(), hw::kMaxObjects - 1));
+      }
+      if (*id == hw::kParamObject) {
+        return LineError(
+            line_number,
+            StrFormat("'%s': object %u is reserved for parameter passing",
+                      key.c_str(), hw::kParamObject));
+      }
+      Result<u64> v =
+          number(mem::kMinObjectPageBytes, mem::kMaxObjectPageBytes);
+      if (!v.ok()) return v.status();
+      if (!IsPowerOfTwo(v.value())) {
+        return LineError(
+            line_number,
+            StrFormat("'%s' must be a power of two", key.c_str()));
+      }
+      config.object_page_bytes[*id] = static_cast<u32>(v.value());
     } else {
       return LineError(line_number, "unknown key '" + key + "'");
     }
@@ -247,8 +287,16 @@ std::string WritePlatformFile(const os::KernelConfig& config) {
   std::string out;
   out += StrFormat("name = %s\n", config.platform_name.c_str());
   out += StrFormat("dp_ram_kb = %u\n", config.dp_ram_bytes / 1024);
-  out += StrFormat("page_kb = %u\n", config.page_bytes / 1024);
+  out += StrFormat("page_size = %u\n", config.page_bytes);
+  for (u32 id = 0; id < hw::kMaxObjects; ++id) {
+    if (config.object_page_bytes[id] != 0) {
+      out += StrFormat("page_size_obj%u = %u\n", id,
+                       config.object_page_bytes[id]);
+    }
+  }
   out += StrFormat("tlb_entries = %u\n", config.tlb_entries);
+  out += StrFormat("l1_tlb_entries = %u\n", config.l1_tlb_entries);
+  out += StrFormat("l2_tlb_entries = %u\n", config.l2_tlb_entries);
   out += StrFormat("cpu_mhz = %llu\n",
                    static_cast<unsigned long long>(
                        config.costs.cpu_clock.hertz() / 1'000'000));

@@ -287,6 +287,81 @@ TEST(PlatformFileTest, BadValuesRejected) {
       runtime::ParsePlatformFile("dp_ram_kb = 3\npage_kb = 2\n").ok());
 }
 
+TEST(PlatformFileTest, ParsesFlexibleMemoryKeys) {
+  auto config = runtime::ParsePlatformFile(
+      "page_size = 1024\n"
+      "l1_tlb_entries = 2\n"
+      "l2_tlb_entries = 6\n"
+      "page_size_obj0 = 4096\n"
+      "page_size_obj14 = 512\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  const os::KernelConfig& c = config.value();
+  EXPECT_EQ(c.page_bytes, 1024u);
+  EXPECT_EQ(c.l1_tlb_entries, 2u);
+  EXPECT_EQ(c.l2_tlb_entries, 6u);
+  EXPECT_EQ(c.object_page_bytes[0], 4096u);
+  EXPECT_EQ(c.object_page_bytes[14], 512u);
+  EXPECT_EQ(c.object_page_bytes[1], 0u);  // untouched = platform default
+}
+
+TEST(PlatformFileTest, FlexibleMemoryDefaultsAreOff) {
+  // With no new keys the seed configuration must be untouched: single
+  // CAM, platform pages, no per-object overrides.
+  auto config = runtime::ParsePlatformFile("");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value().l1_tlb_entries, 0u);
+  EXPECT_EQ(config.value().l2_tlb_entries, 0u);
+  for (u32 id = 0; id < hw::kMaxObjects; ++id) {
+    EXPECT_EQ(config.value().object_page_bytes[id], 0u);
+  }
+}
+
+TEST(PlatformFileTest, BadFlexibleMemoryValuesRejectedByName) {
+  // Rejection messages name the offending key.
+  auto bad_pow2 = runtime::ParsePlatformFile("page_size = 3000\n");
+  ASSERT_FALSE(bad_pow2.ok());
+  EXPECT_NE(bad_pow2.status().ToString().find("page_size"),
+            std::string::npos);
+  EXPECT_FALSE(runtime::ParsePlatformFile("page_size = 256\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("page_size = 131072\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("l1_tlb_entries = 2048\n").ok());
+  auto bad_l2 = runtime::ParsePlatformFile("l2_tlb_entries = big\n");
+  ASSERT_FALSE(bad_l2.ok());
+  EXPECT_NE(bad_l2.status().ToString().find("l2_tlb_entries"),
+            std::string::npos);
+  // Per-object overrides: power of two in [512, 8192], real object ids
+  // only (15 is the parameter page; 16+ is out of range).
+  auto bad_obj = runtime::ParsePlatformFile("page_size_obj3 = 3000\n");
+  ASSERT_FALSE(bad_obj.ok());
+  EXPECT_NE(bad_obj.status().ToString().find("page_size_obj3"),
+            std::string::npos);
+  EXPECT_FALSE(runtime::ParsePlatformFile("page_size_obj0 = 256\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("page_size_obj0 = 16384\n").ok());
+  auto param = runtime::ParsePlatformFile("page_size_obj15 = 2048\n");
+  ASSERT_FALSE(param.ok());
+  EXPECT_NE(param.status().ToString().find("reserved"), std::string::npos);
+  EXPECT_FALSE(runtime::ParsePlatformFile("page_size_obj16 = 2048\n").ok());
+  EXPECT_FALSE(runtime::ParsePlatformFile("page_size_objx = 2048\n").ok());
+}
+
+TEST(PlatformFileTest, FlexibleMemoryKeysRoundTripThroughWriter) {
+  os::KernelConfig original = runtime::Epxa1Config();
+  original.page_bytes = 1024;
+  original.l1_tlb_entries = 2;
+  original.l2_tlb_entries = 6;
+  original.object_page_bytes[0] = 4096;
+  original.object_page_bytes[7] = 512;
+  const std::string text = runtime::WritePlatformFile(original);
+  // The writer emits the byte-granular key, not the legacy page_kb.
+  EXPECT_EQ(text.find("page_kb"), std::string::npos);
+  auto parsed = runtime::ParsePlatformFile(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().page_bytes, original.page_bytes);
+  EXPECT_EQ(parsed.value().l1_tlb_entries, original.l1_tlb_entries);
+  EXPECT_EQ(parsed.value().l2_tlb_entries, original.l2_tlb_entries);
+  EXPECT_EQ(parsed.value().object_page_bytes, original.object_page_bytes);
+}
+
 TEST(PlatformFileTest, RoundTripsThroughWriter) {
   os::KernelConfig original = runtime::Epxa4Config();
   original.vim.policy = os::PolicyKind::kRandom;
