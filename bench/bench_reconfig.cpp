@@ -1,0 +1,508 @@
+// Benchmarks reconfiguration-aware serving (DESIGN.md §15): the
+// multi-slot configuration cache, design-affinity fair share, and lazy
+// context write-back, alone and combined, against the single-slot
+// eager seed baseline. One design-alternating fleet (adpcm / IDEA /
+// conv2d — three distinct bit-streams) is driven through six modes:
+//
+//   baseline  config_slots=1, affinity off, lazy off (seed behaviour)
+//   explicit  same values set explicitly (defaults-inertness digest)
+//   slots     config_slots=3: misses become slot activations
+//   affinity  slots=3 + design-affinity DRR (bounded skip budget)
+//   lazy      slots=1 + lazy context write-back (deferred dirty sweep)
+//   combined  slots=3 + affinity + lazy
+//
+// Gates (rc=1 on failure), written to BENCH_reconfig.json for CI:
+//   * every mode's outputs byte-identical to the software reference;
+//   * the explicit run is bit-identical to the baseline (defaults are
+//     inert);
+//   * slots / combined pay strictly fewer full reconfigurations than
+//     the baseline, and slot activations actually happen;
+//   * affinity / combined hold fairness: Jain index over per-tenant
+//     fabric time within kJainSlack of the baseline;
+//   * lazy defers its save-time dirty sweep (zero eager write-backs on
+//     save) and still settles every page (outputs stay exact);
+//   * combined improves makespan over the baseline.
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/common.h"
+#include "cp/adpcm_cp.h"
+#include "cp/idea_cp.h"
+#include "apps/conv2d.h"
+#include "cp/conv_cp.h"
+#include "cp/registry.h"
+#include "os/vcopd.h"
+#include "sim/fleet.h"
+
+namespace vcop {
+namespace {
+
+using bench::kWorkloadSeed;
+using runtime::FpgaSystem;
+using runtime::HostBuffer;
+using runtime::VcopdClient;
+
+/// Fairness slack: toggling design affinity may not drop the Jain
+/// index over per-tenant fabric time more than this below the
+/// same-slot-count no-affinity run. (The slot cache itself shifts the
+/// busy-time distribution — config time stops padding every slice — so
+/// the affinity gate compares like for like, not against slots=1.)
+constexpr double kJainSlack = 0.02;
+/// Absolute fairness floor for every mode.
+constexpr double kJainFloor = 0.85;
+
+// Conv2d tenant geometry: width fixed, height = input_bytes / width.
+constexpr u32 kConvWidth = 64;
+constexpr u32 kConvShift = 3;  // box blur: sum 9, >> 3
+
+enum class App : u8 { kAdpcm, kIdea, kConv };
+
+struct TenantSpec {
+  App app = App::kConv;
+  std::string name;
+  u32 weight = 1;
+  usize input_bytes = 0;
+  u32 jobs = 1;
+};
+
+struct TenantRun {
+  TenantSpec spec;
+  os::TenantId id = 0;
+  std::vector<Picoseconds> turnarounds;
+  u32 completed = 0;
+  bool outputs_exact = true;
+
+  HostBuffer<u8> in_u8;
+  HostBuffer<i16> out_i16;
+  HostBuffer<u8> out_u8;
+  HostBuffer<u16> key_u16;
+  HostBuffer<u32> coeffs_u32;
+  std::vector<i16> expect_i16;
+  std::vector<u8> expect_u8;
+
+  Status SubmitOne(os::Vcopd& daemon) {
+    VcopdClient client(daemon, id);
+    auto on_complete = [this](const os::JobResult& r) {
+      turnarounds.push_back(r.turnaround());
+      ++completed;
+      if (!r.status.ok()) {
+        outputs_exact = false;
+        return;
+      }
+      switch (spec.app) {
+        case App::kAdpcm:
+          outputs_exact &= out_i16.ToVector() == expect_i16;
+          break;
+        case App::kIdea:
+          outputs_exact &= out_u8.ToVector() == expect_u8;
+          break;
+        case App::kConv:
+          outputs_exact &= out_u8.ToVector() == expect_u8;
+          break;
+      }
+    };
+    const u32 n = static_cast<u32>(spec.input_bytes);
+    switch (spec.app) {
+      case App::kAdpcm:
+        return client
+            .Submit(cp::AdpcmDecodeBitstream(), {n, 0u, 0u}, on_complete)
+            .status();
+      case App::kIdea:
+        return client
+            .Submit(cp::IdeaBitstream(),
+                    {n / 8, cp::IdeaCoprocessor::kModeEcb, 0u, 0u},
+                    on_complete)
+            .status();
+      case App::kConv:
+        return client
+            .Submit(cp::Conv3x3Bitstream(),
+                    {kConvWidth, n / kConvWidth, kConvShift}, on_complete)
+            .status();
+    }
+    return InternalError("unreachable");
+  }
+};
+
+TenantRun Stage(FpgaSystem& sys, os::Vcopd& daemon, const TenantSpec& spec,
+                u64 seed) {
+  TenantRun run;
+  run.spec = spec;
+  run.id = daemon.RegisterTenant(spec.name, spec.weight).value();
+  VcopdClient client(daemon, run.id);
+  const u32 bytes = static_cast<u32>(spec.input_bytes);
+  switch (spec.app) {
+    case App::kAdpcm: {
+      bench::StagedAdpcm s = bench::StageAdpcmTenant(sys, client, bytes, seed);
+      run.in_u8 = s.in;
+      run.out_i16 = s.out;
+      run.expect_i16 = std::move(s.expect);
+      break;
+    }
+    case App::kIdea: {
+      bench::StagedIdea s = bench::StageIdeaTenant(sys, client, bytes, seed);
+      run.in_u8 = s.in;
+      run.out_u8 = s.out;
+      run.key_u16 = s.key;
+      run.expect_u8 = std::move(s.expect);
+      break;
+    }
+    case App::kConv: {
+      const u32 height = bytes / kConvWidth;
+      const std::vector<u8> image = apps::MakeTestImage(kConvWidth, height, seed);
+      const apps::Conv3x3Kernel kernel = apps::BoxBlurKernel();
+      run.expect_u8.resize(image.size());
+      apps::Convolve3x3(image, kConvWidth, height, kernel, kConvShift,
+                        run.expect_u8);
+      run.in_u8 = sys.Allocate<u8>(static_cast<u32>(image.size())).value();
+      run.in_u8.Fill(image);
+      run.out_u8 = sys.Allocate<u8>(static_cast<u32>(image.size())).value();
+      run.coeffs_u32 = sys.Allocate<u32>(9).value();
+      {
+        auto view = run.coeffs_u32.view();
+        for (usize i = 0; i < 9; ++i) view[i] = static_cast<u32>(kernel[i]);
+      }
+      VCOP_CHECK(client.Map(cp::Conv3x3Coprocessor::kObjSrc, run.in_u8,
+                            os::Direction::kIn).ok());
+      VCOP_CHECK(client.Map(cp::Conv3x3Coprocessor::kObjDst, run.out_u8,
+                            os::Direction::kOut).ok());
+      VCOP_CHECK(client.Map(cp::Conv3x3Coprocessor::kObjKernel, run.coeffs_u32,
+                            os::Direction::kIn).ok());
+      break;
+    }
+  }
+  return run;
+}
+
+// ----- modes -----
+
+struct Mode {
+  const char* name;
+  u32 slots = 1;
+  bool affinity = false;
+  bool lazy = false;
+  /// Defaults-inertness probe: route the seed values through the new
+  /// platform keys instead of leaving the fields untouched.
+  bool explicit_defaults = false;
+};
+
+struct FleetResult {
+  std::vector<TenantRun> tenants;
+  os::VcopdStats stats;
+  os::VimServiceStats service;
+  os::ScheduleReport report;
+  bool outputs_exact = true;
+
+  u64 jobs() const {
+    u64 n = 0;
+    for (const TenantRun& t : tenants) n += t.completed;
+    return n;
+  }
+  /// Jain index over per-tenant fabric time (busy spans): 1.0 = every
+  /// tenant held the PLD equally long.
+  double jain() const {
+    double sum = 0.0, sum_sq = 0.0;
+    usize n = 0;
+    for (const os::TenantFairness& t : report.per_pid()) {
+      const double busy = static_cast<double>(t.busy);
+      sum += busy;
+      sum_sq += busy * busy;
+      ++n;
+    }
+    return sum_sq > 0.0
+               ? (sum * sum) / (static_cast<double>(n) * sum_sq)
+               : 0.0;
+  }
+};
+
+/// Stages every tenant, submits round-robin (interleaved tickets so
+/// consecutive jobs alternate designs), and drives the daemon to idle.
+FleetResult RunFleet(const std::vector<TenantSpec>& specs, const Mode& mode) {
+  os::KernelConfig kernel_config = runtime::Epxa1Config();
+  if (mode.slots != 1 || mode.explicit_defaults) {
+    kernel_config.config_slots = mode.slots;
+  }
+  if (mode.lazy || mode.explicit_defaults) {
+    kernel_config.vim.lazy_writeback = mode.lazy;
+  }
+  if (mode.explicit_defaults) kernel_config.design_affinity = mode.affinity;
+  FpgaSystem sys(kernel_config);
+
+  os::VcopdConfig config;
+  config.policy = os::ServicePolicy::kFairShare;
+  config.time_slice = 100ull * 1000 * 1000;  // 100 us: forces preemption
+  config.design_affinity = mode.affinity;
+  os::Vcopd daemon(sys.kernel(), config);
+  sys.kernel().vim().ResetServiceStats();
+
+  FleetResult result;
+  u64 seed = kWorkloadSeed;
+  for (const TenantSpec& spec : specs) {
+    result.tenants.push_back(Stage(sys, daemon, spec, seed++));
+  }
+  u32 remaining = 0;
+  for (const TenantSpec& spec : specs) remaining += spec.jobs;
+  for (u32 round = 0; remaining > 0; ++round) {
+    for (TenantRun& tenant : result.tenants) {
+      if (round >= tenant.spec.jobs) continue;
+      VCOP_CHECK_MSG(tenant.SubmitOne(daemon).ok(), "submit failed");
+      --remaining;
+    }
+  }
+  const Status status = daemon.RunUntilIdle();
+  VCOP_CHECK_MSG(status.ok(), status.ToString());
+
+  result.stats = daemon.stats();
+  result.service = sys.kernel().vim().service_stats();
+  result.report = daemon.BuildScheduleReport();
+  for (const TenantRun& tenant : result.tenants) {
+    result.outputs_exact &= tenant.outputs_exact &&
+                            tenant.completed == tenant.spec.jobs;
+  }
+  return result;
+}
+
+void PrintModeRow(Table& table, const Mode& mode, const FleetResult& r) {
+  table.AddRow(
+      {mode.name, StrFormat("%u", mode.slots), mode.affinity ? "on" : "off",
+       mode.lazy ? "on" : "off",
+       StrFormat("%.1f", ToMicroseconds(r.report.makespan)),
+       StrFormat("%llu", static_cast<unsigned long long>(
+                             r.stats.reconfigurations)),
+       StrFormat("%llu",
+                 static_cast<unsigned long long>(r.stats.slot_activations)),
+       StrFormat("%.1f", ToMicroseconds(r.stats.total_config_time)),
+       StrFormat("%llu", static_cast<unsigned long long>(
+                             r.service.pages_written_back_on_save)),
+       StrFormat("%llu", static_cast<unsigned long long>(
+                             r.service.deferred_writebacks)),
+       StrFormat("%.3f", r.jain()), r.outputs_exact ? "yes" : "NO"});
+}
+
+void JsonMode(std::FILE* f, const char* key, const Mode& mode,
+              const FleetResult& r, bool last) {
+  const double makespan = static_cast<double>(r.report.makespan);
+  std::fprintf(
+      f,
+      "  \"%s\": {\"config_slots\": %u, \"design_affinity\": %s, "
+      "\"lazy_writeback\": %s,\n"
+      "    \"makespan_us\": %.3f, \"jobs\": %llu, "
+      "\"reconfigurations\": %llu, \"slot_activations\": %llu,\n"
+      "    \"config_time_us\": %.3f, \"activation_time_us\": %.3f, "
+      "\"config_share\": %.4f,\n"
+      "    \"pages_written_back_on_save\": %llu, "
+      "\"lazy_context_saves\": %llu, \"pages_writeback_deferred\": %llu, "
+      "\"deferred_writebacks\": %llu,\n"
+      "    \"jain\": %.4f, \"outputs_exact\": %s}%s\n",
+      key, mode.slots, mode.affinity ? "true" : "false",
+      mode.lazy ? "true" : "false", ToMicroseconds(r.report.makespan),
+      static_cast<unsigned long long>(r.jobs()),
+      static_cast<unsigned long long>(r.stats.reconfigurations),
+      static_cast<unsigned long long>(r.stats.slot_activations),
+      ToMicroseconds(r.stats.total_config_time),
+      ToMicroseconds(r.stats.total_activation_time),
+      makespan > 0
+          ? static_cast<double>(r.stats.total_config_time +
+                                r.stats.total_activation_time) /
+                makespan
+          : 0.0,
+      static_cast<unsigned long long>(r.service.pages_written_back_on_save),
+      static_cast<unsigned long long>(r.service.lazy_context_saves),
+      static_cast<unsigned long long>(r.service.pages_writeback_deferred),
+      static_cast<unsigned long long>(r.service.deferred_writebacks),
+      r.jain(), r.outputs_exact ? "true" : "false", last ? "" : ",");
+}
+
+int Main() {
+  std::printf(
+      "== reconfiguration-aware serving: slot cache, design affinity, "
+      "lazy write-back ==\n\n");
+  int rc = 0;
+
+  // Design-alternating fleet: interleaved submission means consecutive
+  // tickets nearly always want a different bit-stream, the worst case
+  // for a single-slot fabric. Equal per-tenant footprints keep the
+  // fabric-time Jain index meaningful.
+  std::vector<TenantSpec> specs;
+  for (u32 i = 0; i < 3; ++i) {
+    specs.push_back({App::kAdpcm, StrFormat("adpcm-%u", i), 1, 8 * 1024, 3});
+  }
+  for (u32 i = 0; i < 3; ++i) {
+    specs.push_back({App::kIdea, StrFormat("idea-%u", i), 1, 8 * 1024, 3});
+  }
+  for (u32 i = 0; i < 2; ++i) {
+    specs.push_back({App::kConv, StrFormat("conv-%u", i), 1, 8 * 1024, 3});
+  }
+
+  const Mode kBaseline{"baseline", 1, false, false, false};
+  const Mode kExplicit{"explicit", 1, false, false, true};
+  const Mode kSlots{"slots", 3, false, false, false};
+  const Mode kAffinity{"affinity", 3, true, false, false};
+  const Mode kLazy{"lazy", 1, false, true, false};
+  const Mode kCombined{"combined", 3, true, true, false};
+  const std::vector<const Mode*> modes = {&kBaseline, &kExplicit, &kSlots,
+                                          &kAffinity, &kLazy, &kCombined};
+
+  // The modes are independent simulations of the same tenant spec —
+  // run them side by side on the fleet runner.
+  const std::vector<FleetResult> runs = sim::FleetMap<FleetResult>(
+      modes.size(), [&](usize i) { return RunFleet(specs, *modes[i]); });
+  const FleetResult& baseline = runs[0];
+  const FleetResult& explicit_run = runs[1];
+  const FleetResult& slots = runs[2];
+  const FleetResult& affinity = runs[3];
+  const FleetResult& lazy = runs[4];
+  const FleetResult& combined = runs[5];
+
+  Table table({"mode", "slots", "affin", "lazy", "makespan us", "reconf",
+               "activ", "cfg us", "eager wb", "defer wb", "jain", "exact"});
+  table.set_title("8 tenants x 3 designs x 3 jobs, fair share, 100 us slice");
+  for (usize i = 0; i < modes.size(); ++i) PrintModeRow(table, *modes[i], runs[i]);
+  table.Print();
+  std::printf("\n");
+
+  // ----- gate: byte-exact outputs in every mode -----
+  for (usize i = 0; i < modes.size(); ++i) {
+    if (!runs[i].outputs_exact) {
+      std::printf("FAIL: %s outputs diverged from software reference\n",
+                  modes[i]->name);
+      rc = 1;
+    }
+  }
+
+  // ----- gate: defaults are inert -----
+  // Routing the seed values through the new platform keys (slots=1,
+  // affinity off, lazy off, set explicitly) must be bit-identical to
+  // not touching them at all.
+  if (explicit_run.report.makespan != baseline.report.makespan ||
+      explicit_run.stats.reconfigurations != baseline.stats.reconfigurations ||
+      explicit_run.stats.slot_activations != baseline.stats.slot_activations ||
+      explicit_run.stats.preemptions != baseline.stats.preemptions ||
+      explicit_run.stats.dispatches != baseline.stats.dispatches ||
+      explicit_run.service.pages_written_back_on_save !=
+          baseline.service.pages_written_back_on_save) {
+    std::printf("FAIL: explicit default keys changed the schedule\n");
+    rc = 1;
+  }
+
+  // ----- gate: the slot cache converts reconfigurations -----
+  const std::pair<const char*, const FleetResult*> cached[] = {
+      {"slots", &slots}, {"affinity", &affinity}, {"combined", &combined}};
+  for (const auto& [name, rp] : cached) {
+    const FleetResult& r = *rp;
+    if (r.stats.reconfigurations >= baseline.stats.reconfigurations) {
+      std::printf(
+          "FAIL: %s paid %llu full reconfigurations, not strictly below "
+          "the baseline's %llu\n",
+          name, static_cast<unsigned long long>(r.stats.reconfigurations),
+          static_cast<unsigned long long>(baseline.stats.reconfigurations));
+      rc = 1;
+    }
+    if (r.stats.slot_activations == 0) {
+      std::printf("FAIL: %s never activated a cached slot\n", name);
+      rc = 1;
+    }
+  }
+
+  // ----- gate: affinity holds fairness -----
+  const double jain_ref = slots.jain();
+  const std::pair<const char*, const FleetResult*> affine[] = {
+      {"affinity", &affinity}, {"combined", &combined}};
+  for (const auto& [name, rp] : affine) {
+    if (rp->jain() + kJainSlack < jain_ref) {
+      std::printf("FAIL: %s Jain %.3f fell below the slots run's %.3f - "
+                  "%.2f\n",
+                  name, rp->jain(), jain_ref, kJainSlack);
+      rc = 1;
+    }
+  }
+  for (usize i = 0; i < modes.size(); ++i) {
+    if (runs[i].jain() < kJainFloor) {
+      std::printf("FAIL: %s Jain %.3f below the %.2f floor\n",
+                  modes[i]->name, runs[i].jain(), kJainFloor);
+      rc = 1;
+    }
+  }
+
+  // ----- gate: lazy write-back defers the save-time sweep -----
+  if (baseline.service.pages_written_back_on_save == 0) {
+    std::printf("FAIL: baseline never wrote back on save (no preemption "
+                "pressure?)\n");
+    rc = 1;
+  }
+  const std::pair<const char*, const FleetResult*> lazies[] = {
+      {"lazy", &lazy}, {"combined", &combined}};
+  for (const auto& [name, rp] : lazies) {
+    const FleetResult& r = *rp;
+    if (r.service.lazy_context_saves == 0 ||
+        r.service.pages_writeback_deferred == 0) {
+      std::printf("FAIL: %s never deferred a context write-back\n", name);
+      rc = 1;
+    }
+    if (r.service.pages_written_back_on_save != 0) {
+      std::printf("FAIL: %s still wrote %llu pages back eagerly on save\n",
+                  name,
+                  static_cast<unsigned long long>(
+                      r.service.pages_written_back_on_save));
+      rc = 1;
+    }
+  }
+
+  // ----- gate: combined improves makespan -----
+  if (combined.report.makespan >= baseline.report.makespan) {
+    std::printf("FAIL: combined makespan %.1f us not below baseline %.1f us\n",
+                ToMicroseconds(combined.report.makespan),
+                ToMicroseconds(baseline.report.makespan));
+    rc = 1;
+  }
+
+  std::printf(
+      "  reconfigurations: %u baseline -> %u combined (%llu activations, "
+      "%.1f us saved)\n"
+      "  makespan: %.1f us baseline -> %.1f us combined (%.2fx)\n"
+      "  jain: %.3f baseline, %.3f affinity, %.3f combined\n\n",
+      baseline.report.reconfigurations, combined.report.reconfigurations,
+      static_cast<unsigned long long>(combined.stats.slot_activations),
+      ToMicroseconds(baseline.stats.total_config_time -
+                     combined.stats.total_config_time -
+                     combined.stats.total_activation_time),
+      ToMicroseconds(baseline.report.makespan),
+      ToMicroseconds(combined.report.makespan),
+      combined.report.makespan > 0
+          ? static_cast<double>(baseline.report.makespan) /
+                static_cast<double>(combined.report.makespan)
+          : 0.0,
+      baseline.jain(), affinity.jain(), combined.jain());
+
+  // ----- JSON -----
+  std::FILE* f = std::fopen("BENCH_reconfig.json", "w");
+  VCOP_CHECK_MSG(f != nullptr, "cannot open BENCH_reconfig.json for writing");
+  std::fprintf(f, "{\n  \"bench\": \"reconfig\",\n");
+  for (usize i = 0; i < modes.size(); ++i) {
+    JsonMode(f, modes[i]->name, *modes[i], runs[i], false);
+  }
+  std::fprintf(
+      f,
+      "  \"gates\": {\"outputs_exact\": %s, \"defaults_inert\": %s, "
+      "\"reconfigs_below_baseline\": %s, \"fairness_held\": %s, "
+      "\"lazy_deferred\": %s, \"makespan_improved\": %s, \"pass\": %s}\n}\n",
+      combined.outputs_exact && baseline.outputs_exact ? "true" : "false",
+      explicit_run.report.makespan == baseline.report.makespan ? "true"
+                                                               : "false",
+      combined.stats.reconfigurations < baseline.stats.reconfigurations
+          ? "true"
+          : "false",
+      combined.jain() + kJainSlack >= jain_ref ? "true" : "false",
+      combined.service.pages_written_back_on_save == 0 ? "true" : "false",
+      combined.report.makespan < baseline.report.makespan ? "true" : "false",
+      rc == 0 ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_reconfig.json\n");
+  return rc;
+}
+
+}  // namespace
+}  // namespace vcop
+
+int main() { return vcop::Main(); }

@@ -442,6 +442,8 @@ void JsonScenario(std::FILE* f, const char* key, const ScenarioResult& r,
       "    \"latency_us\": {\"p50\": %.3f, \"p99\": %.3f, \"p999\": %.3f, "
       "\"min\": %.3f, \"max\": %.3f, \"mean\": %.3f},\n"
       "    \"jain\": %.4f, \"outputs_exact\": %s,\n"
+      "    \"reconfigurations\": %llu, \"config_time_us\": %.3f, "
+      "\"config_share\": %.4f,\n"
       "    \"transport\": {\"kicks\": %llu, \"coalesced\": %llu, "
       "\"drains\": %llu, \"max_batch\": %llu, \"admission_deferrals\": %llu, "
       "\"daemon_backpressure\": %llu, \"notified\": %llu, "
@@ -457,6 +459,11 @@ void JsonScenario(std::FILE* f, const char* key, const ScenarioResult& r,
       ToMicroseconds(r.latency.p999()), ToMicroseconds(r.latency.min()),
       ToMicroseconds(r.latency.max()), ToMicroseconds(r.latency.mean()),
       r.jain, r.outputs_exact ? "true" : "false",
+      static_cast<unsigned long long>(r.daemon.reconfigurations),
+      ToMicroseconds(r.daemon.total_config_time),
+      r.makespan > 0 ? static_cast<double>(r.daemon.total_config_time) /
+                           static_cast<double>(r.makespan)
+                     : 0.0,
       static_cast<unsigned long long>(r.service.doorbell_kicks),
       static_cast<unsigned long long>(r.service.doorbells_coalesced),
       static_cast<unsigned long long>(r.service.drains),

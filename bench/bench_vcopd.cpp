@@ -399,10 +399,16 @@ int Main() {
       "  \"mixed8\": {\n    \"policy\": \"fair_share\", "
       "\"makespan_us\": %.3f, \"jobs_per_sim_ms\": %.3f, "
       "\"preemptions\": %llu, \"reconfigurations\": %llu, "
+      "\"config_time_us\": %.3f, \"config_share\": %.4f, "
       "\"outputs_exact\": %s,\n    \"tenants\": ",
       ToMicroseconds(mixed8.makespan), mixed8.throughput(),
       static_cast<unsigned long long>(mixed8.stats.preemptions),
       static_cast<unsigned long long>(mixed8.stats.reconfigurations),
+      ToMicroseconds(mixed8.stats.total_config_time),
+      mixed8.makespan > 0
+          ? static_cast<double>(mixed8.stats.total_config_time) /
+                static_cast<double>(mixed8.makespan)
+          : 0.0,
       mixed8.outputs_exact ? "true" : "false");
   JsonTenants(f, mixed8);
   std::fprintf(f, "\n  },\n");

@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "base/fault.h"
 #include "base/status.h"
@@ -38,11 +39,33 @@ struct Bitstream {
   std::function<std::unique_ptr<Coprocessor>()> create;
 };
 
+/// Configuration-cache counters (multi-slot partial reconfiguration).
+struct ConfigSlotStats {
+  u64 hits = 0;        // design already resident in some slot
+  u64 misses = 0;      // full configuration-port transfer paid
+  u64 evictions = 0;   // a resident design was displaced (LRU)
+  Picoseconds activation_time = 0;  // total slot-activation time
+  Picoseconds configure_time = 0;   // total full-configuration time
+};
+
+/// Outcome of a configuration-cache probe (AcquireDesign).
+struct SlotAcquire {
+  Picoseconds time = 0;      // what the probe cost on the config port
+  bool reconfigured = false; // miss: a full configuration was paid
+  bool activated = false;    // hit on a non-active slot was switched in
+};
+
 class FpgaFabric {
  public:
   /// `capacity_les`: PLD size in logic elements.
   /// `config_bytes_per_second`: configuration-port throughput.
   FpgaFabric(u32 capacity_les, u64 config_bytes_per_second);
+
+  /// Bytes a slot activation moves over the configuration port: with a
+  /// design already resident in a partial-reconfiguration region, only
+  /// the region-select frame and interface mux state are rewritten, not
+  /// the bit-stream. Priced like any other configuration-port transfer.
+  static constexpr u32 kSlotActivationBytes = 256;
 
   /// Loads `bitstream`. Fails when a design is already loaded
   /// (exclusive use, §3.1) or when it does not fit the PLD.
@@ -74,12 +97,54 @@ class FpgaFabric {
   /// path (which prices but never calls Configure) calls it directly.
   bool InjectConfigError();
 
+  // ----- multi-slot configuration cache (partial reconfiguration) -----
+  //
+  // The PLD is split into `n` partial-reconfiguration regions, each able
+  // to hold one configured design. AcquireDesign is a cache probe:
+  //   * hit on the active slot — free (the design is already wired up);
+  //   * hit on a dormant slot — a slot activation, priced as a
+  //     kSlotActivationBytes configuration-port transfer;
+  //   * miss — a full configuration into the LRU slot (evicting its
+  //     resident design when occupied).
+  // With one slot (the default) this degenerates to exactly the classic
+  // switch-every-alternation model vcopd has always used.
+
+  /// Resizes the configuration cache to `n` >= 1 slots, dropping any
+  /// resident designs. Called once at platform construction.
+  void SetConfigSlots(u32 n);
+  u32 config_slots() const { return static_cast<u32>(slots_.size()); }
+
+  /// Probes the cache for `bitstream` and makes it the active design,
+  /// paying activation (hit) or full configuration (miss) as needed.
+  /// Both paths consult the kConfigError fault site; a CRC fault fails
+  /// the acquire cleanly (an activation fault additionally evicts the
+  /// damaged slot — its configuration can no longer be trusted).
+  Result<SlotAcquire> AcquireDesign(const Bitstream& bitstream);
+
+  /// Whether `name` is configured in some slot (active or dormant).
+  bool DesignResident(const std::string& name) const;
+
+  /// Name of the active slot's design ("" when none yet).
+  const std::string& active_design() const { return active_design_; }
+
+  const ConfigSlotStats& slot_stats() const { return slot_stats_; }
+
  private:
+  struct Slot {
+    std::string design;  // "" = empty
+    u64 last_used = 0;   // LRU tick
+  };
+
   u32 capacity_les_;
   u64 config_bytes_per_second_;
   Bitstream bitstream_{};
   std::unique_ptr<Coprocessor> coprocessor_;
   FaultPlan* fault_plan_ = nullptr;
+
+  std::vector<Slot> slots_{1};
+  std::string active_design_;
+  u64 slot_tick_ = 0;
+  ConfigSlotStats slot_stats_;
 };
 
 }  // namespace vcop::hw

@@ -19,6 +19,7 @@ Kernel::Kernel(const KernelConfig& config)
   VCOP_CHECK_MSG(config.dp_ram_bytes % config.page_bytes == 0,
                  "dual-port RAM size must be a whole number of pages");
   sim_.set_tuning(config.sim_tuning);
+  if (config.config_slots != 1) fabric_.SetConfigSlots(config.config_slots);
   vim_.Configure(config.vim);
   vim_.AttachSpace(&default_space_);
   vim_.set_timeline(&timeline_);

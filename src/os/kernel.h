@@ -91,6 +91,14 @@ struct KernelConfig {
   /// PLD size (EPXA1: 4160 logic elements) and configuration rate.
   u32 pld_capacity_les = 4160;
   u64 config_bytes_per_second = 4 * 1024 * 1024;
+  /// Partial-reconfiguration regions in the configuration cache
+  /// (hw::FpgaFabric::AcquireDesign). 1 = the classic model: every
+  /// design alternation pays the full configuration-port transfer.
+  u32 config_slots = 1;
+  /// vcopd fair share: prefer runnable tenants whose design is already
+  /// resident in a configuration slot (bounded by the affinity-skip
+  /// budget so DRR fairness holds). Off = strict ring order.
+  bool design_affinity = false;
   CostModel costs{};
   VimConfig vim{};
   /// Host-side event-kernel tuning. Every combination produces

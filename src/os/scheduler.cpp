@@ -127,7 +127,7 @@ ScheduleReport FpgaScheduler::RunAll(std::vector<FpgaJob> jobs,
         schedule.outcomes.push_back(std::move(outcome));
         continue;
       }
-      outcome.reconfigured = true;
+      outcome.reconfigurations = 1;
       outcome.config_time = kernel_.last_load_time();
       schedule.total_config_time += outcome.config_time;
       ++schedule.reconfigurations;

@@ -55,7 +55,12 @@ struct JobOutcome {
   Picoseconds submitted_at = 0;
   Picoseconds started_at = 0;
   Picoseconds finished_at = 0;
-  bool reconfigured = false;   // this job paid an FPGA_LOAD
+  /// Full configurations this job paid, across every slice (an
+  /// FPGA_LOAD under FpgaScheduler; vcopd also counts resumed slices
+  /// whose design was evicted meanwhile).
+  u32 reconfigurations = 0;
+  /// Configuration-cache slot activations (vcopd with config_slots > 1).
+  u32 slot_activations = 0;
   Picoseconds config_time = 0;
   /// Times the job was preempted at a fault boundary (always 0 under
   /// FpgaScheduler, which runs jobs to completion; vcopd fills it in).
@@ -88,6 +93,10 @@ struct ScheduleReport {
   Picoseconds makespan = 0;
   Picoseconds total_config_time = 0;
   u32 reconfigurations = 0;
+  // Configuration-cache rollup (vcopd with config_slots > 1; always 0
+  // for FpgaScheduler batches and single-slot fleets).
+  u32 slot_activations = 0;
+  Picoseconds total_activation_time = 0;
   // Fault-recovery rollup across the batch (all 0 on fault-free runs).
   /// Page transfers the VIM re-ran after an injected bus error.
   u64 transfer_retries = 0;

@@ -20,6 +20,7 @@ Vcopd::Vcopd(Kernel& kernel, VcopdConfig config)
       config_(config),
       asids_(std::max<u32>(
           2, std::min<u32>(config.max_asids, 65536))) {
+  if (kernel.config().design_affinity) config_.design_affinity = true;
   Vim& vim = kernel_.vim();
   vim.set_tlb_tagging(config_.asid_tagging);
   vim.set_space_resolver([this](hw::Asid asid) { return FindSpace(asid); });
@@ -255,7 +256,8 @@ ScheduleReport Vcopd::BuildScheduleReport() const {
     outcome.submitted_at = r.submitted_at;
     outcome.started_at = r.started_at;
     outcome.finished_at = r.finished_at;
-    outcome.reconfigured = r.reconfigured;
+    outcome.reconfigurations = r.reconfigurations;
+    outcome.slot_activations = r.slot_activations;
     outcome.config_time = r.config_time;
     outcome.preemptions = r.preemptions;
     outcome.report = r.report;
@@ -266,7 +268,9 @@ ScheduleReport Vcopd::BuildScheduleReport() const {
   }
   if (any) report.makespan = last_finish - first_submit;
   report.reconfigurations = static_cast<u32>(stats_.reconfigurations);
+  report.slot_activations = static_cast<u32>(stats_.slot_activations);
   report.total_config_time = stats_.total_config_time;
+  report.total_activation_time = stats_.total_activation_time;
   const VimServiceStats& svc = kernel_.vim().service_stats();
   report.transfer_retries = svc.transfer_retries;
   report.watchdog_recoveries = svc.watchdog_recoveries;
@@ -303,24 +307,37 @@ bool Vcopd::AnyOtherRunnable(const Tenant* current) const {
   return false;
 }
 
+const std::string& Vcopd::HeadDesign(const Tenant& tenant) {
+  const Job* head = tenant.inflight != nullptr ? tenant.inflight
+                                               : tenant.queue.front();
+  return head->bitstream.name;
+}
+
 Vcopd::Tenant* Vcopd::PickNext() {
   if (config_.policy == ServicePolicy::kFifoBatch) {
     // Earliest ticket among queue heads, except that a head matching
-    // the design already on the fabric jumps the line (greedy
-    // bit-stream batching; within one design, arrival order holds).
+    // the resident set jumps the line (greedy bit-stream batching,
+    // generalised to the configuration cache: the active design ranks
+    // above a dormant resident slot ranks above a cold design; within
+    // one rank, arrival order holds). With a single slot the resident
+    // set IS the active design, i.e. the classic head-match.
+    const hw::FpgaFabric& fabric = kernel_.fabric();
     Tenant* best = nullptr;
     Ticket best_ticket = 0;
-    bool best_match = false;
+    u32 best_rank = 0;
     for (const std::unique_ptr<Tenant>& t : tenants_) {
       if (!t->active || !Runnable(*t)) continue;
-      const Job* head = t->inflight != nullptr ? t->inflight
-                                               : t->queue.front();
-      const bool match = head->bitstream.name == current_design_;
-      if (best == nullptr || (match && !best_match) ||
-          (match == best_match && head->ticket < best_ticket)) {
+      const std::string& design = HeadDesign(*t);
+      const u32 rank = design == fabric.active_design() ? 2
+                       : fabric.DesignResident(design)  ? 1
+                                                        : 0;
+      const Ticket ticket =
+          (t->inflight != nullptr ? t->inflight : t->queue.front())->ticket;
+      if (best == nullptr || rank > best_rank ||
+          (rank == best_rank && ticket < best_ticket)) {
         best = t.get();
-        best_ticket = head->ticket;
-        best_match = match;
+        best_ticket = ticket;
+        best_rank = rank;
       }
     }
     return best;
@@ -342,42 +359,83 @@ Vcopd::Tenant* Vcopd::PickNext() {
       }
     }
   }
+  // Strict ring order: the first runnable tenant from `start`.
+  Tenant* fair = nullptr;
+  usize fair_k = 0;
   for (usize k = 0; k < tenants_.size(); ++k) {
     Tenant* t = tenants_[(start + k) % tenants_.size()].get();
     if (!t->active || !Runnable(*t)) continue;
-    t->deficit = std::min<i64>(t->deficit, 0) +
-                 static_cast<i64>(config_.quantum) *
-                     static_cast<i64>(t->weight);
-    current_ = t;
-    return t;
+    fair = t;
+    fair_k = k;
+    break;
   }
-  return nullptr;
+  if (fair == nullptr) return nullptr;
+
+  Tenant* pick = fair;
+  if (config_.design_affinity) {
+    // Design affinity: when the strict choice would pay a full
+    // reconfiguration, look further round the ring for a tenant whose
+    // design is resident in a configuration slot — but never bypass a
+    // tenant that has already been skipped `affinity_skip_budget`
+    // times in a row (the DRR no-starvation bound).
+    const hw::FpgaFabric& fabric = kernel_.fabric();
+    if (!fabric.DesignResident(HeadDesign(*fair)) &&
+        fair->affinity_skips < config_.affinity_skip_budget) {
+      for (usize k = fair_k + 1; k < tenants_.size(); ++k) {
+        Tenant* t = tenants_[(start + k) % tenants_.size()].get();
+        if (!t->active || !Runnable(*t)) continue;
+        if (t->affinity_skips >= config_.affinity_skip_budget) break;
+        if (fabric.DesignResident(HeadDesign(*t))) {
+          pick = t;
+          break;
+        }
+      }
+    }
+    if (pick != fair) {
+      // Every runnable tenant the bypass jumped over accrues a skip.
+      for (usize k = fair_k; k < tenants_.size(); ++k) {
+        Tenant* t = tenants_[(start + k) % tenants_.size()].get();
+        if (t == pick) break;
+        if (t->active && Runnable(*t)) ++t->affinity_skips;
+      }
+    }
+    pick->affinity_skips = 0;
+  }
+
+  pick->deficit = std::min<i64>(pick->deficit, 0) +
+                  static_cast<i64>(config_.quantum) *
+                      static_cast<i64>(pick->weight);
+  current_ = pick;
+  return pick;
 }
 
 Result<Picoseconds> Vcopd::SwitchDesign(Job& job) {
-  if (current_design_ == job.bitstream.name) return Picoseconds{0};
-  const Result<Picoseconds> price =
-      kernel_.fabric().PriceConfigure(job.bitstream);
+  hw::FpgaFabric& fabric = kernel_.fabric();
+  if (fabric.active_design() == job.bitstream.name) return Picoseconds{0};
   // Submit validated the price, but the library could have changed
-  // since; a stale design fails the job, not the daemon.
-  if (!price.ok()) return price.status();
-  if (kernel_.fabric().InjectConfigError()) {
-    return UnavailableError(StrFormat(
-        "partial reconfiguration of '%s' failed (CRC error on the "
-        "configuration stream)",
-        job.bitstream.name.c_str()));
+  // since; a stale design fails the job, not the daemon. AcquireDesign
+  // re-validates on the miss path.
+  const Result<hw::SlotAcquire> acquired = fabric.AcquireDesign(job.bitstream);
+  if (!acquired.ok()) return acquired.status();
+  const hw::SlotAcquire& got = acquired.value();
+  if (got.reconfigured) {
+    ++stats_.reconfigurations;
+    stats_.total_config_time += got.time;
+    ++job.result.reconfigurations;
+    job.result.config_time += got.time;
+    kernel_.timeline().Record(
+        StrFormat("vcopd configure %s", job.bitstream.name.c_str()),
+        "config", kernel_.simulator().now(), got.time, /*track=*/3);
+  } else if (got.activated) {
+    ++stats_.slot_activations;
+    stats_.total_activation_time += got.time;
+    ++job.result.slot_activations;
+    job.result.config_time += got.time;
+    kernel_.timeline().Record(
+        StrFormat("vcopd activate %s", job.bitstream.name.c_str()),
+        "config", kernel_.simulator().now(), got.time, /*track=*/3);
   }
-  current_design_ = job.bitstream.name;
-  ++stats_.reconfigurations;
-  stats_.total_config_time += price.value();
-  if (job.state == VcopdJobState::kQueued) {
-    job.result.reconfigured = true;
-    job.result.config_time = price.value();
-  }
-  kernel_.timeline().Record(
-      StrFormat("vcopd configure %s", job.bitstream.name.c_str()),
-      "config", kernel_.simulator().now(), price.value(), /*track=*/3);
-  return price.value();
+  return got.time;
 }
 
 void Vcopd::InstantiateHardware(Tenant& tenant, Job& job) {

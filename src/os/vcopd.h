@@ -79,6 +79,16 @@ struct VcopdConfig {
   bool asid_tagging = true;
   /// ASID tag space (including the reserved kernel tag 0).
   u32 max_asids = 64;
+  /// Fair share: when advancing the DRR ring, prefer a runnable tenant
+  /// whose design is resident in a configuration slot (it activates
+  /// instead of paying a full reconfiguration). Bounded by the skip
+  /// budget below so DRR fairness holds. Defaults to the kernel's
+  /// `design_affinity` platform key when left off here.
+  bool design_affinity = false;
+  /// How many consecutive times the strict ring-order choice may be
+  /// bypassed in favour of a resident-design tenant before it becomes
+  /// mandatory (starvation bound).
+  u32 affinity_skip_budget = 4;
 };
 
 enum class VcopdJobState : u8 {
@@ -99,7 +109,15 @@ struct JobResult {
   Picoseconds started_at = 0;   // first dispatch
   Picoseconds finished_at = 0;
   u32 preemptions = 0;
-  bool reconfigured = false;  // first slice paid a design switch
+  /// Full configuration-port transfers this job paid, across every
+  /// slice (initial dispatch AND resumes whose design was evicted
+  /// meanwhile — a resume after eviction reconfigures again).
+  u32 reconfigurations = 0;
+  /// Slot activations this job paid (design was resident, only the
+  /// region-select frame was rewritten).
+  u32 slot_activations = 0;
+  /// Configuration-port time across all slices (full configurations
+  /// plus slot activations).
   Picoseconds config_time = 0;
   /// The usual decomposition — with one caveat: `total` spans first
   /// dispatch to completion, so for preempted jobs it includes time
@@ -119,9 +137,13 @@ struct VcopdStats {
   u64 dispatches = 0;  // slices granted (initial dispatches + resumes)
   u64 preemptions = 0;
   u64 reconfigurations = 0;
+  /// Configuration-cache hits that switched a dormant resident slot in
+  /// (always 0 with a single slot).
+  u64 slot_activations = 0;
   /// Tenants quarantined after a fault-budget or hang abort.
   u64 quarantined = 0;
   Picoseconds total_config_time = 0;
+  Picoseconds total_activation_time = 0;
 };
 
 class Vcopd {
@@ -240,6 +262,10 @@ class Vcopd {
     std::deque<Job*> queue;       // submitted, not yet dispatched
     Job* inflight = nullptr;      // running or preempted
     i64 deficit = 0;              // fair-share deficit (picoseconds)
+    /// Consecutive times design affinity bypassed this tenant when it
+    /// was the strict ring-order choice; at the skip budget the bypass
+    /// is disallowed (no-starvation bound). Reset when picked.
+    u32 affinity_skips = 0;
   };
 
   Tenant* FindTenant(TenantId id);
@@ -256,11 +282,16 @@ class Vcopd {
   /// accounting. Returns a non-OK status only for simulation failures.
   Status RunSlice(Tenant& tenant);
 
-  /// Pays the configuration-port cost when `job`'s design is not the
-  /// one on the fabric (partial-reconfiguration model). Fails when the
+  /// Probes the fabric's configuration cache for `job`'s design and
+  /// makes it active, paying a full configuration (cache miss) or a
+  /// slot activation (hit on a dormant slot) as needed. Fails when the
   /// configuration stream errors (injected CRC fault) — the fabric
   /// keeps its previous design and the job must be failed cleanly.
   Result<Picoseconds> SwitchDesign(Job& job);
+
+  /// Bit-stream the tenant would need next (in-flight job when
+  /// preempted, else its queue head). Only called for runnable tenants.
+  static const std::string& HeadDesign(const Tenant& tenant);
 
   void InstantiateHardware(Tenant& tenant, Job& job);
   /// Marks the tenant quarantined (idempotent) after a fault-budget,
@@ -281,8 +312,8 @@ class Vcopd {
   u32 next_pid_ = 2;  // pid 1 is the kernel's default space
   u32 hardware_count_ = 0;
 
-  /// Design currently on the fabric ("" = none yet).
-  std::string current_design_;
+  // The design on the fabric and the resident set live in the fabric's
+  // configuration cache (hw::FpgaFabric::active_design/DesignResident).
   Tenant* current_ = nullptr;  // fair-share round-robin position
   Picoseconds slice_started_at_ = 0;
   bool slice_preempted_ = false;  // set by the VIM's preempt handler

@@ -742,6 +742,16 @@ void Vim::EvictFrame(mem::FrameId frame, Picoseconds& dp_cost,
       if (old.accessed || old.dirty) NoteSpeculativeTouch(frame);
     }
   }
+  if (config_.lazy_writeback && config_.coalesce_writeback &&
+      DeferredMarked(frame)) {
+    // The victim carries a deferred write-back: flush the owner's whole
+    // deferred set in one scatter-gather burst while the bus is ours —
+    // its other lazy pages would fault in here one by one otherwise.
+    // The per-page path below then finds this frame clean (a failed or
+    // single-page burst leaves it for the per-page retried store).
+    CoalescedWriteback(pages_.InUseFramesOf(pages_.frame(frame).asid),
+                       dp_cost);
+  }
   const FrameState state = pages_.frame(frame);
   AddressSpace* owner = ResolveSpace(state.asid);
   VCOP_CHECK_MSG(owner != nullptr, "evicting a frame of an unknown space");
@@ -774,6 +784,7 @@ void Vim::EvictFrame(mem::FrameId frame, Picoseconds& dp_cost,
       ++owner->accounting.writebacks;
       owner->accounting.bytes_written_back += len;
       owner->written_back.insert({state.object, state.vpage});
+      SettleDeferredFlush(frame);
       // The write-back just synchronised the frame with user memory, so
       // the evicted copy is a valid victim.
       RecordVictim(pages_.frame(frame), frame);
@@ -1214,46 +1225,66 @@ Picoseconds Vim::SaveContext() {
         }
       }
     }
-    if (config_.coalesce_writeback) {
-      const u32 cleaned =
-          CoalescedWriteback(pages_.InUseFramesOf(asid), dp_cost);
-      service_stats_.pages_written_back_on_save += cleaned;
-      if (space_->aborted) {
-        acct().t_dp += dp_cost;
-        acct().t_imu += imu_cost;
-        return dp_cost + imu_cost;
+    if (config_.lazy_writeback) {
+      // Lazy mode: defer the dirty sweep entirely. The frames stay
+      // resident-and-dirty under the deferred ledger; a foreign
+      // eviction, a coalesced burst, or FlushAsid flushes them on
+      // demand (EvictFrame already charges the write-back bookkeeping
+      // to the owner), and a warm resume pays zero write-back.
+      for (const mem::FrameId f : pages_.InUseFramesOf(asid)) {
+        const FrameState state = pages_.frame(f);
+        if (!state.dirty || DeferredMarked(f)) continue;
+        const MappedObject* object = space_->objects().Find(state.object);
+        VCOP_CHECK_MSG(object != nullptr, "resident page of unknown object");
+        // kIn pages are never written back anywhere; no ledger mark.
+        if (object->direction == Direction::kIn) continue;
+        MarkDeferred(f);
+        ++service_stats_.pages_writeback_deferred;
       }
-    }
-    for (const mem::FrameId f : pages_.InUseFramesOf(asid)) {
-      const FrameState state = pages_.frame(f);
-      if (!state.dirty) continue;
-      const MappedObject* object = space_->objects().Find(state.object);
-      VCOP_CHECK_MSG(object != nullptr, "resident page of unknown object");
-      // kIn pages never reach user space; if a foreign eviction drops
-      // one later it is counted there, not here.
-      if (object->direction == Direction::kIn) continue;
-      const u32 len = PageLength(*object, state.vpage);
-      const mem::TransferResult r = StorePageRetried(
-          state.asid, geometry_.FrameBase(f),
-          PageUserAddr(*object, state.vpage), len);
-      dp_cost += r.time;
-      if (r.bus_error) {
-        if (!space_->aborted) Abort(last_transfer_failure_);
-        acct().t_dp += dp_cost;
-        acct().t_imu += imu_cost;
-        return dp_cost + imu_cost;
+      ++service_stats_.lazy_context_saves;
+    } else {
+      if (config_.coalesce_writeback) {
+        const u32 cleaned =
+            CoalescedWriteback(pages_.InUseFramesOf(asid), dp_cost);
+        service_stats_.pages_written_back_on_save += cleaned;
+        if (space_->aborted) {
+          acct().t_dp += dp_cost;
+          acct().t_imu += imu_cost;
+          return dp_cost + imu_cost;
+        }
       }
-      ++acct().writebacks;
-      acct().bytes_written_back += len;
-      space_->written_back.insert({state.object, state.vpage});
-      ++service_stats_.pages_written_back_on_save;
-      pages_.ClearDirty(f);
-      if (const std::optional<u32> entry = tlb.FindByFrame(f)) {
-        tlb.ClearDirty(*entry);
-      }
-      if (hw::Tlb* l2 = L2(); l2 != nullptr) {
-        if (const std::optional<u32> e2 = l2->FindByFrame(f)) {
-          l2->ClearDirty(*e2);
+      for (const mem::FrameId f : pages_.InUseFramesOf(asid)) {
+        const FrameState state = pages_.frame(f);
+        if (!state.dirty) continue;
+        const MappedObject* object = space_->objects().Find(state.object);
+        VCOP_CHECK_MSG(object != nullptr,
+                       "resident page of unknown object");
+        // kIn pages never reach user space; if a foreign eviction drops
+        // one later it is counted there, not here.
+        if (object->direction == Direction::kIn) continue;
+        const u32 len = PageLength(*object, state.vpage);
+        const mem::TransferResult r = StorePageRetried(
+            state.asid, geometry_.FrameBase(f),
+            PageUserAddr(*object, state.vpage), len);
+        dp_cost += r.time;
+        if (r.bus_error) {
+          if (!space_->aborted) Abort(last_transfer_failure_);
+          acct().t_dp += dp_cost;
+          acct().t_imu += imu_cost;
+          return dp_cost + imu_cost;
+        }
+        ++acct().writebacks;
+        acct().bytes_written_back += len;
+        space_->written_back.insert({state.object, state.vpage});
+        ++service_stats_.pages_written_back_on_save;
+        pages_.ClearDirty(f);
+        if (const std::optional<u32> entry = tlb.FindByFrame(f)) {
+          tlb.ClearDirty(*entry);
+        }
+        if (hw::Tlb* l2 = L2(); l2 != nullptr) {
+          if (const std::optional<u32> e2 = l2->FindByFrame(f)) {
+            l2->ClearDirty(*e2);
+          }
         }
       }
     }
@@ -1404,6 +1435,7 @@ Picoseconds Vim::FlushAsid(hw::Asid asid, bool write_back) {
         ++owner->accounting.writebacks;
         owner->accounting.bytes_written_back += len;
         owner->written_back.insert({state.object, state.vpage});
+        SettleDeferredFlush(f);
       }
     }
     SettleSpeculativeRelease(pages_.frame(f));
@@ -1553,6 +1585,29 @@ std::optional<mem::FrameId> Vim::AllocFrame() const {
   return first;
 }
 
+bool Vim::DeferredMarked(mem::FrameId frame) const {
+  if (frame >= deferred_marks_.size()) return false;
+  const DeferredMark& mark = deferred_marks_[frame];
+  if (mark.asid == 0) return false;
+  const FrameState& state = pages_.frame(frame);
+  return state.in_use && state.dirty && state.asid == mark.asid &&
+         pages_.generation(frame) == mark.generation;
+}
+
+void Vim::MarkDeferred(mem::FrameId frame) {
+  if (deferred_marks_.size() < geometry_.num_frames()) {
+    deferred_marks_.resize(geometry_.num_frames());
+  }
+  deferred_marks_[frame] =
+      DeferredMark{pages_.frame(frame).asid, pages_.generation(frame)};
+}
+
+void Vim::SettleDeferredFlush(mem::FrameId frame) {
+  if (!DeferredMarked(frame)) return;
+  deferred_marks_[frame].asid = 0;
+  ++service_stats_.deferred_writebacks;
+}
+
 u32 Vim::CoalescedWriteback(const std::vector<mem::FrameId>& frames,
                             Picoseconds& dp_cost) {
   // Gather the dirty, write-backable pages. InUseFrames enumerates in
@@ -1590,6 +1645,7 @@ u32 Vim::CoalescedWriteback(const std::vector<mem::FrameId>& frames,
     ++owner->accounting.writebacks;
     owner->accounting.bytes_written_back += segments[i].seg.len;
     owner->written_back.insert({state.object, state.vpage});
+    SettleDeferredFlush(f);
     pages_.ClearDirty(f);
     if (const std::optional<u32> entry = imu_->tlb().FindByFrame(f)) {
       imu_->tlb().ClearDirty(*entry);

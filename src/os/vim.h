@@ -76,6 +76,15 @@ struct VimConfig {
   /// transaction covering every adjacent dirty page instead of one
   /// transfer per page. Off keeps the per-page path bit-identical.
   bool coalesce_writeback = false;
+  /// Lazy context write-back (tagged saves only): SaveContext snapshots
+  /// the TLB but defers the dirty sweep, leaving the tenant's frames
+  /// resident-and-dirty under a per-asid ledger. A page is flushed on
+  /// demand when another tenant's allocation evicts its frame (with
+  /// coalesce_writeback on, the whole deferred set goes in one
+  /// scatter-gather burst) or when FlushAsid tears the space down — so
+  /// a tenant resumed onto a warm fabric pays zero write-back. Off
+  /// keeps the eager clean-on-save path bit-identical.
+  bool lazy_writeback = false;
   /// Zero-copy virtual-address DMA (DESIGN.md §13): page transfers
   /// stream directly between the user pages and the dual-port RAM
   /// through an IOMMU that translates the tenant's virtual addresses,
@@ -138,6 +147,18 @@ struct VimServiceStats {
   u64 pages_written_back_on_save = 0;
   /// Parameter pages re-materialised at resume.
   u64 param_page_restores = 0;
+
+  // ----- lazy context write-back (DESIGN.md §15) -----
+
+  /// Tagged context saves that deferred their dirty sweep.
+  u64 lazy_context_saves = 0;
+  /// Dirty pages left resident-and-dirty at a lazy save (ledger marks).
+  u64 pages_writeback_deferred = 0;
+  /// Deferred pages later flushed on demand — by a foreign eviction,
+  /// a coalesced burst, or FlushAsid. Deferred pages that were instead
+  /// redirtied, dropped, or swept at end-of-operation never flush on
+  /// the lazy path and are not counted here.
+  u64 deferred_writebacks = 0;
 
   // ----- fault recovery (see DESIGN.md §9) -----
 
@@ -461,6 +482,20 @@ class Vim {
   mem::BurstResult StoreBurstRetried(
       std::span<const mem::Iommu::BurstSegment> segments);
 
+  // ----- lazy context write-back -----
+
+  /// Whether `frame` carries a live deferred-dirty mark: the owning
+  /// space lazily skipped its write-back at SaveContext and the frame
+  /// was neither reused (generation check) nor cleaned since.
+  bool DeferredMarked(mem::FrameId frame) const;
+
+  /// Marks `frame` deferred-dirty for its current owner/generation.
+  void MarkDeferred(mem::FrameId frame);
+
+  /// Consumes a live mark on `frame` after an on-demand flush (counted
+  /// as a deferred write-back); no-op without a live mark.
+  void SettleDeferredFlush(mem::FrameId frame);
+
   /// Pulls the TLB accessed bits into the replacement policy.
   void HarvestRecency();
 
@@ -580,6 +615,15 @@ class Vim {
   /// Frames the coprocessor touched since the previous fault
   /// (refreshed by HarvestRecency); speculation never evicts them.
   std::vector<bool> hot_frames_;
+
+  /// Per-frame deferred-dirty ledger (lazy_writeback). A mark is live
+  /// only while the frame still holds the same install generation for
+  /// the same ASID — any reuse of the frame invalidates it implicitly.
+  struct DeferredMark {
+    hw::Asid asid = 0;  // 0 = no mark
+    u64 generation = 0;
+  };
+  std::vector<DeferredMark> deferred_marks_;
 
   /// Shorthand for the attached space's accounting.
   VimAccounting& acct() { return space_->accounting; }

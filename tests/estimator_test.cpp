@@ -210,6 +210,59 @@ TEST(PlatformFileTest, IommuIsOffByDefaultAndBadValuesNameTheKey) {
   }
 }
 
+TEST(PlatformFileTest, ReconfigKeysDefaultOffAndRoundTrip) {
+  // Strictly opt-in (DESIGN.md §15): with none of the three keys the
+  // seed artifacts must be untouched.
+  auto defaults = runtime::ParsePlatformFile("");
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults.value().config_slots, 1u);
+  EXPECT_FALSE(defaults.value().design_affinity);
+  EXPECT_FALSE(defaults.value().vim.lazy_writeback);
+
+  auto config = runtime::ParsePlatformFile(
+      "config_slots = 4\ndesign_affinity = on\nlazy_writeback = yes\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config.value().config_slots, 4u);
+  EXPECT_TRUE(config.value().design_affinity);
+  EXPECT_TRUE(config.value().vim.lazy_writeback);
+
+  os::KernelConfig original = runtime::Epxa1Config();
+  original.config_slots = 3;
+  original.design_affinity = true;
+  original.vim.lazy_writeback = true;
+  auto parsed = runtime::ParsePlatformFile(runtime::WritePlatformFile(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().config_slots, original.config_slots);
+  EXPECT_EQ(parsed.value().design_affinity, original.design_affinity);
+  EXPECT_EQ(parsed.value().vim.lazy_writeback, original.vim.lazy_writeback);
+}
+
+TEST(PlatformFileTest, BadReconfigValuesAreRejectedByName) {
+  // A slot count of zero would leave the fabric with nowhere to
+  // configure; the cap matches the documented bound.
+  for (const char* text : {"config_slots = 0\n", "config_slots = 65\n",
+                           "config_slots = lots\n"}) {
+    auto bad = runtime::ParsePlatformFile(text);
+    ASSERT_FALSE(bad.ok()) << text;
+    EXPECT_NE(bad.status().message().find("config_slots"), std::string::npos)
+        << bad.status().message();
+  }
+  auto bad_affinity =
+      runtime::ParsePlatformFile("name = X\ndesign_affinity = maybe\n");
+  ASSERT_FALSE(bad_affinity.ok());
+  EXPECT_NE(bad_affinity.status().message().find("line 2"),
+            std::string::npos)
+      << bad_affinity.status().message();
+  EXPECT_NE(bad_affinity.status().message().find("design_affinity"),
+            std::string::npos)
+      << bad_affinity.status().message();
+  auto bad_lazy = runtime::ParsePlatformFile("lazy_writeback = 2h\n");
+  ASSERT_FALSE(bad_lazy.ok());
+  EXPECT_NE(bad_lazy.status().message().find("lazy_writeback"),
+            std::string::npos)
+      << bad_lazy.status().message();
+}
+
 TEST(PlatformFileTest, ParsesFastforwardSpellings) {
   // Off by default: the tier is strictly opt-in.
   auto defaults = runtime::ParsePlatformFile("");

@@ -23,6 +23,7 @@
 #include "apps/conv2d.h"
 #include "apps/idea.h"
 #include "apps/workloads.h"
+#include "cp/adpcm_cp.h"
 #include "base/fault.h"
 #include "cp/registry.h"
 #include "cp/vecadd_cp.h"
@@ -436,6 +437,185 @@ TEST(TortureTest, ConfigurationFaultFailsTheLoadCleanly) {
   ASSERT_FALSE(out.status.ok());
   EXPECT_EQ(out.status.code(), ErrorCode::kUnavailable)
       << out.status.ToString();
+}
+
+// ----- configuration-cache fault sites (hw/fabric.h, DESIGN.md §15) --
+
+/// Two designs alternating on a two-slot fabric under vcopd. With a
+/// giant time slice the dispatch order is the DRR ring verbatim —
+/// adpcm, vecadd, adpcm, vecadd — so kConfigError opportunities are
+/// deterministic: 1 = configure adpcm, 2 = configure vecadd,
+/// 3 = activate adpcm (resident hit), 4 = activate vecadd.
+struct SlotRig {
+  FpgaSystem sys;
+  os::Vcopd daemon;
+  os::TenantId adpcm_tenant = 0, vec_tenant = 0;
+  runtime::HostBuffer<u8> adpcm_in;
+  runtime::HostBuffer<i16> adpcm_out;
+  std::vector<i16> adpcm_expect;
+  runtime::HostBuffer<u32> a, b, c;
+  std::vector<u32> vec_expect;
+  static constexpr u32 kAdpcmBytes = 512;
+  static constexpr u32 kVecN = 128;
+
+  static os::KernelConfig Config() {
+    os::KernelConfig config = Epxa1Config();
+    config.config_slots = 2;
+    return config;
+  }
+  static os::VcopdConfig DaemonConfig() {
+    os::VcopdConfig config;
+    config.policy = os::ServicePolicy::kFairShare;
+    config.time_slice = 1ull * 1000 * 1000 * 1000 * 1000;  // never preempt
+    return config;
+  }
+
+  SlotRig() : sys(Config()), daemon(sys.kernel(), DaemonConfig()) {
+    adpcm_tenant = daemon.RegisterTenant("adpcm").value();
+    std::vector<u8> input(kAdpcmBytes);
+    for (u32 i = 0; i < kAdpcmBytes; ++i) {
+      input[i] = static_cast<u8>((i * 2654435761u) >> 13);
+    }
+    adpcm_in = sys.Allocate<u8>(kAdpcmBytes).value();
+    adpcm_in.Fill(input);
+    adpcm_out = sys.Allocate<i16>(kAdpcmBytes * 2).value();
+    adpcm_expect.resize(kAdpcmBytes * 2);
+    apps::AdpcmState state;
+    apps::AdpcmDecode(input, adpcm_expect, state);
+    runtime::VcopdClient ac(daemon, adpcm_tenant);
+    VCOP_CHECK(ac.Map(cp::AdpcmDecodeCoprocessor::kObjIn, adpcm_in,
+                      os::Direction::kIn).ok());
+    VCOP_CHECK(ac.Map(cp::AdpcmDecodeCoprocessor::kObjOut, adpcm_out,
+                      os::Direction::kOut).ok());
+
+    vec_tenant = daemon.RegisterTenant("vec").value();
+    a = sys.Allocate<u32>(kVecN).value();
+    b = sys.Allocate<u32>(kVecN).value();
+    c = sys.Allocate<u32>(kVecN).value();
+    std::vector<u32> va(kVecN), vb(kVecN);
+    for (u32 i = 0; i < kVecN; ++i) {
+      va[i] = 1000003u + i;
+      vb[i] = 7919u + 3u * i;
+    }
+    a.Fill(va);
+    b.Fill(vb);
+    vec_expect.resize(kVecN);
+    for (u32 i = 0; i < kVecN; ++i) vec_expect[i] = va[i] + vb[i];
+    runtime::VcopdClient vc(daemon, vec_tenant);
+    VCOP_CHECK(vc.Map(cp::VecAddCoprocessor::kObjA, a,
+                      os::Direction::kIn).ok());
+    VCOP_CHECK(vc.Map(cp::VecAddCoprocessor::kObjB, b,
+                      os::Direction::kIn).ok());
+    VCOP_CHECK(vc.Map(cp::VecAddCoprocessor::kObjC, c,
+                      os::Direction::kOut).ok());
+  }
+
+  /// Submits adpcm/vecadd jobs interleaved and drains; returns the
+  /// per-ticket statuses in submission order.
+  std::vector<Status> Drain(u32 rounds) {
+    std::vector<os::Ticket> tickets;
+    runtime::VcopdClient ac(daemon, adpcm_tenant);
+    runtime::VcopdClient vc(daemon, vec_tenant);
+    for (u32 round = 0; round < rounds; ++round) {
+      tickets.push_back(
+          ac.Submit(cp::AdpcmDecodeBitstream(), {kAdpcmBytes, 0u, 0u})
+              .value());
+      tickets.push_back(
+          vc.Submit(cp::VecAddBitstream(), {kVecN}).value());
+    }
+    VCOP_CHECK(daemon.RunUntilIdle().ok());
+    std::vector<Status> statuses;
+    for (const os::Ticket ticket : tickets) {
+      const os::JobResult* result = daemon.Poll(ticket);
+      VCOP_CHECK(result != nullptr);
+      statuses.push_back(result->status);
+    }
+    return statuses;
+  }
+
+  /// The absolute invariant: any job that completed left the exact
+  /// reference bytes (its jobs are idempotent over the same input).
+  void CheckOutputs(const std::vector<Status>& statuses) {
+    bool adpcm_ok = false, vec_ok = false;
+    for (usize i = 0; i < statuses.size(); ++i) {
+      if (!statuses[i].ok()) {
+        EXPECT_EQ(statuses[i].code(), ErrorCode::kUnavailable)
+            << statuses[i].ToString();
+        continue;
+      }
+      (i % 2 == 0 ? adpcm_ok : vec_ok) = true;
+    }
+    if (adpcm_ok) {
+      EXPECT_EQ(adpcm_out.ToVector(), adpcm_expect);
+    }
+    if (vec_ok) {
+      EXPECT_EQ(c.ToVector(), vec_expect);
+    }
+  }
+};
+
+/// A CRC fault on the 256-byte activation stream of a resident design
+/// fails that job cleanly, evicts the damaged slot, and the next use
+/// of the design recovers with a full reconfiguration.
+TEST(TortureTest, SlotActivationCrcFaultFailsCleanlyAndEvictsTheSlot) {
+  SlotRig rig;
+  FaultPlan plan;
+  plan.At(FaultSite::kConfigError, 3);  // adpcm's re-activation
+  rig.sys.kernel().InstallFaultPlan(&plan);
+  const std::vector<Status> statuses = rig.Drain(2);
+  rig.sys.kernel().InstallFaultPlan(nullptr);
+
+  ASSERT_EQ(statuses.size(), 4u);
+  EXPECT_TRUE(statuses[0].ok());   // configure adpcm
+  EXPECT_TRUE(statuses[1].ok());   // configure vecadd
+  ASSERT_FALSE(statuses[2].ok());  // adpcm activation hits the CRC fault
+  EXPECT_EQ(statuses[2].code(), ErrorCode::kUnavailable)
+      << statuses[2].ToString();
+  EXPECT_TRUE(statuses[3].ok());   // vecadd is still the active design
+  rig.CheckOutputs(statuses);
+  EXPECT_EQ(rig.daemon.stats().failed, 1u);
+  // The damaged slot was evicted, not left claiming a broken design...
+  EXPECT_FALSE(rig.sys.kernel().fabric().DesignResident(
+      cp::AdpcmDecodeBitstream().name));
+  // ...so the tenant recovers by paying a fresh full configuration.
+  const std::vector<Status> retry = rig.Drain(1);
+  EXPECT_TRUE(retry[0].ok()) << retry[0].ToString();
+  EXPECT_TRUE(retry[1].ok());
+  EXPECT_EQ(rig.adpcm_out.ToVector(), rig.adpcm_expect);
+  EXPECT_GE(rig.daemon.stats().reconfigurations, 3u);
+  ASSERT_LT(rig.sys.kernel().simulator().now(), kSimTimeBound);
+}
+
+/// Seeded sweep over every configuration-port opportunity in the
+/// alternating fleet (configures and activations alike): each plan
+/// either completes every job exactly or fails the struck job cleanly,
+/// and the outcome is replayable from the opportunity index alone.
+TEST(TortureTest, SeededConfigFaultsAtSlotSitesFailCleanOrComplete) {
+  for (u32 opportunity = 1; opportunity <= 5; ++opportunity) {
+    std::vector<std::vector<Status>> outcomes;
+    for (u32 replay = 0; replay < 2; ++replay) {
+      SlotRig rig;
+      FaultPlan plan;
+      plan.At(FaultSite::kConfigError, opportunity);
+      rig.sys.kernel().InstallFaultPlan(&plan);
+      const std::vector<Status> statuses = rig.Drain(2);
+      rig.sys.kernel().InstallFaultPlan(nullptr);
+      rig.CheckOutputs(statuses);
+      u32 failed = 0;
+      for (const Status& status : statuses) failed += status.ok() ? 0 : 1;
+      // Opportunity 5 is past the last configuration-port transfer of
+      // the fleet: nothing fires.  Otherwise exactly one job is hit.
+      EXPECT_EQ(failed, opportunity <= 4 ? 1u : 0u)
+          << "opportunity " << opportunity;
+      ASSERT_LT(rig.sys.kernel().simulator().now(), kSimTimeBound);
+      outcomes.push_back(statuses);
+    }
+    ASSERT_EQ(outcomes[0].size(), outcomes[1].size());
+    for (usize i = 0; i < outcomes[0].size(); ++i) {
+      EXPECT_EQ(outcomes[0][i].code(), outcomes[1][i].code())
+          << "opportunity " << opportunity << " job " << i;
+    }
+  }
 }
 
 // ----- ring-transport fault sites (os/service.h) -----

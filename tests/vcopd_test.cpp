@@ -208,8 +208,11 @@ struct PreemptionRun {
   bool correct = false;
 };
 
-PreemptionRun RunContendedAdpcm(bool asid_tagging) {
-  FpgaSystem sys(TestConfig());
+PreemptionRun RunContendedAdpcm(bool asid_tagging,
+                                bool lazy_writeback = false) {
+  KernelConfig kernel_config = TestConfig();
+  kernel_config.vim.lazy_writeback = lazy_writeback;
+  FpgaSystem sys(kernel_config);
   VcopdConfig config;
   config.policy = ServicePolicy::kFairShare;
   config.time_slice = 50ull * 1000 * 1000;  // 50 us: well below runtime
@@ -488,6 +491,274 @@ TEST(VcopdTest, KernelBlockingPathStillWorksAfterDaemonIdles) {
   const Result<ExecutionReport> report = sys.Execute({128u});
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(c.ToVector(), std::vector<u32>(128, 7));
+}
+
+// ----- reconfiguration-aware serving (DESIGN.md §15) -----
+
+KernelConfig SlottedConfig(u32 slots) {
+  KernelConfig config = TestConfig();
+  config.config_slots = slots;
+  return config;
+}
+
+/// With one slot per distinct design, only the first use of each
+/// design pays a full configuration; every later alternation is a slot
+/// activation.
+TEST(VcopdReconfigTest, SlotCacheActivatesInsteadOfReconfiguring) {
+  FpgaSystem sys(SlottedConfig(3));
+  Vcopd daemon(sys.kernel());
+
+  AdpcmJob adpcm = StageAdpcm(sys, daemon, "adpcm", 2 * 1024, 21);
+  VecAddJob vecadd = StageVecAdd(sys, daemon, "vecadd", 512, 22);
+  VcopdClient ca(daemon, adpcm.tenant);
+  VcopdClient cv(daemon, vecadd.tenant);
+  // Two designs alternating over three rounds: a, v, a, v, a, v.
+  for (u32 round = 0; round < 3; ++round) {
+    ASSERT_TRUE(ca.Submit(cp::AdpcmDecodeBitstream(),
+                          {adpcm.input_bytes, 0u, 0u}).ok());
+    ASSERT_TRUE(cv.Submit(cp::VecAddBitstream(), {512u}).ok());
+  }
+  ASSERT_TRUE(daemon.RunUntilIdle().ok());
+
+  EXPECT_EQ(daemon.stats().completed, 6u);
+  EXPECT_EQ(adpcm.out.ToVector(), adpcm.expect);
+  EXPECT_EQ(vecadd.c.ToVector(), vecadd.expect);
+  // First use of each design is a miss; every alternation after that
+  // activates a resident slot.
+  EXPECT_EQ(daemon.stats().reconfigurations, 2u);
+  EXPECT_GE(daemon.stats().slot_activations, 4u);
+  EXPECT_GT(daemon.stats().total_activation_time, 0u);
+
+  const hw::ConfigSlotStats& slots = sys.kernel().fabric().slot_stats();
+  EXPECT_EQ(slots.misses, 2u);
+  EXPECT_EQ(slots.evictions, 0u);  // 2 designs never contend for 3 slots
+  EXPECT_EQ(slots.hits, daemon.stats().slot_activations);
+  // Activating a resident design is orders of magnitude cheaper than
+  // configuring it: the whole activation budget stays below a single
+  // full configuration.
+  EXPECT_LT(slots.activation_time, slots.configure_time / 2);
+
+  const ScheduleReport report = daemon.BuildScheduleReport();
+  EXPECT_EQ(report.slot_activations, daemon.stats().slot_activations);
+  EXPECT_EQ(report.total_activation_time,
+            daemon.stats().total_activation_time);
+}
+
+/// A preempted tenant whose design is still resident on resume pays an
+/// activation, not a reconfiguration: its job counts exactly the one
+/// initial configuration.
+TEST(VcopdReconfigTest, ResumeViaActivationWhenDesignStaysResident) {
+  FpgaSystem sys(SlottedConfig(3));
+  VcopdConfig config;
+  config.policy = ServicePolicy::kFairShare;
+  config.time_slice = 50ull * 1000 * 1000;  // 50 us: forces preemption
+  config.quantum = 100ull * 1000 * 1000;
+  Vcopd daemon(sys.kernel(), config);
+
+  AdpcmJob first = StageAdpcm(sys, daemon, "alpha", 12 * 1024, 24);
+  AdpcmJob second = StageAdpcm(sys, daemon, "beta", 12 * 1024, 25);
+  VecAddJob vecadd = StageVecAdd(sys, daemon, "gamma", 2048, 26);
+  VcopdClient c1(daemon, first.tenant);
+  VcopdClient c2(daemon, second.tenant);
+  VcopdClient c3(daemon, vecadd.tenant);
+  const Ticket t1 = c1.Submit(cp::AdpcmDecodeBitstream(),
+                              {first.input_bytes, 0u, 0u}).value();
+  ASSERT_TRUE(c2.Submit(cp::AdpcmDecodeBitstream(),
+                        {second.input_bytes, 0u, 0u}).ok());
+  ASSERT_TRUE(c3.Submit(cp::VecAddBitstream(), {2048u}).ok());
+  ASSERT_TRUE(daemon.RunUntilIdle().ok());
+
+  EXPECT_GT(daemon.stats().preemptions, 0u);
+  const JobResult* r1 = daemon.Poll(t1);
+  ASSERT_NE(r1, nullptr);
+  ASSERT_TRUE(r1->status.ok());
+  EXPECT_GT(r1->preemptions, 0u);
+  // Both designs fit the 3-slot cache, so resumed slices re-activate
+  // instead of reconfiguring: the job paid exactly one configuration.
+  EXPECT_EQ(r1->reconfigurations, 1u);
+  EXPECT_EQ(first.out.ToVector(), first.expect);
+  EXPECT_EQ(second.out.ToVector(), second.expect);
+  EXPECT_EQ(vecadd.c.ToVector(), vecadd.expect);
+  EXPECT_EQ(sys.kernel().fabric().slot_stats().evictions, 0u);
+}
+
+/// The interleaving the satellite task names: a tenant is preempted,
+/// other designs flood a cache smaller than the design working set and
+/// evict its slot, and the resumed slice pays a full reconfiguration —
+/// visible as reconfigurations > 1 on a single job.
+TEST(VcopdReconfigTest, ResumeViaCacheMissAfterEviction) {
+  FpgaSystem sys(SlottedConfig(2));
+  VcopdConfig config;
+  config.policy = ServicePolicy::kFairShare;
+  config.time_slice = 50ull * 1000 * 1000;
+  config.quantum = 100ull * 1000 * 1000;
+  Vcopd daemon(sys.kernel(), config);
+
+  // Three distinct designs against two slots: while alpha is
+  // preempted, idea + vecadd occupy both slots and evict adpcm.
+  AdpcmJob alpha = StageAdpcm(sys, daemon, "alpha", 12 * 1024, 27);
+  VecAddJob vecadd = StageVecAdd(sys, daemon, "vec", 2048, 28);
+  const TenantId idea_tenant = daemon.RegisterTenant("idea").value();
+  const u32 idea_bytes = 8 * 1024;
+  std::vector<u8> plain(idea_bytes);
+  for (u32 i = 0; i < idea_bytes; ++i) {
+    plain[i] = static_cast<u8>(i * 131u + 17u);
+  }
+  apps::IdeaKey key{};
+  std::iota(key.begin(), key.end(), u8{1});
+  const apps::IdeaSubkeys subkeys = apps::IdeaExpandKey(key);
+  std::vector<u8> expect_cipher(idea_bytes);
+  apps::IdeaCryptEcb(subkeys, plain, expect_cipher);
+  HostBuffer<u8> idea_in = sys.Allocate<u8>(idea_bytes).value();
+  idea_in.Fill(plain);
+  HostBuffer<u8> idea_out = sys.Allocate<u8>(idea_bytes).value();
+  HostBuffer<u16> idea_key =
+      sys.Allocate<u16>(static_cast<u32>(subkeys.size())).value();
+  idea_key.Fill(std::span<const u16>(subkeys.data(), subkeys.size()));
+  VcopdClient idea_client(daemon, idea_tenant);
+  ASSERT_TRUE(idea_client.Map(cp::IdeaCoprocessor::kObjIn, idea_in,
+                              /*elem_width=*/4, Direction::kIn).ok());
+  ASSERT_TRUE(idea_client.Map(cp::IdeaCoprocessor::kObjOut, idea_out,
+                              /*elem_width=*/4, Direction::kOut).ok());
+  ASSERT_TRUE(idea_client.Map(cp::IdeaCoprocessor::kObjKey, idea_key,
+                              Direction::kIn).ok());
+
+  VcopdClient ca(daemon, alpha.tenant);
+  VcopdClient cv(daemon, vecadd.tenant);
+  const Ticket ta = ca.Submit(cp::AdpcmDecodeBitstream(),
+                              {alpha.input_bytes, 0u, 0u}).value();
+  ASSERT_TRUE(idea_client
+                  .Submit(cp::IdeaBitstream(),
+                          {idea_bytes / 8, cp::IdeaCoprocessor::kModeEcb,
+                           0u, 0u})
+                  .ok());
+  ASSERT_TRUE(cv.Submit(cp::VecAddBitstream(), {2048u}).ok());
+  ASSERT_TRUE(daemon.RunUntilIdle().ok());
+
+  const JobResult* ra = daemon.Poll(ta);
+  ASSERT_NE(ra, nullptr);
+  ASSERT_TRUE(ra->status.ok());
+  EXPECT_GT(ra->preemptions, 0u);
+  // The resumed slice found its slot evicted: >= 2 full
+  // configurations charged to one job.
+  EXPECT_GE(ra->reconfigurations, 2u);
+  EXPECT_GT(sys.kernel().fabric().slot_stats().evictions, 0u);
+  EXPECT_EQ(alpha.out.ToVector(), alpha.expect);
+  EXPECT_EQ(idea_out.ToVector(), expect_cipher);
+  EXPECT_EQ(vecadd.c.ToVector(), vecadd.expect);
+
+  // Satellite 1's under-reporting fix: the schedule report rolls the
+  // per-slice count up, not just a first-slice bool.
+  const ScheduleReport report = daemon.BuildScheduleReport();
+  u32 alpha_reconfigs = 0;
+  for (const JobOutcome& outcome : report.outcomes) {
+    if (outcome.bitstream == cp::AdpcmDecodeBitstream().name) {
+      alpha_reconfigs += outcome.reconfigurations;
+    }
+  }
+  EXPECT_GE(alpha_reconfigs, 2u);
+}
+
+/// Design-affinity DRR converts design ping-pong into batched service
+/// without starving anyone: same fleet, fewer reconfigurations, exact
+/// outputs, and every job completes.
+TEST(VcopdReconfigTest, AffinityReducesSwitchesAndKeepsOutputsExact) {
+  VcopdStats stats_off, stats_on;
+  for (const bool affinity : {false, true}) {
+    FpgaSystem sys(TestConfig());
+    VcopdConfig config;
+    config.policy = ServicePolicy::kFairShare;
+    config.time_slice = 50ull * 1000 * 1000;
+    config.design_affinity = affinity;
+    Vcopd daemon(sys.kernel(), config);
+
+    AdpcmJob adpcm = StageAdpcm(sys, daemon, "adpcm", 4 * 1024, 29);
+    VecAddJob vecadd = StageVecAdd(sys, daemon, "vecadd", 1024, 30);
+    VcopdClient ca(daemon, adpcm.tenant);
+    VcopdClient cv(daemon, vecadd.tenant);
+    for (u32 round = 0; round < 3; ++round) {
+      ASSERT_TRUE(ca.Submit(cp::AdpcmDecodeBitstream(),
+                            {adpcm.input_bytes, 0u, 0u}).ok());
+      ASSERT_TRUE(cv.Submit(cp::VecAddBitstream(), {1024u}).ok());
+    }
+    ASSERT_TRUE(daemon.RunUntilIdle().ok());
+    EXPECT_EQ(daemon.stats().completed, 6u);
+    EXPECT_EQ(daemon.stats().failed, 0u);
+    EXPECT_EQ(adpcm.out.ToVector(), adpcm.expect);
+    EXPECT_EQ(vecadd.c.ToVector(), vecadd.expect);
+    (affinity ? stats_on : stats_off) = daemon.stats();
+  }
+  // Affinity batches same-design jobs (bounded by the skip budget), so
+  // it cannot switch more than strict ring order does.
+  EXPECT_LE(stats_on.reconfigurations, stats_off.reconfigurations);
+  EXPECT_GT(stats_on.reconfigurations, 0u);
+}
+
+/// design_affinity defaults from the kernel platform key when the
+/// VcopdConfig leaves it off: both spellings behave identically.
+TEST(VcopdReconfigTest, AffinityPlatformKeyMatchesExplicitConfig) {
+  VcopdStats by_key, by_config;
+  for (const bool via_key : {true, false}) {
+    KernelConfig kernel_config = TestConfig();
+    VcopdConfig config;
+    config.policy = ServicePolicy::kFairShare;
+    config.time_slice = 50ull * 1000 * 1000;
+    if (via_key) {
+      kernel_config.design_affinity = true;
+    } else {
+      config.design_affinity = true;
+    }
+    FpgaSystem sys(kernel_config);
+    Vcopd daemon(sys.kernel(), config);
+    AdpcmJob adpcm = StageAdpcm(sys, daemon, "adpcm", 4 * 1024, 31);
+    VecAddJob vecadd = StageVecAdd(sys, daemon, "vecadd", 1024, 32);
+    VcopdClient ca(daemon, adpcm.tenant);
+    VcopdClient cv(daemon, vecadd.tenant);
+    for (u32 round = 0; round < 2; ++round) {
+      ASSERT_TRUE(ca.Submit(cp::AdpcmDecodeBitstream(),
+                            {adpcm.input_bytes, 0u, 0u}).ok());
+      ASSERT_TRUE(cv.Submit(cp::VecAddBitstream(), {1024u}).ok());
+    }
+    ASSERT_TRUE(daemon.RunUntilIdle().ok());
+    EXPECT_EQ(adpcm.out.ToVector(), adpcm.expect);
+    EXPECT_EQ(vecadd.c.ToVector(), vecadd.expect);
+    (via_key ? by_key : by_config) = daemon.stats();
+  }
+  EXPECT_EQ(by_key.reconfigurations, by_config.reconfigurations);
+  EXPECT_EQ(by_key.preemptions, by_config.preemptions);
+  EXPECT_EQ(by_key.dispatches, by_config.dispatches);
+}
+
+// ----- lazy context write-back (DESIGN.md §15) -----
+
+TEST(VcopdLazyWritebackTest, DefersSaveTimeSweepAndStaysExact) {
+  const PreemptionRun lazy =
+      RunContendedAdpcm(/*asid_tagging=*/true, /*lazy_writeback=*/true);
+  EXPECT_TRUE(lazy.correct);
+  EXPECT_GT(lazy.preemptions, 0u);
+  // Every context save deferred its dirty sweep...
+  EXPECT_GT(lazy.service.lazy_context_saves, 0u);
+  EXPECT_GT(lazy.service.pages_writeback_deferred, 0u);
+  EXPECT_EQ(lazy.service.pages_written_back_on_save, 0u);
+  // ...and the deferred pages settled on demand (eviction by the other
+  // tenant or the end-of-job flush), which is where the bytes reached
+  // user memory — `correct` above proves none were lost.
+  EXPECT_GT(lazy.service.deferred_writebacks, 0u);
+}
+
+TEST(VcopdLazyWritebackTest, MatchesEagerResultsWithFewerSaveWrites) {
+  const PreemptionRun eager =
+      RunContendedAdpcm(/*asid_tagging=*/true, /*lazy_writeback=*/false);
+  const PreemptionRun lazy =
+      RunContendedAdpcm(/*asid_tagging=*/true, /*lazy_writeback=*/true);
+  ASSERT_TRUE(eager.correct);
+  ASSERT_TRUE(lazy.correct);
+  // The eager baseline pays its write-backs inside SaveContext; lazy
+  // pays none there.
+  EXPECT_GT(eager.service.pages_written_back_on_save, 0u);
+  EXPECT_EQ(lazy.service.pages_written_back_on_save, 0u);
+  EXPECT_EQ(eager.service.lazy_context_saves, 0u);
+  EXPECT_EQ(eager.service.deferred_writebacks, 0u);
 }
 
 }  // namespace
